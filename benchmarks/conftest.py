@@ -1,0 +1,44 @@
+"""Benchmark configuration.
+
+Benchmarks regenerate the paper's tables and figures (scaled traces) and
+print the same rows/series the paper reports.  pytest-benchmark times
+each regeneration; the printed artifacts are the deliverable, and
+paper-shape assertions guard against regressions that break the
+reproduction.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+#: Trace length for benchmark runs: long enough for the paper-shape
+#: assertions to hold with margin, short enough for the full suite to
+#: finish in minutes.
+BENCH_TRACE_LENGTH = 40_000
+
+
+@pytest.fixture(scope="session")
+def trace_length() -> int:
+    return BENCH_TRACE_LENGTH
+
+
+@pytest.hookimpl(trylast=True)
+def pytest_collection_modifyitems(config, items):
+    """Keep the paper-shape assertions alive under ``--benchmark-only``.
+
+    pytest-benchmark skips tests without the ``benchmark`` fixture when
+    ``--benchmark-only`` is given; in this directory those tests *are*
+    the benchmark artifacts (they print the regenerated tables and
+    assert the paper's shape on the shared run), so un-skip them.
+    """
+    if not config.getoption("--benchmark-only", False):
+        return
+    for item in items:
+        item.own_markers = [
+            marker
+            for marker in item.own_markers
+            if not (
+                marker.name == "skip"
+                and "non-benchmark" in str(marker.kwargs.get("reason", ""))
+            )
+        ]

@@ -1,0 +1,122 @@
+"""Ablation benches: sensitivity of the design choices (DESIGN.md).
+
+Four sweeps around the paper's design points: escape-filter geometry,
+nested-TLB placement, base-bound check cost, and page-walk-cache size.
+"""
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestFilterGeometry:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return ablations.sweep_filter_geometry()
+
+    def test_regenerate(self, benchmark):
+        out = benchmark.pedantic(
+            ablations.sweep_filter_geometry,
+            kwargs=dict(bits_options=(256,), probe_pages=50_000),
+            rounds=1,
+            iterations=1,
+        )
+        assert out
+
+    def test_print(self, points):
+        print()
+        print(ablations.format_filter_geometry(points))
+
+    def test_fp_rate_falls_with_size(self, points):
+        rates = [p.false_positive_rate for p in points]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_papers_256_bit_choice_is_sufficient(self, points):
+        chosen = next(p for p in points if p.total_bits == 256)
+        # ~0.24% analytically; anything below 1% makes escaped-page
+        # traffic negligible (Figure 13's conclusion).
+        assert chosen.false_positive_rate < 0.01
+
+    def test_64_bits_would_not_suffice(self, points):
+        small = next(p for p in points if p.total_bits == 64)
+        assert small.false_positive_rate > 10 * next(
+            p for p in points if p.total_bits == 256
+        ).false_positive_rate
+
+
+class TestNestedTlbPlacement:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return ablations.sweep_nested_tlb(trace_length=30_000)
+
+    def test_regenerate(self, benchmark):
+        out = benchmark.pedantic(
+            ablations.sweep_nested_tlb,
+            kwargs=dict(workloads=("memcached",), trace_length=10_000),
+            rounds=1,
+            iterations=1,
+        )
+        assert out
+
+    def test_print(self, rows):
+        print()
+        print(ablations.format_nested_tlb(rows))
+
+    def test_sharing_causes_the_inflation(self, rows):
+        # With a dedicated nested TLB the inflation largely disappears:
+        # direct evidence for Section IX.A's capacity-pressure diagnosis.
+        for row in rows:
+            assert row.shared_inflation > 1.1
+            assert row.dedicated_inflation < row.shared_inflation
+            assert row.dedicated_inflation < 1.0 + 0.6 * (row.shared_inflation - 1.0)
+
+
+class TestCheckCost:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return ablations.sweep_check_cost()
+
+    def test_regenerate(self, benchmark):
+        out = benchmark.pedantic(
+            ablations.sweep_check_cost,
+            kwargs=dict(check_cycles_options=(1,), trace_length=10_000),
+            rounds=1,
+            iterations=1,
+        )
+        assert out
+
+    def test_print(self, points):
+        print()
+        print(ablations.format_check_cost(points))
+
+    def test_overhead_monotone_in_check_cost(self, points):
+        overheads = [p.vd_overhead_percent for p in points]
+        assert overheads == sorted(overheads)
+
+    def test_vd_survives_pessimistic_delta(self, points):
+        # Even at 10 cycles per check VMM Direct beats the 2D walk.
+        pessimistic = next(p for p in points if p.check_cycles == 10)
+        assert pessimistic.vd_overhead_percent < pessimistic.base_overhead_percent
+
+
+class TestPwcSize:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return ablations.sweep_pwc_size()
+
+    def test_regenerate(self, benchmark):
+        out = benchmark.pedantic(
+            ablations.sweep_pwc_size,
+            kwargs=dict(entries_options=(32,), trace_length=10_000),
+            rounds=1,
+            iterations=1,
+        )
+        assert out
+
+    def test_print(self, points):
+        print()
+        print(ablations.format_pwc_size(points))
+
+    def test_bigger_pwc_cheaper_walks(self, points):
+        cv = [p.cycles_per_walk for p in points]
+        assert cv[0] > cv[-1]

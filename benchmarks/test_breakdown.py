@@ -1,0 +1,84 @@
+"""Benchmarks E4-E6: the Section IX.A performance breakdown.
+
+Covers three experiments on one run set:
+
+* E4 miss inflation (paper: 1.29-1.62x for workloads with reuse),
+* E5 cycles-per-miss growth (paper geo-means: 2.4x / 1.5x / 1.6x for
+  4K+4K / 4K+2M / 4K+1G),
+* E6 per-miss cost of the new modes (VD within ~13%, GD within ~3% of
+  native; DD removing ~99.9% of L2 TLB misses).
+"""
+
+import pytest
+
+from repro.experiments import breakdown
+
+
+@pytest.fixture(scope="module")
+def result(trace_length):
+    return breakdown.run(trace_length=trace_length)
+
+
+def test_regenerate_breakdown(benchmark, trace_length):
+    out = benchmark.pedantic(
+        breakdown.run,
+        kwargs=dict(trace_length=trace_length // 4, workloads=("memcached",)),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.rows
+
+
+class TestMissInflation:
+    def test_print(self, result):
+        print()
+        print(breakdown.format_breakdown(result))
+
+    def test_reuse_workloads_inflate(self, result):
+        # Paper: 1.29x-1.62x for graph500/memcached/canneal/streamcluster.
+        for row in result.rows:
+            if row.workload == "gups":
+                continue  # saturated at 4K natively; cannot inflate
+            assert 1.05 < row.miss_inflation_4k4k < 2.2, (
+                f"{row.workload}: inflation {row.miss_inflation_4k4k:.2f}x"
+            )
+
+    def test_gups_cannot_inflate(self, result):
+        gups = next(r for r in result.rows if r.workload == "gups")
+        assert gups.miss_inflation_4k4k == pytest.approx(1.0, abs=0.05)
+
+
+class TestCyclesPerMiss:
+    def test_4k4k_growth_matches_paper_band(self, result):
+        # Paper average 2.4x.
+        mean = result.mean_cv_over_cn("4K+4K")
+        assert 1.8 < mean < 3.2
+
+    def test_large_vmm_pages_shrink_the_growth(self, result):
+        assert result.mean_cv_over_cn("4K+2M") < result.mean_cv_over_cn("4K+4K")
+        assert result.mean_cv_over_cn("4K+1G") < result.mean_cv_over_cn("4K+4K")
+
+    def test_2m_band(self, result):
+        # Paper average 1.5x for 4K+2M.
+        assert 1.0 < result.mean_cv_over_cn("4K+2M") < 2.2
+
+
+class TestModePerMissCosts:
+    def test_vmm_direct_within_band(self, result):
+        # Paper: ~13% above native per miss.
+        for row in result.rows:
+            assert -0.05 < row.vd_per_miss_vs_native < 0.30
+
+    def test_guest_direct_cheaper_than_vmm_direct(self, result):
+        for row in result.rows:
+            assert row.gd_per_miss_vs_native <= row.vd_per_miss_vs_native + 0.02
+
+    def test_guest_direct_within_band(self, result):
+        # Paper: ~3% above native per miss.
+        for row in result.rows:
+            assert -0.05 < row.gd_per_miss_vs_native < 0.15
+
+    def test_dd_removes_l2_misses(self, result):
+        # Paper: ~99.9% reduction in L2 TLB misses.
+        for row in result.rows:
+            assert row.dd_l2_miss_reduction > 0.99

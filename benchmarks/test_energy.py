@@ -1,0 +1,61 @@
+"""Benchmark S3: Section IX.B -- energy accounting.
+
+Regenerates the static-energy saving (Dual Direct vs 4K+2M) and the
+dynamic translation-energy term comparison; asserts the paper's
+direction: the new design's walker-activity reduction (term c)
+dominates the small comparator cost it adds to term (b).
+"""
+
+import pytest
+
+from repro.experiments import energy
+
+
+@pytest.fixture(scope="module")
+def result(trace_length):
+    return energy.run(trace_length=trace_length)
+
+
+def test_regenerate_energy(benchmark, trace_length):
+    out = benchmark.pedantic(
+        energy.run,
+        kwargs=dict(trace_length=trace_length // 4, workloads=("graph500",)),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.rows
+
+
+class TestPaperShape:
+    def test_print(self, result):
+        print()
+        print(energy.format_energy(result))
+
+    def test_static_saving_in_paper_band(self, result):
+        # Paper: Dual Direct reduces execution time by 11-89% vs 4K+2M
+        # across benchmarks; static energy follows suit.
+        savings = [r.static_saving_dd_vs_4k2m for r in result.rows]
+        assert max(savings) > 0.10
+        for saving in savings:
+            assert 0.0 <= saving <= 0.95
+
+    def test_dd_reduces_dynamic_translation_energy(self, result):
+        for row in result.rows:
+            assert row.dd_dynamic.total < row.base_dynamic.total
+
+    def test_walker_term_dominates_the_saving(self, result):
+        for row in result.rows:
+            walker_saving = (
+                row.base_dynamic.walker_energy - row.dd_dynamic.walker_energy
+            )
+            comparator_cost = row.dd_dynamic.l2_energy - min(
+                row.dd_dynamic.l2_energy, row.base_dynamic.l2_energy
+            )
+            assert walker_saving > comparator_cost
+
+    def test_l1_term_unchanged(self, result):
+        # The new design leaves the L1 TLB access path untouched.
+        for row in result.rows:
+            assert row.dd_dynamic.l1_energy == pytest.approx(
+                row.base_dynamic.l1_energy, rel=0.01
+            )

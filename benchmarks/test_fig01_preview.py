@@ -1,0 +1,44 @@
+"""Benchmark E1: Figure 1 -- the introduction's overhead preview.
+
+The opening shot: native 4K vs the virtualized 4K-guest grid vs the two
+headline modes (DD and 4K+VD) for graph500, memcached and GUPS.
+"""
+
+import pytest
+
+from repro.experiments import figure01
+
+
+@pytest.fixture(scope="module")
+def result(trace_length):
+    return figure01.run(trace_length=trace_length)
+
+
+def test_regenerate_figure1(benchmark, trace_length):
+    out = benchmark.pedantic(
+        figure01.run,
+        kwargs=dict(trace_length=trace_length // 4, workloads=("graph500",)),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.grid.results
+
+
+class TestPaperShape:
+    def test_print(self, result):
+        print()
+        print(figure01.format_figure(result))
+
+    def test_the_motivating_ordering(self, result):
+        # For every previewed workload: 4K+4K >> 4K, large VMM pages
+        # help, the proposed design mitigates.
+        for w in result.grid.workloads:
+            native = result.grid.overhead_percent(w, "4K")
+            virt = result.grid.overhead_percent(w, "4K+4K")
+            with_2m = result.grid.overhead_percent(w, "4K+2M")
+            dd = result.grid.overhead_percent(w, "DD")
+            vd = result.grid.overhead_percent(w, "4K+VD")
+            assert virt > 1.5 * native
+            assert native < with_2m < virt
+            assert dd < 1.0
+            assert vd < native * 1.3 + 2.0

@@ -1,0 +1,100 @@
+"""Benchmark E2: Figure 11 -- overhead per big-memory workload.
+
+Regenerates the paper's main figure (every native, virtualized and
+proposed-mode bar for the big-memory workloads) and asserts the shape
+results the paper's text states: overheads grow drastically under
+virtualization, large pages help but do not close the gap, and the
+proposed modes do.
+"""
+
+import pytest
+
+from repro.experiments import figure11
+from repro.model.overhead import geometric_mean
+
+
+@pytest.fixture(scope="module")
+def result(trace_length):
+    return figure11.run(trace_length=trace_length)
+
+
+def test_regenerate_figure11(benchmark, trace_length):
+    out = benchmark.pedantic(
+        figure11.run,
+        kwargs=dict(
+            trace_length=trace_length // 4,
+            workloads=("graph500",),
+            configs=("4K", "4K+4K", "DD"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.grid.results
+
+
+class TestPaperShape:
+    """The observations of Section VIII / IX.A, asserted on our bars."""
+
+    def test_print_figure(self, result):
+        print()
+        print(figure11.format_figure(result))
+
+    def test_virtualization_multiplies_overhead(self, result):
+        # Paper: geometric-mean increase ~3.6x from 4K to 4K+4K.
+        ratios = [
+            result.grid.overhead_percent(w, "4K+4K")
+            / max(result.grid.overhead_percent(w, "4K"), 0.1)
+            for w in result.grid.workloads
+        ]
+        mean = geometric_mean(ratios)
+        assert 1.8 < mean < 6.0, f"virt/native geomean {mean:.2f} out of range"
+
+    def test_vmm_pages_reduce_but_dont_eliminate(self, result):
+        for w in result.grid.workloads:
+            base = result.grid.overhead_percent(w, "4K+4K")
+            with_2m = result.grid.overhead_percent(w, "4K+2M")
+            native = result.grid.overhead_percent(w, "4K")
+            assert with_2m < base
+            assert with_2m > native  # still above native (paper obs. 2)
+
+    def test_2m_guest_still_pays_virtualization_tax(self, result):
+        for w in result.grid.workloads:
+            native_2m = result.grid.overhead_percent(w, "2M")
+            virt_2m = result.grid.overhead_percent(w, "2M+2M")
+            assert virt_2m >= native_2m
+
+    def test_graph500_matches_paper_text(self, result):
+        # Paper: 28% native, 113% virtualized for graph500; we accept
+        # the same ordering with |native - 28%| < 10 points.
+        native = result.grid.overhead_percent("graph500", "4K")
+        virt = result.grid.overhead_percent("graph500", "4K+4K")
+        assert abs(native - 28.0) < 10.0
+        assert virt > 2.0 * native
+
+    def test_direct_segment_modes_eliminate_overhead(self, result):
+        for w in result.grid.workloads:
+            assert result.grid.overhead_percent(w, "DS") < 1.0
+            assert result.grid.overhead_percent(w, "DD") < 1.0
+
+    def test_vmm_direct_near_native(self, result):
+        # Paper: VMM Direct within ~2% of native (geo mean).
+        for w in result.grid.workloads:
+            native = result.grid.overhead_percent(w, "4K")
+            vd = result.grid.overhead_percent(w, "4K+VD")
+            assert vd < native * 1.25 + 2.0
+
+    def test_guest_direct_near_native(self, result):
+        for w in result.grid.workloads:
+            native = result.grid.overhead_percent(w, "4K")
+            gd = result.grid.overhead_percent(w, "4K+GD")
+            assert gd < native * 1.35 + 2.0
+
+    def test_gups_dwarfs_other_workloads(self, result):
+        # GUPS uses the scaled right-hand axis in the paper's figure.
+        gups = result.grid.overhead_percent("gups", "4K+4K")
+        others = [
+            result.grid.overhead_percent(w, "4K+4K")
+            for w in result.grid.workloads
+            if w != "gups"
+        ]
+        assert gups > max(others)

@@ -1,0 +1,72 @@
+"""Benchmark E7: Figure 13 -- escape-filter resilience to bad pages.
+
+Regenerates the normalized-execution-time series (1..16 bad pages,
+multiple random fault sets, 95% CIs) and asserts the paper's claim:
+Dual Direct retains almost all its benefit even with 16 hard faults.
+"""
+
+import pytest
+
+from repro.experiments import figure13
+
+#: Scaled-down defaults: the full paper protocol (30 trials, 5 counts,
+#: 3 workloads) is available via repro.experiments figure13 --full runs.
+BAD_COUNTS = (1, 4, 16)
+TRIALS = 5
+WORKLOADS = ("graph500", "gups")
+
+
+@pytest.fixture(scope="module")
+def result():
+    return figure13.run(
+        trace_length=20_000,
+        workloads=WORKLOADS,
+        bad_counts=BAD_COUNTS,
+        trials=TRIALS,
+    )
+
+
+def test_regenerate_figure13(benchmark):
+    out = benchmark.pedantic(
+        figure13.run,
+        kwargs=dict(
+            trace_length=8_000,
+            workloads=("graph500",),
+            bad_counts=(16,),
+            trials=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.points
+
+
+class TestPaperShape:
+    def test_print_figure(self, result):
+        print()
+        print(figure13.format_figure(result))
+
+    def test_overhead_negligible_with_16_faults(self, result):
+        # Paper: execution impact < 0.06% (GUPS 0.5%) with 16 faults.
+        for workload in WORKLOADS:
+            point = result.point(workload, 16)
+            budget = 1.01 if workload == "gups" else 1.005
+            assert point.mean < budget, (
+                f"{workload}: {point.mean:.5f} normalized time with 16 bad pages"
+            )
+
+    def test_impact_never_decreases_much_below_one(self, result):
+        # Sanity: escaping pages cannot speed execution up materially.
+        for point in result.points:
+            assert point.mean > 0.995
+
+    def test_confidence_intervals_are_tight(self, result):
+        for point in result.points:
+            assert point.ci95 < 0.02
+
+    def test_more_faults_never_cheaper(self, result):
+        for workload in WORKLOADS:
+            means = [result.point(workload, n).mean for n in BAD_COUNTS]
+            # Allow noise, but 16 faults must not beat 1 fault by more
+            # than the CI width.
+            assert means[-1] >= means[0] - 0.005

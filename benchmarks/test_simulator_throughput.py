@@ -1,0 +1,66 @@
+"""Simulator throughput benchmarks (the library's own performance).
+
+Unlike the figure benches (which time one-shot regenerations), these
+measure the hot paths downstream users care about: MMU accesses per
+second in the cheap (TLB-hit) and expensive (2D-walk) regimes, and
+trace generation speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import parse_config
+from repro.sim.system import build_system, populate_for_addresses
+from repro.workloads.registry import create_workload
+from tests.conftest import TinyWorkload
+
+
+@pytest.fixture(scope="module")
+def hit_system():
+    system = build_system(parse_config("4K+4K"), TinyWorkload().spec)
+    base = system.base_va
+    populate_for_addresses(system, [base])
+    system.mmu.access(base)  # warm
+    return system
+
+
+@pytest.fixture(scope="module")
+def miss_system():
+    workload = TinyWorkload()
+    system = build_system(parse_config("4K+4K"), workload.spec)
+    trace = workload.trace(4000, seed=0)
+    addresses = sorted({(int(p) << 12) + system.base_va for p in trace})
+    populate_for_addresses(system, addresses)
+    return system, addresses
+
+
+def test_l1_hit_rate(benchmark, hit_system):
+    va = hit_system.base_va
+    access = hit_system.mmu.access
+
+    def hot_loop():
+        for _ in range(1000):
+            access(va)
+
+    benchmark(hot_loop)
+
+
+def test_2d_walk_rate(benchmark, miss_system):
+    system, addresses = miss_system
+    access = system.mmu.access
+    flush = system.mmu.flush_tlbs
+    sample = addresses[:500]
+
+    def walk_loop():
+        flush()  # every access below misses everything
+        for va in sample:
+            access(va)
+
+    benchmark(walk_loop)
+
+
+def test_trace_generation_rate(benchmark):
+    workload = create_workload("graph500")
+    trace = benchmark(workload.trace, 50_000, 1)
+    assert isinstance(trace, np.ndarray)
+    assert len(trace) == 50_000

@@ -1,0 +1,78 @@
+"""Benchmark T3: Table III -- mode policy under fragmentation.
+
+Executes all six (workload class x fragmentation state) scenarios on
+live data structures and asserts the prescribed mode transitions.
+"""
+
+import pytest
+
+from repro.core.modes import TranslationMode
+from repro.experiments import table3_fragmentation
+from repro.vmm.policy import WorkloadClass
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table3_fragmentation.run()
+
+
+def test_regenerate_table3(benchmark, result):
+    # Timing re-runs one representative scenario (the cheapest).
+    from repro.vmm.policy import FragmentationState
+
+    out = benchmark.pedantic(
+        table3_fragmentation._run_scenario,
+        args=(WorkloadClass.COMPUTE, FragmentationState(guest_fragmented=True)),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.reached_final_mode
+
+
+class TestTable3Rows:
+    def test_print(self, result):
+        print()
+        print(table3_fragmentation.format_scenarios(result))
+
+    def test_all_scenarios_converge(self, result):
+        for outcome in result.outcomes:
+            assert outcome.reached_final_mode, (
+                f"{outcome.workload_class.value} "
+                f"host={outcome.state.host_fragmented} "
+                f"guest={outcome.state.guest_fragmented} stuck in "
+                f"{outcome.final_mode.value}"
+            )
+
+    def test_big_memory_rows_end_in_dual_direct(self, result):
+        for outcome in result.outcomes:
+            if outcome.workload_class is WorkloadClass.BIG_MEMORY:
+                assert outcome.final_mode is TranslationMode.DUAL_DIRECT
+
+    def test_compute_rows_end_in_vmm_direct(self, result):
+        for outcome in result.outcomes:
+            if outcome.workload_class is WorkloadClass.COMPUTE:
+                assert outcome.final_mode is TranslationMode.VMM_DIRECT
+
+    def test_host_fragmented_rows_needed_compaction(self, result):
+        for outcome in result.outcomes:
+            if outcome.state.host_fragmented:
+                assert outcome.compaction_pages_moved > 0
+            else:
+                assert outcome.compaction_pages_moved == 0
+
+    def test_guest_fragmented_big_memory_used_self_ballooning(self, result):
+        for outcome in result.outcomes:
+            expect = (
+                outcome.workload_class is WorkloadClass.BIG_MEMORY
+                and outcome.state.guest_fragmented
+            )
+            assert outcome.used_self_ballooning == expect
+
+    def test_degraded_initial_modes_match_table(self, result):
+        for outcome in result.outcomes:
+            if not outcome.state.host_fragmented:
+                continue
+            if outcome.workload_class is WorkloadClass.BIG_MEMORY:
+                assert outcome.initial_mode is TranslationMode.GUEST_DIRECT
+            else:
+                assert outcome.initial_mode is TranslationMode.BASE_VIRTUALIZED

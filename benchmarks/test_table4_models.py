@@ -1,0 +1,72 @@
+"""Benchmark T4: Table IV -- linear models vs direct simulation.
+
+Applies the paper's exact prediction methodology (Section VII) and
+cross-checks it against direct simulation of the segment hardware.
+"""
+
+import pytest
+
+from repro.experiments import table4_models
+
+
+@pytest.fixture(scope="module")
+def result(trace_length):
+    return table4_models.run(trace_length=trace_length)
+
+
+def test_regenerate_table4(benchmark, trace_length):
+    out = benchmark.pedantic(
+        table4_models.run,
+        kwargs=dict(trace_length=trace_length // 4, workloads=("graph500",)),
+        rounds=1,
+        iterations=1,
+    )
+    assert out.comparisons
+
+
+class TestModelAgreement:
+    def test_print(self, result):
+        print()
+        print(table4_models.format_comparison(result))
+
+    def test_models_and_simulation_agree_on_magnitude(self, result):
+        for comparison in result.comparisons:
+            if comparison.design in ("Dual Direct", "Direct Segment"):
+                # Both predict ~zero; compare on absolute cycles
+                # relative to the workload's walk budget instead.
+                continue
+            assert comparison.relative_error < 0.45, (
+                f"{comparison.workload}/{comparison.design}: model "
+                f"{comparison.predicted_cycles:.0f} vs sim "
+                f"{comparison.simulated_cycles:.0f}"
+            )
+
+    def test_eliminating_designs_predicted_near_zero(self, result):
+        for comparison in result.comparisons:
+            if comparison.design not in ("Dual Direct", "Direct Segment"):
+                continue
+            base = max(
+                c.simulated_cycles
+                for c in result.comparisons
+                if c.workload == comparison.workload
+            )
+            assert comparison.predicted_cycles < 0.05 * base
+            assert comparison.simulated_cycles < 0.05 * base
+
+    def test_model_ordering_matches_simulation_ordering(self, result):
+        # Within each workload, the model must rank designs the same
+        # way direct simulation does -- up to near-ties (DD and DS both
+        # predict ~zero; GD and VD differ by a few cycles per miss).
+        by_workload = {}
+        for c in result.comparisons:
+            by_workload.setdefault(c.workload, []).append(c)
+        for workload, comparisons in by_workload.items():
+            for a in comparisons:
+                for b in comparisons:
+                    # A strong model preference (a at most half of b)
+                    # must never be contradicted strongly by simulation.
+                    if a.predicted_cycles < 0.5 * b.predicted_cycles:
+                        assert a.simulated_cycles < 1.5 * b.simulated_cycles, (
+                            f"{workload}: model prefers {a.design} over "
+                            f"{b.design} but simulation strongly disagrees"
+                        )

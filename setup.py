@@ -1,0 +1,6 @@
+"""Legacy setup shim: the offline environment lacks the wheel package,
+so `pip install -e .` (PEP 660) cannot build; `python setup.py develop`
+performs the equivalent editable install with plain setuptools."""
+from setuptools import setup
+
+setup()

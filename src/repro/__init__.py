@@ -1,0 +1,87 @@
+"""repro: Efficient Memory Virtualization, reproduced in Python.
+
+A trace-driven reproduction of Gandhi, Basu, Hill and Swift, *"Efficient
+Memory Virtualization: Reducing Dimensionality of Nested Page Walks"*
+(MICRO 2014): direct segments at both levels of nested address
+translation, the escape filter, self-ballooning and the I/O-gap
+reclaim, plus the full evaluation harness (Figures 1/11/12/13, Tables
+I-IV, the shadow-paging and page-sharing studies).
+
+Quick taste::
+
+    from repro import create_workload, simulate
+
+    result = simulate("4K+VD", create_workload("graph500"))
+    print(result.overhead_percent)
+
+See README.md for the architecture overview and
+``python -m repro.experiments all`` for the paper's figures.
+"""
+
+from repro.core.address import GIB, KIB, MIB, TIB, AddressRange, PageSize
+from repro.core.escape_filter import EscapeFilter
+from repro.core.modes import MODE_PROPERTIES, TranslationMode
+from repro.core.mmu import MMU, MMUCounters
+from repro.core.segments import SegmentRegisters
+from repro.guest.balloon import SelfBalloonDriver
+from repro.guest.guest_os import GuestOS, GuestOSConfig
+from repro.guest.hotplug import reclaim_io_gap
+from repro.mem.badpages import BadPageList
+from repro.mem.compaction import CompactionDaemon
+from repro.mem.frame_allocator import FrameAllocator
+from repro.mem.page_table import PageTable
+from repro.sim.config import SystemConfig, parse_config
+from repro.sim.simulator import SimulationResult, run_trace, simulate
+from repro.sim.system import SimulatedSystem, build_system
+from repro.vmm.hypervisor import Hypervisor, VirtualMachine
+from repro.vmm.policy import FragmentationManager, WorkloadClass, plan_modes
+from repro.workloads.base import Workload, WorkloadSpec
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    BIG_MEMORY_WORKLOADS,
+    COMPUTE_WORKLOADS,
+    create_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "AddressRange",
+    "BIG_MEMORY_WORKLOADS",
+    "BadPageList",
+    "COMPUTE_WORKLOADS",
+    "CompactionDaemon",
+    "EscapeFilter",
+    "FragmentationManager",
+    "FrameAllocator",
+    "GIB",
+    "GuestOS",
+    "GuestOSConfig",
+    "Hypervisor",
+    "KIB",
+    "MIB",
+    "MMU",
+    "MMUCounters",
+    "MODE_PROPERTIES",
+    "PageSize",
+    "PageTable",
+    "SegmentRegisters",
+    "SelfBalloonDriver",
+    "SimulatedSystem",
+    "SimulationResult",
+    "SystemConfig",
+    "TIB",
+    "TranslationMode",
+    "VirtualMachine",
+    "Workload",
+    "WorkloadClass",
+    "WorkloadSpec",
+    "build_system",
+    "create_workload",
+    "parse_config",
+    "plan_modes",
+    "reclaim_io_gap",
+    "run_trace",
+    "simulate",
+]

@@ -1,0 +1,1 @@
+"""The paper's proposed hardware: segments, escape filter, walkers, MMU."""

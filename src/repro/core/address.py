@@ -1,0 +1,235 @@
+"""x86-64 address arithmetic: page sizes, radix indices, canonical form.
+
+The paper's hardware operates on three address spaces (Section I):
+
+* ``gVA`` -- guest virtual addresses, translated by the guest page table,
+* ``gPA`` -- guest physical addresses, translated by the nested page table,
+* ``hPA`` -- host physical addresses, the final output of translation.
+
+All three are 48-bit x86-64 addresses.  This module provides the shared
+arithmetic: page-size constants, page-number/offset splitting, and the
+4-level radix indices used by both the guest and the nested page tables.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Number of meaningful bits in an x86-64 virtual address (256 TB space).
+ADDRESS_BITS = 48
+
+#: Size of the full x86-64 virtual address space (2**48 bytes).
+ADDRESS_SPACE_SIZE = 1 << ADDRESS_BITS
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+TIB = 1024 * GIB
+
+#: Bits per radix level in the x86-64 page table (512 entries per node).
+RADIX_BITS = 9
+
+#: Offset bits of a base (4 KB) page.
+BASE_PAGE_BITS = 12
+
+#: Size in bytes of a base (4 KB) page.
+BASE_PAGE_SIZE = 1 << BASE_PAGE_BITS
+
+
+class PageSize(enum.IntEnum):
+    """The three x86-64 page sizes, valued by their size in bytes.
+
+    The integer value is the page size in bytes so that arithmetic such as
+    ``address // PageSize.SIZE_2M`` reads naturally.
+    """
+
+    SIZE_4K = 4 * KIB
+    SIZE_2M = 2 * MIB
+    SIZE_1G = 1 * GIB
+
+    @property
+    def bits(self) -> int:
+        """Number of offset bits for this page size (12, 21 or 30)."""
+        return int(self).bit_length() - 1
+
+    @property
+    def levels(self) -> int:
+        """Page-table levels walked to reach a leaf of this size.
+
+        A 4 KB translation walks PML4, PDPT, PD and PT (4 levels); a 2 MB
+        translation terminates at the PD (3 levels); a 1 GB translation
+        terminates at the PDPT (2 levels).  These counts drive the paper's
+        reference-count arithmetic (Figure 2).
+        """
+        return {PageSize.SIZE_4K: 4, PageSize.SIZE_2M: 3, PageSize.SIZE_1G: 2}[self]
+
+    @property
+    def base_pages(self) -> int:
+        """Number of 4 KB pages covered by one page of this size."""
+        return int(self) // BASE_PAGE_SIZE
+
+    @property
+    def label(self) -> str:
+        """Short label used in experiment output ('4K', '2M', '1G')."""
+        return {
+            PageSize.SIZE_4K: "4K",
+            PageSize.SIZE_2M: "2M",
+            PageSize.SIZE_1G: "1G",
+        }[self]
+
+    @classmethod
+    def from_label(cls, label: str) -> "PageSize":
+        """Parse a '4K'/'2M'/'1G' label (as used in config names)."""
+        table = {"4K": cls.SIZE_4K, "2M": cls.SIZE_2M, "1G": cls.SIZE_1G}
+        try:
+            return table[label.upper()]
+        except KeyError:
+            raise ValueError(f"unknown page size label: {label!r}") from None
+
+
+#: Names of the four x86-64 page-table levels, root first.
+LEVEL_NAMES = ("PML4", "PDPT", "PD", "PT")
+
+
+def is_canonical(address: int) -> bool:
+    """Return True if ``address`` fits in the 48-bit address space.
+
+    We model the lower (user) half of the canonical space only; kernel
+    addresses are out of scope for the paper's DTLB study.
+    """
+    return 0 <= address < ADDRESS_SPACE_SIZE
+
+
+def check_canonical(address: int) -> int:
+    """Validate an address, returning it unchanged; raise on violation."""
+    if not is_canonical(address):
+        raise ValueError(f"address {address:#x} outside 48-bit space")
+    return address
+
+
+def page_number(address: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    """Page number of ``address`` at the given granularity."""
+    return address >> page_size.bits
+
+
+def page_offset(address: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    """Offset of ``address`` within its page at the given granularity."""
+    return address & (int(page_size) - 1)
+
+
+def page_base(address: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    """Address of the first byte of the page containing ``address``."""
+    return address & ~(int(page_size) - 1)
+
+
+def align_up(address: int, page_size: PageSize) -> int:
+    """Round ``address`` up to the next page boundary (identity if aligned)."""
+    mask = int(page_size) - 1
+    return (address + mask) & ~mask
+
+
+def align_down(address: int, page_size: PageSize) -> int:
+    """Round ``address`` down to a page boundary (identity if aligned)."""
+    return address & ~(int(page_size) - 1)
+
+
+def is_aligned(address: int, page_size: PageSize) -> bool:
+    """True if ``address`` is a multiple of the page size."""
+    return page_offset(address, page_size) == 0
+
+
+def radix_index(address: int, level: int) -> int:
+    """Radix index of ``address`` at page-table ``level`` (0 = PML4 root).
+
+    x86-64 splits bits 47..12 into four 9-bit indices: bits 47..39 select
+    the PML4 entry, 38..30 the PDPT entry, 29..21 the PD entry and 20..12
+    the PT entry.
+    """
+    if not 0 <= level <= 3:
+        raise ValueError(f"page-table level must be 0..3, got {level}")
+    shift = BASE_PAGE_BITS + RADIX_BITS * (3 - level)
+    return (address >> shift) & ((1 << RADIX_BITS) - 1)
+
+
+def radix_indices(address: int) -> tuple[int, int, int, int]:
+    """All four radix indices of ``address``, root (PML4) first."""
+    return tuple(radix_index(address, level) for level in range(4))  # type: ignore[return-value]
+
+
+def vpn_to_address(vpn: int, page_size: PageSize = PageSize.SIZE_4K) -> int:
+    """First byte address of virtual page number ``vpn``."""
+    return vpn << page_size.bits
+
+
+def format_size(nbytes: int) -> str:
+    """Human-readable size used in experiment reports ('80.0GB', '256MB')."""
+    for unit, size in (("TB", TIB), ("GB", GIB), ("MB", MIB), ("KB", KIB)):
+        if nbytes >= size:
+            value = nbytes / size
+            if value == int(value):
+                return f"{int(value)}{unit}"
+            return f"{value:.1f}{unit}"
+    return f"{nbytes}B"
+
+
+class AddressRange:
+    """A half-open ``[start, end)`` range of addresses.
+
+    Used for segments, memory slots, reserved regions and the I/O gap.
+    """
+
+    __slots__ = ("start", "end")
+
+    def __init__(self, start: int, end: int) -> None:
+        if end < start:
+            raise ValueError(f"range end {end:#x} precedes start {start:#x}")
+        self.start = start
+        self.end = end
+
+    @classmethod
+    def of_size(cls, start: int, size: int) -> "AddressRange":
+        """Range of ``size`` bytes beginning at ``start``."""
+        return cls(start, start + size)
+
+    @property
+    def size(self) -> int:
+        """Length of the range in bytes."""
+        return self.end - self.start
+
+    def __contains__(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def contains_range(self, other: "AddressRange") -> bool:
+        """True if ``other`` lies entirely within this range."""
+        return self.start <= other.start and other.end <= self.end
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """True if the two ranges share at least one address."""
+        return self.start < other.end and other.start < self.end
+
+    def intersection(self, other: "AddressRange") -> "AddressRange | None":
+        """Overlapping sub-range, or None if disjoint."""
+        start = max(self.start, other.start)
+        end = min(self.end, other.end)
+        if start >= end:
+            return None
+        return AddressRange(start, end)
+
+    def pages(self, page_size: PageSize = PageSize.SIZE_4K) -> range:
+        """Page numbers fully or partially covered by this range."""
+        if self.size == 0:
+            return range(0)
+        first = page_number(self.start, page_size)
+        last = page_number(self.end - 1, page_size)
+        return range(first, last + 1)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AddressRange):
+            return NotImplemented
+        return self.start == other.start and self.end == other.end
+
+    def __hash__(self) -> int:
+        return hash((self.start, self.end))
+
+    def __repr__(self) -> str:
+        return f"AddressRange({self.start:#x}, {self.end:#x})"

@@ -1,0 +1,82 @@
+"""Latency and cost parameters for the translation machinery.
+
+Every cycle count used by the walker, the MMU and the analytical models
+lives here so that experiments can vary them in one place.  The defaults
+are chosen to land the emergent per-miss costs (Cn, Cv) in the regimes the
+paper measures on its Sandy Bridge testbed (Section VII): a native 4 KB
+walk around a few tens of cycles, and virtualized walks 1.5-3.5x that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheLatencies:
+    """Where a page-table entry access can be served from, and its cost.
+
+    A real walker's loads hit in the data-cache hierarchy.  We model each
+    surviving PTE reference (after page-walk-cache filtering) as served by
+    L2, LLC or DRAM with the blend below; lower levels of the page table
+    (accessed more often, smaller working set) are more cache-resident.
+    """
+
+    l2_cycles: int = 12
+    llc_cycles: int = 40
+    dram_cycles: int = 200
+
+    #: Probability that a PTE access at each page-table depth (root first)
+    #: hits L2 / LLC; the remainder goes to DRAM.  Upper levels have tiny
+    #: working sets and are effectively always cached.
+    residency: tuple[tuple[float, float], ...] = (
+        (0.98, 0.02),  # PML4: almost always in L2
+        (0.95, 0.04),  # PDPT
+        (0.75, 0.20),  # PD
+        (0.30, 0.40),  # PT leaves: big working set, frequent DRAM trips
+    )
+
+    def expected_cycles(self, depth: int) -> float:
+        """Expected cycles to load one PTE at radix ``depth`` (0..3)."""
+        l2_p, llc_p = self.residency[depth]
+        dram_p = max(0.0, 1.0 - l2_p - llc_p)
+        return (
+            l2_p * self.l2_cycles
+            + llc_p * self.llc_cycles
+            + dram_p * self.dram_cycles
+        )
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All tunable latencies for the simulated translation hardware.
+
+    Attributes mirror the quantities the paper names:
+
+    * ``base_bound_check_cycles`` -- the paper's per-check Delta of 1 cycle
+      (Section VII: Delta_VD = 5, Delta_GD = 1 come from 5 and 1 checks).
+    * ``vm_exit_cycles`` -- cost of a VM-exit, used by the shadow-paging
+      comparison (Section IX.D).
+    """
+
+    cache: CacheLatencies = field(default_factory=CacheLatencies)
+
+    #: Cost of one base-bound (segment) check; the paper assumes 1 cycle.
+    base_bound_check_cycles: int = 1
+
+    #: L2 TLB probe latency, charged on every L1 miss that consults it.
+    l2_tlb_probe_cycles: int = 7
+
+    #: Round-trip cost of a VM-exit plus re-entry (shadow paging model).
+    vm_exit_cycles: int = 4000
+
+    #: Cost of a minor page fault serviced by the guest OS (demand paging).
+    page_fault_cycles: int = 3000
+
+    def pte_access_cycles(self, depth: int) -> float:
+        """Expected cost of one page-table memory reference at ``depth``."""
+        return self.cache.expected_cycles(depth)
+
+
+#: Shared default cost model; experiments may construct their own.
+DEFAULT_COSTS = CostModel()

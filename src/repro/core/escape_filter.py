@@ -1,0 +1,152 @@
+"""Escape filter: a small hardware Bloom filter that pokes holes in segments.
+
+Section V: a single faulty physical page would otherwise prevent creation
+of a large direct segment.  The escape filter lets individual pages
+"escape" segment translation back to conventional paging.  An address is
+translated by the segment only if it lies inside the segment *and not* in
+the filter; escaped pages (and any false positives) must have ordinary
+page-table mappings, which the VMM or OS creates.
+
+The paper evaluates a 256-bit *parallel* Bloom filter with four H3 hash
+functions (Sanchez et al. [44]): the bit array is split into four 64-bit
+banks, one per hash function, probed concurrently.  H3 hashes are linear
+over GF(2): each hash is defined by a fixed random binary matrix, and the
+hash of a key is the XOR of the matrix rows selected by the key's set
+bits -- cheap in hardware (an XOR tree) and well distributed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+#: Geometry evaluated in Section IX.C.
+DEFAULT_FILTER_BITS = 256
+DEFAULT_HASH_FUNCTIONS = 4
+
+#: Width of the hashed key in bits.  Keys are page numbers: 48-bit
+#: addresses minus the 12-bit page offset.
+KEY_BITS = 36
+
+
+class H3Hash:
+    """One H3 hash function: a random GF(2)-linear map from keys to indices.
+
+    The function is defined by ``KEY_BITS`` rows of ``index_bits`` bits;
+    ``hash(key)`` XORs together the rows at positions where ``key`` has a
+    one bit.
+    """
+
+    def __init__(self, index_bits: int, rng: random.Random) -> None:
+        if index_bits <= 0:
+            raise ValueError("index_bits must be positive")
+        self.index_bits = index_bits
+        mask = (1 << index_bits) - 1
+        self._rows = tuple(rng.getrandbits(index_bits) & mask for _ in range(KEY_BITS))
+
+    def __call__(self, key: int) -> int:
+        value = 0
+        rows = self._rows
+        bit = 0
+        while key and bit < KEY_BITS:
+            if key & 1:
+                value ^= rows[bit]
+            key >>= 1
+            bit += 1
+        return value
+
+
+@dataclass
+class EscapeFilter:
+    """Parallel Bloom filter over page numbers, part of the context state.
+
+    The filter is architectural state: it is saved and restored alongside
+    the segment registers (Section V), which :meth:`save`/:meth:`restore`
+    model.  ``insert`` is a privileged operation performed by the VMM (or
+    the OS in unvirtualized Direct Segment mode) when it escapes a page.
+
+    False positives are inherent to Bloom filters; :meth:`may_contain`
+    therefore over-approximates the escaped set.  The software contract
+    (enforced by the fault handlers in :mod:`repro.guest.guest_os` and
+    :mod:`repro.vmm.hypervisor`) is that every address for which
+    ``may_contain`` is true has a conventional page-table mapping.
+    """
+
+    total_bits: int = DEFAULT_FILTER_BITS
+    num_hashes: int = DEFAULT_HASH_FUNCTIONS
+    seed: int = 0x5EED
+    _banks: list[int] = field(init=False, repr=False)
+    _hashes: tuple[H3Hash, ...] = field(init=False, repr=False)
+    _inserted: set[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.total_bits % self.num_hashes != 0:
+            raise ValueError(
+                f"{self.total_bits}-bit filter not divisible into "
+                f"{self.num_hashes} banks"
+            )
+        bank_bits = self.total_bits // self.num_hashes
+        if bank_bits & (bank_bits - 1):
+            raise ValueError(f"bank size {bank_bits} is not a power of two")
+        rng = random.Random(self.seed)
+        index_bits = bank_bits.bit_length() - 1
+        self._hashes = tuple(H3Hash(index_bits, rng) for _ in range(self.num_hashes))
+        self._banks = [0] * self.num_hashes
+        self._inserted = set()
+
+    @property
+    def bank_bits(self) -> int:
+        """Bits per bank (total bits / hash functions)."""
+        return self.total_bits // self.num_hashes
+
+    @property
+    def inserted_pages(self) -> frozenset[int]:
+        """Exact set of pages software has escaped (ground truth, not HW)."""
+        return frozenset(self._inserted)
+
+    def insert(self, page: int) -> None:
+        """Escape ``page``: set one bit per bank."""
+        for bank, h in enumerate(self._hashes):
+            self._banks[bank] |= 1 << h(page)
+        self._inserted.add(page)
+
+    def may_contain(self, page: int) -> bool:
+        """The hardware probe: true if every bank has the hashed bit set.
+
+        May return true for pages never inserted (false positives); never
+        returns false for an inserted page.
+        """
+        for bank, h in enumerate(self._hashes):
+            if not self._banks[bank] & (1 << h(page)):
+                return False
+        return True
+
+    def is_false_positive(self, page: int) -> bool:
+        """True if the probe hits but software never escaped this page."""
+        return self.may_contain(page) and page not in self._inserted
+
+    def false_positive_rate(self, probe_pages: range) -> float:
+        """Measured false-positive rate across ``probe_pages``."""
+        candidates = [p for p in probe_pages if p not in self._inserted]
+        if not candidates:
+            return 0.0
+        hits = sum(1 for p in candidates if self.may_contain(p))
+        return hits / len(candidates)
+
+    def clear(self) -> None:
+        """Reset the filter to empty (all banks zero)."""
+        self._banks = [0] * self.num_hashes
+        self._inserted.clear()
+
+    def save(self) -> tuple[tuple[int, ...], frozenset[int]]:
+        """Snapshot filter state for a context switch (Section V)."""
+        return (tuple(self._banks), frozenset(self._inserted))
+
+    def restore(self, state: tuple[tuple[int, ...], frozenset[int]]) -> None:
+        """Restore a snapshot taken by :meth:`save`."""
+        banks, inserted = state
+        self._banks = list(banks)
+        self._inserted = set(inserted)
+
+    def __len__(self) -> int:
+        return len(self._inserted)

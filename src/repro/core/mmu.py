@@ -1,0 +1,301 @@
+"""The proposed MMU: Figure 5's translation flow chart, all six modes.
+
+Per memory reference the hardware:
+
+1. probes the L1 TLBs (all page sizes in parallel);
+2. on an L1 miss in **Dual Direct** mode, checks both segment register
+   sets; if the address lies in both (Table I case "Both"), computes
+   ``hPA = gVA + OFFSET_G + OFFSET_V`` and installs an L1 entry without
+   ever touching the L2 TLB -- the 0D walk;
+3. probes the L2 TLB (in **Unvirtualized Direct Segment** mode the guest
+   segment registers are checked in parallel with this probe, Section
+   III.D);
+4. on an L2 miss, invokes the page-walk state machine with the mode's
+   dimension flattening (:mod:`repro.core.walker`).
+
+The MMU charges cycles only for work the paper counts as translation
+overhead: page-walk memory references and base-bound checks.  L1/L2
+probe latencies are part of normal pipeline operation and excluded, just
+as the paper's models "do not account for improvements due to faster L2
+hits" (Section VII).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.address import PageSize, page_number
+from repro.core.costs import DEFAULT_COSTS, CostModel
+from repro.core.modes import TranslationMode
+from repro.core.walker import (
+    NativeWalker,
+    NestedWalker,
+    TranslationFault,
+    WalkOutcome,
+)
+
+#: Classification labels for Table I's four columns.
+CASE_BOTH = "both"
+CASE_VMM_ONLY = "vmm_only"
+CASE_GUEST_ONLY = "guest_only"
+CASE_NEITHER = "neither"
+
+
+@dataclass
+class MMUCounters:
+    """Everything the evaluation methodology (Section VII) measures.
+
+    This is the simulator's BadgerTrap: every miss is classified by which
+    segment(s) covered it, giving the F_DD / F_VD / F_GD fractions of the
+    Table IV linear models directly.
+    """
+
+    accesses: int = 0
+    l1_hits: int = 0
+    l1_misses: int = 0
+    #: Dual Direct fast-path resolutions (L1 miss, 0D walk, no L2 probe).
+    dual_direct_hits: int = 0
+    #: Direct Segment mode resolutions in parallel with the L2 probe.
+    segment_l2_parallel_hits: int = 0
+    l2_hits: int = 0
+    l2_misses: int = 0
+    walks: int = 0
+    walk_cycles: float = 0.0
+    walk_refs: int = 0
+    walk_raw_refs: int = 0
+    check_cycles: float = 0.0
+    checks: int = 0
+    faults: int = 0
+    walks_by_case: dict[str, int] = field(
+        default_factory=lambda: {
+            CASE_BOTH: 0,
+            CASE_VMM_ONLY: 0,
+            CASE_GUEST_ONLY: 0,
+            CASE_NEITHER: 0,
+        }
+    )
+
+    @property
+    def translation_cycles(self) -> float:
+        """Cycles attributable to address translation beyond TLB hits."""
+        return self.walk_cycles + self.check_cycles
+
+    @property
+    def cycles_per_walk(self) -> float:
+        """Average walk cost (the paper's C_n / C_v per environment)."""
+        return self.walk_cycles / self.walks if self.walks else 0.0
+
+    @property
+    def classified_events(self) -> int:
+        """Translation events with a Table I classification: page walks
+        plus the segment fast paths that replaced a walk."""
+        return self.walks + self.dual_direct_hits + self.segment_l2_parallel_hits
+
+    def miss_fraction(self, case: str) -> float:
+        """Fraction of classified misses in a Table I case (F_DD etc.).
+
+        This is what BadgerTrap measures in Section VII: of the misses
+        that reach translation machinery beyond the TLBs, how many fall
+        in each segment-membership category.
+        """
+        total = self.classified_events
+        return self.walks_by_case[case] / total if total else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters (after warm-up)."""
+        fresh = MMUCounters()
+        self.__dict__.update(fresh.__dict__)
+
+
+class MMU:
+    """One hardware context's translation machinery.
+
+    Parameters
+    ----------
+    mode:
+        Which of Figure 3's six modes this address space runs in.
+    hierarchy:
+        The TLB hierarchy (shared L2 also holds nested entries).
+    walker:
+        A :class:`NativeWalker` for the two native modes, or a
+        :class:`NestedWalker` for the four virtualized modes.  The
+        walker owns the segment registers and escape filters.
+    on_guest_fault / on_nested_fault:
+        OS / VMM fault handlers, invoked on a missing mapping; they must
+        install a mapping (or raise) so the retried walk succeeds.  This
+        is where Section VI.B's emulation-by-computed-PTEs plugs in.
+    """
+
+    #: A cold 2D walk can fault once for the guest leaf plus once per
+    #: guest page-table node and once for the final gPA (up to ~6 nested
+    #: faults before the walk completes), so allow a generous retry loop.
+    MAX_FAULT_RETRIES = 16
+
+    def __init__(
+        self,
+        mode: TranslationMode,
+        hierarchy,
+        walker: NativeWalker | NestedWalker,
+        costs: CostModel = DEFAULT_COSTS,
+        on_guest_fault: Callable[[int], None] | None = None,
+        on_nested_fault: Callable[[int], None] | None = None,
+    ) -> None:
+        if mode.virtualized != isinstance(walker, NestedWalker):
+            raise ValueError(f"walker type does not match mode {mode}")
+        self.mode = mode
+        self.hierarchy = hierarchy
+        self.walker = walker
+        self.costs = costs
+        self.counters = MMUCounters()
+        self.on_guest_fault = on_guest_fault
+        self.on_nested_fault = on_nested_fault
+
+    # ------------------------------------------------------------------
+
+    def access(self, vaddr: int) -> int:
+        """Translate one data reference; returns the host 4 KB frame.
+
+        Implements the flow chart of Figure 5(a) and updates counters.
+        """
+        c = self.counters
+        c.accesses += 1
+        vpn = vaddr >> 12
+
+        hit = self.hierarchy.lookup_l1(vpn)
+        if hit is not None:
+            c.l1_hits += 1
+            size, base_frame = hit
+            return base_frame + (vpn - ((vpn >> (size.bits - 12)) << (size.bits - 12)))
+        c.l1_misses += 1
+
+        if self.mode is TranslationMode.DUAL_DIRECT:
+            frame = self._dual_direct_fast_path(vaddr)
+            if frame is not None:
+                return frame
+
+        if self.mode is TranslationMode.NATIVE_DIRECT_SEGMENT:
+            frame = self._direct_segment_parallel_path(vaddr)
+            if frame is not None:
+                return frame
+
+        hit = self.hierarchy.lookup_l2(vpn)
+        if hit is not None:
+            c.l2_hits += 1
+            size, base_frame = hit
+            self.hierarchy.insert_l1(vpn, size, base_frame)
+            return base_frame + (vpn - ((vpn >> (size.bits - 12)) << (size.bits - 12)))
+        c.l2_misses += 1
+
+        outcome = self._walk_with_fault_handling(vaddr)
+        self._account_walk(outcome)
+        base_vpn = (vpn >> (outcome.page_size.bits - 12)) << (outcome.page_size.bits - 12)
+        base_frame = outcome.frame - (vpn - base_vpn)
+        self.hierarchy.insert(vpn, outcome.page_size, base_frame)
+        return outcome.frame
+
+    # ------------------------------------------------------------------
+    # Mode-specific fast paths
+
+    def _dual_direct_fast_path(self, vaddr: int) -> int | None:
+        """Table I case "Both": two adds, L1 insert, no L2 probe."""
+        walker = self.walker
+        assert isinstance(walker, NestedWalker)
+        c = self.counters
+        # The base-bound checks overlap the L2 probe the hardware would
+        # otherwise perform, so Table IV charges this case zero cycles.
+        c.checks += 1
+        if not walker._guest_segment_covers(vaddr):
+            return None
+        gpa = walker.guest_segment.translate(vaddr)
+        if not walker._vmm_segment_covers(gpa):
+            return None
+        hpa = walker.vmm_segment.translate(gpa)
+        c.dual_direct_hits += 1
+        c.walks_by_case[CASE_BOTH] += 1
+        frame = page_number(hpa)
+        vpn = vaddr >> 12
+        self.hierarchy.insert_l1(vpn, PageSize.SIZE_4K, frame)
+        return frame
+
+    def _direct_segment_parallel_path(self, vaddr: int) -> int | None:
+        """Section III.D: segment check in parallel with the L2 probe."""
+        walker = self.walker
+        assert isinstance(walker, NativeWalker)
+        segment = getattr(walker, "segment", None)
+        if segment is None or not segment.enabled:
+            return None
+        c = self.counters
+        # Performed in parallel with the L2 TLB lookup (Section III.D),
+        # so a hit costs nothing beyond the probe already under way.
+        c.checks += 1
+        escape = getattr(walker, "escape_filter", None)
+        if not segment.covers(vaddr):
+            return None
+        if escape is not None and escape.may_contain(page_number(vaddr)):
+            return None
+        pa = segment.translate(vaddr)
+        c.segment_l2_parallel_hits += 1
+        c.walks_by_case[CASE_GUEST_ONLY] += 1
+        frame = page_number(pa)
+        self.hierarchy.insert_l1(vaddr >> 12, PageSize.SIZE_4K, frame)
+        return frame
+
+    # ------------------------------------------------------------------
+
+    def _walk_with_fault_handling(self, vaddr: int) -> WalkOutcome:
+        for _ in range(self.MAX_FAULT_RETRIES):
+            try:
+                return self.walker.walk(vaddr)
+            except TranslationFault as fault:
+                self.counters.faults += 1
+                self._dispatch_fault(fault)
+        raise TranslationFault(vaddr, "unresolvable (fault handler loop)")
+
+    def _dispatch_fault(self, fault: TranslationFault) -> None:
+        if fault.dimension == "nested":
+            if self.on_nested_fault is None:
+                raise fault
+            self.on_nested_fault(fault.address)
+        else:
+            if self.on_guest_fault is None:
+                raise fault
+            self.on_guest_fault(fault.address)
+
+    def _account_walk(self, outcome: WalkOutcome) -> None:
+        c = self.counters
+        c.walks += 1
+        c.walk_cycles += outcome.cycles
+        c.walk_refs += outcome.refs
+        c.walk_raw_refs += outcome.raw_refs
+        c.checks += outcome.checks
+        c.walks_by_case[self._classify(outcome)] += 1
+
+    def _classify(self, outcome: WalkOutcome) -> str:
+        if outcome.guest_segment_used and outcome.vmm_segment_used:
+            return CASE_BOTH
+        if outcome.vmm_segment_used:
+            return CASE_VMM_ONLY
+        if outcome.guest_segment_used:
+            return CASE_GUEST_ONLY
+        return CASE_NEITHER
+
+    # ------------------------------------------------------------------
+
+    def touch(self, vaddr: int) -> int:
+        """Translate without counting (warm-up / functional checks)."""
+        saved = self.counters
+        self.counters = MMUCounters()
+        try:
+            return self.access(vaddr)
+        finally:
+            self.counters = saved
+
+    def flush_tlbs(self) -> None:
+        """Full TLB + PWC flush (context/VM switch)."""
+        self.hierarchy.flush()
+        walker = self.walker
+        for attr in ("pwc", "guest_pwc", "nested_pwc"):
+            pwc = getattr(walker, attr, None)
+            if pwc is not None:
+                pwc.flush()

@@ -1,0 +1,187 @@
+"""Translation modes of Figure 3 and the trade-off matrix of Table II.
+
+Each guest process (address space) runs in exactly one mode at a time
+(Section III); the hardware supports switching modes dynamically.  The
+two native modes translate VA -> PA in one dimension; the four virtualized
+modes translate gVA -> gPA -> hPA and differ in which dimension (if any) a
+direct segment collapses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.address import PageSize
+
+
+class TranslationMode(enum.Enum):
+    """The six modes the proposed hardware supports (Figure 3)."""
+
+    #: Unvirtualized, page tables only (1D walk).
+    NATIVE = "native"
+    #: Unvirtualized direct segment (Section III.D): segment in parallel
+    #: with the L2 TLB, pages for the rest of the space.
+    NATIVE_DIRECT_SEGMENT = "native-ds"
+    #: Virtualized, nested paging only (the 2D walk of Figure 2).
+    BASE_VIRTUALIZED = "base-virtualized"
+    #: Direct segments at both levels: gVA -> hPA by two adds (0D walk).
+    DUAL_DIRECT = "dual-direct"
+    #: Guest paging + VMM segment: 1D walk, guest unchanged (Section III.B).
+    VMM_DIRECT = "vmm-direct"
+    #: Guest segment + nested paging: 1D walk, VMM unchanged (Section III.C).
+    GUEST_DIRECT = "guest-direct"
+
+    @property
+    def virtualized(self) -> bool:
+        """True for the four modes that run under a VMM."""
+        return self not in (
+            TranslationMode.NATIVE,
+            TranslationMode.NATIVE_DIRECT_SEGMENT,
+        )
+
+    @property
+    def uses_guest_segment(self) -> bool:
+        """True if the mode consults BASE_G/LIMIT_G/OFFSET_G."""
+        return self in (
+            TranslationMode.NATIVE_DIRECT_SEGMENT,
+            TranslationMode.DUAL_DIRECT,
+            TranslationMode.GUEST_DIRECT,
+        )
+
+    @property
+    def uses_vmm_segment(self) -> bool:
+        """True if the mode consults BASE_V/LIMIT_V/OFFSET_V."""
+        return self in (TranslationMode.DUAL_DIRECT, TranslationMode.VMM_DIRECT)
+
+
+@dataclass(frozen=True)
+class ModeProperties:
+    """One column of Table II."""
+
+    mode: TranslationMode
+    #: Dimensionality of the common-case page walk (2, 1 or 0).
+    walk_dimensions: int
+    #: Page-table memory accesses for most page walks (4 KB pages both
+    #: levels): 24 for the 2D walk, 4 for the 1D modes, 0 for Dual Direct.
+    walk_memory_accesses: int
+    #: Base-bound checks performed during a page walk (Table II row 3).
+    base_bound_checks: int
+    guest_os_modifications: bool
+    vmm_modifications: bool
+    #: 'any' or 'big memory' (primary-region restrictions, Section III.A).
+    application_category: str
+    page_sharing: str
+    ballooning: str
+    guest_swapping: str
+    vmm_swapping: str
+
+
+_UNRESTRICTED = "unrestricted"
+_LIMITED = "limited"
+
+#: Table II, verbatim.  Keyed by mode; native modes are not in the table.
+MODE_PROPERTIES: dict[TranslationMode, ModeProperties] = {
+    TranslationMode.BASE_VIRTUALIZED: ModeProperties(
+        mode=TranslationMode.BASE_VIRTUALIZED,
+        walk_dimensions=2,
+        walk_memory_accesses=24,
+        base_bound_checks=0,
+        guest_os_modifications=False,
+        vmm_modifications=False,
+        application_category="any",
+        page_sharing=_UNRESTRICTED,
+        ballooning=_UNRESTRICTED,
+        guest_swapping=_UNRESTRICTED,
+        vmm_swapping=_UNRESTRICTED,
+    ),
+    TranslationMode.DUAL_DIRECT: ModeProperties(
+        mode=TranslationMode.DUAL_DIRECT,
+        walk_dimensions=0,
+        walk_memory_accesses=0,
+        base_bound_checks=1,
+        guest_os_modifications=True,
+        vmm_modifications=True,
+        application_category="big memory",
+        page_sharing=_LIMITED,
+        ballooning=_LIMITED,
+        guest_swapping=_LIMITED,
+        vmm_swapping=_LIMITED,
+    ),
+    TranslationMode.VMM_DIRECT: ModeProperties(
+        mode=TranslationMode.VMM_DIRECT,
+        walk_dimensions=1,
+        walk_memory_accesses=4,
+        base_bound_checks=5,
+        guest_os_modifications=False,
+        vmm_modifications=True,
+        application_category="any",
+        page_sharing=_LIMITED,
+        ballooning=_LIMITED,
+        guest_swapping=_UNRESTRICTED,
+        vmm_swapping=_LIMITED,
+    ),
+    TranslationMode.GUEST_DIRECT: ModeProperties(
+        mode=TranslationMode.GUEST_DIRECT,
+        walk_dimensions=1,
+        walk_memory_accesses=4,
+        base_bound_checks=1,
+        guest_os_modifications=True,
+        vmm_modifications=False,
+        application_category="big memory",
+        page_sharing=_UNRESTRICTED,
+        ballooning=_UNRESTRICTED,
+        guest_swapping=_LIMITED,
+        vmm_swapping=_UNRESTRICTED,
+    ),
+}
+
+
+def walk_references(
+    mode: TranslationMode,
+    guest_page: PageSize = PageSize.SIZE_4K,
+    nested_page: PageSize = PageSize.SIZE_4K,
+) -> int:
+    """Page-table memory references for a full walk in ``mode``.
+
+    The general 2D count with ``g`` guest levels and ``n`` nested levels is
+    ``g*(n+1) + n`` (Figure 2): each of the ``g`` guest page-table pointers
+    is a gPA needing an ``n``-step nested walk plus the guest PTE load
+    itself, and the final gPA needs one more nested walk.  With 4 levels at
+    both dimensions this is the paper's 5*4+4 = 24 references.
+    """
+    g = guest_page.levels
+    n = nested_page.levels
+    if mode in (TranslationMode.NATIVE, TranslationMode.NATIVE_DIRECT_SEGMENT):
+        return g
+    if mode is TranslationMode.BASE_VIRTUALIZED:
+        return g * (n + 1) + n
+    if mode is TranslationMode.DUAL_DIRECT:
+        return 0
+    if mode is TranslationMode.VMM_DIRECT:
+        # Guest page walk only; every gPA resolves by segment addition.
+        return g
+    if mode is TranslationMode.GUEST_DIRECT:
+        # One segment addition, then a plain nested walk for the final gPA.
+        return n
+    raise ValueError(f"unknown mode: {mode}")
+
+
+def base_bound_checks(
+    mode: TranslationMode, guest_page: PageSize = PageSize.SIZE_4K
+) -> int:
+    """Base-bound checks during a walk (generalizes Table II row 3).
+
+    VMM Direct checks each of the ``g`` guest-PTE pointers plus the final
+    gPA (``g + 1``, i.e. 5 for 4 KB guests -- the paper's Delta_VD); Dual
+    Direct and Guest Direct need a single check (Delta_GD = 1).
+    """
+    if mode is TranslationMode.VMM_DIRECT:
+        return guest_page.levels + 1
+    if mode in (
+        TranslationMode.DUAL_DIRECT,
+        TranslationMode.GUEST_DIRECT,
+        TranslationMode.NATIVE_DIRECT_SEGMENT,
+    ):
+        return 1
+    return 0

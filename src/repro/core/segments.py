@@ -1,0 +1,143 @@
+"""Direct-segment register file: BASE, LIMIT and OFFSET at two levels.
+
+A direct segment (Basu et al. [9], reviewed in Section II.B) maps a
+contiguous range of a linear address space to contiguous physical
+addresses with three registers:
+
+* ``BASE``  -- first address covered by the segment,
+* ``LIMIT`` -- one past the last address covered,
+* ``OFFSET`` -- amount added to a covered address to translate it.
+
+The paper's proposed hardware (Section III, Figure 5) provides *two*
+independent register sets:
+
+* the **guest segment** (BASE_G/LIMIT_G/OFFSET_G) translating gVA -> gPA,
+  managed by the guest OS and saved/restored on guest context switches;
+* the **VMM segment** (BASE_V/LIMIT_V/OFFSET_V) translating gPA -> hPA,
+  managed by the VMM and saved/restored on VM exit/entry.
+
+Setting ``BASE == LIMIT`` disables a segment (the paper's trick for
+nullifying unused register sets in VMM Direct and Guest Direct modes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.address import AddressRange
+
+
+@dataclass(frozen=True)
+class SegmentRegisters:
+    """One level of direct-segment registers (BASE, LIMIT, OFFSET).
+
+    ``offset`` may be negative when the physical range lies below the
+    virtual range; translation is plain addition either way (Section II.B:
+    "V + OFFSET via simple addition").
+    """
+
+    base: int = 0
+    limit: int = 0
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        if self.limit < self.base:
+            raise ValueError(
+                f"segment LIMIT {self.limit:#x} precedes BASE {self.base:#x}"
+            )
+        if self.base + self.offset < 0:
+            raise ValueError("segment OFFSET maps BASE below address zero")
+
+    @classmethod
+    def disabled(cls) -> "SegmentRegisters":
+        """Registers with BASE == LIMIT, matching no address at all."""
+        return cls(base=0, limit=0, offset=0)
+
+    @classmethod
+    def mapping(cls, virtual: AddressRange, physical_start: int) -> "SegmentRegisters":
+        """Registers mapping ``virtual`` onto memory starting at ``physical_start``."""
+        return cls(
+            base=virtual.start,
+            limit=virtual.end,
+            offset=physical_start - virtual.start,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """True unless BASE == LIMIT (the hardware's disabled encoding)."""
+        return self.limit > self.base
+
+    @property
+    def size(self) -> int:
+        """Bytes covered by the segment."""
+        return self.limit - self.base
+
+    @property
+    def virtual_range(self) -> AddressRange:
+        """The input-address range covered by the segment."""
+        return AddressRange(self.base, self.limit)
+
+    @property
+    def physical_range(self) -> AddressRange:
+        """The output-address range the segment maps onto."""
+        return AddressRange(self.base + self.offset, self.limit + self.offset)
+
+    def covers(self, address: int) -> bool:
+        """The hardware base-bound check: BASE <= address < LIMIT."""
+        return self.base <= address < self.limit
+
+    def translate(self, address: int) -> int:
+        """Translate a covered address by addition; raise if not covered.
+
+        This is the segment datapath: a single add, no memory references.
+        """
+        if not self.covers(address):
+            raise SegmentFault(address, self)
+        return address + self.offset
+
+    def translate_unchecked(self, address: int) -> int:
+        """Translation by addition without the bound check.
+
+        Used by the emulation layer (Section VI.B) when the covering check
+        has already been performed by the fault handler.
+        """
+        return address + self.offset
+
+
+class SegmentFault(Exception):
+    """Raised when an address outside a segment is given to its datapath."""
+
+    def __init__(self, address: int, registers: SegmentRegisters) -> None:
+        super().__init__(
+            f"address {address:#x} outside segment "
+            f"[{registers.base:#x}, {registers.limit:#x})"
+        )
+        self.address = address
+        self.registers = registers
+
+
+@dataclass
+class SegmentFile:
+    """The full architectural segment state of one hardware context.
+
+    Holds both register sets plus save/restore bookkeeping.  The guest
+    registers are per guest process (swapped by the guest OS on context
+    switch, Section III.C); the VMM registers are per VM (swapped by
+    hardware on VM exit/entry, Section III.A).
+    """
+
+    guest: SegmentRegisters
+    vmm: SegmentRegisters
+
+    @classmethod
+    def all_disabled(cls) -> "SegmentFile":
+        """Segment file with both levels disabled (base virtualized mode)."""
+        return cls(SegmentRegisters.disabled(), SegmentRegisters.disabled())
+
+    def save(self) -> tuple[SegmentRegisters, SegmentRegisters]:
+        """Snapshot both register sets (VM-exit path)."""
+        return (self.guest, self.vmm)
+
+    def restore(self, state: tuple[SegmentRegisters, SegmentRegisters]) -> None:
+        """Restore a snapshot taken by :meth:`save` (VM-entry path)."""
+        self.guest, self.vmm = state

@@ -1,0 +1,363 @@
+"""Page-table walkers: native 1D and the nested 2D state machine.
+
+Figure 2 of the paper: a virtualized TLB miss walks the guest page table,
+but every guest-page-table pointer is a *guest-physical* address that
+itself needs translation through the nested page table.  With 4 levels in
+each dimension this costs up to 5*4 + 4 = 24 memory references, versus 4
+for a native walk.
+
+The paper's three new modes flatten dimensions of this walk:
+
+* **VMM Direct** resolves each guest-physical address with the VMM
+  segment registers (one add + one bound check) instead of a nested
+  sub-walk: 4 references and 5 checks.
+* **Guest Direct** resolves the guest-virtual address with the guest
+  segment registers and then performs one plain nested walk: 4
+  references and 1 check.
+* **Dual Direct** is handled before the walker is ever invoked (the MMU's
+  L1-miss path, see :mod:`repro.core.mmu`); the walker only sees its
+  partial cases.
+
+Walkers operate on real :class:`~repro.mem.page_table.PageTable`
+instances and return both the translation and a cost breakdown, filtered
+through page-walk caches and the shared nested TLB so that per-miss
+cycles (the paper's Cn and Cv) emerge from cache behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.address import BASE_PAGE_SIZE, PageSize, page_number
+from repro.core.costs import CostModel
+from repro.core.escape_filter import EscapeFilter
+from repro.core.segments import SegmentRegisters
+from repro.mem.page_table import PageFault, PageTable
+from repro.tlb.hierarchy import TLBHierarchy
+from repro.tlb.pwc import PageWalkCache
+
+
+@dataclass
+class WalkOutcome:
+    """Translation plus full cost accounting for one page walk."""
+
+    #: Host (or native physical) 4 KB frame of the referenced page's base.
+    frame: int
+    #: Page size at which the TLB entry may be installed: the coarsest
+    #: granularity over which the gVA -> hPA mapping is linear.
+    page_size: PageSize
+    #: Page-table memory references actually performed (post caches).
+    refs: int = 0
+    #: References the walk would need with cold caches (paper arithmetic).
+    raw_refs: int = 0
+    #: Base-bound (segment) checks performed.
+    checks: int = 0
+    #: Total walk latency in cycles.
+    cycles: float = 0.0
+    #: True if the guest dimension was resolved by the guest segment.
+    guest_segment_used: bool = False
+    #: True if every nested resolution used the VMM segment.
+    vmm_segment_used: bool = False
+
+    def merge_cost(self, other: "WalkOutcome") -> None:
+        """Fold another outcome's costs into this one (sub-walks)."""
+        self.refs += other.refs
+        self.raw_refs += other.raw_refs
+        self.checks += other.checks
+        self.cycles += other.cycles
+
+
+class TranslationFault(Exception):
+    """The walk found no valid mapping (guest or nested dimension)."""
+
+    def __init__(self, address: int, dimension: str) -> None:
+        super().__init__(f"translation fault at {address:#x} ({dimension})")
+        self.address = address
+        self.dimension = dimension
+
+
+class NativeWalker:
+    """1D walker over a single page table, with a page-walk cache."""
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        costs: CostModel,
+        pwc: PageWalkCache | None = None,
+    ) -> None:
+        self.page_table = page_table
+        self.costs = costs
+        self.pwc = pwc or PageWalkCache()
+
+    def walk(self, virtual: int) -> WalkOutcome:
+        """Translate ``virtual``; raises :class:`TranslationFault` if unmapped."""
+        try:
+            result = self.page_table.walk(virtual)
+        except PageFault as fault:
+            raise TranslationFault(virtual, "native") from fault
+        leaf_level = len(result.steps) - 1
+        probe = self.pwc.probe(virtual)
+        skip = min(probe.skipped_levels, leaf_level)
+        outcome = WalkOutcome(
+            frame=result.frame,
+            page_size=result.page_size,
+            raw_refs=len(result.steps),
+        )
+        for step in result.steps[skip:]:
+            outcome.refs += 1
+            outcome.cycles += self.costs.pte_access_cycles(step.level)
+        self.pwc.fill(virtual, upto_level=leaf_level - 1)
+        return outcome
+
+
+class DirectSegmentWalker(NativeWalker):
+    """Native walker plus the unvirtualized direct segment (Section III.D).
+
+    The segment itself is consulted by the MMU in parallel with the L2
+    TLB probe; this class merely carries the registers and escape filter
+    so the MMU's parallel path can reach them.  Walks (for addresses
+    outside the segment, or escaped pages) are plain native walks.
+    """
+
+    def __init__(
+        self,
+        page_table: PageTable,
+        costs: CostModel,
+        segment: SegmentRegisters,
+        escape_filter: EscapeFilter | None = None,
+        pwc: PageWalkCache | None = None,
+    ) -> None:
+        super().__init__(page_table, costs, pwc)
+        self.segment = segment
+        self.escape_filter = escape_filter
+
+
+@dataclass
+class NestedResolution:
+    """Result of resolving one guest-physical address to host-physical."""
+
+    host_frame: int  # host 4 KB frame containing the gPA's page base
+    #: Granularity over which gPA -> hPA is linear at this address
+    #: (the nested leaf size, or effectively unbounded for the segment,
+    #: which we report as 1 GB -- coarser than any guest leaf).
+    linear_extent: PageSize
+    by_segment: bool
+    cost: WalkOutcome = field(
+        default_factory=lambda: WalkOutcome(frame=0, page_size=PageSize.SIZE_4K)
+    )
+
+
+class NestedWalker:
+    """The 2D walk of Figure 2 with per-mode dimension flattening.
+
+    The two segment register sets (either of which may be disabled) and
+    the escape filter select, per address, which of Table I's four cases
+    applies.  The shared L2 TLB (through ``hierarchy``) caches nested
+    translations, and two page-walk caches cover the two dimensions.
+    """
+
+    def __init__(
+        self,
+        guest_table: PageTable,
+        nested_table: PageTable,
+        costs: CostModel,
+        hierarchy: TLBHierarchy,
+        guest_segment: SegmentRegisters | None = None,
+        vmm_segment: SegmentRegisters | None = None,
+        vmm_escape_filter: EscapeFilter | None = None,
+        guest_escape_filter: EscapeFilter | None = None,
+        guest_pwc: PageWalkCache | None = None,
+        nested_pwc: PageWalkCache | None = None,
+        dedicated_nested_tlb=None,
+    ) -> None:
+        self.guest_table = guest_table
+        self.nested_table = nested_table
+        self.costs = costs
+        self.hierarchy = hierarchy
+        self.guest_segment = guest_segment or SegmentRegisters.disabled()
+        self.vmm_segment = vmm_segment or SegmentRegisters.disabled()
+        self.vmm_escape_filter = vmm_escape_filter
+        self.guest_escape_filter = guest_escape_filter
+        self.guest_pwc = guest_pwc or PageWalkCache()
+        self.nested_pwc = nested_pwc or PageWalkCache()
+        #: Sensitivity-study hook: a dedicated gPA -> hPA structure (a
+        #: :class:`repro.tlb.pwc.NestedTLB`).  The paper's testbed has
+        #: none ("shares the TLB", Table VI); giving the nested
+        #: dimension its own array removes the L2 capacity pressure and
+        #: with it the virtualized miss inflation.
+        self.dedicated_nested_tlb = dedicated_nested_tlb
+
+    # ------------------------------------------------------------------
+    # Second dimension: gPA -> hPA
+
+    def _vmm_segment_covers(self, gpa: int) -> bool:
+        """VMM-segment hit: inside the segment and not escaped/filtered."""
+        if not self.vmm_segment.enabled or not self.vmm_segment.covers(gpa):
+            return False
+        if self.vmm_escape_filter is not None and self.vmm_escape_filter.may_contain(
+            page_number(gpa)
+        ):
+            return False
+        return True
+
+    def resolve_gpa(self, gpa: int, charge_check: bool = True) -> NestedResolution:
+        """Translate one guest-physical address (second dimension).
+
+        Order of resolution mirrors the hardware of Figure 5: the VMM
+        segment registers (with the escape filter probed in parallel)
+        are consulted first; on a miss the nested TLB (shared L2 array)
+        and finally a nested page-table walk.
+        """
+        cost = WalkOutcome(frame=0, page_size=PageSize.SIZE_4K)
+        if self.vmm_segment.enabled and charge_check:
+            cost.checks += 1
+            cost.cycles += self.costs.base_bound_check_cycles
+        if self._vmm_segment_covers(gpa):
+            hpa = self.vmm_segment.translate(gpa)
+            return NestedResolution(
+                host_frame=page_number(hpa),
+                linear_extent=PageSize.SIZE_1G,
+                by_segment=True,
+                cost=cost,
+            )
+        gppn = page_number(gpa)
+        if self.dedicated_nested_tlb is not None:
+            cached = self.dedicated_nested_tlb.lookup(gppn)
+            if cached is not None:
+                cost.cycles += self.costs.l2_tlb_probe_cycles
+                return NestedResolution(
+                    host_frame=cached,
+                    linear_extent=PageSize.SIZE_4K,
+                    by_segment=False,
+                    cost=cost,
+                )
+        else:
+            for size in (PageSize.SIZE_4K, PageSize.SIZE_2M, PageSize.SIZE_1G):
+                cached = self.hierarchy.lookup_nested(gppn, size)
+                if cached is not None:
+                    # Served by the nested entries sharing the L2 TLB
+                    # array (Table VI); the probe costs an L2 access.
+                    cost.cycles += self.costs.l2_tlb_probe_cycles
+                    base_gppn = (gppn >> (size.bits - 12)) << (size.bits - 12)
+                    host_frame = cached + (gppn - base_gppn)
+                    return NestedResolution(
+                        host_frame=host_frame,
+                        linear_extent=size,
+                        by_segment=False,
+                        cost=cost,
+                    )
+        walk_cost = self._walk_nested(gpa)
+        cost.merge_cost(walk_cost)
+        return NestedResolution(
+            host_frame=walk_cost.frame + (gpa % int(walk_cost.page_size)) // BASE_PAGE_SIZE,
+            linear_extent=walk_cost.page_size,
+            by_segment=False,
+            cost=cost,
+        )
+
+    def _walk_nested(self, gpa: int) -> WalkOutcome:
+        """Plain 1D walk of the nested page table, with its own PWC."""
+        try:
+            result = self.nested_table.walk(gpa)
+        except PageFault as fault:
+            raise TranslationFault(gpa, "nested") from fault
+        leaf_level = len(result.steps) - 1
+        probe = self.nested_pwc.probe(gpa)
+        skip = min(probe.skipped_levels, leaf_level)
+        outcome = WalkOutcome(
+            frame=result.frame,
+            page_size=result.page_size,
+            raw_refs=len(result.steps),
+        )
+        for step in result.steps[skip:]:
+            outcome.refs += 1
+            outcome.cycles += self.costs.pte_access_cycles(step.level)
+        self.nested_pwc.fill(gpa, upto_level=leaf_level - 1)
+        if self.dedicated_nested_tlb is not None:
+            offset_frames = (gpa % int(result.page_size)) // BASE_PAGE_SIZE
+            self.dedicated_nested_tlb.insert(
+                page_number(gpa), result.frame + offset_frames
+            )
+        else:
+            base_gppn = (
+                page_number(gpa, result.page_size) << (result.page_size.bits - 12)
+            )
+            self.hierarchy.insert_nested(base_gppn, result.page_size, result.frame)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # First dimension: gVA -> gPA
+
+    def _guest_segment_covers(self, gva: int) -> bool:
+        if not self.guest_segment.enabled or not self.guest_segment.covers(gva):
+            return False
+        if (
+            self.guest_escape_filter is not None
+            and self.guest_escape_filter.may_contain(page_number(gva))
+        ):
+            return False
+        return True
+
+    def walk(self, gva: int) -> WalkOutcome:
+        """Full 2D (or flattened) walk of a guest-virtual address."""
+        guest_checked = False
+        if self.guest_segment.enabled:
+            guest_checked = True
+        if guest_checked and self._guest_segment_covers(gva):
+            return self._walk_guest_segment(gva)
+        return self._walk_guest_paging(gva, guest_checked)
+
+    def _walk_guest_segment(self, gva: int) -> WalkOutcome:
+        """Guest dimension flattened: gPA = gVA + OFFSET_G, then nested."""
+        gpa = self.guest_segment.translate(gva)
+        resolution = self.resolve_gpa(gpa)
+        outcome = WalkOutcome(
+            frame=resolution.host_frame,
+            # Segment-mapped regions have no page-table leaf to name an
+            # entry size; hardware installs base-page (4 KB) TLB entries
+            # for them (Table I: "Insert L1 TLB entry").
+            page_size=PageSize.SIZE_4K,
+            guest_segment_used=True,
+            vmm_segment_used=resolution.by_segment,
+        )
+        outcome.checks += 1
+        outcome.cycles += self.costs.base_bound_check_cycles
+        outcome.merge_cost(resolution.cost)
+        return outcome
+
+    def _walk_guest_paging(self, gva: int, guest_checked: bool) -> WalkOutcome:
+        """Guest dimension via the guest page table (cases VMM-only/Neither)."""
+        try:
+            guest_result = self.guest_table.walk(gva)
+        except PageFault as fault:
+            raise TranslationFault(gva, "guest") from fault
+        leaf_level = len(guest_result.steps) - 1
+        probe = self.guest_pwc.probe(gva)
+        skip = min(probe.skipped_levels, leaf_level)
+
+        outcome = WalkOutcome(frame=0, page_size=guest_result.page_size)
+        if guest_checked:
+            # The failed guest-segment bound check still costs one cycle.
+            outcome.checks += 1
+            outcome.cycles += self.costs.base_bound_check_cycles
+        all_nested_by_segment = True
+        for step in guest_result.steps[skip:]:
+            # Resolve the guest-PTE pointer (a gPA) through dimension two.
+            resolution = self.resolve_gpa(step.pte_address)
+            outcome.merge_cost(resolution.cost)
+            all_nested_by_segment &= resolution.by_segment
+            # Then load the guest PTE itself.
+            outcome.refs += 1
+            outcome.raw_refs += 1
+            outcome.cycles += self.costs.pte_access_cycles(step.level)
+        self.guest_pwc.fill(gva, upto_level=leaf_level - 1)
+
+        final_gpa = guest_result.frame * BASE_PAGE_SIZE
+        final = self.resolve_gpa(final_gpa)
+        outcome.merge_cost(final.cost)
+        all_nested_by_segment &= final.by_segment
+
+        outcome.frame = final.host_frame
+        outcome.page_size = min(guest_result.page_size, final.linear_extent)
+        outcome.vmm_segment_used = all_nested_by_segment and self.vmm_segment.enabled
+        return outcome

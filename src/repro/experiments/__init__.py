@@ -1,0 +1,1 @@
+"""One module per paper figure/table; CLI via python -m repro.experiments."""

@@ -1,0 +1,123 @@
+"""Command-line runner: regenerate any of the paper's tables/figures.
+
+Usage::
+
+    python -m repro.experiments <name> [--trace-length N] [--quick] [--json]
+
+where ``<name>`` is one of: figure1, figure11, figure12, figure13,
+breakdown, table3, table4, shadow, sharing, energy, all.  ``--json``
+emits machine-readable results instead of formatted tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    breakdown,
+    energy,
+    figure01,
+    figure11,
+    figure12,
+    figure13,
+    report,
+    shadow,
+    sharing,
+    table3_fragmentation,
+    table4_models,
+)
+
+
+#: name -> (runner(trace_length) -> result, formatter(result) -> str).
+EXPERIMENTS = {
+    "figure1": (
+        lambda length: figure01.run(trace_length=length, progress=True),
+        figure01.format_figure,
+    ),
+    "figure11": (
+        lambda length: figure11.run(trace_length=length, progress=True),
+        figure11.format_figure,
+    ),
+    "figure12": (
+        lambda length: figure12.run(trace_length=length, progress=True),
+        figure12.format_figure,
+    ),
+    "figure13": (
+        lambda length: figure13.run(trace_length=min(length, 40_000), progress=True),
+        figure13.format_figure,
+    ),
+    "breakdown": (
+        lambda length: breakdown.run(trace_length=length, progress=True),
+        breakdown.format_breakdown,
+    ),
+    "table3": (
+        lambda length: table3_fragmentation.run(progress=True),
+        table3_fragmentation.format_scenarios,
+    ),
+    "table4": (
+        lambda length: table4_models.run(trace_length=length, progress=True),
+        table4_models.format_comparison,
+    ),
+    "shadow": (
+        lambda length: shadow.run(trace_length=length, progress=True),
+        shadow.format_comparison,
+    ),
+    "sharing": (
+        lambda length: sharing.run(progress=True),
+        sharing.format_study,
+    ),
+    "energy": (
+        lambda length: energy.run(trace_length=length, progress=True),
+        energy.format_energy,
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--trace-length",
+        type=int,
+        default=80_000,
+        help="measured page visits per run (default 80000)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink traces for a fast smoke run",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of formatted tables",
+    )
+    args = parser.parse_args(argv)
+    length = 20_000 if args.quick else args.trace_length
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.time()
+        print(f"=== {name} ===", flush=True)
+        runner, formatter = EXPERIMENTS[name]
+        result = runner(length)
+        if args.json:
+            print(report.dumps(result))
+        else:
+            print(formatter(result))
+        print(f"({time.time() - start:.1f}s)\n", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

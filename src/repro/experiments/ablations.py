@@ -1,0 +1,263 @@
+"""Ablation studies on the design choices DESIGN.md calls out.
+
+Four sensitivity sweeps around the paper's design points:
+
+1. **Escape-filter geometry** (Section V chose 256 bits / 4 hashes for
+   16 tolerated faults): sweep total bits and measure the
+   false-positive rate, the quantity that turns into spurious paging.
+2. **Nested-TLB placement** (Table VI's testbed shares the L2 TLB with
+   nested entries): give the nested dimension a dedicated structure
+   and show the virtualized miss inflation disappear -- evidence that
+   capacity sharing, not the 2D walk itself, causes the extra misses.
+3. **Base-bound check cost** (Section VII assumes Delta = 1 cycle per
+   check): sweep the per-check cost and watch VMM Direct's advantage
+   persist until checks become implausibly expensive.
+4. **Page-walk-cache size** (the MMU caches the paper credits with
+   absorbing part of the overhead, Section IX.A): sweep PWC entries
+   and measure Cv.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.core.costs import CostModel
+from repro.core.escape_filter import EscapeFilter
+from repro.experiments.common import format_table
+from repro.sim.config import parse_config
+from repro.sim.simulator import run_trace
+from repro.sim.system import build_system
+from repro.tlb.pwc import NestedTLB, PageWalkCache
+from repro.workloads.registry import create_workload
+
+
+# ----------------------------------------------------------------------
+# 1. Escape-filter geometry
+
+
+@dataclass
+class FilterGeometryPoint:
+    """FP rate of one filter size at the paper's 16-fault design point."""
+
+    total_bits: int
+    num_hashes: int
+    false_positive_rate: float
+
+
+def sweep_filter_geometry(
+    bits_options: tuple[int, ...] = (64, 128, 256, 512, 1024),
+    num_hashes: int = 4,
+    inserted_pages: int = 16,
+    probe_pages: int = 200_000,
+    seed: int = 0,
+) -> list[FilterGeometryPoint]:
+    """FP rate vs filter size with 16 escaped pages (Section V)."""
+    rng = random.Random(seed)
+    pages = rng.sample(range(1 << 30), inserted_pages)
+    points = []
+    for bits in bits_options:
+        f = EscapeFilter(total_bits=bits, num_hashes=num_hashes)
+        for p in pages:
+            f.insert(p)
+        points.append(
+            FilterGeometryPoint(
+                total_bits=bits,
+                num_hashes=num_hashes,
+                false_positive_rate=f.false_positive_rate(range(probe_pages)),
+            )
+        )
+    return points
+
+
+def format_filter_geometry(points: list[FilterGeometryPoint]) -> str:
+    """Render the filter sweep."""
+    return format_table(
+        ["filter bits", "hashes", "FP rate"],
+        [[p.total_bits, p.num_hashes, f"{100 * p.false_positive_rate:.4f}%"] for p in points],
+        title="Ablation 1: escape-filter geometry at 16 escaped pages",
+    )
+
+
+# ----------------------------------------------------------------------
+# 2. Dedicated nested TLB vs shared L2
+
+
+@dataclass
+class NestedTlbComparison:
+    """Miss inflation with shared vs dedicated nested structures."""
+
+    workload: str
+    native_walks: int
+    shared_walks: int
+    dedicated_walks: int
+
+    @property
+    def shared_inflation(self) -> float:
+        """Walks with nested entries sharing the L2 (the testbed)."""
+        return self.shared_walks / self.native_walks if self.native_walks else 1.0
+
+    @property
+    def dedicated_inflation(self) -> float:
+        """Walks with a dedicated nested TLB (no capacity sharing)."""
+        return self.dedicated_walks / self.native_walks if self.native_walks else 1.0
+
+
+def sweep_nested_tlb(
+    workloads: tuple[str, ...] = ("memcached", "canneal"),
+    trace_length: int = 40_000,
+    dedicated_entries: int = 512,
+    seed: int = 0,
+) -> list[NestedTlbComparison]:
+    """Compare miss counts with and without nested/L2 sharing."""
+    rows = []
+    for name in workloads:
+        workload = create_workload(name)
+        trace = workload.trace(trace_length, seed=seed)
+
+        native = build_system(parse_config("4K"), workload.spec)
+        shared = build_system(parse_config("4K+4K"), workload.spec)
+        dedicated = build_system(parse_config("4K+4K"), workload.spec)
+        dedicated.mmu.walker.dedicated_nested_tlb = NestedTLB(
+            entries=dedicated_entries, ways=4
+        )
+
+        results = [
+            run_trace(
+                system,
+                trace,
+                workload.spec.ideal_cycles_per_ref,
+                refs_per_entry=workload.spec.refs_per_entry,
+            )
+            for system in (native, shared, dedicated)
+        ]
+        rows.append(
+            NestedTlbComparison(
+                workload=name,
+                native_walks=results[0].run.walks,
+                shared_walks=results[1].run.walks,
+                dedicated_walks=results[2].run.walks,
+            )
+        )
+    return rows
+
+
+def format_nested_tlb(rows: list[NestedTlbComparison]) -> str:
+    """Render the sharing ablation."""
+    return format_table(
+        ["workload", "shared-L2 inflation", "dedicated-NTLB inflation"],
+        [
+            [r.workload, f"{r.shared_inflation:.2f}x", f"{r.dedicated_inflation:.2f}x"]
+            for r in rows
+        ],
+        title="Ablation 2: nested entries sharing the L2 TLB vs a dedicated NTLB",
+    )
+
+
+# ----------------------------------------------------------------------
+# 3. Base-bound check cost
+
+
+@dataclass
+class CheckCostPoint:
+    """VMM Direct overhead under one per-check cost assumption."""
+
+    check_cycles: int
+    vd_overhead_percent: float
+    base_overhead_percent: float
+
+
+def sweep_check_cost(
+    workload_name: str = "graph500",
+    check_cycles_options: tuple[int, ...] = (0, 1, 2, 5, 10, 25),
+    trace_length: int = 30_000,
+    seed: int = 0,
+) -> list[CheckCostPoint]:
+    """Does VMM Direct survive pessimistic Delta assumptions?"""
+    workload = create_workload(workload_name)
+    trace = workload.trace(trace_length, seed=seed)
+    base = build_system(parse_config("4K+4K"), workload.spec)
+    base_result = run_trace(
+        base,
+        trace,
+        workload.spec.ideal_cycles_per_ref,
+        refs_per_entry=workload.spec.refs_per_entry,
+    )
+    points = []
+    for cycles in check_cycles_options:
+        costs = replace(CostModel(), base_bound_check_cycles=cycles)
+        system = build_system(parse_config("4K+VD"), workload.spec, costs=costs)
+        result = run_trace(
+            system,
+            trace,
+            workload.spec.ideal_cycles_per_ref,
+            refs_per_entry=workload.spec.refs_per_entry,
+        )
+        points.append(
+            CheckCostPoint(
+                check_cycles=cycles,
+                vd_overhead_percent=result.overhead_percent,
+                base_overhead_percent=base_result.overhead_percent,
+            )
+        )
+    return points
+
+
+def format_check_cost(points: list[CheckCostPoint]) -> str:
+    """Render the Delta sweep."""
+    return format_table(
+        ["cycles/check", "4K+VD overhead", "4K+4K overhead"],
+        [
+            [p.check_cycles, f"{p.vd_overhead_percent:.1f}%", f"{p.base_overhead_percent:.1f}%"]
+            for p in points
+        ],
+        title="Ablation 3: base-bound check cost (the paper assumes 1 cycle)",
+    )
+
+
+# ----------------------------------------------------------------------
+# 4. Page-walk-cache size
+
+
+@dataclass
+class PwcPoint:
+    """Virtualized per-walk cost under one PWC size."""
+
+    pwc_entries: int
+    cycles_per_walk: float
+
+
+def sweep_pwc_size(
+    workload_name: str = "graph500",
+    entries_options: tuple[int, ...] = (4, 16, 32, 128),
+    trace_length: int = 30_000,
+    seed: int = 0,
+) -> list[PwcPoint]:
+    """Cv sensitivity to the paging-structure caches (Section IX.A)."""
+    workload = create_workload(workload_name)
+    trace = workload.trace(trace_length, seed=seed)
+    points = []
+    for entries in entries_options:
+        system = build_system(parse_config("4K+4K"), workload.spec)
+        walker = system.mmu.walker
+        walker.guest_pwc = PageWalkCache(entries=entries, ways=4)
+        walker.nested_pwc = PageWalkCache(entries=entries, ways=4)
+        result = run_trace(
+            system,
+            trace,
+            workload.spec.ideal_cycles_per_ref,
+            refs_per_entry=workload.spec.refs_per_entry,
+        )
+        points.append(
+            PwcPoint(pwc_entries=entries, cycles_per_walk=result.run.cycles_per_walk)
+        )
+    return points
+
+
+def format_pwc_size(points: list[PwcPoint]) -> str:
+    """Render the PWC sweep."""
+    return format_table(
+        ["PWC entries", "Cv (cycles/walk)"],
+        [[p.pwc_entries, f"{p.cycles_per_walk:.1f}"] for p in points],
+        title="Ablation 4: page-walk-cache size vs virtualized walk cost",
+    )

@@ -1,0 +1,84 @@
+"""Shared experiment infrastructure: grids of runs and text tables.
+
+Every experiment module exposes ``run(...) -> <result dataclass>`` plus
+a ``format_...`` function that renders the same rows/series the paper
+reports.  This module holds the pieces they share: running a
+(workload x config) grid and laying out aligned text tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.sim.simulator import SimulationResult, simulate
+from repro.workloads.registry import create_workload
+
+#: Default measured trace length for experiments (page visits).  Long
+#: enough for steady-state TLB statistics at every page size, short
+#: enough to keep a full figure under a few minutes.
+DEFAULT_TRACE_LENGTH = 80_000
+
+
+@dataclass
+class RunGrid:
+    """Results of a (workload x configuration) sweep."""
+
+    workloads: tuple[str, ...]
+    configs: tuple[str, ...]
+    results: dict[tuple[str, str], SimulationResult] = field(default_factory=dict)
+
+    def get(self, workload: str, config: str) -> SimulationResult:
+        """The run for one cell; KeyError if the sweep skipped it."""
+        return self.results[(workload, config)]
+
+    def overhead_percent(self, workload: str, config: str) -> float:
+        """Bar height for one cell."""
+        return self.get(workload, config).overhead_percent
+
+
+def run_grid(
+    workloads: Iterable[str],
+    configs: Iterable[str],
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    seed: int = 0,
+    progress: bool = False,
+) -> RunGrid:
+    """Simulate every (workload, config) pair."""
+    workloads = tuple(workloads)
+    configs = tuple(configs)
+    grid = RunGrid(workloads=workloads, configs=configs)
+    for name in workloads:
+        for config in configs:
+            if progress:
+                print(f"  running {name} / {config} ...", flush=True)
+            workload = create_workload(name)
+            grid.results[(name, config)] = simulate(
+                config, workload, trace_length=trace_length, seed=seed
+            )
+    return grid
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Plain-text aligned table (the experiments' printed output)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

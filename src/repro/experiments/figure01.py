@@ -1,0 +1,54 @@
+"""Figure 1: the introduction's overhead preview.
+
+A slice of Figure 11: native 4K, the virtualized 4K-guest grid, and the
+two headline proposed modes (DD and 4K+VD) for a few representative
+workloads -- the paper's "virtualization multiplies translation
+overhead, our design removes it" opening shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_TRACE_LENGTH,
+    RunGrid,
+    format_table,
+    run_grid,
+)
+
+PREVIEW_WORKLOADS = ("graph500", "memcached", "gups")
+PREVIEW_CONFIGS = ("4K", "4K+4K", "4K+2M", "4K+1G", "DD", "4K+VD")
+
+
+@dataclass
+class Figure01Result:
+    """The preview bars."""
+
+    grid: RunGrid
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    workloads: tuple[str, ...] = PREVIEW_WORKLOADS,
+    seed: int = 0,
+    progress: bool = False,
+) -> Figure01Result:
+    """Simulate the preview bars."""
+    return Figure01Result(
+        grid=run_grid(workloads, PREVIEW_CONFIGS, trace_length=trace_length,
+                      seed=seed, progress=progress)
+    )
+
+
+def format_figure(result: Figure01Result) -> str:
+    """Render the preview as a table."""
+    grid = result.grid
+    headers = ["config"] + list(grid.workloads)
+    rows = [
+        [config] + [grid.overhead_percent(w, config) for w in grid.workloads]
+        for config in grid.configs
+    ]
+    return format_table(
+        headers, rows, title="Figure 1: overheads of virtual memory (preview, %)"
+    )

@@ -1,0 +1,97 @@
+"""Figure 11: virtual memory overhead per big-memory workload.
+
+Regenerates the paper's main result: execution-time overhead of address
+translation for every native page-size configuration, the virtualized
+page-size grid, and the proposed modes (DS, DD, VMM Direct, Guest
+Direct), for the four big-memory workloads of Table V.
+
+Figure 1 (the introduction's preview) is the subset of these bars the
+paper uses up front; :mod:`repro.experiments.figure01` slices it out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.common import (
+    DEFAULT_TRACE_LENGTH,
+    RunGrid,
+    format_table,
+    run_grid,
+)
+from repro.workloads.registry import BIG_MEMORY_WORKLOADS
+
+#: The bar order of Figure 11.
+FIGURE11_CONFIGS = (
+    "4K",
+    "2M",
+    "1G",
+    "4K+4K",
+    "4K+2M",
+    "4K+1G",
+    "2M+2M",
+    "2M+1G",
+    "1G+1G",
+    "DS",
+    "DD",
+    "4K+VD",
+    "4K+GD",
+)
+
+#: Overheads the paper states in its text, for EXPERIMENTS.md comparison.
+PAPER_REFERENCE = {
+    ("graph500", "4K"): 28.0,
+    ("graph500", "4K+4K"): 113.0,
+    ("graph500", "4K+2M"): 53.0,
+    ("graph500", "2M"): 6.0,
+    ("graph500", "2M+2M"): 13.0,
+    ("graph500", "1G"): 3.0,
+    ("graph500", "1G+1G"): 11.0,
+    ("graph500", "2M+1G"): 14.0,
+    ("graph500", "4K+VD"): 30.0,
+}
+
+
+@dataclass
+class Figure11Result:
+    """The full bar chart as a grid of overhead percentages."""
+
+    grid: RunGrid
+
+    def series(self, workload: str) -> list[tuple[str, float]]:
+        """(config, overhead%) pairs for one workload's bar group."""
+        return [
+            (config, self.grid.overhead_percent(workload, config))
+            for config in self.grid.configs
+        ]
+
+
+def run(
+    trace_length: int = DEFAULT_TRACE_LENGTH,
+    workloads: tuple[str, ...] = BIG_MEMORY_WORKLOADS,
+    configs: tuple[str, ...] = FIGURE11_CONFIGS,
+    seed: int = 0,
+    progress: bool = False,
+) -> Figure11Result:
+    """Simulate every Figure 11 bar."""
+    return Figure11Result(
+        grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
+                      progress=progress)
+    )
+
+
+def format_figure(result: Figure11Result) -> str:
+    """Render the figure as a table: rows = configs, columns = workloads."""
+    grid = result.grid
+    headers = ["config"] + list(grid.workloads)
+    rows = []
+    for config in grid.configs:
+        rows.append(
+            [config]
+            + [grid.overhead_percent(w, config) for w in grid.workloads]
+        )
+    return format_table(
+        headers,
+        rows,
+        title="Figure 11: address-translation overhead (%) per big-memory workload",
+    )

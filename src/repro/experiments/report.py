@@ -1,0 +1,60 @@
+"""Machine-readable experiment reports.
+
+Every experiment returns plain dataclasses; this module serializes any
+of them to JSON-compatible structures so results can be archived,
+diffed across runs, or plotted by external tooling.  The CLI's
+``--json`` flag routes through :func:`to_jsonable`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from typing import Any
+
+
+def to_jsonable(value: Any) -> Any:
+    """Convert experiment results to JSON-compatible data.
+
+    Handles (recursively): dataclasses, enums, dict/list/tuple/set,
+    and objects exposing interesting read-only properties alongside
+    their dataclass fields (computed metrics like ``mean`` or
+    ``savings_fraction`` are part of the result, so they are included
+    under their property names).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        out = {}
+        for field in dataclasses.fields(value):
+            if field.name.startswith("_"):
+                continue
+            out[field.name] = to_jsonable(getattr(value, field.name))
+        for name in dir(type(value)):
+            attr = getattr(type(value), name, None)
+            if isinstance(attr, property) and not name.startswith("_"):
+                try:
+                    out[name] = to_jsonable(getattr(value, name))
+                except Exception:
+                    continue
+        return out
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): to_jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Non-dataclass result containers (e.g. RunGrid inside results).
+    if hasattr(value, "__dict__"):
+        return {
+            k: to_jsonable(v)
+            for k, v in vars(value).items()
+            if not k.startswith("_")
+        }
+    return repr(value)
+
+
+def dumps(result: Any, indent: int = 2) -> str:
+    """Serialize an experiment result to a JSON string."""
+    return json.dumps(to_jsonable(result), indent=indent, sort_keys=True)

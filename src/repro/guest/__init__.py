@@ -1,0 +1,1 @@
+"""Guest OS model: processes, demand paging, segments, balloon, hotplug."""

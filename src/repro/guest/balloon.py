@@ -1,0 +1,107 @@
+"""Self-ballooning: contiguous guest physical memory without compaction.
+
+Section IV / Figure 9: when fragmented free guest physical memory
+prevents guest-segment creation, self-ballooning builds contiguity in two
+steps instead of slowly compacting:
+
+1. a balloon driver in the guest asks the kernel for a set of reclaimable
+   pages (scattered is fine), pins them, and hands them to the VMM, which
+   reclaims their backing host memory;
+2. the VMM hot-adds the *same amount* of memory back to the VM as new,
+   contiguous guest physical addresses, which can then back a guest
+   segment.
+
+The prototype (Section VI.C) pre-extends the VM's second KVM slot by a
+reserve that is ballooned out at startup (KVM cannot hot-add), and the
+driver trades fragmented pages for pieces of that reserve on demand.
+This module implements the driver side; the VMM side lives in
+:class:`repro.vmm.hypervisor.VirtualMachine`, and the two meet at the
+:class:`BalloonPort` protocol so each half is testable alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.core.address import BASE_PAGE_SIZE, AddressRange
+from repro.guest.guest_os import GuestOS
+from repro.mem.frame_allocator import OutOfMemoryError
+
+
+class BalloonPort(Protocol):
+    """The VMM operations the balloon driver invokes (virtio channel)."""
+
+    def reclaim_guest_frames(self, frames: list[int]) -> None:
+        """Guest frames handed to the VMM; their host backing is freed."""
+
+    def release_reserved_region(self, num_frames: int) -> AddressRange:
+        """Hot-add ``num_frames`` of contiguous guest physical memory.
+
+        Returns the released gPA range.  Raises if the reserve is
+        exhausted.
+        """
+
+
+class BalloonError(Exception):
+    """The balloon could not inflate by the requested amount."""
+
+
+@dataclass
+class BalloonStats:
+    """Driver-side accounting."""
+
+    inflations: int = 0
+    frames_ballooned: int = 0
+    frames_released: int = 0
+    pinned_frames: list[int] = field(default_factory=list)
+
+
+class SelfBalloonDriver:
+    """The modified virtio-balloon driver of Section VI.C."""
+
+    def __init__(self, guest_os: GuestOS, port: BalloonPort) -> None:
+        self.guest_os = guest_os
+        self.port = port
+        self.stats = BalloonStats()
+
+    def make_contiguous(self, size_bytes: int) -> AddressRange:
+        """Trade ``size_bytes`` of fragmented memory for contiguous memory.
+
+        Pins scattered free frames, passes them to the VMM, and receives
+        a contiguous guest physical range of the same size, which is
+        added to the guest allocator (and is therefore available for an
+        immediately-following guest-segment reservation).
+        """
+        num_frames = -(-size_bytes // BASE_PAGE_SIZE)
+        pinned = self._pin_frames(num_frames)
+        self.port.reclaim_guest_frames(pinned)
+        released = self.port.release_reserved_region(num_frames)
+        self.guest_os.allocator.add_region(released)
+        self.stats.inflations += 1
+        self.stats.frames_ballooned += len(pinned)
+        self.stats.frames_released += released.size // BASE_PAGE_SIZE
+        self.stats.pinned_frames.extend(pinned)
+        return released
+
+    def _pin_frames(self, num_frames: int) -> list[int]:
+        """Allocate (pin) scattered single frames from the guest kernel.
+
+        A standard balloon driver takes whatever the kernel gives it --
+        order-0 allocations, so fragmentation does not block inflation.
+        """
+        allocator = self.guest_os.allocator
+        if allocator.free_frames < num_frames:
+            raise BalloonError(
+                f"guest has only {allocator.free_frames} free frames, "
+                f"balloon needs {num_frames}"
+            )
+        pinned: list[int] = []
+        try:
+            for _ in range(num_frames):
+                pinned.append(allocator.alloc_frame())
+        except OutOfMemoryError as exc:
+            for frame in pinned:
+                allocator.free_block(frame)
+            raise BalloonError("guest memory exhausted during inflation") from exc
+        return pinned

@@ -1,0 +1,400 @@
+"""The guest operating system: demand paging, segments, THP, emulation.
+
+This models the Linux-side software of the prototype (Section VI):
+
+* a physical-frame allocator over the guest-physical layout (with the
+  x86-64 I/O gap);
+* per-process 4-level page tables, demand-paged on fault;
+* primary-region registration and guest-segment creation from contiguous
+  guest physical memory (Sections II.B, III.C);
+* transparent huge pages (THP) for compute workloads (Section VIII);
+* the prototype's *emulation mode* (Section VI.B): with no segment
+  hardware, page faults into a direct segment install dynamically
+  computed PTEs (gPA = gVA + OFFSET), giving a functionally identical
+  mapping that tests verify against the hardware segment path;
+* a page-table pool placed inside the VMM direct segment so that guest
+  page-walk references themselves resolve through the segment
+  (Section III.B's guest kernel module).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.address import (
+    BASE_PAGE_SIZE,
+    MIB,
+    AddressRange,
+    PageSize,
+    align_down,
+    page_number,
+)
+from repro.core.segments import SegmentRegisters
+from repro.guest.process import GuestProcess, VirtualMemoryArea
+from repro.mem.frame_allocator import FrameAllocator, OutOfMemoryError
+from repro.mem.page_table import PageTable
+from repro.mem.physical_layout import PhysicalLayout
+
+
+class SegmentCreationError(Exception):
+    """Not enough contiguous guest physical memory for a segment."""
+
+
+class SwapError(Exception):
+    """The page cannot be swapped (Table II restriction or no mapping)."""
+
+
+@dataclass
+class GuestOSConfig:
+    """Knobs of the modelled guest kernel."""
+
+    #: Use transparent huge pages: faults try 2 MB allocations first.
+    thp: bool = False
+    #: Probability a THP allocation finds an aligned 2 MB block; models
+    #: the fragmentation-induced fallback to 4 KB pages real THP suffers.
+    thp_success_fraction: float = 0.95
+    #: Emulate segments with computed PTEs instead of segment hardware
+    #: (the prototype of Section VI.B).
+    emulate_segments: bool = False
+    #: Size of the page-table frame pool, reserved contiguously so the
+    #: guest's page tables can sit inside the VMM direct segment.
+    pt_pool_bytes: int = 64 * MIB
+
+
+class GuestOS:
+    """One guest kernel instance (also reused as the native OS).
+
+    ``layout`` describes the (guest-)physical address space.  Frames for
+    page tables come from a contiguous pool reserved at boot; ``pt_pool_hint``
+    restricts where that pool lives (pass the prospective VMM-segment
+    range so walks of the guest page table are segment-resolvable).
+    """
+
+    def __init__(
+        self,
+        layout: PhysicalLayout,
+        config: GuestOSConfig | None = None,
+        pt_pool_hint: AddressRange | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.layout = layout
+        self.config = config or GuestOSConfig()
+        self.allocator = FrameAllocator(layout.regions)
+        self._rng = random.Random(seed)
+        self._next_pid = 1
+        self.processes: dict[int, GuestProcess] = {}
+        self.page_tables: dict[int, PageTable] = {}
+        self._pt_pool = self._reserve_pt_pool(pt_pool_hint)
+        #: Pages swapped to (modelled) disk: (pid, gva_page) keys.
+        self._swapped: set[tuple[int, int]] = set()
+        #: Counters a real kernel would expose; tests assert on these.
+        self.minor_faults = 0
+        self.major_faults = 0
+        self.swap_outs = 0
+        self.thp_fallbacks = 0
+
+    # ------------------------------------------------------------------
+    # Boot-time reservations
+
+    def _reserve_pt_pool(self, hint: AddressRange | None) -> list[int]:
+        frames = self.config.pt_pool_bytes // BASE_PAGE_SIZE
+        within = None
+        if hint is not None:
+            within = AddressRange(
+                page_number(hint.start), page_number(hint.end)
+            )
+        try:
+            start = self.allocator.reserve_contiguous(frames, within=within)
+        except OutOfMemoryError:
+            start = self.allocator.reserve_contiguous(frames)
+        return list(range(start, start + frames))
+
+    def _alloc_pt_frame(self) -> int:
+        if self._pt_pool:
+            return self._pt_pool.pop()
+        return self.allocator.alloc_frame()
+
+    # ------------------------------------------------------------------
+    # Processes
+
+    def spawn(self, page_size: PageSize = PageSize.SIZE_4K) -> GuestProcess:
+        """Create a process with an empty address space and page table."""
+        pid = self._next_pid
+        self._next_pid += 1
+        process = GuestProcess(pid=pid, page_size=page_size)
+        self.processes[pid] = process
+        self.page_tables[pid] = PageTable(self._alloc_pt_frame)
+        return process
+
+    def page_table_of(self, process: GuestProcess) -> PageTable:
+        """The gPT of ``process``."""
+        return self.page_tables[process.pid]
+
+    # ------------------------------------------------------------------
+    # Demand paging
+
+    def handle_page_fault(self, process: GuestProcess, gva: int) -> None:
+        """Service a guest page fault at ``gva`` (minor fault path).
+
+        In emulation mode, faults inside the guest segment install a
+        *computed* PTE (gVA + OFFSET_G) rather than allocating a frame --
+        Section VI.B's technique for running the design on current
+        hardware.
+        """
+        vma = process.vma_at(gva)
+        if vma is None:
+            raise MemoryError(f"guest SEGV at {gva:#x} (pid {process.pid})")
+        gva_4k = align_down(gva, PageSize.SIZE_4K)
+        if (process.pid, gva_4k) in self._swapped:
+            # Major fault: bring the page back from swap (fresh frame;
+            # we do not model the data transfer, only residency).
+            self._swapped.discard((process.pid, gva_4k))
+            self.major_faults += 1
+            frame = self.allocator.alloc_frame()
+            self.page_tables[process.pid].map(
+                gva_4k, frame * BASE_PAGE_SIZE, PageSize.SIZE_4K
+            )
+            return
+        self.minor_faults += 1
+        table = self.page_tables[process.pid]
+        segment = process.guest_segment
+        if segment.enabled and segment.covers(gva):
+            gva_page = align_down(gva, PageSize.SIZE_4K)
+            filtered = process.guest_escape_filter.may_contain(
+                page_number(gva_page)
+            )
+            if self.config.emulate_segments or filtered:
+                # Emulation mode (Section VI.B), or a page the guest
+                # escape filter diverts to paging (genuinely escaped or
+                # a false positive): either way the PTE must reproduce
+                # the segment's computed translation.
+                gpa = segment.translate_unchecked(gva_page)
+                table.map(gva_page, gpa, PageSize.SIZE_4K)
+                return
+        self._map_anonymous(table, vma, gva)
+
+    def _map_anonymous(
+        self, table: PageTable, vma: VirtualMemoryArea, gva: int
+    ) -> None:
+        page_size = vma.page_size
+        if self.config.thp and page_size == PageSize.SIZE_4K:
+            if self._rng.random() < self.config.thp_success_fraction:
+                page_size = PageSize.SIZE_2M
+            else:
+                self.thp_fallbacks += 1
+        while True:
+            try:
+                order = {
+                    PageSize.SIZE_4K: 0,
+                    PageSize.SIZE_2M: 9,
+                    PageSize.SIZE_1G: 18,
+                }[page_size]
+                frame = self.allocator.alloc_block(order)
+                break
+            except OutOfMemoryError:
+                if page_size == PageSize.SIZE_4K:
+                    raise
+                # Fall back to the next smaller size (as Linux does).
+                page_size = (
+                    PageSize.SIZE_2M
+                    if page_size == PageSize.SIZE_1G
+                    else PageSize.SIZE_4K
+                )
+        gva_page = align_down(gva, page_size)
+        if table.is_mapped(gva):
+            # Another mapping already covers the faulting address.
+            self.allocator.free_block(frame)
+            return
+        try:
+            table.map(gva_page, frame * BASE_PAGE_SIZE, page_size)
+        except ValueError:
+            # A THP-sized mapping collided with an existing 4 KB
+            # subtree under the same PD slot; real THP cannot collapse
+            # on the fault path either, so fall back to a 4 KB page.
+            self.allocator.free_block(frame)
+            if page_size is PageSize.SIZE_4K:
+                raise
+            self.thp_fallbacks += 1
+            small = self.allocator.alloc_frame()
+            table.map(
+                align_down(gva, PageSize.SIZE_4K),
+                small * BASE_PAGE_SIZE,
+                PageSize.SIZE_4K,
+            )
+
+    def populate_vma(self, process: GuestProcess, vma: VirtualMemoryArea) -> int:
+        """Eagerly fault in every page of ``vma`` (big-memory apps touch
+        their whole arena at startup; the paper measures steady state).
+
+        Pages covered by an active *hardware* guest segment need no PTEs
+        and are skipped unless emulation mode is on.  Returns the number
+        of fault-handler invocations performed.
+        """
+        table = self.page_tables[process.pid]
+        segment = process.guest_segment
+        hw_segment = segment.enabled and not self.config.emulate_segments
+        faults = 0
+        step = int(vma.page_size)
+        va = vma.range.start
+        while va < vma.range.end:
+            if hw_segment and segment.covers(va):
+                va += int(PageSize.SIZE_4K)
+                continue
+            if not table.is_mapped(va):
+                self.handle_page_fault(process, va)
+                faults += 1
+                # THP (or fallback) may have mapped a different size than
+                # the VMA's nominal one; advance by what actually mapped.
+                walked = table.lookup(va)
+                assert walked is not None
+                va = align_down(va, walked.page_size) + int(walked.page_size)
+                continue
+            va += step
+        return faults
+
+    # ------------------------------------------------------------------
+    # Guest segments (Sections II.B / III.C)
+
+    def create_guest_segment(
+        self,
+        process: GuestProcess,
+        size: int | None = None,
+        within: AddressRange | None = None,
+    ) -> SegmentRegisters:
+        """Back the process's primary region with contiguous guest memory.
+
+        Reserves ``size`` bytes (default: the whole primary region) of
+        contiguous guest physical memory and programs the per-process
+        guest segment registers.  Raises :class:`SegmentCreationError`
+        when guest physical memory is too fragmented -- the situation
+        self-ballooning exists to fix.
+        """
+        primary = process.primary_region
+        if primary is None:
+            raise SegmentCreationError("process has no primary region")
+        size = size if size is not None else primary.range.size
+        if size > primary.range.size:
+            raise SegmentCreationError("segment larger than primary region")
+        frames = size // BASE_PAGE_SIZE
+        frame_within = None
+        if within is not None:
+            frame_within = AddressRange(
+                page_number(within.start), page_number(within.end)
+            )
+        try:
+            start_frame = self.allocator.reserve_contiguous(
+                frames, within=frame_within
+            )
+        except OutOfMemoryError as exc:
+            raise SegmentCreationError(
+                f"no contiguous {size} bytes of guest physical memory"
+            ) from exc
+        registers = SegmentRegisters.mapping(
+            AddressRange.of_size(primary.range.start, size),
+            start_frame * BASE_PAGE_SIZE,
+        )
+        process.guest_segment = registers
+        return registers
+
+    def drop_guest_segment(self, process: GuestProcess) -> None:
+        """Tear down the process's guest segment, freeing its memory."""
+        registers = process.guest_segment
+        if not registers.enabled:
+            return
+        start_frame = page_number(registers.base + registers.offset)
+        self.allocator.free_contiguous(start_frame, registers.size // BASE_PAGE_SIZE)
+        process.guest_segment = SegmentRegisters.disabled()
+
+    def escape_guard_page(
+        self, process: GuestProcess, gva: int, writable: bool = False
+    ) -> None:
+        """Give one page inside the guest segment different protection.
+
+        Section V: the escape filter "can also implement a limited
+        number of pages with different protection, such as guard
+        pages".  The page escapes segment translation through the
+        guest-level filter, and the guest OS installs a conventional
+        PTE carrying the desired permissions (preserving the segment's
+        computed gPA, so data placement is unchanged).
+        """
+        segment = process.guest_segment
+        if not segment.enabled or not segment.covers(gva):
+            raise ValueError(
+                f"guard page {gva:#x} is not inside the guest segment"
+            )
+        gva_page = align_down(gva, PageSize.SIZE_4K)
+        process.guest_escape_filter.insert(page_number(gva_page))
+        table = self.page_tables[process.pid]
+        gpa = segment.translate_unchecked(gva_page)
+        if table.is_mapped(gva_page):
+            table.unmap(gva_page)
+        table.map(gva_page, gpa, PageSize.SIZE_4K, writable=writable)
+        # Any false positives the insertion creates must also be
+        # backed by PTEs (same contract as the VMM-level filter); map
+        # them lazily via the fault handler, which computes the same
+        # gPA the segment would have.
+
+    def swap_out(self, process: GuestProcess, gva: int) -> None:
+        """Evict one page to (modelled) swap, freeing its guest frame.
+
+        Only pages with PTEs can be swapped: segment-covered addresses
+        raise :class:`SwapError` (Table II's 'limited' guest swapping
+        for Dual/Guest Direct).  A later access refaults the page in.
+        """
+        if not self.can_swap_out(process, gva):
+            raise SwapError(
+                f"{gva:#x} is segment-covered; no PTE exists to evict "
+                f"(Table II: guest swapping limited)"
+            )
+        gva_page = align_down(gva, PageSize.SIZE_4K)
+        table = self.page_tables[process.pid]
+        walked = table.lookup(gva_page)
+        if walked is None:
+            raise SwapError(f"{gva:#x} is not resident")
+        if walked.page_size != PageSize.SIZE_4K:
+            # Linux splits huge pages before swapping; model the result:
+            # free the huge frame and remap the other 4K pieces.
+            base = align_down(gva_page, walked.page_size)
+            table.unmap(base)
+            self.allocator.free_block(walked.frame)
+            for offset in range(walked.page_size.base_pages):
+                piece = base + offset * int(PageSize.SIZE_4K)
+                if piece == gva_page:
+                    continue
+                frame = self.allocator.alloc_frame()
+                table.map(piece, frame * BASE_PAGE_SIZE, PageSize.SIZE_4K)
+        else:
+            table.unmap(gva_page)
+            self.allocator.free_block(walked.frame)
+        self._swapped.add((process.pid, gva_page))
+        self.swap_outs += 1
+
+    def is_swapped(self, process: GuestProcess, gva: int) -> bool:
+        """True if the page was evicted and not yet faulted back."""
+        return (process.pid, align_down(gva, PageSize.SIZE_4K)) in self._swapped
+
+    def can_swap_out(self, process: GuestProcess, gva: int) -> bool:
+        """Guest swapping needs a PTE to invalidate; guest-segment-
+        covered addresses have none (Table II: guest swapping 'limited'
+        for Dual Direct and Guest Direct).  In emulation mode every
+        mapping is a real PTE, so swapping works everywhere.
+        """
+        if self.config.emulate_segments:
+            return True
+        segment = process.guest_segment
+        return not (segment.enabled and segment.covers(gva))
+
+    # ------------------------------------------------------------------
+    # Context switches (Section III.C)
+
+    def context_switch(
+        self, old: GuestProcess | None, new: GuestProcess
+    ) -> SegmentRegisters:
+        """Return the segment registers to load for ``new``.
+
+        Hardware must save/restore BASE_G/LIMIT_G/OFFSET_G along with
+        other process state; the caller (the simulated machine) installs
+        the returned registers into the walker.
+        """
+        return new.guest_segment

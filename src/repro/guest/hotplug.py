@@ -1,0 +1,81 @@
+"""Memory hotplug and the I/O-gap reclaim optimization.
+
+Section IV: the x86-64 I/O gap (3-4 GB) splits guest physical memory
+into a ~3 GB region below it and the rest above, so no single direct
+segment can cover all guest memory.  The fix (prototyped in Section
+VI.C): hot-*unplug* most memory below the gap -- hot-unplug, unlike
+ballooning, removes *specific* addresses -- keep 256 MB for the kernel,
+and extend the memory above the gap by the unplugged amount.  One
+segment can then map almost everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.address import BASE_PAGE_SIZE, AddressRange, format_size
+from repro.guest.guest_os import GuestOS
+from repro.mem.physical_layout import (
+    IO_GAP_START,
+    KERNEL_RESERVED_BELOW_GAP,
+)
+
+
+class HotplugPort(Protocol):
+    """VMM operations behind guest hotplug (KVM slot adjustments)."""
+
+    def shrink_below_gap_slot(self, removed: AddressRange) -> None:
+        """The guest stopped using ``removed``; free its host backing."""
+
+    def extend_above_gap_slot(self, num_frames: int) -> AddressRange:
+        """Grow the >4 GB slot by ``num_frames``; returns the new range."""
+
+
+class HotplugError(Exception):
+    """The requested hotplug operation cannot be performed."""
+
+
+@dataclass(frozen=True)
+class IoGapReclaimResult:
+    """Outcome of the I/O-gap reclaim."""
+
+    removed: AddressRange
+    added: AddressRange
+
+    def describe(self) -> str:
+        """One-line summary for experiment logs."""
+        return (
+            f"unplugged {format_size(self.removed.size)} below the I/O gap, "
+            f"extended above-gap memory by {format_size(self.added.size)}"
+        )
+
+
+def reclaim_io_gap(
+    guest_os: GuestOS,
+    port: HotplugPort,
+    keep_below_gap: int = KERNEL_RESERVED_BELOW_GAP,
+) -> IoGapReclaimResult:
+    """Relocate below-gap guest memory to the end of the address space.
+
+    Must run early in boot, while below-gap memory (beyond the kernel's
+    ``keep_below_gap``) is still free; raises :class:`HotplugError` if
+    the range is already in use.  After the call the guest allocator's
+    memory above 4 GB is one long contiguous range, ready to back a
+    single VMM (and/or guest) direct segment.
+    """
+    below_gap_top = min(IO_GAP_START, guest_os.layout.total_memory)
+    if below_gap_top <= keep_below_gap:
+        raise HotplugError("guest has no removable memory below the I/O gap")
+    removed = AddressRange(keep_below_gap, below_gap_top)
+    try:
+        guest_os.allocator.unplug_range(removed)
+    except Exception as exc:
+        raise HotplugError(
+            f"below-gap range {removed!r} is not entirely free: {exc}"
+        ) from exc
+    port.shrink_below_gap_slot(removed)
+    num_frames = removed.size // BASE_PAGE_SIZE
+    added = port.extend_above_gap_slot(num_frames)
+    guest_os.allocator.add_region(added)
+    return IoGapReclaimResult(removed=removed, added=added)

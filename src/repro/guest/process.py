@@ -1,0 +1,99 @@
+"""Guest process address spaces and the primary-region abstraction.
+
+Section II.B: big-memory applications expose a *primary region* to the
+OS -- one contiguous chunk of virtual address space mapped with uniform
+permissions (the application's heap / data arena).  A direct segment may
+map all or part of a primary region; the rest of the address space stays
+paged for compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.address import GIB, AddressRange, PageSize, align_up
+from repro.core.escape_filter import EscapeFilter
+from repro.core.segments import SegmentRegisters
+
+#: Where process heaps start in our guest virtual layout (arbitrary but
+#: page-table-friendly: a high user-space address).
+DEFAULT_PRIMARY_REGION_BASE = 16 * GIB
+
+
+@dataclass
+class VirtualMemoryArea:
+    """One mapped region of a process (a simplified Linux VMA)."""
+
+    range: AddressRange
+    page_size: PageSize = PageSize.SIZE_4K
+    is_primary_region: bool = False
+    writable: bool = True
+
+
+@dataclass
+class GuestProcess:
+    """A process inside the guest: VMAs, preferred page size, segment state.
+
+    The guest OS owns the page table; the process records layout and the
+    per-process guest segment registers (saved/restored by the guest OS
+    on context switch, Section III.C).
+    """
+
+    pid: int
+    page_size: PageSize = PageSize.SIZE_4K
+    vmas: list[VirtualMemoryArea] = field(default_factory=list)
+    #: Per-process guest direct-segment registers (gVA -> gPA).
+    guest_segment: SegmentRegisters = field(default_factory=SegmentRegisters.disabled)
+    #: Guest-level escape filter (Section V: "it may be useful to have
+    #: escape filters at both levels so the guest OS can escape pages
+    #: as well") -- used for guard pages and other pages needing
+    #: different protection inside a primary region.  Saved/restored
+    #: with the segment registers on context switch.
+    guest_escape_filter: EscapeFilter = field(default_factory=EscapeFilter)
+
+    def mmap(
+        self,
+        size: int,
+        page_size: PageSize | None = None,
+        is_primary_region: bool = False,
+    ) -> VirtualMemoryArea:
+        """Map a new region after the last existing one.
+
+        Returns the created VMA.  ``size`` is rounded up to the page size.
+        """
+        page_size = page_size or self.page_size
+        start = self._next_free_address(page_size)
+        size = align_up(size, page_size)
+        vma = VirtualMemoryArea(
+            range=AddressRange.of_size(start, size),
+            page_size=page_size,
+            is_primary_region=is_primary_region,
+        )
+        self.vmas.append(vma)
+        return vma
+
+    def _next_free_address(self, page_size: PageSize) -> int:
+        if not self.vmas:
+            return DEFAULT_PRIMARY_REGION_BASE
+        # Leave a guard gap of one page size between regions.
+        return align_up(self.vmas[-1].range.end + int(page_size), page_size)
+
+    def vma_at(self, address: int) -> VirtualMemoryArea | None:
+        """The VMA covering ``address``, or None (a SEGV in real life)."""
+        for vma in self.vmas:
+            if address in vma.range:
+                return vma
+        return None
+
+    @property
+    def primary_region(self) -> VirtualMemoryArea | None:
+        """The process's primary region, if it declared one."""
+        for vma in self.vmas:
+            if vma.is_primary_region:
+                return vma
+        return None
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes of mapped virtual address space."""
+        return sum(vma.range.size for vma in self.vmas)

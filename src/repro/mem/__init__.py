@@ -1,0 +1,1 @@
+"""Physical-memory substrate: allocator, page tables, layout, compaction."""

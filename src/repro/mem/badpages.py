@@ -1,0 +1,58 @@
+"""Bad-page tracking: permanent hard faults in physical memory.
+
+Section V motivates the escape filter with DRAM hard faults: commodity
+OSes keep a bad-page list and never allocate those frames [26], but a
+single bad frame inside an otherwise contiguous region would prevent a
+direct segment from covering it.  This module models the bad-page list
+and the fault-injection used by the Figure 13 experiment (1..16 bad pages
+drawn uniformly at random, 30 trials each).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+
+class BadPageList:
+    """The set of physically faulty frames of one machine."""
+
+    def __init__(self, frames: Iterable[int] = ()) -> None:
+        self._frames: set[int] = set(frames)
+
+    @classmethod
+    def random(
+        cls, num_bad: int, frame_range: range, seed: int = 0
+    ) -> "BadPageList":
+        """Draw ``num_bad`` distinct faulty frames uniformly from a range.
+
+        This is the fault-injection of Section IX.C ("30 different random
+        sets of bad pages" per count).
+        """
+        if num_bad > len(frame_range):
+            raise ValueError("more bad pages requested than frames available")
+        rng = random.Random(seed)
+        return cls(rng.sample(frame_range, num_bad))
+
+    @property
+    def frames(self) -> frozenset[int]:
+        """The faulty frames."""
+        return frozenset(self._frames)
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def __contains__(self, frame: int) -> bool:
+        return frame in self._frames
+
+    def mark_bad(self, frame: int) -> None:
+        """Record a newly-discovered hard fault."""
+        self._frames.add(frame)
+
+    def bad_frames_in(self, start_frame: int, num_frames: int) -> list[int]:
+        """Faulty frames inside ``[start_frame, start_frame + num_frames)``.
+
+        These are the frames a direct segment over that range must escape.
+        """
+        end = start_frame + num_frames
+        return sorted(f for f in self._frames if start_frame <= f < end)

@@ -1,0 +1,318 @@
+"""Incremental memory compaction: relocate pages to rebuild contiguity.
+
+Section IV: host physical memory fragmentation is addressed by "the slower
+technique of memory compaction which slowly relocates pages and creates a
+VMM segment", as Linux's compaction daemon does [20].  Table III's policy
+uses it to upgrade modes over time: a VM starts in Guest Direct (or Base
+Virtualized) and, once compaction has produced enough contiguous host
+memory, the VMM creates a VMM segment and switches to Dual Direct (or
+VMM Direct).
+
+The daemon mirrors Linux's two-scanner structure: a *migration scanner*
+walks the target window collecting movable allocated blocks, and a *free
+scanner* keeps a queue of free blocks outside the window (snapshotted
+from the allocator, highest addresses first) to migrate into.  Work is
+performed in bounded steps so experiments can model gradual progress:
+each :meth:`step` call migrates at most a page budget, invoking a
+relocation callback per moved block so the owner (e.g. the VMM's nested
+page table) can update its mappings.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.mem.frame_allocator import MAX_ORDER, FrameAllocator
+
+
+@dataclass
+class CompactionStats:
+    """Work performed by the daemon so far."""
+
+    pages_moved: int = 0
+    blocks_moved: int = 0
+    steps: int = 0
+    windows_abandoned: int = 0
+    free_scanner_refills: int = 0
+
+
+class CompactionDaemon:
+    """Creates a contiguous free window by migrating movable allocations.
+
+    Parameters
+    ----------
+    allocator:
+        The physical allocator to compact.
+    is_movable:
+        Predicate over block start frames; unmovable blocks (e.g. pinned
+        kernel memory) make a window unusable.
+    on_move:
+        Callback ``(old_frame, new_frame, order)`` invoked after a block's
+        contents are migrated, before the old block is freed.  The owner
+        must rewrite any translations pointing at the old frames.
+    """
+
+    def __init__(
+        self,
+        allocator: FrameAllocator,
+        is_movable: Callable[[int], bool] = lambda frame: True,
+        on_move: Callable[[int, int, int], None] = lambda old, new, order: None,
+    ) -> None:
+        self._allocator = allocator
+        self._is_movable = is_movable
+        self._on_move = on_move
+        self._goal_frames: int | None = None
+        self._window: tuple[int, int] | None = None
+        self._dest: dict[int, deque[int]] | None = None  # order -> free frames
+        self._migration_queue: deque[tuple[int, int]] | None = None
+        self._rescanned = False
+        self._abandoned_windows: set[int] = set()
+        self.stats = CompactionStats()
+
+    # ------------------------------------------------------------------
+
+    def request(self, num_frames: int) -> None:
+        """Set the goal: a free contiguous run of ``num_frames`` frames."""
+        if num_frames <= 0:
+            raise ValueError("requested run must be positive")
+        self._goal_frames = num_frames
+        self._window = None
+        self._dest = None
+        self._migration_queue = None
+        self._abandoned_windows.clear()
+
+    @property
+    def goal_frames(self) -> int | None:
+        """Currently requested run length, if any."""
+        return self._goal_frames
+
+    @property
+    def complete(self) -> bool:
+        """True once the allocator has a free run of the requested size."""
+        if self._goal_frames is None:
+            return False
+        return self._allocator.largest_free_run_frames() >= self._goal_frames
+
+    def run_to_completion(
+        self, step_pages: int = 4096, max_steps: int = 100_000
+    ) -> bool:
+        """Drive :meth:`step` until done; returns success."""
+        for _ in range(max_steps):
+            if self.complete:
+                return True
+            if self.step(step_pages) == 0 and not self.complete:
+                return False
+        return self.complete
+
+    def step(self, page_budget: int) -> int:
+        """Migrate up to ``page_budget`` pages toward the goal.
+
+        Returns the number of pages actually moved (0 when finished or
+        stuck: nothing movable, or no free space to migrate into).
+        """
+        if self._goal_frames is None or self.complete:
+            return 0
+        self.stats.steps += 1
+        if self._window is None:
+            self._window = self._choose_window(self._goal_frames)
+            self._dest = None
+            self._migration_queue = None
+            if self._window is None:
+                return 0
+        if self._dest is None:
+            self._refill_free_scanner()
+        if self._migration_queue is None:
+            self._refill_migration_scanner()
+        moved = 0
+        while moved < page_budget:
+            block = self._next_block_in_window()
+            if block is None:
+                # Window evacuated (or only unmovable blocks remain) but
+                # the goal is not met; pick a new window next step.
+                self.stats.windows_abandoned += 1
+                self._abandoned_windows.add(self._window[0])
+                self._window = None
+                break
+            frame, order = block
+            if not self._is_movable(frame):
+                continue  # consumed; skipped in place
+            if not self._migrate(frame, order):
+                break  # no destination space: stuck for now
+            moved += 1 << order
+        self.stats.pages_moved += moved
+        return moved
+
+    # ------------------------------------------------------------------
+    # Migration scanner
+
+    def _refill_migration_scanner(self) -> None:
+        """Snapshot the allocated blocks overlapping the window."""
+        assert self._window is not None
+        start, end = self._window
+        blocks = sorted(
+            (frame, order)
+            for frame, order in self._allocator.allocations().items()
+            if frame < end and frame + (1 << order) > start
+        )
+        self._migration_queue = deque(blocks)
+        self._rescanned = False
+
+    def _next_block_in_window(self) -> tuple[int, int] | None:
+        """Consume the next still-allocated block of the window."""
+        assert self._migration_queue is not None
+        while True:
+            while self._migration_queue:
+                frame, order = self._migration_queue.popleft()
+                if self._allocator.allocation_order(frame) == order:
+                    return frame, order
+            # Queue drained: rescan once per window in case blocks were
+            # allocated into it (or skipped as unmovable) meanwhile.
+            if self._rescanned:
+                return None
+            self._refill_migration_scanner()
+            self._rescanned = True
+            # Everything the rescan found that is unmovable would loop
+            # forever; filter those out now.
+            self._migration_queue = deque(
+                (f, o) for f, o in self._migration_queue if self._is_movable(f)
+            )
+            if not self._migration_queue:
+                return None
+
+    def _migrate(self, frame: int, order: int) -> bool:
+        new_frame = self._take_destination(order)
+        if new_frame is None:
+            return False
+        self._on_move(frame, new_frame, order)
+        self._allocator.free_block(frame)
+        self.stats.blocks_moved += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Free scanner
+
+    def _refill_free_scanner(self) -> None:
+        """Snapshot the free blocks outside the window, high-first.
+
+        Like Linux's free scanner, destinations are taken from the far
+        end of memory so the evacuated window is not refilled.
+        """
+        assert self._window is not None
+        start, end = self._window
+        dest: dict[int, deque[int]] = {order: deque() for order in range(MAX_ORDER + 1)}
+        blocks: list[tuple[int, int]] = []
+        for order in range(MAX_ORDER + 1):
+            size = 1 << order
+            for frame in self._allocator.free_blocks(order):
+                if frame + size <= start or frame >= end:
+                    blocks.append((frame, order))
+        # Highest addresses first: keeps low memory free for the window.
+        blocks.sort(reverse=True)
+        for frame, order in blocks:
+            dest[order].append(frame)
+        self._dest = dest
+        self.stats.free_scanner_refills += 1
+
+    def _take_destination(self, order: int) -> int | None:
+        """Claim a free block of ``order`` outside the window.
+
+        Pops from the snapshot queue (verifying the block is still free),
+        splitting a larger block when the exact order is exhausted.
+        Returns the allocated start frame, or None when out of space.
+        """
+        assert self._dest is not None
+        for candidate in range(order, MAX_ORDER + 1):
+            queue = self._dest[candidate]
+            while queue:
+                frame = queue.popleft()
+                if not self._allocator.is_free_block(frame, candidate):
+                    continue  # stale snapshot entry
+                if candidate == order:
+                    self._allocator.alloc_specific(frame, order)
+                    return frame
+                # Split: take the low piece, requeue the rest.
+                self._allocator.alloc_specific(frame, order)
+                remainder = frame + (1 << order)
+                end = frame + (1 << candidate)
+                while remainder < end:
+                    piece_order = min(
+                        MAX_ORDER,
+                        (remainder & -remainder).bit_length() - 1,
+                    )
+                    while remainder + (1 << piece_order) > end:
+                        piece_order -= 1
+                    self._dest[piece_order].appendleft(remainder)
+                    remainder += 1 << piece_order
+                return frame
+        # Snapshot exhausted; one refill attempt in case frees happened
+        # (e.g. blocks we migrated out of the window earlier coalesced).
+        self._refill_free_scanner()
+        for candidate in range(order, MAX_ORDER + 1):
+            if self._dest[candidate]:
+                queue = self._dest[candidate]
+                while queue:
+                    frame = queue.popleft()
+                    if not self._allocator.is_free_block(frame, candidate):
+                        continue
+                    self._allocator.alloc_specific(frame, order)
+                    if candidate > order:
+                        remainder = frame + (1 << order)
+                        end = frame + (1 << candidate)
+                        while remainder < end:
+                            piece_order = min(
+                                MAX_ORDER,
+                                (remainder & -remainder).bit_length() - 1,
+                            )
+                            while remainder + (1 << piece_order) > end:
+                                piece_order -= 1
+                            self._dest[piece_order].appendleft(remainder)
+                            remainder += 1 << piece_order
+                    return frame
+        return None
+
+    # ------------------------------------------------------------------
+    # Window selection
+
+    def _choose_window(self, num_frames: int) -> tuple[int, int] | None:
+        """Pick the cheapest window of ``num_frames`` frames to evacuate.
+
+        Scans candidate windows at a coarse stride, scoring each by the
+        number of allocated frames it overlaps (via a prefix sum over
+        the sorted allocation list, so the scan is cheap even with a
+        million live blocks).  Windows that previously failed to
+        evacuate (unmovable blocks) are skipped.
+        """
+        allocations = sorted(self._allocator.allocations().items())
+        total = self._allocator.total_frames
+        if num_frames > total:
+            return None
+        starts = [frame for frame, _ in allocations]
+        prefix = [0]
+        for _, order in allocations:
+            prefix.append(prefix[-1] + (1 << order))
+
+        def cost(start: int, end: int) -> int:
+            # Blocks are small relative to the window; counting blocks
+            # whose start lies in [start, end) is accurate to one block
+            # at each boundary.
+            lo = bisect.bisect_left(starts, start)
+            hi = bisect.bisect_left(starts, end)
+            return prefix[hi] - prefix[lo]
+
+        stride = max(1, num_frames // 8)
+        best: tuple[int, tuple[int, int]] | None = None
+        window_start = 0
+        while window_start + num_frames <= total + stride:
+            start = min(window_start, total - num_frames)
+            end = start + num_frames
+            if start not in self._abandoned_windows:
+                c = cost(start, end)
+                if best is None or c < best[0]:
+                    best = (c, (start, end))
+                    if c == 0:
+                        break
+            window_start += stride
+        return best[1] if best else None

@@ -1,0 +1,411 @@
+"""Buddy allocator over 4 KB physical frames, with fragmentation tooling.
+
+Both the guest OS and the VMM need a physical-frame allocator:
+
+* ordinary demand paging allocates single frames (order 0);
+* large pages allocate aligned order-9 (2 MB) and order-18 (1 GB) blocks;
+* direct segments need one huge contiguous reservation (Section VI.A);
+* the fragmentation experiments (Section IV) need a way to shatter free
+  memory so that no large contiguous run exists, and the compaction
+  daemon needs to relocate frames to reassemble one.
+
+The allocator is sparse: free blocks are kept as per-order sets of block
+start frames, so a 96 GB address space costs memory proportional to the
+number of live blocks, not the number of frames.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.core.address import BASE_PAGE_SIZE, AddressRange
+
+#: Largest buddy order we manage: order 18 = 2**18 frames = 1 GB blocks.
+MAX_ORDER = 18
+
+
+class OutOfMemoryError(Exception):
+    """No free block large enough to satisfy a request."""
+
+
+class FrameAllocator:
+    """Buddy allocator over the frames of one or more DRAM regions.
+
+    Frames are numbered by physical address / 4 KB.  Blocks of order ``k``
+    cover ``2**k`` frames and are naturally aligned.  The allocator
+    tracks every allocation so fragmentation statistics and compaction
+    can enumerate live blocks.
+    """
+
+    def __init__(self, regions: Iterable[AddressRange]) -> None:
+        self._free: list[set[int]] = [set() for _ in range(MAX_ORDER + 1)]
+        self._allocated: dict[int, int] = {}  # block start frame -> order
+        self._total_frames = 0
+        self._region_frames: list[tuple[int, int]] = []
+        for region in regions:
+            self._add_region(region)
+
+    @classmethod
+    def of_size(cls, nbytes: int) -> "FrameAllocator":
+        """Allocator over a single region ``[0, nbytes)``."""
+        return cls([AddressRange(0, nbytes)])
+
+    def add_region(self, region: AddressRange) -> None:
+        """Hot-plug a new DRAM region into the allocator (Section IV).
+
+        The region becomes free memory.  Used by memory hotplug to extend
+        guest physical memory, and by self-ballooning to release reserved
+        contiguous memory back to the guest.
+        """
+        self._add_region(region)
+
+    def unplug_range(self, region: AddressRange) -> None:
+        """Hot-unplug ``region``: its frames leave the allocator entirely.
+
+        Every frame in the range must be free.  Unlike an allocation, the
+        frames no longer count toward :attr:`total_frames` -- this is how
+        the I/O-gap reclaim removes below-gap addresses from use.
+        """
+        start = region.start // BASE_PAGE_SIZE
+        end = region.end // BASE_PAGE_SIZE
+        if end <= start:
+            return
+        self._carve(start, end)
+        self._total_frames -= end - start
+
+    def _add_region(self, region: AddressRange) -> None:
+        start = -(-region.start // BASE_PAGE_SIZE)  # ceil
+        end = region.end // BASE_PAGE_SIZE
+        if end <= start:
+            return
+        self._region_frames.append((start, end))
+        self._total_frames += end - start
+        self._seed_free_blocks(start, end)
+
+    def _seed_free_blocks(self, start: int, end: int) -> None:
+        """Split ``[start, end)`` into maximal naturally-aligned blocks."""
+        frame = start
+        while frame < end:
+            order = min(MAX_ORDER, (frame & -frame).bit_length() - 1 if frame else MAX_ORDER)
+            while order > 0 and frame + (1 << order) > end:
+                order -= 1
+            self._free[order].add(frame)
+            frame += 1 << order
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    @property
+    def total_frames(self) -> int:
+        """Frames managed by this allocator."""
+        return self._total_frames
+
+    @property
+    def free_frames(self) -> int:
+        """Currently free frames."""
+        return sum(len(blocks) << order for order, blocks in enumerate(self._free))
+
+    @property
+    def allocated_frames(self) -> int:
+        """Currently allocated frames."""
+        return self._total_frames - self.free_frames
+
+    def allocations(self) -> dict[int, int]:
+        """Live allocations as ``{start_frame: order}`` (copy)."""
+        return dict(self._allocated)
+
+    def allocation_order(self, frame: int) -> int | None:
+        """Order of the allocated block starting at ``frame``, or None."""
+        return self._allocated.get(frame)
+
+    def free_blocks(self, order: int) -> tuple[int, ...]:
+        """Start frames of the free blocks of exactly ``order`` (copy)."""
+        return tuple(self._free[order])
+
+    def is_free_block(self, frame: int, order: int) -> bool:
+        """True if ``frame`` starts a free block of exactly ``order``."""
+        return frame in self._free[order]
+
+    def largest_free_order(self) -> int:
+        """Order of the biggest free block, or -1 if memory is exhausted."""
+        for order in range(MAX_ORDER, -1, -1):
+            if self._free[order]:
+                return order
+        return -1
+
+    def largest_free_run_frames(self) -> int:
+        """Length in frames of the longest run of free frames.
+
+        Adjacent free buddy blocks are coalesced on free, but blocks of
+        different orders can still abut; this walks the sorted free-block
+        list to find the true longest physically-contiguous free run,
+        which is what bounds direct-segment creation.
+        """
+        blocks = sorted(
+            (frame, 1 << order)
+            for order, frames in enumerate(self._free)
+            for frame in frames
+        )
+        best = current = 0
+        expected_next: int | None = None
+        for frame, length in blocks:
+            if frame == expected_next:
+                current += length
+            else:
+                current = length
+            expected_next = frame + length
+            best = max(best, current)
+        return best
+
+    # ------------------------------------------------------------------
+    # Allocation
+
+    def alloc_block(self, order: int) -> int:
+        """Allocate a naturally-aligned block of ``2**order`` frames.
+
+        Returns the start frame.  Raises :class:`OutOfMemoryError` when no
+        block of sufficient order exists.
+        """
+        if not 0 <= order <= MAX_ORDER:
+            raise ValueError(f"order must be 0..{MAX_ORDER}, got {order}")
+        found = None
+        for candidate in range(order, MAX_ORDER + 1):
+            if self._free[candidate]:
+                found = candidate
+                break
+        if found is None:
+            raise OutOfMemoryError(f"no free block of order >= {order}")
+        frame = min(self._free[found])
+        self._free[found].discard(frame)
+        while found > order:
+            found -= 1
+            self._free[found].add(frame + (1 << found))
+        self._allocated[frame] = order
+        return frame
+
+    def alloc_frame(self) -> int:
+        """Allocate a single 4 KB frame."""
+        return self.alloc_block(0)
+
+    def alloc_specific(self, frame: int, order: int) -> int:
+        """Allocate the exact block ``[frame, frame + 2**order)``.
+
+        Used by hotplug (which must target specific addresses, Section IV)
+        and by tests.  The block must be naturally aligned and entirely
+        free.
+        """
+        if frame % (1 << order):
+            raise ValueError(f"frame {frame:#x} not aligned to order {order}")
+        # Fast path: a free block starts exactly at ``frame``.  The
+        # general carve below scans every free block, which matters when
+        # compaction calls this once per migrated page.
+        for have in range(order, MAX_ORDER + 1):
+            if frame % (1 << have):
+                break
+            if frame in self._free[have]:
+                self._free[have].discard(frame)
+                if have > order:
+                    self._seed_free_blocks(frame + (1 << order), frame + (1 << have))
+                self._allocated[frame] = order
+                return frame
+        self._carve(frame, frame + (1 << order))
+        self._allocated[frame] = order
+        return frame
+
+    def reserve_contiguous(
+        self, num_frames: int, within: AddressRange | None = None
+    ) -> int:
+        """Reserve the lowest free run of at least ``num_frames`` frames.
+
+        This is the paper's startup reservation for direct segments
+        (Section VI.A).  The run need not be power-of-two sized; it is
+        carved out of however many free blocks cover it.  Returns the
+        first frame; the reservation is recorded as a sequence of
+        order-0..MAX_ORDER allocations starting at that frame.
+
+        ``within`` restricts the search to runs whose frames fall inside
+        the given *frame-number* range (used e.g. to place page-table
+        pools inside the VMM direct segment, Section III.B).
+        """
+        run = self._find_free_run(num_frames, within)
+        if run is None:
+            raise OutOfMemoryError(
+                f"no contiguous run of {num_frames} frames available"
+            )
+        self._carve(run, run + num_frames)
+        # Record the reservation as maximal aligned sub-blocks so that
+        # free_contiguous can return them.
+        frame = run
+        end = run + num_frames
+        while frame < end:
+            order = self._max_subblock_order(frame, end)
+            self._allocated[frame] = order
+            frame += 1 << order
+        return run
+
+    def free_contiguous(self, start_frame: int, num_frames: int) -> None:
+        """Release a reservation made by :meth:`reserve_contiguous`."""
+        frame = start_frame
+        end = start_frame + num_frames
+        while frame < end:
+            order = self._allocated.get(frame)
+            if order is None or frame + (1 << order) > end:
+                raise ValueError(
+                    f"frame {frame:#x} is not part of the given reservation"
+                )
+            self.free_block(frame)
+            frame += 1 << order
+
+    @staticmethod
+    def _max_subblock_order(frame: int, end: int) -> int:
+        order = min(MAX_ORDER, (frame & -frame).bit_length() - 1 if frame else MAX_ORDER)
+        while order > 0 and frame + (1 << order) > end:
+            order -= 1
+        return order
+
+    def _find_free_run(
+        self, num_frames: int, within: AddressRange | None = None
+    ) -> int | None:
+        blocks = sorted(
+            (frame, 1 << order)
+            for order, frames in enumerate(self._free)
+            for frame in frames
+        )
+        if within is not None:
+            clipped = []
+            for frame, length in blocks:
+                lo = max(frame, within.start)
+                hi = min(frame + length, within.end)
+                if hi > lo:
+                    clipped.append((lo, hi - lo))
+            blocks = clipped
+        run_start: int | None = None
+        run_len = 0
+        expected_next: int | None = None
+        for frame, length in blocks:
+            if frame == expected_next and run_start is not None:
+                run_len += length
+            else:
+                run_start = frame
+                run_len = length
+            expected_next = frame + length
+            if run_len >= num_frames:
+                return run_start
+        return None
+
+    def _carve(self, start: int, end: int) -> None:
+        """Remove ``[start, end)`` from the free lists; all must be free."""
+        # Collect the free blocks overlapping the range.
+        overlapping: list[tuple[int, int]] = []
+        for order, frames in enumerate(self._free):
+            size = 1 << order
+            for frame in frames:
+                if frame < end and frame + size > start:
+                    overlapping.append((frame, order))
+        covered = sum(
+            min(end, frame + (1 << order)) - max(start, frame)
+            for frame, order in overlapping
+        )
+        if covered != end - start:
+            raise OutOfMemoryError(
+                f"range [{start:#x}, {end:#x}) is not entirely free"
+            )
+        for frame, order in overlapping:
+            self._free[order].discard(frame)
+            size = 1 << order
+            # Return any spill-over outside the carved range to free lists.
+            if frame < start:
+                self._seed_free_blocks(frame, start)
+            if frame + size > end:
+                self._seed_free_blocks(end, frame + size)
+
+    # ------------------------------------------------------------------
+    # Freeing
+
+    def free_block(self, frame: int) -> None:
+        """Free a block previously returned by an alloc method."""
+        order = self._allocated.pop(frame, None)
+        if order is None:
+            raise ValueError(f"frame {frame:#x} is not an allocated block start")
+        self._insert_free(frame, order)
+
+    def _insert_free(self, frame: int, order: int) -> None:
+        """Insert a free block, coalescing with its buddy where possible."""
+        while order < MAX_ORDER:
+            buddy = frame ^ (1 << order)
+            if buddy not in self._free[order]:
+                break
+            self._free[order].discard(buddy)
+            frame = min(frame, buddy)
+            order += 1
+        self._free[order].add(frame)
+
+    # ------------------------------------------------------------------
+    # Fragmentation tooling
+
+    def fragment(
+        self,
+        fraction: float,
+        rng: random.Random | None = None,
+        hold_orders: tuple[int, ...] = (0, 1, 2),
+    ) -> list[int]:
+        """Shatter free memory by pinning scattered small blocks.
+
+        Allocates small blocks until ``fraction`` of total frames are held,
+        choosing block addresses pseudo-randomly so the remaining free
+        memory is discontiguous.  Returns the held block start frames so a
+        test (or the balloon driver) can release them later.
+
+        This models a long-running guest whose page cache and slab
+        allocations have diced up physical memory (Section IV).
+        """
+        if not 0.0 <= fraction < 1.0:
+            raise ValueError("fraction must be in [0, 1)")
+        rng = rng or random.Random(0)
+        target = int(self._total_frames * fraction)
+        held: list[int] = []
+        held_frames = 0
+        while held_frames < target:
+            order = rng.choice(hold_orders)
+            try:
+                frame = self._alloc_random_block(order, rng)
+            except OutOfMemoryError:
+                break
+            held.append(frame)
+            held_frames += 1 << order
+        return held
+
+    def _alloc_random_block(self, order: int, rng: random.Random) -> int:
+        # Pick a random non-empty order (not the smallest): real
+        # long-running systems dice large free regions too, which is the
+        # whole point of the fragmentation model.
+        candidates = [c for c in range(order, MAX_ORDER + 1) if self._free[c]]
+        if not candidates:
+            raise OutOfMemoryError(f"no free block of order >= {order}")
+        candidate = rng.choice(candidates)
+        pool = self._free[candidate]
+        if len(pool) < 64:
+            frame = rng.choice(sorted(pool))
+        else:
+            # An arbitrary member is enough: address randomness comes
+            # from the random order choice and the random split-half
+            # descent below, and set iteration is O(1) where a uniform
+            # draw would scan the (potentially million-entry) pool.
+            frame = next(iter(pool))
+        self._free[candidate].discard(frame)
+        while candidate > order:
+            candidate -= 1
+            # Keep a random half to spread the held blocks around.
+            keep_low = rng.random() < 0.5
+            low, high = frame, frame + (1 << candidate)
+            kept, freed = (low, high) if keep_low else (high, low)
+            self._free[candidate].add(freed)
+            frame = kept
+        self._allocated[frame] = order
+        return frame
+
+    def free_many(self, blocks: Iterable[int]) -> None:
+        """Free a list of blocks returned by :meth:`fragment`."""
+        for frame in blocks:
+            self.free_block(frame)

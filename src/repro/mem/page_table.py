@@ -1,0 +1,267 @@
+"""Four-level x86-64 radix page table with physically-placed nodes.
+
+Both dimensions of nested translation use the same structure: the guest
+page table (gPT) maps gVA -> gPA and the nested page table (nPT) maps
+gPA -> hPA (Section I).  Nodes occupy real frames of their address space's
+allocator because the 2D walk must translate the *addresses of the guest
+page-table entries themselves* through the nested dimension (Figure 2) --
+so each PTE access has a well-defined physical address.
+
+Leaves may be 4 KB (PT level), 2 MB (PD level) or 1 GB (PDPT level),
+matching x86-64 large-page support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.core.address import (
+    BASE_PAGE_SIZE,
+    PageSize,
+    page_offset,
+    radix_index,
+)
+
+#: Bytes per page-table entry (x86-64).
+PTE_SIZE = 8
+
+#: Page-table level at which each page size terminates (root = 0).
+LEAF_LEVEL = {PageSize.SIZE_4K: 3, PageSize.SIZE_2M: 2, PageSize.SIZE_1G: 1}
+
+
+class PageFault(Exception):
+    """Translation failed: no mapping for the address."""
+
+    def __init__(self, address: int, level: int) -> None:
+        super().__init__(f"page fault at {address:#x} (level {level})")
+        self.address = address
+        self.level = level
+
+
+@dataclass
+class PageTableEntry:
+    """One slot in a page-table node: either a pointer or a leaf.
+
+    ``frame`` is the 4 KB-frame number of the next-level node (pointer
+    entries) or of the first frame of the mapped page (leaf entries).
+    """
+
+    frame: int
+    leaf: bool
+    page_size: PageSize | None = None  # set for leaves only
+    writable: bool = True
+
+
+class PageTableNode:
+    """A 512-entry radix node occupying one physical frame."""
+
+    __slots__ = ("frame", "level", "entries")
+
+    def __init__(self, frame: int, level: int) -> None:
+        self.frame = frame
+        self.level = level
+        self.entries: dict[int, PageTableEntry] = {}
+
+    def entry_address(self, index: int) -> int:
+        """Physical address of entry ``index`` within this node."""
+        return self.frame * BASE_PAGE_SIZE + index * PTE_SIZE
+
+
+@dataclass
+class WalkStep:
+    """One memory reference of a page-table walk."""
+
+    level: int
+    #: Physical address (in the table's own address space) of the PTE read.
+    pte_address: int
+    entry: PageTableEntry
+
+
+@dataclass
+class WalkResult:
+    """Outcome of a successful walk."""
+
+    steps: list[WalkStep]
+    frame: int
+    page_size: PageSize
+
+    def translate(self, address: int) -> int:
+        """Physical address for ``address`` using the walked leaf."""
+        return self.frame * BASE_PAGE_SIZE + page_offset(address, self.page_size)
+
+
+class PageTable:
+    """A 4-level page table whose nodes are allocated physical frames.
+
+    ``alloc_frame`` supplies frames for new nodes; it is the hook through
+    which the guest OS places its page tables inside the VMM direct
+    segment (Section III.B: "the guest OS must allocate page tables within
+    the VMM direct segment").
+    """
+
+    def __init__(self, alloc_frame: Callable[[], int]) -> None:
+        self._alloc_frame = alloc_frame
+        self._nodes: dict[int, PageTableNode] = {}  # pointer frame -> node
+        self.root = self._new_node(level=0)
+        #: Monotonic count of PTE writes; shadow paging keys off this.
+        self.update_count = 0
+
+    def _new_node(self, level: int) -> PageTableNode:
+        node = PageTableNode(self._alloc_frame(), level)
+        self._nodes[node.frame] = node
+        return node
+
+    @property
+    def node_count(self) -> int:
+        """Number of table nodes (root included)."""
+        return len(self._nodes)
+
+    @property
+    def node_frames(self) -> frozenset[int]:
+        """Frames occupied by table nodes."""
+        return frozenset(self._nodes)
+
+    # ------------------------------------------------------------------
+    # Mutation
+
+    def map(
+        self,
+        virtual: int,
+        physical: int,
+        page_size: PageSize = PageSize.SIZE_4K,
+        writable: bool = True,
+    ) -> None:
+        """Install a leaf mapping ``virtual -> physical`` of ``page_size``.
+
+        Both addresses must be aligned to the page size.  Remapping an
+        existing leaf overwrites it (as a PTE store would); mapping a leaf
+        where a pointer of a *smaller* granularity subtree exists raises,
+        since a real OS must first unmap the subtree.
+        """
+        if page_offset(virtual, page_size) or page_offset(physical, page_size):
+            raise ValueError(
+                f"map of {virtual:#x} -> {physical:#x} not {page_size.label}-aligned"
+            )
+        leaf_level = LEAF_LEVEL[page_size]
+        node = self.root
+        for level in range(leaf_level):
+            index = radix_index(virtual, level)
+            entry = node.entries.get(index)
+            if entry is None:
+                child = self._new_node(level + 1)
+                node.entries[index] = PageTableEntry(frame=child.frame, leaf=False)
+                self.update_count += 1
+                node = child
+            elif entry.leaf:
+                raise ValueError(
+                    f"cannot map {page_size.label} page at {virtual:#x}: "
+                    f"a larger leaf already covers it"
+                )
+            else:
+                node = self._nodes[entry.frame]
+        index = radix_index(virtual, leaf_level)
+        existing = node.entries.get(index)
+        if existing is not None and not existing.leaf:
+            raise ValueError(
+                f"cannot map {page_size.label} page at {virtual:#x}: "
+                f"a finer-grained subtree exists there"
+            )
+        node.entries[index] = PageTableEntry(
+            frame=physical // BASE_PAGE_SIZE,
+            leaf=True,
+            page_size=page_size,
+            writable=writable,
+        )
+        self.update_count += 1
+
+    def unmap(self, virtual: int) -> PageTableEntry:
+        """Remove the leaf covering ``virtual``; returns the removed entry.
+
+        Intermediate nodes are retained (as Linux does for non-huge
+        teardown paths); they are reclaimed only by :meth:`clear`.
+        """
+        node = self.root
+        for level in range(4):
+            index = radix_index(virtual, level)
+            entry = node.entries.get(index)
+            if entry is None:
+                raise PageFault(virtual, level)
+            if entry.leaf:
+                del node.entries[index]
+                self.update_count += 1
+                return entry
+            node = self._nodes[entry.frame]
+        raise AssertionError("walk exceeded 4 levels")
+
+    def clear(self, free_frame: Callable[[int], None] | None = None) -> None:
+        """Drop every mapping and node except a fresh root."""
+        old_frames = [f for f in self._nodes if f != self.root.frame]
+        self._nodes = {self.root.frame: self.root}
+        self.root.entries.clear()
+        self.update_count += 1
+        if free_frame is not None:
+            for frame in old_frames:
+                free_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Walking
+
+    def walk(self, virtual: int) -> WalkResult:
+        """Walk the table for ``virtual``, recording every PTE reference.
+
+        Raises :class:`PageFault` on a missing entry, carrying the level
+        at which the walk failed (the fault handler needs it).
+        """
+        steps: list[WalkStep] = []
+        node = self.root
+        for level in range(4):
+            index = radix_index(virtual, level)
+            entry = node.entries.get(index)
+            if entry is None:
+                raise PageFault(virtual, level)
+            steps.append(
+                WalkStep(level=level, pte_address=node.entry_address(index), entry=entry)
+            )
+            if entry.leaf:
+                assert entry.page_size is not None
+                return WalkResult(steps=steps, frame=entry.frame, page_size=entry.page_size)
+            node = self._nodes[entry.frame]
+        raise AssertionError("walk exceeded 4 levels without a leaf")
+
+    def lookup(self, virtual: int) -> WalkResult | None:
+        """Like :meth:`walk` but returns None instead of faulting."""
+        try:
+            return self.walk(virtual)
+        except PageFault:
+            return None
+
+    def translate(self, virtual: int) -> int:
+        """Full translation of ``virtual`` to a physical address."""
+        return self.walk(virtual).translate(virtual)
+
+    def is_mapped(self, virtual: int) -> bool:
+        """True if a leaf covers ``virtual``."""
+        return self.lookup(virtual) is not None
+
+    # ------------------------------------------------------------------
+    # Enumeration
+
+    def leaves(self) -> Iterator[tuple[int, PageTableEntry]]:
+        """Yield ``(virtual_base, entry)`` for every leaf, in no order."""
+        yield from self._iter_leaves(self.root, 0)
+
+    def _iter_leaves(
+        self, node: PageTableNode, virtual_prefix: int
+    ) -> Iterator[tuple[int, PageTableEntry]]:
+        shift = 12 + 9 * (3 - node.level)
+        for index, entry in node.entries.items():
+            virtual = virtual_prefix | (index << shift)
+            if entry.leaf:
+                yield virtual, entry
+            else:
+                yield from self._iter_leaves(self._nodes[entry.frame], virtual)
+
+    def leaf_count(self) -> int:
+        """Number of installed leaf mappings."""
+        return sum(1 for _ in self.leaves())

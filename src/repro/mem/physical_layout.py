@@ -1,0 +1,71 @@
+"""Physical address-space layout, including the x86-64 I/O gap.
+
+Section IV: the x86-64 architecture reserves roughly the last gigabyte of
+the 32-bit physical address space (3 GB .. 4 GB) for memory-mapped I/O.
+The chipset remaps the DRAM that would have sat under the gap to above
+4 GB, so physical memory is split into a region below the gap and a region
+above it.  This split is what prevents one direct segment from covering
+all of a machine's (or VM's) physical memory, and what the paper's
+I/O-gap-reclaim technique (hot-unplug below the gap, extend above it)
+works around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.address import GIB, MIB, AddressRange
+
+#: Start of the memory-mapped I/O hole (3 GB).
+IO_GAP_START = 3 * GIB
+
+#: End of the memory-mapped I/O hole (4 GB).
+IO_GAP_END = 4 * GIB
+
+#: The hole itself, as a range.
+IO_GAP = AddressRange(IO_GAP_START, IO_GAP_END)
+
+#: Memory the paper found sufficient to keep below the gap for the guest
+#: kernel to boot (Section VI.C: "256MB is enough to boot Linux correctly").
+KERNEL_RESERVED_BELOW_GAP = 256 * MIB
+
+
+@dataclass(frozen=True)
+class PhysicalLayout:
+    """DRAM regions of a physical (or guest-physical) address space.
+
+    ``total_memory`` bytes of DRAM are laid out x86-64 style: the first
+    ``min(total, 3 GB)`` bytes sit below the I/O gap, and the remainder is
+    remapped above 4 GB.  Small address spaces (< 3 GB) have a single
+    region and no split.
+    """
+
+    total_memory: int
+    include_io_gap: bool = True
+
+    def __post_init__(self) -> None:
+        if self.total_memory <= 0:
+            raise ValueError("physical memory size must be positive")
+
+    @property
+    def regions(self) -> tuple[AddressRange, ...]:
+        """DRAM-backed address ranges, in address order."""
+        if not self.include_io_gap or self.total_memory <= IO_GAP_START:
+            return (AddressRange(0, self.total_memory),)
+        below = AddressRange(0, IO_GAP_START)
+        above = AddressRange(IO_GAP_END, IO_GAP_END + self.total_memory - IO_GAP_START)
+        return (below, above)
+
+    @property
+    def highest_address(self) -> int:
+        """One past the last DRAM-backed address."""
+        return self.regions[-1].end
+
+    @property
+    def largest_region(self) -> AddressRange:
+        """The biggest single DRAM region (segment-candidate upper bound)."""
+        return max(self.regions, key=lambda r: r.size)
+
+    def is_dram(self, address: int) -> bool:
+        """True if ``address`` is backed by DRAM (not the I/O hole)."""
+        return any(address in region for region in self.regions)

@@ -1,0 +1,1 @@
+"""Evaluation methodology: Table IV models, overhead metric, energy."""

@@ -1,0 +1,109 @@
+"""Measured-run bookkeeping: the simulator's perf + BadgerTrap stack.
+
+Section VII instruments every DTLB miss (BadgerTrap [24]) to classify it
+by segment membership, and reads hardware counters (perf) for miss
+counts and walk cycles.  The simulator's MMU already produces both; this
+module shapes them into the quantities the Table IV models and the
+experiment harnesses consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mmu import (
+    CASE_BOTH,
+    CASE_GUEST_ONLY,
+    CASE_NEITHER,
+    CASE_VMM_ONLY,
+    MMUCounters,
+)
+from repro.model.linear_model import MeasuredInputs
+
+
+@dataclass(frozen=True)
+class MeasuredRun:
+    """One (workload, configuration) measurement."""
+
+    config_name: str
+    workload_name: str
+    trace_length: int
+    l1_misses: int
+    walks: int
+    walk_cycles: float
+    translation_cycles: float
+    fraction_both: float
+    fraction_vmm_only: float
+    fraction_guest_only: float
+    fraction_neither: float
+    walk_refs: int
+    faults: int
+    nested_insertions: int
+
+    @property
+    def misses_per_kilo_ref(self) -> float:
+        """L1 TLB misses per thousand references (an MPKI analogue)."""
+        return 1000.0 * self.l1_misses / self.trace_length if self.trace_length else 0.0
+
+    @property
+    def cycles_per_walk(self) -> float:
+        """Average walk cost: the paper's Cn (native) or Cv (virtual)."""
+        return self.walk_cycles / self.walks if self.walks else 0.0
+
+    @property
+    def refs_per_walk(self) -> float:
+        """Average page-table references per walk (cache-filtered)."""
+        return self.walk_refs / self.walks if self.walks else 0.0
+
+
+def measured_run(
+    config_name: str,
+    workload_name: str,
+    trace_length: int,
+    counters: MMUCounters,
+    nested_insertions: int = 0,
+) -> MeasuredRun:
+    """Snapshot MMU counters into an immutable measurement record.
+
+    ``nested_insertions`` comes from the TLB hierarchy (nested entries
+    inserted into the shared L2), not the MMU counters.
+    """
+    return MeasuredRun(
+        config_name=config_name,
+        workload_name=workload_name,
+        trace_length=trace_length,
+        l1_misses=counters.l1_misses,
+        walks=counters.walks,
+        walk_cycles=counters.walk_cycles,
+        translation_cycles=counters.translation_cycles,
+        fraction_both=counters.miss_fraction(CASE_BOTH),
+        fraction_vmm_only=counters.miss_fraction(CASE_VMM_ONLY),
+        fraction_guest_only=counters.miss_fraction(CASE_GUEST_ONLY),
+        fraction_neither=counters.miss_fraction(CASE_NEITHER),
+        walk_refs=counters.walk_refs,
+        faults=counters.faults,
+        nested_insertions=nested_insertions,
+    )
+
+
+def model_inputs(
+    native: MeasuredRun,
+    virtualized: MeasuredRun,
+    classified: MeasuredRun,
+) -> MeasuredInputs:
+    """Assemble Table IV inputs from three measurement runs.
+
+    ``native`` supplies Mn and Cn; ``virtualized`` (the base 2D-walk run)
+    supplies Cv; ``classified`` is a run on the segment-equipped
+    hardware whose BadgerTrap classification gives the F fractions.
+    F_DS for the unvirtualized model reuses the guest-covered fraction.
+    """
+    return MeasuredInputs(
+        native_misses=native.walks,
+        native_cycles_per_miss=native.cycles_per_walk,
+        virtualized_cycles_per_miss=virtualized.cycles_per_walk,
+        f_ds=classified.fraction_both + classified.fraction_guest_only,
+        f_vd=classified.fraction_vmm_only,
+        f_gd=classified.fraction_guest_only,
+        f_dd=classified.fraction_both,
+    )

@@ -1,0 +1,86 @@
+"""Energy accounting for the designs (Section IX.B).
+
+Two effects:
+
+1. **Static energy** scales with execution time: a design that cuts
+   runtime by X% cuts whole-system static energy by about X%.
+2. **Dynamic translation energy** decomposes into (a) L1 TLB accesses,
+   (b) L2 TLB accesses (plus, for the new design, the small virtualized
+   direct-segment comparators probed on L1 misses), and (c) page-walker
+   and MMU-cache activity on L2/segment misses.  The paper argues the
+   new design's large reduction in term (c) dominates its small increase
+   in term (b); the original direct segment moves the comparators to the
+   L1 path, trading term (b) savings for L1-path cost.
+
+Per-event energies are in arbitrary units with TLB-size-proportional
+defaults; conclusions should be read as relative orderings, exactly as
+the paper's qualitative discussion intends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyParameters:
+    """Per-event dynamic energies (arbitrary units).
+
+    Defaults scale roughly with structure size: the 512-entry L2 costs
+    more per probe than the 64-entry L1; a page-walk memory reference
+    (cache/DRAM traffic) dwarfs both; the 6-register segment comparator
+    block is nearly free.
+    """
+
+    l1_probe: float = 1.0
+    l2_probe: float = 4.0
+    segment_check: float = 0.05
+    walk_reference: float = 20.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Dynamic translation energy of one run, by term."""
+
+    l1_energy: float  # term (a)
+    l2_energy: float  # term (b)
+    walker_energy: float  # term (c)
+
+    @property
+    def total(self) -> float:
+        """Total dynamic translation energy."""
+        return self.l1_energy + self.l2_energy + self.walker_energy
+
+
+def dynamic_energy(
+    accesses: int,
+    l1_misses: int,
+    segment_checked_misses: int,
+    l2_probes: int,
+    walk_refs: int,
+    params: EnergyParameters | None = None,
+) -> EnergyBreakdown:
+    """Dynamic translation energy from event counts.
+
+    ``segment_checked_misses`` counts L1 misses that also probed the
+    direct-segment comparators (all L1 misses for the new virtualized
+    design; zero for the base designs).
+    """
+    p = params or EnergyParameters()
+    return EnergyBreakdown(
+        l1_energy=accesses * p.l1_probe,
+        l2_energy=l2_probes * p.l2_probe
+        + segment_checked_misses * p.segment_check,
+        walker_energy=walk_refs * p.walk_reference,
+    )
+
+
+def static_energy_saving(base_cycles: float, improved_cycles: float) -> float:
+    """Fractional whole-system static-energy saving from a speedup.
+
+    "If the mechanism reduces execution time by some percentage X, it
+    can reduce whole-system static energy by about X%."
+    """
+    if base_cycles <= 0:
+        raise ValueError("base execution time must be positive")
+    return max(0.0, (base_cycles - improved_cycles) / base_cycles)

@@ -1,0 +1,96 @@
+"""Table IV: linear models for cycles spent on page walks.
+
+Section VII's methodology: measure, per workload,
+
+* ``Mn`` -- TLB misses in the native environment,
+* ``Cn`` -- page-walk cycles per native TLB miss,
+* ``Cv`` -- page-walk cycles per virtualized TLB miss,
+* ``F_DS/F_VD/F_GD/F_DD`` -- fractions of misses falling in the
+  respective direct segments (classified BadgerTrap-style),
+
+then predict each design's walk cycles with the linear models below.
+``Delta`` is the base-bound-check overhead: 1 cycle per check, so
+``Delta_VD = 5`` (four guest-PTE pointers + the final gPA) and
+``Delta_GD = 1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper's flat per-walk base-bound-check overheads (Section VII).
+DELTA_VD = 5.0
+DELTA_GD = 1.0
+
+
+@dataclass(frozen=True)
+class MeasuredInputs:
+    """The measured quantities a linear model consumes."""
+
+    native_misses: float  # Mn
+    native_cycles_per_miss: float  # Cn
+    virtualized_cycles_per_miss: float  # Cv
+    f_ds: float = 0.0
+    f_vd: float = 0.0
+    f_gd: float = 0.0
+    f_dd: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("f_ds", "f_vd", "f_gd", "f_dd"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name}={value} outside [0, 1]")
+        if self.f_vd + self.f_gd + self.f_dd > 1.0 + 1e-9:
+            raise ValueError("Dual Direct fractions exceed 1")
+
+
+def direct_segment_cycles(m: MeasuredInputs) -> float:
+    """Unvirtualized Direct Segment: ``Cn * (1 - F_DS) * Mn``.
+
+    Misses inside the segment are eliminated outright; the remainder pay
+    the native walk cost.
+    """
+    return m.native_cycles_per_miss * (1.0 - m.f_ds) * m.native_misses
+
+
+def vmm_direct_cycles(m: MeasuredInputs, delta_vd: float = DELTA_VD) -> float:
+    """VMM Direct: ``[(Cn + D_VD)*F_VD + Cv*(1 - F_VD)] * Mn``."""
+    covered = (m.native_cycles_per_miss + delta_vd) * m.f_vd
+    uncovered = m.virtualized_cycles_per_miss * (1.0 - m.f_vd)
+    return (covered + uncovered) * m.native_misses
+
+
+def guest_direct_cycles(m: MeasuredInputs, delta_gd: float = DELTA_GD) -> float:
+    """Guest Direct: ``[(Cn + D_GD)*F_GD + Cv*(1 - F_GD)] * Mn``."""
+    covered = (m.native_cycles_per_miss + delta_gd) * m.f_gd
+    uncovered = m.virtualized_cycles_per_miss * (1.0 - m.f_gd)
+    return (covered + uncovered) * m.native_misses
+
+
+def dual_direct_cycles(
+    m: MeasuredInputs,
+    delta_vd: float = DELTA_VD,
+    delta_gd: float = DELTA_GD,
+) -> float:
+    """Dual Direct: the four-way miss split of Section VII.
+
+    ``[(Cn + D_VD)*F_VD + (Cn + D_GD)*F_GD + Cv*(1 - F_GD - F_VD - F_DD)] * Mn``
+    -- the F_DD fraction (misses inside both segments) costs nothing.
+    """
+    vmm_only = (m.native_cycles_per_miss + delta_vd) * m.f_vd
+    guest_only = (m.native_cycles_per_miss + delta_gd) * m.f_gd
+    neither = m.virtualized_cycles_per_miss * (
+        1.0 - m.f_gd - m.f_vd - m.f_dd
+    )
+    return (vmm_only + guest_only + neither) * m.native_misses
+
+
+def base_virtualized_cycles(m: MeasuredInputs) -> float:
+    """The 2D-walk baseline: ``Cv * Mn`` (per Section VII's normalization
+    to native miss counts)."""
+    return m.virtualized_cycles_per_miss * m.native_misses
+
+
+def native_cycles(m: MeasuredInputs) -> float:
+    """The native baseline: ``Cn * Mn``."""
+    return m.native_cycles_per_miss * m.native_misses

@@ -1,0 +1,72 @@
+"""The paper's execution-time overhead metric (Section VIII).
+
+"If an execution E runs in time T_E, we calculate address-translation
+overhead as (T_E - T_2Mideal) / T_2Mideal, where T_2Mideal is the same
+benchmark's native execution time with 2MB pages minus the time the 2MB
+run spends in page table walks."
+
+In the simulator the ideal time is directly constructible: trace length
+times the workload's ideal cycles-per-reference.  Execution time of a
+configuration is that ideal time plus the configuration's translation
+cycles, so the overhead reduces to translation cycles over ideal cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Execution-time decomposition of one run."""
+
+    ideal_cycles: float
+    translation_cycles: float
+
+    @property
+    def execution_cycles(self) -> float:
+        """T_E: ideal work plus translation stalls."""
+        return self.ideal_cycles + self.translation_cycles
+
+    @property
+    def overhead(self) -> float:
+        """(T_E - T_ideal) / T_ideal, the paper's bar heights."""
+        return self.translation_cycles / self.ideal_cycles
+
+    @property
+    def overhead_percent(self) -> float:
+        """Overhead as a percentage (Figure 11/12 y-axis)."""
+        return 100.0 * self.overhead
+
+
+def overhead_from_trace(
+    trace_length: int,
+    ideal_cycles_per_ref: float,
+    translation_cycles: float,
+) -> OverheadResult:
+    """Build an :class:`OverheadResult` from simulator outputs."""
+    if trace_length <= 0:
+        raise ValueError("trace length must be positive")
+    if ideal_cycles_per_ref <= 0:
+        raise ValueError("ideal cycles per reference must be positive")
+    return OverheadResult(
+        ideal_cycles=trace_length * ideal_cycles_per_ref,
+        translation_cycles=translation_cycles,
+    )
+
+
+def speedup(base: OverheadResult, improved: OverheadResult) -> float:
+    """Execution-time ratio base/improved (>1 means improved is faster)."""
+    return base.execution_cycles / improved.execution_cycles
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, used for the paper's cross-workload summaries."""
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

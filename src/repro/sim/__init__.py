@@ -1,0 +1,1 @@
+"""Simulation driver: configs, system assembly, trace runs."""

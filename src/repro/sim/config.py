@@ -1,0 +1,126 @@
+"""Declarative system configurations, named as the paper's bar labels.
+
+Figure 11/12 name configurations by page size per translation level:
+``4K`` is native with 4 KB pages, ``4K+2M`` is a guest using 4 KB pages
+over a VMM using 2 MB nested pages, ``DS`` is the unvirtualized direct
+segment, ``DD`` is Dual Direct, ``4K+VD`` is VMM Direct under a 4 KB
+guest, ``4K+GD`` is Guest Direct, and ``THP`` enables transparent huge
+pages in the (native or guest) OS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.address import PageSize
+from repro.core.modes import TranslationMode
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Everything needed to assemble one simulated machine."""
+
+    label: str
+    mode: TranslationMode
+    #: Page size the application/guest OS uses for the data arena.
+    guest_page: PageSize
+    #: VMM (nested) page size; None for native modes.
+    nested_page: PageSize | None
+    #: Transparent huge pages in the guest (guest_page must be 4K).
+    thp: bool = False
+
+    def __post_init__(self) -> None:
+        if self.mode.virtualized and self.nested_page is None:
+            raise ValueError(f"{self.label}: virtualized config needs a nested page size")
+        if not self.mode.virtualized and self.nested_page is not None:
+            raise ValueError(f"{self.label}: native config cannot have a nested page size")
+        if self.thp and self.guest_page is not PageSize.SIZE_4K:
+            raise ValueError(f"{self.label}: THP only applies to 4K guests")
+
+    @property
+    def virtualized(self) -> bool:
+        """True for VM configurations."""
+        return self.mode.virtualized
+
+
+_MODE_SUFFIXES = {
+    "VD": TranslationMode.VMM_DIRECT,
+    "GD": TranslationMode.GUEST_DIRECT,
+}
+
+
+def parse_config(label: str) -> SystemConfig:
+    """Parse a Figure 11/12 bar label into a :class:`SystemConfig`.
+
+    Grammar::
+
+        native:       4K | 2M | 1G | THP | DS
+        virtualized:  <guest>+<nested>     e.g. 4K+4K, 2M+1G, THP+2M
+                      <guest>+VD | <guest>+GD   e.g. 4K+VD, THP+GD
+                      DD
+    """
+    text = label.strip().upper()
+    if text == "DD":
+        return SystemConfig(
+            label="DD",
+            mode=TranslationMode.DUAL_DIRECT,
+            guest_page=PageSize.SIZE_4K,
+            nested_page=PageSize.SIZE_4K,
+        )
+    if text == "DS":
+        return SystemConfig(
+            label="DS",
+            mode=TranslationMode.NATIVE_DIRECT_SEGMENT,
+            guest_page=PageSize.SIZE_4K,
+            nested_page=None,
+        )
+    if "+" not in text:
+        guest_page, thp = _parse_guest(text)
+        return SystemConfig(
+            label=text,
+            mode=TranslationMode.NATIVE,
+            guest_page=guest_page,
+            nested_page=None,
+            thp=thp,
+        )
+    guest_text, nested_text = text.split("+", 1)
+    guest_page, thp = _parse_guest(guest_text)
+    if nested_text in _MODE_SUFFIXES:
+        return SystemConfig(
+            label=text,
+            mode=_MODE_SUFFIXES[nested_text],
+            guest_page=guest_page,
+            nested_page=PageSize.SIZE_4K,
+            thp=thp,
+        )
+    return SystemConfig(
+        label=text,
+        mode=TranslationMode.BASE_VIRTUALIZED,
+        guest_page=guest_page,
+        nested_page=PageSize.from_label(nested_text),
+        thp=thp,
+    )
+
+
+def _parse_guest(text: str) -> tuple[PageSize, bool]:
+    if text == "THP":
+        return PageSize.SIZE_4K, True
+    return PageSize.from_label(text), False
+
+
+#: The native bars of Figures 11 and 12.
+NATIVE_CONFIGS = ("4K", "2M", "1G")
+
+#: The virtualized baseline bars (guest x VMM page-size grid subset the
+#: paper plots).
+VIRTUALIZED_BASELINE_CONFIGS = (
+    "4K+4K",
+    "4K+2M",
+    "4K+1G",
+    "2M+2M",
+    "2M+1G",
+    "1G+1G",
+)
+
+#: The paper's proposed-design bars.
+PROPOSED_CONFIGS = ("DS", "DD", "4K+VD", "4K+GD")

@@ -1,0 +1,150 @@
+"""Trace-driven simulation runs and their results.
+
+A run drives a workload's page-reference trace through a built system's
+MMU: a warm-up prefix populates page tables, TLBs and walk caches (the
+paper measures steady state -- its workloads run for minutes before and
+during measurement), counters are reset, and the measured portion
+produces a :class:`SimulationResult` combining raw counters with the
+paper's derived metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.mmu import MMUCounters
+from repro.model.counters import MeasuredRun, measured_run
+from repro.model.overhead import OverheadResult, overhead_from_trace
+from repro.sim.config import SystemConfig, parse_config
+from repro.sim.system import SimulatedSystem, build_system, populate_for_addresses
+from repro.workloads.base import Workload
+
+#: Fraction of the trace used to warm TLBs and walk caches (page tables
+#: are pre-populated separately, so warm-up only needs to fill caches).
+DEFAULT_WARMUP_FRACTION = 0.15
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything measured from one (workload, config) run."""
+
+    config: SystemConfig
+    workload_name: str
+    run: MeasuredRun
+    overhead: OverheadResult
+    counters: MMUCounters
+    l2_tlb_misses: int
+
+    @property
+    def overhead_percent(self) -> float:
+        """The Figure 11/12 bar height for this run."""
+        return self.overhead.overhead_percent
+
+    def describe(self) -> str:
+        """One-paragraph human-readable summary of the run."""
+        run = self.run
+        lines = [
+            f"{self.workload_name or 'workload'} under {self.config.label}: "
+            f"{self.overhead_percent:.2f}% translation overhead",
+            f"  {run.trace_length} references, {run.l1_misses} L1 TLB misses "
+            f"({run.misses_per_kilo_ref:.1f}/kref), {run.walks} walks",
+            f"  {run.cycles_per_walk:.1f} cycles and {run.refs_per_walk:.1f} "
+            f"page-table references per walk",
+        ]
+        fractions = []
+        for label, value in (
+            ("both", run.fraction_both),
+            ("VMM-only", run.fraction_vmm_only),
+            ("guest-only", run.fraction_guest_only),
+            ("neither", run.fraction_neither),
+        ):
+            if value > 0:
+                fractions.append(f"{label} {100 * value:.1f}%")
+        if fractions:
+            lines.append("  segment classification: " + ", ".join(fractions))
+        return "\n".join(lines)
+
+
+def run_trace(
+    system: SimulatedSystem,
+    trace: np.ndarray,
+    ideal_cycles_per_ref: float,
+    workload_name: str = "",
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    prepopulate: bool = True,
+    refs_per_entry: float = 1.0,
+) -> SimulationResult:
+    """Drive ``trace`` through ``system`` and measure the steady state.
+
+    ``trace`` holds page offsets relative to the workload arena; they
+    are rebased onto the process's primary region.  With ``prepopulate``
+    (the default) the touched pages are faulted in up front, so measured
+    misses reflect steady-state walks, not demand paging.
+    """
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup fraction must be in [0, 1)")
+    base_va = system.base_va
+    rebased = (trace.astype(np.int64) << 12) + base_va
+    if prepopulate:
+        populate_for_addresses(system, np.unique(rebased & ~np.int64(0xFFF)))
+    addresses = rebased.tolist()
+    mmu = system.mmu
+    access = mmu.access
+
+    split = int(len(addresses) * warmup_fraction)
+    for va in addresses[:split]:
+        access(va)
+    mmu.counters.reset()
+    system.hierarchy.reset_stats()
+
+    for va in addresses[split:]:
+        access(va)
+
+    measured_entries = len(addresses) - split
+    # Each trace entry is one page visit standing for refs_per_entry
+    # consecutive references; only the first of a run can change TLB
+    # state, so reference counts scale without re-simulating the rest.
+    measured_refs = int(measured_entries * refs_per_entry)
+    counters = mmu.counters
+    run = measured_run(
+        system.config.label,
+        workload_name,
+        measured_refs,
+        counters,
+        nested_insertions=system.hierarchy.nested_insertions,
+    )
+    overhead = overhead_from_trace(
+        measured_refs, ideal_cycles_per_ref, counters.translation_cycles
+    )
+    return SimulationResult(
+        config=system.config,
+        workload_name=workload_name,
+        run=run,
+        overhead=overhead,
+        counters=counters,
+        l2_tlb_misses=counters.l2_misses,
+    )
+
+
+def simulate(
+    config_label: str,
+    workload: Workload,
+    trace_length: int | None = None,
+    seed: int = 0,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    **build_kwargs,
+) -> SimulationResult:
+    """One-call convenience: build the system, generate a trace, run it."""
+    config = parse_config(config_label)
+    system = build_system(config, workload.spec, **build_kwargs)
+    trace = workload.trace(trace_length, seed=seed)
+    return run_trace(
+        system,
+        trace,
+        workload.spec.ideal_cycles_per_ref,
+        workload_name=workload.spec.name,
+        warmup_fraction=warmup_fraction,
+        refs_per_entry=workload.spec.refs_per_entry,
+    )

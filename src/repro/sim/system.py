@@ -1,0 +1,334 @@
+"""Assemble complete simulated machines from a :class:`SystemConfig`.
+
+A built system bundles the host (hypervisor or native OS), the guest OS
+and process, the TLB hierarchy, the mode-appropriate walker and the MMU,
+with segments created and fault handlers wired -- ready for a trace to
+be driven through :func:`repro.sim.simulator.run_trace`.
+
+Construction follows the paper's prototype recipe:
+
+* contiguous memory for segments is reserved at startup (Section VI.A);
+* VMM Direct and Dual Direct systems perform the I/O-gap reclaim first
+  (Section VI.C), then reserve the remaining below-gap memory for the
+  guest kernel, so application data lands inside the VMM segment;
+* the guest's page-table pool is placed inside the VMM segment so page
+  walks themselves resolve through it (Section III.B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.address import GIB, AddressRange
+from repro.core.costs import DEFAULT_COSTS, CostModel
+from repro.core.modes import TranslationMode
+from repro.core.mmu import MMU
+from repro.core.walker import DirectSegmentWalker, NativeWalker, NestedWalker
+from repro.guest.guest_os import GuestOS, GuestOSConfig
+from repro.guest.hotplug import reclaim_io_gap
+from repro.guest.process import GuestProcess
+from repro.mem.badpages import BadPageList
+from repro.mem.frame_allocator import OutOfMemoryError
+from repro.mem.physical_layout import IO_GAP_END, IO_GAP_START, PhysicalLayout
+from repro.sim.config import SystemConfig
+from repro.tlb.hierarchy import TLBGeometry, TLBHierarchy
+from repro.vmm.hypervisor import Hypervisor, VirtualMachine
+from repro.workloads.base import WorkloadSpec
+
+#: Guest physical memory beyond the workload footprint (kernel, slack).
+GUEST_MEMORY_SLACK = 4 * GIB
+
+#: Host physical memory beyond the guest's (VMM, other tenants' slack).
+HOST_MEMORY_SLACK = 4 * GIB
+
+
+@dataclass
+class SimulatedSystem:
+    """One ready-to-run machine."""
+
+    config: SystemConfig
+    mmu: MMU
+    hierarchy: TLBHierarchy
+    process: GuestProcess
+    guest_os: GuestOS
+    #: None for native systems.
+    vm: VirtualMachine | None
+    hypervisor: Hypervisor | None
+    costs: CostModel
+
+    @property
+    def base_va(self) -> int:
+        """First virtual address of the workload's data arena."""
+        primary = self.process.primary_region
+        assert primary is not None
+        return primary.range.start
+
+    def refresh_segments(self) -> None:
+        """Re-sync walker registers after a mode change or segment
+        (re)creation (hardware would reload them on VM entry)."""
+        walker = self.mmu.walker
+        if isinstance(walker, NestedWalker):
+            assert self.vm is not None
+            walker.guest_segment = self.process.guest_segment
+            walker.vmm_segment = self.vm.vmm_segment
+            walker.vmm_escape_filter = self.vm.escape_filter
+            walker.guest_escape_filter = self.process.guest_escape_filter
+        elif isinstance(walker, DirectSegmentWalker):
+            walker.segment = self.process.guest_segment
+            walker.escape_filter = self.process.guest_escape_filter
+
+    def context_switch(self, new_process) -> None:
+        """Switch the running guest process (Section III.C).
+
+        Hardware saves/restores BASE_G/LIMIT_G/OFFSET_G with the rest of
+        the process state; the CR3 write flushes the TLBs and walk
+        caches.  (The guest segment registers come from the process; the
+        VMM segment registers are per-VM and survive the switch.)
+        """
+        registers = self.guest_os.context_switch(self.process, new_process)
+        self.process = new_process
+        self.mmu.flush_tlbs()
+        walker = self.mmu.walker
+        table = self.guest_os.page_table_of(new_process)
+        if isinstance(walker, NestedWalker):
+            walker.guest_table = table
+            if not self.guest_os.config.emulate_segments:
+                walker.guest_segment = registers
+                walker.guest_escape_filter = new_process.guest_escape_filter
+        else:
+            walker.page_table = table
+            if isinstance(walker, DirectSegmentWalker):
+                walker.segment = registers
+                walker.escape_filter = new_process.guest_escape_filter
+
+
+def build_system(
+    config: SystemConfig,
+    spec: WorkloadSpec,
+    costs: CostModel | None = None,
+    geometry: TLBGeometry | None = None,
+    bad_pages: BadPageList | None = None,
+    emulate_segments: bool = False,
+) -> SimulatedSystem:
+    """Construct the machine for one (configuration, workload) pair.
+
+    The returned system has empty page tables; call
+    :func:`populate_for_addresses` (the simulator does this) to reach
+    the steady state the paper measures, or drive accesses through the
+    MMU and let demand paging fill them.
+    """
+    costs = costs or DEFAULT_COSTS
+    if config.virtualized:
+        return _build_virtualized(
+            config, spec, costs, geometry, bad_pages, emulate_segments
+        )
+    return _build_native(config, spec, costs, geometry, bad_pages)
+
+
+def populate_for_addresses(system: SimulatedSystem, addresses) -> None:
+    """Pre-fault exactly the virtual addresses a trace will touch.
+
+    The paper's workloads allocate and touch their datasets at startup
+    and are measured in steady state; population restricted to the
+    touched pages is behaviourally identical for the trace while keeping
+    build time proportional to the trace, not the footprint.
+    """
+    process = system.process
+    guest_os = system.guest_os
+    table = guest_os.page_table_of(process)
+    segment = process.guest_segment
+    hw_guest_segment = segment.enabled and not guest_os.config.emulate_segments
+
+    segment_gpas: list[int] = []
+    for va in addresses:
+        va = int(va)
+        if hw_guest_segment and segment.covers(va):
+            segment_gpas.append(segment.translate_unchecked(va))
+            continue
+        if not table.is_mapped(va):
+            guest_os.handle_page_fault(process, va)
+    if system.vm is None:
+        return
+
+    targets = [
+        AddressRange.of_size(frame * 4096, 4096) for frame in table.node_frames
+    ]
+    for _, entry in table.leaves():
+        targets.append(
+            AddressRange.of_size(entry.frame * 4096, int(entry.page_size))
+        )
+    for gpa in segment_gpas:
+        targets.append(AddressRange.of_size(gpa & ~0xFFF, 4096))
+    system.vm.populate_nested(targets)
+
+
+# ----------------------------------------------------------------------
+# Native systems
+
+
+def _build_native(
+    config: SystemConfig,
+    spec: WorkloadSpec,
+    costs: CostModel,
+    geometry: TLBGeometry | None,
+    bad_pages: BadPageList | None,
+) -> SimulatedSystem:
+    memory = spec.footprint_bytes + GUEST_MEMORY_SLACK + HOST_MEMORY_SLACK
+    layout = PhysicalLayout(memory)
+    os_config = GuestOSConfig(thp=config.thp)
+    native_os = GuestOS(layout, os_config)
+    process = native_os.spawn(page_size=config.guest_page)
+    process.mmap(spec.footprint_bytes, is_primary_region=True)
+    table = native_os.page_table_of(process)
+
+    hierarchy = TLBHierarchy(geometry)
+    if config.mode is TranslationMode.NATIVE_DIRECT_SEGMENT:
+        segment = native_os.create_guest_segment(process)
+        escape = None
+        if bad_pages is not None:
+            from repro.core.escape_filter import EscapeFilter
+
+            escape = EscapeFilter()
+            start_frame = (segment.base + segment.offset) // 4096
+            for bad in bad_pages.bad_frames_in(
+                start_frame, segment.size // 4096
+            ):
+                escape.insert(bad - segment.offset // 4096)
+        walker: NativeWalker = DirectSegmentWalker(
+            table, costs, process.guest_segment, escape_filter=escape
+        )
+    else:
+        walker = NativeWalker(table, costs)
+
+    mmu = MMU(config.mode, hierarchy, walker, costs=costs)
+    system = SimulatedSystem(
+        config=config,
+        mmu=mmu,
+        hierarchy=hierarchy,
+        process=process,
+        guest_os=native_os,
+        vm=None,
+        hypervisor=None,
+        costs=costs,
+    )
+    # The handler tracks the *current* process so context switches keep
+    # demand paging working.
+    mmu.on_guest_fault = lambda va: native_os.handle_page_fault(system.process, va)
+    return system
+
+
+# ----------------------------------------------------------------------
+# Virtualized systems
+
+
+def _build_virtualized(
+    config: SystemConfig,
+    spec: WorkloadSpec,
+    costs: CostModel,
+    geometry: TLBGeometry | None,
+    bad_pages: BadPageList | None,
+    emulate_segments: bool,
+) -> SimulatedSystem:
+    guest_memory = spec.footprint_bytes + GUEST_MEMORY_SLACK
+    host_memory = guest_memory + IO_GAP_END - IO_GAP_START + HOST_MEMORY_SLACK
+    hypervisor = Hypervisor(
+        host_memory_bytes=host_memory,
+        bad_pages=bad_pages or BadPageList(),
+    )
+    assert config.nested_page is not None
+    vm = hypervisor.create_vm(
+        "vm0",
+        memory_bytes=guest_memory,
+        nested_page_size=config.nested_page,
+        emulate_segments=emulate_segments,
+    )
+
+    uses_vmm_segment = config.mode.uses_vmm_segment
+    pt_hint = (
+        AddressRange(IO_GAP_END, IO_GAP_END + guest_memory) if uses_vmm_segment else None
+    )
+    guest_os = GuestOS(
+        vm.guest_layout,
+        GuestOSConfig(thp=config.thp, emulate_segments=emulate_segments),
+        pt_pool_hint=pt_hint,
+    )
+    process = guest_os.spawn(page_size=config.guest_page)
+    process.mmap(spec.footprint_bytes, is_primary_region=True)
+
+    if uses_vmm_segment:
+        # The prototype's I/O-gap reclaim: relocate below-gap guest
+        # memory above the gap so one VMM segment can cover it all.
+        reclaim_io_gap(guest_os, vm)
+        _reserve_kernel_low_memory(guest_os)
+
+    if config.mode.uses_guest_segment:
+        guest_os.create_guest_segment(process)
+    if uses_vmm_segment:
+        vm.create_vmm_segment()
+    vm.set_mode(config.mode)
+
+    hierarchy = TLBHierarchy(geometry)
+    table = guest_os.page_table_of(process)
+    walker = NestedWalker(
+        table,
+        vm.nested_table,
+        costs,
+        hierarchy,
+        guest_segment=(
+            process.guest_segment if not emulate_segments else None
+        ),
+        vmm_segment=(vm.vmm_segment if not emulate_segments else None),
+        vmm_escape_filter=vm.escape_filter,
+        guest_escape_filter=process.guest_escape_filter,
+    )
+    mmu = MMU(
+        config.mode,
+        hierarchy,
+        walker,
+        costs=costs,
+        on_nested_fault=vm.handle_nested_fault,
+    )
+    system = SimulatedSystem(
+        config=config,
+        mmu=mmu,
+        hierarchy=hierarchy,
+        process=process,
+        guest_os=guest_os,
+        vm=vm,
+        hypervisor=hypervisor,
+        costs=costs,
+    )
+    # The handler tracks the *current* process so context switches keep
+    # demand paging working.
+    mmu.on_guest_fault = lambda va: guest_os.handle_page_fault(system.process, va)
+    return system
+
+
+def _reserve_kernel_low_memory(guest_os: GuestOS) -> None:
+    """Pin the remaining below-gap memory as guest-kernel memory.
+
+    After the I/O-gap reclaim only ~256 MB remains below the gap; the
+    real guest kernel lives there (Section VI.C), so application data
+    never lands outside the VMM segment.
+    """
+    allocator = guest_os.allocator
+    below_gap_frames = 0
+    for start, end in allocator._region_frames:  # noqa: SLF001 - boot-time introspection
+        if end * 4096 <= IO_GAP_START:
+            below_gap_frames += end - start
+    if not below_gap_frames:
+        return
+    within = AddressRange(0, IO_GAP_START // 4096)
+    try:
+        allocator.reserve_contiguous(below_gap_frames, within=within)
+    except OutOfMemoryError:
+        # The guest OS already placed something (e.g. the PT pool) below
+        # the gap; pin whatever single frames remain instead.
+        while True:
+            try:
+                run = allocator._find_free_run(1, within)  # noqa: SLF001
+            except Exception:
+                break
+            if run is None:
+                break
+            allocator.alloc_specific(run, 0)

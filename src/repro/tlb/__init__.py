@@ -1,0 +1,1 @@
+"""TLB hierarchy (Table VI geometry) and page-walk caches."""

@@ -1,0 +1,170 @@
+"""The Sandy Bridge-like TLB hierarchy of Table VI.
+
+Geometry (from the paper's testbed description):
+
+* L1 data TLBs, split by page size:
+  4 KB: 64 entries, 4-way; 2 MB: 32 entries, 4-way; 1 GB: 4 entries,
+  fully associative.
+* Unified L2 TLB: 512 entries, 4-way, 4 KB translations.
+* "EPT TLB/NTLB: shares the TLB (no separate structure)" -- nested
+  (gPA -> hPA) translations occupy the same L2 array as regular entries.
+
+That last line is load-bearing: Section IX.A attributes the observed
+1.29-1.62x TLB-miss inflation under virtualization to nested entries
+stealing L2 capacity.  We reproduce it structurally by inserting nested
+entries into the same L2 ``SetAssociativeCache`` under a distinct tag
+kind.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.address import PageSize
+from repro.tlb.tlb import SetAssociativeCache, TLBStats
+
+
+class HitLevel(enum.Enum):
+    """Where a translation was found."""
+
+    L1 = "L1"
+    L2 = "L2"
+    MISS = "miss"
+
+
+#: Tag-kind prefixes.  Regular entries translate guest-virtual (or native
+#: virtual) pages; nested entries translate guest-physical pages.
+_KIND_REGULAR = 0
+_KIND_NESTED = 1
+
+
+@dataclass(frozen=True)
+class TLBGeometry:
+    """Sizes and associativities for the whole hierarchy."""
+
+    l1_4k_entries: int = 64
+    l1_4k_ways: int = 4
+    l1_2m_entries: int = 32
+    l1_2m_ways: int = 4
+    l1_1g_entries: int = 4
+    l1_1g_ways: int = 4  # fully associative (4 entries, 4 ways)
+    l2_entries: int = 512
+    l2_ways: int = 4
+
+
+class TLBHierarchy:
+    """L1 (split by page size) backed by a unified L2.
+
+    The interface works on 4 KB virtual page numbers (``vpn``); larger
+    page sizes derive their page numbers by shifting.  Payloads are the
+    physical frame number of the mapping's first 4 KB frame; the hierarchy
+    does not interpret them beyond non-None-ness.
+    """
+
+    def __init__(self, geometry: TLBGeometry | None = None) -> None:
+        g = geometry or TLBGeometry()
+        self.geometry = g
+        self.l1 = {
+            PageSize.SIZE_4K: SetAssociativeCache(g.l1_4k_entries, g.l1_4k_ways, "L1-4K"),
+            PageSize.SIZE_2M: SetAssociativeCache(g.l1_2m_entries, g.l1_2m_ways, "L1-2M"),
+            PageSize.SIZE_1G: SetAssociativeCache(g.l1_1g_entries, g.l1_1g_ways, "L1-1G"),
+        }
+        self.l2 = SetAssociativeCache(g.l2_entries, g.l2_ways, "L2")
+        self.l1_stats = TLBStats()  # aggregated across the three L1s
+        self.l2_stats = TLBStats()
+        #: Nested-entry insertions into L2 (capacity-pressure accounting).
+        self.nested_insertions = 0
+
+    @staticmethod
+    def _shift(page_size: PageSize) -> int:
+        return page_size.bits - 12
+
+    # ------------------------------------------------------------------
+    # Regular (gVA -> hPA, or native VA -> PA) entries
+
+    def lookup_l1(self, vpn: int) -> tuple[PageSize, int] | None:
+        """Probe the three L1 TLBs in parallel (at most one can match).
+
+        ``vpn`` is a 4 KB page number.  Returns ``(page_size, frame)`` of
+        the matching entry or None.
+        """
+        for size, cache in self.l1.items():
+            value = cache.peek(vpn >> self._shift(size))
+            if value is not None:
+                cache.lookup(vpn >> self._shift(size))  # refresh recency
+                self.l1_stats.hits += 1
+                return size, value
+        self.l1_stats.misses += 1
+        return None
+
+    def lookup_l2(self, vpn: int) -> tuple[PageSize, int] | None:
+        """Probe the unified L2 for a regular entry.
+
+        Sandy Bridge's L2 TLB holds 4 KB translations only (Table VI);
+        2 MB and 1 GB entries live in their L1s alone, so their misses
+        go straight to the walker.
+        """
+        tag = (_KIND_REGULAR, PageSize.SIZE_4K, vpn)
+        value = self.l2.lookup(tag)
+        if value is not None:
+            self.l2_stats.hits += 1
+            return PageSize.SIZE_4K, value
+        self.l2_stats.misses += 1
+        return None
+
+    def insert(self, vpn: int, page_size: PageSize, frame: int) -> None:
+        """Install a completed translation into L1 (and L2 for 4 KB)."""
+        self.insert_l1(vpn, page_size, frame)
+        if page_size is PageSize.SIZE_4K:
+            self.l2.insert((_KIND_REGULAR, page_size, vpn), frame)
+
+    def insert_l1(self, vpn: int, page_size: PageSize, frame: int) -> None:
+        """Install into the size-matching L1 only (Table I's L2-hit path)."""
+        self.l1[page_size].insert(vpn >> self._shift(page_size), frame)
+
+    # ------------------------------------------------------------------
+    # Nested (gPA -> hPA) entries, sharing the L2 array
+
+    def lookup_nested(self, gppn: int, page_size: PageSize) -> int | None:
+        """Probe the shared L2 for a nested translation.
+
+        ``gppn`` is a guest-physical 4 KB page number; the probe is made
+        at the nested mapping's page size.
+        """
+        tag = (_KIND_NESTED, page_size, gppn >> self._shift(page_size))
+        return self.l2.lookup(tag)
+
+    def insert_nested(self, gppn: int, page_size: PageSize, frame: int) -> None:
+        """Install a nested translation into the shared L2 array.
+
+        This is the capacity-sharing behaviour of Table VI ("EPT TLB/NTLB:
+        shares the TLB"): every insertion can evict a regular entry.
+        """
+        tag = (_KIND_NESTED, page_size, gppn >> self._shift(page_size))
+        self.l2.insert(tag, frame)
+        self.nested_insertions += 1
+
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Drop all entries everywhere (e.g. on address-space switch)."""
+        for cache in self.l1.values():
+            cache.flush()
+        self.l2.flush()
+
+    def invalidate_page(self, vpn: int) -> None:
+        """INVLPG: drop any regular entries covering a 4 KB vpn."""
+        for size, cache in self.l1.items():
+            cache.invalidate(vpn >> self._shift(size))
+        for size in (PageSize.SIZE_4K, PageSize.SIZE_2M, PageSize.SIZE_1G):
+            self.l2.invalidate((_KIND_REGULAR, size, vpn >> self._shift(size)))
+
+    def reset_stats(self) -> None:
+        """Zero counters (after warm-up) without dropping entries."""
+        self.l1_stats.reset()
+        self.l2_stats.reset()
+        self.nested_insertions = 0
+        for cache in self.l1.values():
+            cache.stats.reset()
+        self.l2.stats.reset()

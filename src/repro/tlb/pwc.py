@@ -1,0 +1,121 @@
+"""Page-walk caches (MMU caches) and the nested-walk cache.
+
+Real walkers do not pay four memory references on every miss: paging-
+structure caches hold upper-level entries keyed by virtual-address
+prefixes, so most walks only load the leaf PTE (Barr et al. [7],
+Bhattacharjee [12], both cited by the paper in Section IX.A as the
+techniques that absorb part of the base-bound-check overhead too).
+
+We model:
+
+* :class:`PageWalkCache` -- three prefix caches (PML4E, PDPTE, PDE) over
+  the *guest-virtual* (or native-virtual) address, each entry recording
+  that the walk down to that level is known, so the walker can skip the
+  corresponding references in **both** dimensions.
+* :class:`NestedTLB` -- a cache of gPA -> hPA translations used for the
+  nested sub-walks of a 2D walk; Table VI notes the testbed has no
+  separate structure (it shares the L2 TLB), so by default the hierarchy's
+  shared L2 plays this role and this class is used for sensitivity
+  studies with a dedicated structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tlb.tlb import SetAssociativeCache
+
+#: Default entries per paging-structure cache level (Intel-like).
+DEFAULT_PWC_ENTRIES = 32
+DEFAULT_PWC_WAYS = 4
+
+#: Prefix shift for each skippable level: a PML4E entry covers 512 GB
+#: (bits 47..39), a PDPTE 1 GB (47..30), a PDE 2 MB (47..21).
+_LEVEL_SHIFT = {0: 39, 1: 30, 2: 21}
+
+
+@dataclass
+class PWCProbe:
+    """Result of a page-walk-cache probe."""
+
+    #: Deepest level whose entry was found (-1 when nothing hit).  A hit
+    #: at level L means references for levels 0..L can be skipped; the
+    #: walk resumes at level L+1.
+    deepest_level: int
+
+    @property
+    def skipped_levels(self) -> int:
+        """How many upper-level references the hit removes."""
+        return self.deepest_level + 1
+
+
+class PageWalkCache:
+    """Prefix caches for levels PML4 (0), PDPT (1) and PD (2)."""
+
+    def __init__(
+        self,
+        entries: int = DEFAULT_PWC_ENTRIES,
+        ways: int = DEFAULT_PWC_WAYS,
+    ) -> None:
+        self._caches = {
+            level: SetAssociativeCache(entries, ways, f"PWC-L{level}")
+            for level in _LEVEL_SHIFT
+        }
+
+    def probe(self, address: int) -> PWCProbe:
+        """Find the deepest cached prefix of ``address``.
+
+        Probes PDE first (skips the most), falling back to PDPTE and
+        PML4E, mirroring how hardware selects the longest match.
+        """
+        for level in (2, 1, 0):
+            if self._caches[level].lookup(address >> _LEVEL_SHIFT[level]) is not None:
+                return PWCProbe(deepest_level=level)
+        return PWCProbe(deepest_level=-1)
+
+    def fill(self, address: int, upto_level: int) -> None:
+        """Record that levels 0..``upto_level`` of this walk were resolved."""
+        for level in range(min(upto_level, 2) + 1):
+            self._caches[level].insert(address >> _LEVEL_SHIFT[level], True)
+
+    def flush(self) -> None:
+        """Drop all cached prefixes (context switch)."""
+        for cache in self._caches.values():
+            cache.flush()
+
+    @property
+    def stats(self) -> dict[int, tuple[int, int]]:
+        """Per-level (hits, misses) counters."""
+        return {
+            level: (cache.stats.hits, cache.stats.misses)
+            for level, cache in self._caches.items()
+        }
+
+
+class NestedTLB:
+    """Dedicated gPA -> hPA cache (optional; default systems share L2).
+
+    Entries are keyed by guest-physical 4 KB page number and store the
+    host frame.  Used by sensitivity experiments that give the nested
+    dimension its own structure instead of sharing the L2 TLB.
+    """
+
+    def __init__(self, entries: int = 32, ways: int = 4) -> None:
+        self._cache = SetAssociativeCache(entries, ways, "NTLB")
+
+    def lookup(self, gppn: int) -> int | None:
+        """Probe for a guest-physical page; returns host frame or None."""
+        return self._cache.lookup(gppn)
+
+    def insert(self, gppn: int, host_frame: int) -> None:
+        """Install a nested translation."""
+        self._cache.insert(gppn, host_frame)
+
+    def flush(self) -> None:
+        """Drop all entries (VM switch)."""
+        self._cache.flush()
+
+    @property
+    def stats(self):
+        """Hit/miss counters."""
+        return self._cache.stats

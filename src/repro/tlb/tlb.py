@@ -1,0 +1,118 @@
+"""Set-associative, LRU-replaced TLB model.
+
+All the translation caches in the hierarchy (L1 per-size TLBs, the
+unified L2 TLB, the page-walk caches and the nested TLB) share this one
+structure: a number of sets, each holding up to ``ways`` entries with LRU
+replacement.  Entries are keyed by an opaque hashable tag; the hierarchy
+layer decides how tags encode page numbers and entry kinds.
+
+Sets are plain insertion-ordered dicts: a hit is re-inserted to refresh
+recency, and eviction pops the oldest key -- O(1) per operation, which
+matters because the simulator probes these structures once or more per
+simulated memory reference.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass
+class TLBStats:
+    """Hit/miss counters of one cache structure."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total probes."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses per probe (0.0 when never probed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.evictions = 0
+
+
+class SetAssociativeCache:
+    """A generic set-associative LRU cache of tag -> payload.
+
+    ``entries`` is total capacity; ``ways`` is associativity.  A fully
+    associative structure is ``ways == entries``.  The set index is
+    derived from ``hash(tag) % num_sets``; for integer page-number tags
+    this reduces to the usual low-bits indexing.
+    """
+
+    __slots__ = ("entries", "ways", "num_sets", "_sets", "stats", "name")
+
+    def __init__(self, entries: int, ways: int, name: str = "cache") -> None:
+        if entries <= 0 or ways <= 0:
+            raise ValueError("entries and ways must be positive")
+        if entries % ways:
+            raise ValueError(f"{entries} entries not divisible by {ways} ways")
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        self._sets: list[dict[Hashable, Any]] = [dict() for _ in range(self.num_sets)]
+        self.stats = TLBStats()
+        self.name = name
+
+    def lookup(self, tag: Hashable) -> Any | None:
+        """Probe for ``tag``; refreshes LRU recency on a hit.
+
+        Returns the payload, or None on a miss.  (Payloads must therefore
+        not be None; the hierarchy stores frame numbers or tuples.)
+        """
+        index = hash(tag) % self.num_sets
+        line = self._sets[index]
+        value = line.get(tag)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        # Re-insert to mark most-recently-used (dicts preserve order).
+        del line[tag]
+        line[tag] = value
+        self.stats.hits += 1
+        return value
+
+    def peek(self, tag: Hashable) -> Any | None:
+        """Probe without touching recency or counters (for tests)."""
+        return self._sets[hash(tag) % self.num_sets].get(tag)
+
+    def insert(self, tag: Hashable, value: Any) -> None:
+        """Install ``tag -> value``, evicting the set's LRU entry if full."""
+        if value is None:
+            raise ValueError("payload None is reserved for misses")
+        index = hash(tag) % self.num_sets
+        line = self._sets[index]
+        if tag in line:
+            del line[tag]
+        elif len(line) >= self.ways:
+            line.pop(next(iter(line)))
+            self.stats.evictions += 1
+        line[tag] = value
+
+    def invalidate(self, tag: Hashable) -> bool:
+        """Drop one entry; returns whether it was present."""
+        line = self._sets[hash(tag) % self.num_sets]
+        return line.pop(tag, None) is not None
+
+    def flush(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        for line in self._sets:
+            line.clear()
+
+    def __len__(self) -> int:
+        return sum(len(line) for line in self._sets)
+
+    def occupancy(self) -> float:
+        """Fraction of capacity currently valid."""
+        return len(self) / self.entries

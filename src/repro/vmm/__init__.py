@@ -1,0 +1,1 @@
+"""Hypervisor model: VMs, nested paging, slots, policy, shadow, KSM."""

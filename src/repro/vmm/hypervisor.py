@@ -1,0 +1,447 @@
+"""The hypervisor: VMs, nested page tables, VMM segments, mode switching.
+
+This is the KVM-shaped half of the prototype (Section VI): it owns host
+physical memory, builds per-VM nested page tables on demand (nested
+EPT-style faults), creates VMM direct segments from contiguous host
+memory, escapes faulty pages through the escape filter, and implements
+the VMM side of self-ballooning and the I/O-gap reclaim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.address import (
+    BASE_PAGE_SIZE,
+    AddressRange,
+    PageSize,
+    align_down,
+    page_number,
+)
+from repro.core.escape_filter import EscapeFilter
+from repro.core.modes import TranslationMode
+from repro.core.segments import SegmentRegisters
+from repro.mem.badpages import BadPageList
+from repro.mem.frame_allocator import FrameAllocator, OutOfMemoryError
+from repro.mem.page_table import PageTable
+from repro.mem.physical_layout import PhysicalLayout
+
+
+class VmmSegmentError(Exception):
+    """Host memory is too fragmented (or small) for a VMM segment."""
+
+
+class VmmSwapError(Exception):
+    """The gPA page cannot be VMM-swapped (Table II restriction)."""
+
+
+@dataclass
+class VmExitStats:
+    """VM exit/entry accounting (segment state save/restore)."""
+
+    exits: int = 0
+    entries: int = 0
+
+
+class VirtualMachine:
+    """One guest VM: gPA layout, slots, nested page table, segment state."""
+
+    def __init__(
+        self,
+        name: str,
+        hypervisor: "Hypervisor",
+        memory_bytes: int,
+        nested_page_size: PageSize = PageSize.SIZE_4K,
+        reserve_bytes: int = 0,
+        emulate_segments: bool = False,
+    ) -> None:
+        from repro.vmm.memory_slots import MemorySlots  # local to avoid cycle
+
+        self.name = name
+        self.hypervisor = hypervisor
+        self.memory_bytes = memory_bytes
+        self.nested_page_size = nested_page_size
+        self.emulate_segments = emulate_segments
+        self.guest_layout = PhysicalLayout(memory_bytes)
+        self.slots = MemorySlots(self.guest_layout, reserve_bytes=reserve_bytes)
+        self.nested_table = PageTable(hypervisor.alloc_pt_frame)
+        self.vmm_segment = SegmentRegisters.disabled()
+        self.escape_filter = EscapeFilter()
+        self.mode = TranslationMode.BASE_VIRTUALIZED
+        self.exit_stats = VmExitStats()
+        self._saved_segment_state: SegmentRegisters | None = None
+        #: gPA pages whose host frames were reclaimed by ballooning.
+        self.ballooned_gpa_pages: set[int] = set()
+        #: gPA pages evicted to (modelled) host swap.
+        self.swapped_gpa_pages: set[int] = set()
+        self.vmm_swap_outs = 0
+        self.vmm_swap_ins = 0
+        #: Pages remapped around hard faults: gppn -> replacement frame.
+        self.escaped_remaps: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Nested paging (gPA -> hPA)
+
+    def handle_nested_fault(self, gpa: int) -> None:
+        """EPT-violation handler: back ``gpa`` with host memory.
+
+        Three cases, mirroring the prototype's modified fault handler:
+
+        * the gPA lies in the VMM segment but was filtered out -- either
+          a genuinely escaped (faulty) page, remapped to a replacement
+          frame, or a Bloom-filter false positive, mapped to its
+          segment-computed frame (Section V: "the VMM must create
+          mappings for these pages as well");
+        * in emulation mode, any gPA inside the segment gets its
+          computed mapping installed as a PTE (Section VI.B);
+        * otherwise, ordinary demand paging at the VM's nested page size.
+        """
+        gppn = page_number(gpa)
+        if gppn in self.swapped_gpa_pages:
+            # Swap-in: restore residency with a fresh host frame.
+            self.swapped_gpa_pages.discard(gppn)
+            self.vmm_swap_ins += 1
+            frame = self.hypervisor.alloc_host_block(0)
+            self.nested_table.map(
+                gppn * BASE_PAGE_SIZE, frame * BASE_PAGE_SIZE, PageSize.SIZE_4K
+            )
+            return
+        segment = self.vmm_segment
+        if segment.enabled and segment.covers(gpa):
+            if self.escape_filter.may_contain(gppn):
+                self._map_escaped_page(gppn)
+                return
+            if self.emulate_segments:
+                gpa_page = align_down(gpa, PageSize.SIZE_4K)
+                self.nested_table.map(
+                    gpa_page, segment.translate_unchecked(gpa_page), PageSize.SIZE_4K
+                )
+                return
+        self._demand_map(gpa)
+
+    def _map_escaped_page(self, gppn: int) -> None:
+        computed_frame = gppn + self.vmm_segment.offset // BASE_PAGE_SIZE
+        if self.hypervisor.bad_pages and computed_frame in self.hypervisor.bad_pages:
+            # Genuine hard fault: remap to a healthy replacement frame.
+            replacement = self.escaped_remaps.get(gppn)
+            if replacement is None:
+                replacement = self.hypervisor.alloc_host_block(0)
+                self.escaped_remaps[gppn] = replacement
+            frame = replacement
+        else:
+            # False positive: the segment-computed frame is fine; install
+            # it as an ordinary PTE so paging reproduces the segment map.
+            frame = computed_frame
+        self.nested_table.map(gppn * BASE_PAGE_SIZE, frame * BASE_PAGE_SIZE, PageSize.SIZE_4K)
+
+    def _demand_map(self, gpa: int) -> None:
+        if self.slots.slot_for(gpa) is None:
+            raise MemoryError(
+                f"{self.name}: nested fault at {gpa:#x} outside all memory slots"
+            )
+        if page_number(gpa) in self.ballooned_gpa_pages:
+            raise MemoryError(
+                f"{self.name}: guest touched ballooned-out page {gpa:#x}"
+            )
+        slot = self.slots.slot_for(gpa)
+        page_size = self.nested_page_size
+        while True:
+            gpa_page = align_down(gpa, page_size)
+            # A large nested page must lie entirely within the memory
+            # slot (KVM maps slots independently; a 1 GB mapping must
+            # not straddle the I/O gap).  Fall back to a smaller size.
+            if (
+                page_size != PageSize.SIZE_4K
+                and slot is not None
+                and not slot.gpa_range.contains_range(
+                    AddressRange.of_size(gpa_page, int(page_size))
+                )
+            ):
+                page_size = (
+                    PageSize.SIZE_2M
+                    if page_size == PageSize.SIZE_1G
+                    else PageSize.SIZE_4K
+                )
+                continue
+            order = {PageSize.SIZE_4K: 0, PageSize.SIZE_2M: 9, PageSize.SIZE_1G: 18}[
+                page_size
+            ]
+            try:
+                frame = self.hypervisor.alloc_host_block(order)
+            except OutOfMemoryError:
+                if page_size == PageSize.SIZE_4K:
+                    raise
+                page_size = (
+                    PageSize.SIZE_2M if page_size == PageSize.SIZE_1G else PageSize.SIZE_4K
+                )
+                continue
+            if self.nested_table.is_mapped(gpa_page):
+                self.hypervisor.allocator.free_block(frame)
+                return
+            try:
+                self.nested_table.map(gpa_page, frame * BASE_PAGE_SIZE, page_size)
+            except ValueError:
+                # A finer mapping exists under this large page; retry small.
+                self.hypervisor.allocator.free_block(frame)
+                if page_size == PageSize.SIZE_4K:
+                    raise
+                page_size = PageSize.SIZE_4K
+                continue
+            return
+
+    def populate_nested(self, gpa_ranges) -> int:
+        """Eagerly back guest-physical ranges with host memory.
+
+        Used at system-build time so measured runs see steady-state
+        nested tables.  gPAs covered by an enabled hardware VMM segment
+        are skipped (the segment translates them without a nested
+        mapping); with ``emulate_segments`` the fault handler installs
+        the computed PTEs instead.  Returns fault-handler invocations.
+        """
+        faults = 0
+        hw_segment = self.vmm_segment.enabled and not self.emulate_segments
+        for gpa_range in gpa_ranges:
+            gpa = align_down(gpa_range.start, PageSize.SIZE_4K)
+            while gpa < gpa_range.end:
+                if hw_segment and self.vmm_segment.covers(gpa):
+                    gpa += int(PageSize.SIZE_4K)
+                    continue
+                walked = self.nested_table.lookup(gpa)
+                if walked is None:
+                    self.handle_nested_fault(gpa)
+                    faults += 1
+                    walked = self.nested_table.lookup(gpa)
+                    assert walked is not None
+                gpa = align_down(gpa, walked.page_size) + int(walked.page_size)
+        return faults
+
+    # ------------------------------------------------------------------
+    # VMM segment (Sections III.A / III.B)
+
+    def create_vmm_segment(self, gpa_range: AddressRange | None = None) -> SegmentRegisters:
+        """Map a contiguous gPA range onto contiguous host memory.
+
+        Defaults to the VM's above-gap memory slot (everything above the
+        I/O gap, including any memory relocated there by the I/O-gap
+        reclaim).  Reserves contiguous host physical memory, programs
+        the VMM segment registers, and escapes any hard-faulted host
+        frames inside the reservation through the escape filter.
+        """
+        if gpa_range is None:
+            gpa_range = self.slots.high_slot.gpa_range
+        num_frames = gpa_range.size // BASE_PAGE_SIZE
+        try:
+            host_start = self.hypervisor.allocator.reserve_contiguous(num_frames)
+        except OutOfMemoryError as exc:
+            raise VmmSegmentError(
+                f"no contiguous {gpa_range.size} bytes of host memory"
+            ) from exc
+        registers = SegmentRegisters.mapping(gpa_range, host_start * BASE_PAGE_SIZE)
+        self.vmm_segment = registers
+        self._escape_bad_frames(host_start, num_frames)
+        return registers
+
+    def _escape_bad_frames(self, host_start: int, num_frames: int) -> None:
+        offset_frames = self.vmm_segment.offset // BASE_PAGE_SIZE
+        for bad_frame in self.hypervisor.bad_pages.bad_frames_in(host_start, num_frames):
+            gppn = bad_frame - offset_frames
+            self.escape_filter.insert(gppn)
+            self._map_escaped_page(gppn)
+
+    def drop_vmm_segment(self) -> None:
+        """Tear down the VMM segment, returning its host memory."""
+        if not self.vmm_segment.enabled:
+            return
+        start_frame = page_number(self.vmm_segment.base + self.vmm_segment.offset)
+        self.hypervisor.allocator.free_contiguous(
+            start_frame, self.vmm_segment.size // BASE_PAGE_SIZE
+        )
+        self.vmm_segment = SegmentRegisters.disabled()
+        self.escape_filter.clear()
+        self.escaped_remaps.clear()
+
+    # ------------------------------------------------------------------
+    # Mode management
+
+    def set_mode(self, mode: TranslationMode) -> None:
+        """Switch the VM's translation mode (hardware supports this
+        dynamically, Section III.E)."""
+        if not mode.virtualized:
+            raise ValueError(f"{mode} is not a virtualized mode")
+        if mode.uses_vmm_segment and not self.vmm_segment.enabled:
+            raise VmmSegmentError(f"{mode} requires a VMM segment; create one first")
+        self.mode = mode
+
+    # ------------------------------------------------------------------
+    # VM exit/entry: segment state save/restore (Section III.A)
+
+    def vm_exit(self) -> None:
+        """Hardware saves BASE_V/LIMIT_V/OFFSET_V and the escape filter."""
+        self._saved_segment_state = self.vmm_segment
+        self._saved_filter_state = self.escape_filter.save()
+        self.exit_stats.exits += 1
+
+    def vm_entry(self) -> None:
+        """Hardware restores the state saved at the matching exit."""
+        if self._saved_segment_state is not None:
+            self.vmm_segment = self._saved_segment_state
+            self.escape_filter.restore(self._saved_filter_state)
+        self.exit_stats.entries += 1
+
+    # ------------------------------------------------------------------
+    # Table II capability checks: what the active segments preclude
+
+    def can_share_page(self, gppn: int) -> bool:
+        """Content-based sharing is possible for pages the VMM maps with
+        page tables; VMM-segment-covered memory cannot be deduplicated
+        (Table II: page sharing 'limited' for Dual/VMM Direct).
+
+        Escaped pages are paged and therefore shareable again.
+        """
+        gpa = gppn * BASE_PAGE_SIZE
+        if not self.vmm_segment.enabled or not self.vmm_segment.covers(gpa):
+            return True
+        return self.escape_filter.may_contain(gppn)
+
+    def can_vmm_swap_page(self, gppn: int) -> bool:
+        """VMM swapping needs a nested mapping to invalidate; segment-
+        covered pages have none (Table II: VMM swapping 'limited')."""
+        return self.can_share_page(gppn)
+
+    def can_balloon_page(self, gppn: int) -> bool:
+        """Ballooning reclaims individual nested mappings, so it is
+        likewise limited to memory outside the VMM segment."""
+        return self.can_share_page(gppn)
+
+    def vmm_swap_out(self, gppn: int) -> None:
+        """Evict one guest-physical page to host swap.
+
+        Requires a 4 KB nested mapping to invalidate; segment-covered
+        pages raise :class:`VmmSwapError` (Table II: VMM swapping
+        'limited' for Dual/VMM Direct).  The guest's next access
+        refaults the page in through the nested fault handler.
+        """
+        if not self.can_vmm_swap_page(gppn):
+            raise VmmSwapError(
+                f"gPA page {gppn:#x} is VMM-segment-covered; no nested "
+                f"entry exists to evict (Table II)"
+            )
+        gpa = gppn * BASE_PAGE_SIZE
+        walked = self.nested_table.lookup(gpa)
+        if walked is None:
+            raise VmmSwapError(f"gPA page {gppn:#x} is not resident")
+        if walked.page_size != PageSize.SIZE_4K:
+            raise VmmSwapError(
+                f"gPA page {gppn:#x} is mapped by a "
+                f"{walked.page_size.label} nested page; split it first"
+            )
+        removed = self.nested_table.unmap(gpa)
+        self.hypervisor.allocator.free_block(removed.frame)
+        self.swapped_gpa_pages.add(gppn)
+        self.vmm_swap_outs += 1
+
+    # ------------------------------------------------------------------
+    # Balloon port (guest's SelfBalloonDriver calls these, Section VI.C)
+
+    def reclaim_guest_frames(self, frames: list[int]) -> None:
+        """Free the host backing of ballooned-out guest frames."""
+        for gframe in frames:
+            self.ballooned_gpa_pages.add(gframe)
+            entry = self.nested_table.lookup(gframe * BASE_PAGE_SIZE)
+            if entry is not None and entry.page_size == PageSize.SIZE_4K:
+                removed = self.nested_table.unmap(gframe * BASE_PAGE_SIZE)
+                self.hypervisor.allocator.free_block(removed.frame)
+
+    def release_reserved_region(self, num_frames: int) -> AddressRange:
+        """Hot-add reserved contiguous gPA back to the guest."""
+        return self.slots.release_reserve(num_frames * BASE_PAGE_SIZE)
+
+    # ------------------------------------------------------------------
+    # Hotplug port (I/O-gap reclaim, Section VI.C)
+
+    def shrink_below_gap_slot(self, removed: AddressRange) -> None:
+        """Guest unplugged ``removed``; shrink slot 0 and free backing."""
+        self.slots.shrink_low_slot(removed)
+        for gppn in removed.pages():
+            entry = self.nested_table.lookup(gppn * BASE_PAGE_SIZE)
+            if entry is not None and entry.page_size == PageSize.SIZE_4K:
+                freed = self.nested_table.unmap(gppn * BASE_PAGE_SIZE)
+                self.hypervisor.allocator.free_block(freed.frame)
+
+    def extend_above_gap_slot(self, num_frames: int) -> AddressRange:
+        """Grow slot 1 by ``num_frames`` frames of fresh gPA space."""
+        return self.slots.extend_high_slot(num_frames * BASE_PAGE_SIZE)
+
+
+@dataclass
+class Hypervisor:
+    """Host-side state: physical memory, bad pages, the VM table."""
+
+    host_memory_bytes: int
+    bad_pages: BadPageList = field(default_factory=BadPageList)
+    include_io_gap: bool = False
+    layout: PhysicalLayout = field(init=False)
+    allocator: FrameAllocator = field(init=False)
+    vms: dict[str, VirtualMachine] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.layout = PhysicalLayout(
+            self.host_memory_bytes, include_io_gap=self.include_io_gap
+        )
+        self.allocator = FrameAllocator(self.layout.regions)
+        self._quarantined: list[int] = []
+
+    def create_vm(
+        self,
+        name: str,
+        memory_bytes: int,
+        nested_page_size: PageSize = PageSize.SIZE_4K,
+        reserve_bytes: int = 0,
+        emulate_segments: bool = False,
+    ) -> VirtualMachine:
+        """Register a new VM (its memory is demand-allocated, not eager)."""
+        if name in self.vms:
+            raise ValueError(f"VM {name!r} already exists")
+        vm = VirtualMachine(
+            name,
+            self,
+            memory_bytes,
+            nested_page_size=nested_page_size,
+            reserve_bytes=reserve_bytes,
+            emulate_segments=emulate_segments,
+        )
+        self.vms[name] = vm
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        """Tear down a VM, returning all its host memory."""
+        vm = self.vms.pop(name)
+        vm.drop_vmm_segment()
+        for _, entry in vm.nested_table.leaves():
+            self.allocator.free_block(entry.frame)
+        vm.nested_table.clear(free_frame=self.allocator.free_block)
+        self.allocator.free_block(vm.nested_table.root.frame)
+
+    # ------------------------------------------------------------------
+    # Host allocation helpers
+
+    def alloc_host_block(self, order: int) -> int:
+        """Allocate a host block, quarantining blocks with hard faults.
+
+        A real OS keeps faulty frames on a bad-page list and never
+        allocates them [26]; we model that by retrying around any block
+        that contains a bad frame.
+        """
+        for _ in range(64):
+            frame = self.allocator.alloc_block(order)
+            size = 1 << order
+            if not any(
+                bad in self.bad_pages for bad in range(frame, frame + size)
+            ):
+                return frame
+            self._quarantined.append(frame)
+        raise OutOfMemoryError("could not find a healthy host block")
+
+    def alloc_pt_frame(self) -> int:
+        """Frame for a nested-page-table node."""
+        return self.alloc_host_block(0)

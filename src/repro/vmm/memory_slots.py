@@ -1,0 +1,135 @@
+"""KVM memory slots: the gPA -> host-backing bookkeeping of Figure 10.
+
+KVM maps a VM's guest physical memory onto the host virtual address
+space of its QEMU process through *memory slots* -- contiguous gPA
+ranges.  x86-64 VMs have two large slots: one for memory below the 4 GB
+I/O gap and one for memory above it.  The prototype (Section VI.C)
+manipulates these slots for self-ballooning (the second slot is
+pre-extended by a reserve that is ballooned out at startup) and for the
+I/O-gap reclaim (shrink the first slot, extend the second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.address import AddressRange, format_size
+from repro.mem.physical_layout import IO_GAP_END, PhysicalLayout
+
+
+@dataclass
+class MemorySlot:
+    """One contiguous gPA range backed by host memory."""
+
+    index: int
+    gpa_range: AddressRange
+    name: str = ""
+
+    def __contains__(self, gpa: int) -> bool:
+        return gpa in self.gpa_range
+
+    def describe(self) -> str:
+        """Summary line for logs."""
+        return (
+            f"slot {self.index} ({self.name or 'unnamed'}): "
+            f"gPA [{self.gpa_range.start:#x}, {self.gpa_range.end:#x}) "
+            f"({format_size(self.gpa_range.size)})"
+        )
+
+
+class MemorySlots:
+    """The slot table of one VM."""
+
+    def __init__(self, guest_layout: PhysicalLayout, reserve_bytes: int = 0) -> None:
+        """Build the standard two-slot layout, plus an optional reserve.
+
+        ``reserve_bytes`` extends the above-gap slot beyond the nominal
+        guest memory size; that extra gPA range starts out ballooned
+        (unusable by the guest) and is released piecemeal by
+        self-ballooning.
+        """
+        self.slots: list[MemorySlot] = []
+        regions = guest_layout.regions
+        if len(regions) == 1:
+            # Small VM: all memory below the gap, a single slot.
+            nominal_top = regions[0].end
+            self.slots.append(MemorySlot(0, AddressRange(0, nominal_top), "low"))
+            if reserve_bytes:
+                # The reserve always lives above the gap.
+                self.slots.append(
+                    MemorySlot(
+                        1,
+                        AddressRange(IO_GAP_END, IO_GAP_END + reserve_bytes),
+                        "high",
+                    )
+                )
+        else:
+            below, above = regions
+            self.slots.append(MemorySlot(0, below, "low"))
+            self.slots.append(
+                MemorySlot(
+                    1, AddressRange(above.start, above.end + reserve_bytes), "high"
+                )
+            )
+        self._reserve_start = self.slots[-1].gpa_range.end - reserve_bytes
+        self._reserve_released = 0
+        self.reserve_bytes = reserve_bytes
+
+    @property
+    def high_slot(self) -> MemorySlot:
+        """The above-gap slot (slot 1, or slot 0 in gapless small VMs)."""
+        return self.slots[-1]
+
+    @property
+    def low_slot(self) -> MemorySlot:
+        """The below-gap slot."""
+        return self.slots[0]
+
+    def slot_for(self, gpa: int) -> MemorySlot | None:
+        """The slot covering ``gpa`` (None for the I/O gap itself)."""
+        for slot in self.slots:
+            if gpa in slot:
+                return slot
+        return None
+
+    @property
+    def total_bytes(self) -> int:
+        """Total gPA bytes across all slots (reserve included)."""
+        return sum(slot.gpa_range.size for slot in self.slots)
+
+    # ------------------------------------------------------------------
+    # Slot surgery (Section VI.C)
+
+    @property
+    def reserve_remaining(self) -> int:
+        """Unreleased bytes of the self-ballooning reserve."""
+        return self.reserve_bytes - self._reserve_released
+
+    def release_reserve(self, nbytes: int) -> AddressRange:
+        """Release ``nbytes`` of the ballooned-out reserve to the guest.
+
+        Released ranges advance from the start of the reserve upward;
+        raises ValueError when the reserve is exhausted.
+        """
+        if nbytes > self.reserve_remaining:
+            raise ValueError(
+                f"reserve has only {self.reserve_remaining} bytes left, "
+                f"requested {nbytes}"
+            )
+        start = self._reserve_start + self._reserve_released
+        self._reserve_released += nbytes
+        return AddressRange.of_size(start, nbytes)
+
+    def shrink_low_slot(self, removed: AddressRange) -> None:
+        """Drop ``removed`` from the tail of the below-gap slot."""
+        low = self.low_slot
+        if removed.end != low.gpa_range.end or removed.start < low.gpa_range.start:
+            raise ValueError("can only shrink the low slot from its tail")
+        low.gpa_range = AddressRange(low.gpa_range.start, removed.start)
+
+    def extend_high_slot(self, nbytes: int) -> AddressRange:
+        """Grow the above-gap slot by ``nbytes``; returns the added range."""
+        high = self.high_slot
+        added = AddressRange.of_size(high.gpa_range.end, nbytes)
+        high.gpa_range = AddressRange(high.gpa_range.start, added.end)
+        return added

@@ -1,0 +1,212 @@
+"""Mode policy for fragmented systems: Table III as executable logic.
+
+Table III prescribes, per workload class and fragmentation state, which
+mode a VM starts in, which techniques repair the fragmentation
+(self-ballooning for the guest, compaction for the host) and which mode
+the VM converges to.  :func:`plan_modes` encodes the table;
+:class:`FragmentationManager` executes a plan against live guest-OS /
+hypervisor state, driving the compaction daemon and upgrading the mode
+when contiguity appears.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.address import BASE_PAGE_SIZE
+from repro.core.modes import TranslationMode
+from repro.guest.balloon import SelfBalloonDriver
+from repro.guest.guest_os import GuestOS, SegmentCreationError
+from repro.guest.process import GuestProcess
+from repro.mem.compaction import CompactionDaemon
+from repro.vmm.hypervisor import VirtualMachine, VmmSegmentError
+
+
+class WorkloadClass(enum.Enum):
+    """The two application categories of Tables II and III."""
+
+    BIG_MEMORY = "big-memory"
+    COMPUTE = "compute"
+
+
+@dataclass(frozen=True)
+class FragmentationState:
+    """Which address spaces are too fragmented for a direct segment."""
+
+    host_fragmented: bool = False
+    guest_fragmented: bool = False
+
+
+@dataclass(frozen=True)
+class ModePlan:
+    """One row of Table III."""
+
+    initial_mode: TranslationMode
+    final_mode: TranslationMode
+    uses_self_ballooning: bool
+    uses_compaction: bool
+
+    @property
+    def upgrades(self) -> bool:
+        """True when the VM changes mode over time."""
+        return self.initial_mode is not self.final_mode
+
+
+def plan_modes(workload: WorkloadClass, state: FragmentationState) -> ModePlan:
+    """Table III, verbatim.
+
+    Unfragmented systems (not a Table III row) go straight to the best
+    mode for the class: Dual Direct for big-memory, VMM Direct for
+    compute.
+    """
+    big = workload is WorkloadClass.BIG_MEMORY
+    host, guest = state.host_fragmented, state.guest_fragmented
+    if big:
+        if host and guest:
+            return ModePlan(
+                TranslationMode.GUEST_DIRECT,
+                TranslationMode.DUAL_DIRECT,
+                uses_self_ballooning=True,
+                uses_compaction=True,
+            )
+        if host:
+            return ModePlan(
+                TranslationMode.GUEST_DIRECT,
+                TranslationMode.DUAL_DIRECT,
+                uses_self_ballooning=False,
+                uses_compaction=True,
+            )
+        if guest:
+            return ModePlan(
+                TranslationMode.DUAL_DIRECT,
+                TranslationMode.DUAL_DIRECT,
+                uses_self_ballooning=True,
+                uses_compaction=False,
+            )
+        return ModePlan(
+            TranslationMode.DUAL_DIRECT,
+            TranslationMode.DUAL_DIRECT,
+            uses_self_ballooning=False,
+            uses_compaction=False,
+        )
+    # Compute workloads never use guest segments; guest fragmentation is
+    # irrelevant and only the host side gates VMM Direct.
+    if host:
+        return ModePlan(
+            TranslationMode.BASE_VIRTUALIZED,
+            TranslationMode.VMM_DIRECT,
+            uses_self_ballooning=False,
+            uses_compaction=True,
+        )
+    return ModePlan(
+        TranslationMode.VMM_DIRECT,
+        TranslationMode.VMM_DIRECT,
+        uses_self_ballooning=False,
+        uses_compaction=False,
+    )
+
+
+class FragmentationManager:
+    """Executes a :class:`ModePlan` against a live VM.
+
+    Typical life cycle::
+
+        manager = FragmentationManager(vm, guest_os, process, plan)
+        manager.prepare_guest()        # self-balloon if the plan says so
+        while not manager.at_final_mode:
+            manager.tick(pages_budget) # compaction progress + upgrade try
+
+    ``tick`` returns the VM's current mode so callers can model the
+    performance of each phase.
+    """
+
+    def __init__(
+        self,
+        vm: VirtualMachine,
+        guest_os: GuestOS,
+        process: GuestProcess,
+        plan: ModePlan,
+    ) -> None:
+        self.vm = vm
+        self.guest_os = guest_os
+        self.process = process
+        self.plan = plan
+        self._compactor: CompactionDaemon | None = None
+        if plan.uses_compaction:
+            # The daemon may relocate any host block except those backing
+            # this VM's nested page table or mapped guest memory (a real
+            # kernel would migrate-and-remap them; we pin them instead
+            # and let the "other tenants'" fragmentation blocks move).
+            self._compactor = CompactionDaemon(
+                vm.hypervisor.allocator,
+                is_movable=lambda frame: frame not in self._pinned_frames,
+            )
+            # Compact toward exactly what create_vmm_segment will map:
+            # the VM's above-gap memory slot.
+            segment_bytes = vm.slots.high_slot.gpa_range.size
+            self._compactor.request(segment_bytes // BASE_PAGE_SIZE)
+        self._pinned_frames: set[int] = set()
+        self._refresh_pins()
+
+    def _refresh_pins(self) -> None:
+        table = self.vm.nested_table
+        pins = set(table.node_frames)
+        for _, entry in table.leaves():
+            pins.add(entry.frame)
+        pins.update(self.vm.escaped_remaps.values())
+        self._pinned_frames = pins
+
+    # ------------------------------------------------------------------
+
+    def prepare_guest(self) -> None:
+        """Create the guest segment, self-ballooning first if needed."""
+        needs_guest_segment = self.plan.initial_mode in (
+            TranslationMode.GUEST_DIRECT,
+            TranslationMode.DUAL_DIRECT,
+        ) or self.plan.final_mode in (
+            TranslationMode.GUEST_DIRECT,
+            TranslationMode.DUAL_DIRECT,
+        )
+        if not needs_guest_segment:
+            self._enter_initial_mode()
+            return
+        primary = self.process.primary_region
+        if primary is None:
+            raise SegmentCreationError("big-memory process lacks a primary region")
+        try:
+            self.guest_os.create_guest_segment(self.process)
+        except SegmentCreationError:
+            if not self.plan.uses_self_ballooning:
+                raise
+            driver = SelfBalloonDriver(self.guest_os, self.vm)
+            driver.make_contiguous(primary.range.size)
+            self.guest_os.create_guest_segment(self.process)
+        self._enter_initial_mode()
+
+    def _enter_initial_mode(self) -> None:
+        mode = self.plan.initial_mode
+        if mode.uses_vmm_segment:
+            self.vm.create_vmm_segment()  # plan said host is unfragmented
+        self.vm.set_mode(mode)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def at_final_mode(self) -> bool:
+        """True once the VM runs in the plan's final mode."""
+        return self.vm.mode is self.plan.final_mode
+
+    def tick(self, page_budget: int = 4096) -> TranslationMode:
+        """Advance compaction and upgrade the mode when possible."""
+        if self.at_final_mode or self._compactor is None:
+            return self.vm.mode
+        self._refresh_pins()
+        self._compactor.step(page_budget)
+        if self._compactor.complete:
+            try:
+                self.vm.create_vmm_segment()
+            except VmmSegmentError:
+                return self.vm.mode  # raced; keep compacting
+            self.vm.set_mode(self.plan.final_mode)
+        return self.vm.mode

@@ -1,0 +1,125 @@
+"""Shadow paging: the software alternative the paper compares against.
+
+Section II.A / IX.D: with shadow paging the VMM composes the guest page
+table (gVA -> gPA) and its own nested mapping (gPA -> hPA) into a
+*shadow* page table (gVA -> hPA) that the hardware walks directly -- TLB
+misses cost a native 1D walk.  The price is coherence: every guest
+page-table update must trap to the VMM (a VM exit) so the shadow copy
+can be rebuilt, which is why workloads with frequent memory allocation
+(memcached et al.) perform poorly under shadow paging (Section IX.D's
+first category).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.address import BASE_PAGE_SIZE, PageSize
+from repro.core.costs import CostModel
+from repro.mem.page_table import PageTable
+
+
+@dataclass
+class ShadowStats:
+    """Coherence-traffic accounting."""
+
+    vm_exits: int = 0
+    shadow_updates: int = 0
+    full_rebuilds: int = 0
+
+    def exit_cycles(self, costs: CostModel) -> float:
+        """Cycles burned keeping the shadow coherent."""
+        return self.vm_exits * costs.vm_exit_cycles
+
+
+class ShadowPageTable:
+    """A shadow (gVA -> hPA) table kept coherent with a guest table.
+
+    ``translate_gpa`` is the VMM's gPA -> hPA function (nested-table
+    lookup plus demand allocation).  The shadow is maintained lazily:
+    :meth:`sync` folds one guest mapping in (charging a VM exit), and
+    :meth:`observe_guest_updates` charges exits for guest PTE writes that
+    occurred since the last check -- the write-protection traps a real
+    shadow-paging VMM takes.
+    """
+
+    def __init__(
+        self,
+        guest_table: PageTable,
+        translate_gpa: Callable[[int], int],
+        alloc_frame: Callable[[], int],
+    ) -> None:
+        self.guest_table = guest_table
+        self.translate_gpa = translate_gpa
+        self.table = PageTable(alloc_frame)
+        self.stats = ShadowStats()
+        self._synced_update_count = guest_table.update_count
+
+    def sync(self, gva: int) -> None:
+        """Shadow fault: build the shadow entry for ``gva``.
+
+        Composes the two translations for the page containing ``gva``
+        and installs a shadow leaf at the *finer* of the two mapping
+        granularities (a 2 MB guest page backed by 4 KB host pages must
+        shadow at 4 KB, since the composition is only linear there).
+        """
+        guest_walk = self.guest_table.walk(gva)
+        guest_size = guest_walk.page_size
+        gpa_base = guest_walk.frame * BASE_PAGE_SIZE
+        # Determine host granularity at the page's base.
+        hpa_base = self.translate_gpa(gpa_base)
+        shadow_size = PageSize.SIZE_4K if guest_size != PageSize.SIZE_4K else guest_size
+        if guest_size == PageSize.SIZE_4K:
+            gva_page = gva & ~(int(PageSize.SIZE_4K) - 1)
+            self._install(gva_page, hpa_base, PageSize.SIZE_4K)
+        else:
+            # Shadow the specific 4 KB sub-page touched.
+            sub = (gva % int(guest_size)) // BASE_PAGE_SIZE
+            gva_page = (gva & ~(int(guest_size) - 1)) + sub * BASE_PAGE_SIZE
+            hpa = self.translate_gpa(gpa_base + sub * BASE_PAGE_SIZE)
+            self._install(gva_page, hpa, shadow_size)
+        self.stats.vm_exits += 1
+        self.stats.shadow_updates += 1
+
+    def _install(self, gva_page: int, hpa_page: int, size: PageSize) -> None:
+        if self.table.is_mapped(gva_page):
+            self.table.unmap(gva_page)
+        self.table.map(gva_page, hpa_page, size)
+
+    def observe_guest_updates(self) -> int:
+        """Charge VM exits for guest PTE writes since the last call.
+
+        Returns how many updates were observed.  A real VMM traps each
+        write to a write-protected guest page table; we read the guest
+        table's update counter instead.
+        """
+        current = self.guest_table.update_count
+        new_updates = current - self._synced_update_count
+        self._synced_update_count = current
+        self.stats.vm_exits += new_updates
+        self.stats.shadow_updates += new_updates
+        return new_updates
+
+    def invalidate(self) -> None:
+        """Guest CR3 write / large unmap: drop the whole shadow."""
+        self.table.clear()
+        self.stats.full_rebuilds += 1
+        self.stats.vm_exits += 1
+
+
+def shadow_slowdown_fraction(
+    pt_updates_per_mref: float,
+    ideal_cycles_per_ref: float,
+    costs: CostModel,
+) -> float:
+    """Execution-time slowdown from shadow coherence traffic.
+
+    The paper's Section IX.D observation in model form: a workload
+    issuing ``pt_updates_per_mref`` guest page-table writes per million
+    memory references pays one VM exit per write, so the slowdown over
+    native is ``updates * exit_cost / base_time``.
+    """
+    exit_cycles = pt_updates_per_mref * costs.vm_exit_cycles
+    base_cycles = 1e6 * ideal_cycles_per_ref
+    return exit_cycles / base_cycles

@@ -1,0 +1,1 @@
+"""Table V workload trace generators."""

@@ -1,0 +1,261 @@
+"""Workload model: specs, trace toolkit, and the generator base class.
+
+The paper's evaluation (Table V) runs real 60-75 GB workloads on a real
+Xeon; the only workload property its methodology consumes is the memory
+reference stream's locality (which determines TLB misses, the fractions
+F_*, and per-miss walk costs).  We therefore model each workload as a
+generator of page-granular reference traces with a documented locality
+structure, plus the scalar characteristics the side studies need:
+
+* ``ideal_cycles_per_ref`` -- calibration constant standing in for the
+  unmeasurable "execution time minus page-walk time" of the real
+  machine (the paper's T_2Mideal denominator).  Chosen per workload so
+  the native-4K overhead lands near the paper's Figure 11/12 bar.
+* ``pt_updates_per_mref`` -- guest page-table writes per million
+  references, driving the shadow-paging comparison (Section IX.D).
+* ``content_profile`` -- page-content fingerprint model for the
+  page-sharing study (Section IX.E).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.address import BASE_PAGE_SIZE
+from repro.vmm.page_sharing import ContentProfile
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Static description of one Table V workload."""
+
+    name: str
+    description: str
+    #: 'big-memory', 'compute' or 'micro' (GUPS).
+    category: str
+    #: Bytes of the primary data arena the trace references.
+    footprint_bytes: int
+    #: Cycles per memory reference of ideal (no-translation) execution.
+    ideal_cycles_per_ref: float
+    #: Guest page-table updates per million references (shadow paging).
+    pt_updates_per_mref: float
+    #: Page-content model for the KSM study.
+    content_profile: ContentProfile
+    #: Fraction of the page-table updates that remain when the guest
+    #: uses 2 MB pages (fewer PTEs to write; Section IX.D's 2M shadow
+    #: slowdowns run at ~0.38-0.40x the 4K ones).
+    pt_update_2m_factor: float = 0.39
+    #: Memory references represented by one trace entry.  Trace entries
+    #: are *page visits*; real code issues several consecutive
+    #: references into a page per visit (cache-line walks, multi-word
+    #: objects).  Consecutive same-page references cannot change TLB
+    #: state beyond the first, so the simulator probes once per entry
+    #: and scales reference counts (and ideal cycles) by this factor.
+    refs_per_entry: float = 1.0
+    #: Default trace length in page visits.
+    default_trace_length: int = 400_000
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes < BASE_PAGE_SIZE:
+            raise ValueError("footprint must be at least one page")
+        if self.ideal_cycles_per_ref <= 0:
+            raise ValueError("ideal cycles per reference must be positive")
+        if self.refs_per_entry < 1.0:
+            raise ValueError("a trace entry represents at least one reference")
+        if self.pt_updates_per_mref < 0:
+            raise ValueError("page-table update rate cannot be negative")
+        if not 0.0 < self.pt_update_2m_factor <= 1.0:
+            raise ValueError("2M update factor must be in (0, 1]")
+        if self.category not in ("big-memory", "compute", "micro"):
+            raise ValueError(f"unknown workload category {self.category!r}")
+
+    @property
+    def footprint_pages(self) -> int:
+        """4 KB pages in the data arena."""
+        return self.footprint_bytes // BASE_PAGE_SIZE
+
+
+class Workload(abc.ABC):
+    """A reproducible generator of page-reference traces."""
+
+    spec: WorkloadSpec
+
+    @abc.abstractmethod
+    def trace(self, length: int | None = None, seed: int = 0) -> np.ndarray:
+        """Generate ``length`` page references (4 KB page offsets).
+
+        Returned values are page indices in ``[0, footprint_pages)``,
+        relative to the workload's arena base; the simulator adds the
+        primary region's base page.  Deterministic for a given seed.
+        """
+
+    def __repr__(self) -> str:
+        return f"<Workload {self.spec.name}>"
+
+
+# ----------------------------------------------------------------------
+# Trace toolkit: the locality building blocks the generators compose.
+
+
+def uniform_pages(n: int, pages: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniformly random page references (GUPS-like)."""
+    return rng.integers(0, pages, size=n, dtype=np.int64)
+
+
+#: Inverse-CDF tables for truncated Zipf draws, keyed by (pages, alpha).
+#: Building the CDF is O(pages); generators draw repeatedly, so cache it.
+_ZIPF_CDF_CACHE: dict[tuple[int, float], np.ndarray] = {}
+
+
+def _zipf_cdf(pages: int, alpha: float) -> np.ndarray:
+    key = (pages, round(alpha, 6))
+    cdf = _ZIPF_CDF_CACHE.get(key)
+    if cdf is None:
+        ranks = np.arange(1, pages + 1, dtype=np.float64)
+        cdf = np.cumsum(ranks ** (-alpha))
+        cdf /= cdf[-1]
+        if len(_ZIPF_CDF_CACHE) > 32:  # bound memory across many configs
+            _ZIPF_CDF_CACHE.clear()
+        _ZIPF_CDF_CACHE[key] = cdf
+    return cdf
+
+
+def zipf_pages(
+    n: int,
+    pages: int,
+    alpha: float,
+    rng: np.random.Generator,
+    scatter: bool = True,
+) -> np.ndarray:
+    """Zipf-distributed page popularity (key-value / heap churn).
+
+    Rank-``k`` popularity proportional to ``k**-alpha``; ``scatter``
+    permutes ranks across the arena with a multiplicative hash so hot
+    pages are not spatially adjacent (as hash-table buckets are not).
+    """
+    if alpha <= 0:
+        return uniform_pages(n, pages, rng)
+    cdf = _zipf_cdf(pages, alpha)
+    draws = rng.random(n)
+    chosen = np.searchsorted(cdf, draws).astype(np.int64)
+    if scatter:
+        chosen = (chosen * np.int64(2654435761)) % np.int64(pages)
+    return chosen
+
+
+def sequential_sweep(
+    n: int, pages: int, start: int = 0, stride_pages: int = 1
+) -> np.ndarray:
+    """A streaming scan: `start, start+stride, ...` wrapping at the arena."""
+    steps = np.arange(n, dtype=np.int64) * np.int64(stride_pages)
+    return (np.int64(start) + steps) % np.int64(pages)
+
+
+def strided_pages(
+    n: int, pages: int, stride_pages: int, chains: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Interleaved large-stride chains (grid/stencil codes).
+
+    Models a stencil touching ``chains`` planes of a 3D grid: the trace
+    round-robins the chains while each advances by ``stride_pages``.
+    """
+    starts = rng.integers(0, pages, size=chains, dtype=np.int64)
+    chain_idx = np.arange(n, dtype=np.int64) % chains
+    step_idx = np.arange(n, dtype=np.int64) // chains
+    return (starts[chain_idx] + step_idx * np.int64(stride_pages)) % np.int64(pages)
+
+
+def interleave(blocks: list[np.ndarray], rng: np.random.Generator) -> np.ndarray:
+    """Concatenate trace blocks in randomized order (phase mixing)."""
+    order = rng.permutation(len(blocks))
+    return np.concatenate([blocks[i] for i in order])
+
+
+def hot_cold_pages(
+    n: int,
+    pages: int,
+    hot_pages: int,
+    hot_fraction: float,
+    rng: np.random.Generator,
+    hot_alpha: float = 0.0,
+) -> np.ndarray:
+    """A hot working set over a cold tail -- the canonical TLB regime.
+
+    ``hot_fraction`` of visits go to a ``hot_pages``-sized set scattered
+    across the arena (optionally Zipf-skewed within it); the rest are
+    uniform over the whole arena.  Hot sets comparable to the 512-entry
+    L2 TLB are what make nested-entry capacity pressure visible
+    (Section IX.A's miss inflation).
+    """
+    if hot_pages > pages:
+        raise ValueError("hot set larger than the arena")
+    if hot_alpha > 0:
+        hot_local = zipf_pages(n, hot_pages, hot_alpha, rng, scatter=False)
+    else:
+        hot_local = uniform_pages(n, hot_pages, rng)
+    # Scatter the hot set across the arena so it does not sit in one
+    # large-page-friendly clump.
+    hot = (hot_local * np.int64(2654435761)) % np.int64(pages)
+    cold = uniform_pages(n, pages, rng)
+    return mixture(n, [(hot_fraction, hot), (1.0 - hot_fraction, cold)], rng)
+
+
+def two_scale_hot_cold(
+    n: int,
+    pages: int,
+    inner_pages: int,
+    inner_fraction: float,
+    outer_pages: int,
+    outer_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Two working-set scales over a cold tail.
+
+    Real workloads rarely have a single working set: an *inner* set
+    (well inside L1 TLB reach after a few hundred pages of L2) is
+    backed by an *outer* set a few thousand pages wide that straddles
+    the 512-entry L2 TLB, plus a uniform cold tail.  The outer scale is
+    what reproduces the paper's 1.29-1.62x virtualized miss inflation:
+    natively it part-fits the L2, but nested entries sharing the array
+    (Table VI) evict it.
+    """
+    if inner_fraction + outer_fraction > 1.0:
+        raise ValueError("hot fractions exceed 1")
+    inner = (uniform_pages(n, inner_pages, rng) * np.int64(2654435761)) % np.int64(
+        pages
+    )
+    outer = (uniform_pages(n, outer_pages, rng) * np.int64(2654435789)) % np.int64(
+        pages
+    )
+    cold = uniform_pages(n, pages, rng)
+    return mixture(
+        n,
+        [
+            (inner_fraction, inner),
+            (outer_fraction, outer),
+            (1.0 - inner_fraction - outer_fraction, cold),
+        ],
+        rng,
+    )
+
+
+def mixture(
+    n: int,
+    components: list[tuple[float, np.ndarray]],
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-reference mixture: pick each reference from component ``i``
+    with probability ``weight_i`` (weights must sum to ~1)."""
+    weights = np.array([w for w, _ in components], dtype=np.float64)
+    weights /= weights.sum()
+    choice = rng.choice(len(components), size=n, p=weights)
+    out = np.empty(n, dtype=np.int64)
+    for i, (_, stream) in enumerate(components):
+        mask = choice == i
+        take = int(mask.sum())
+        if take:
+            out[mask] = stream[:take]
+    return out

@@ -1,0 +1,39 @@
+"""GUPS: the HPC Challenge random-access micro-benchmark.
+
+GUPS updates random 8-byte words of a huge table; every reference is an
+independent uniform draw over the footprint, so essentially every access
+misses every TLB level -- the worst case for address translation and the
+reason the paper plots it on its own scaled axis in Figure 11.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.address import GIB
+from repro.vmm.page_sharing import ContentProfile
+from repro.workloads.base import Workload, WorkloadSpec, uniform_pages
+
+
+class Gups(Workload):
+    """Uniform random references over the whole table."""
+
+    def __init__(self, footprint_bytes: int = 8 * GIB) -> None:
+        self.spec = WorkloadSpec(
+            name="gups",
+            description="HPCC random-access micro-benchmark (Table V)",
+            category="micro",
+            footprint_bytes=footprint_bytes,
+            # Each update is an independent DRAM access with some memory-
+            # level parallelism; most of the per-reference time is the
+            # data access itself.
+            ideal_cycles_per_ref=55.0,
+            # The table is allocated once; almost no PT churn.
+            pt_updates_per_mref=140.0,
+            content_profile=ContentProfile(zero_fraction=0.01, os_pages=4096),
+        )
+
+    def trace(self, length: int | None = None, seed: int = 0) -> np.ndarray:
+        length = length or self.spec.default_trace_length
+        rng = np.random.default_rng(seed)
+        return uniform_pages(length, self.spec.footprint_pages, rng)

@@ -1,0 +1,72 @@
+"""NPB:CG -- NAS Parallel Benchmarks conjugate gradient.
+
+CG's dominant kernel is sparse matrix-vector multiplication: the CSR
+matrix (values + column indices) streams sequentially row by row, while
+each nonzero gathers a random element of the dense vector.  The matrix
+dominates the footprint; the vector is smaller but its gathers are the
+TLB-hostile part (random over hundreds of MB).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.address import GIB
+from repro.vmm.page_sharing import ContentProfile
+from repro.workloads.base import Workload, WorkloadSpec, two_scale_hot_cold
+
+
+class NpbCg(Workload):
+    """Sequential CSR streaming with random vector gathers."""
+
+    #: Fraction of the footprint holding the sparse matrix.
+    MATRIX_FRACTION = 0.88
+    #: Share of page visits that are vector gathers (the rest stream
+    #: matrix pages sequentially).
+    GATHER_SHARE = 0.7
+    #: Two-scale reuse in the dense vector: clustered columns hit a
+    #: small set of x[] pages; the wider band straddles the L2 TLB.
+    INNER_PAGES = 150
+    INNER_FRACTION = 0.45
+    OUTER_PAGES = 2000
+    OUTER_FRACTION = 0.40
+
+    def __init__(self, footprint_bytes: int = 6 * GIB) -> None:
+        self.spec = WorkloadSpec(
+            name="npb-cg",
+            description="NAS Parallel Benchmarks conjugate gradient (Table V)",
+            category="big-memory",
+            footprint_bytes=footprint_bytes,
+            # Calibrated to the paper's Figure 11 NPB:CG native-4K bar.
+            ideal_cycles_per_ref=11.9,
+            pt_updates_per_mref=60.0,
+            content_profile=ContentProfile(zero_fraction=0.01, os_pages=8192),
+            # A matrix page visit streams the page (~64 refs); a gather
+            # reads a word or two.  Weighted by GATHER_SHARE.
+            refs_per_entry=20.0,
+        )
+
+    def trace(self, length: int | None = None, seed: int = 0) -> np.ndarray:
+        length = length or self.spec.default_trace_length
+        rng = np.random.default_rng(seed)
+        pages = self.spec.footprint_pages
+        matrix_pages = int(pages * self.MATRIX_FRACTION)
+        vector_pages = pages - matrix_pages
+
+        is_gather = rng.random(length) < self.GATHER_SHARE
+        out = np.empty(length, dtype=np.int64)
+        # Matrix page visits advance sequentially (one visit per page).
+        stream_positions = np.cumsum(~is_gather) - 1
+        sweep_start = int(rng.integers(0, matrix_pages))
+        out[~is_gather] = (sweep_start + stream_positions[~is_gather]) % matrix_pages
+        gathers = matrix_pages + two_scale_hot_cold(
+            int(is_gather.sum()),
+            vector_pages,
+            inner_pages=self.INNER_PAGES,
+            inner_fraction=self.INNER_FRACTION,
+            outer_pages=self.OUTER_PAGES,
+            outer_fraction=self.OUTER_FRACTION,
+            rng=rng,
+        )
+        out[is_gather] = gathers
+        return out

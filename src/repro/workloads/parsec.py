@@ -1,0 +1,113 @@
+"""PARSEC 3.0 multi-threaded compute workloads used by the paper.
+
+* **canneal** -- simulated-annealing chip routing: each move picks two
+  random netlist elements and evaluates swaps (near-uniform over a
+  large element array) while a hot set of frequently-contended nets and
+  the temperature/bookkeeping state is revisited constantly.
+* **streamcluster** -- online clustering: streams input points while
+  repeatedly touching the current set of cluster centers (a hot region
+  of a few MB).
+
+Trace entries are page visits; ``refs_per_entry`` carries intra-page
+reference counts (netlist elements span a few lines; a point/center
+distance computation reads a whole coordinate vector).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.address import GIB, MIB
+from repro.vmm.page_sharing import ContentProfile
+from repro.workloads.base import (
+    Workload,
+    WorkloadSpec,
+    mixture,
+    two_scale_hot_cold,
+)
+
+_PARSEC_CONTENT = ContentProfile(zero_fraction=0.03, os_pages=16384)
+
+
+class Canneal(Workload):
+    """Random element pairs over the netlist plus hot nets."""
+
+    INNER_PAGES = 150
+    INNER_FRACTION = 0.45
+    OUTER_PAGES = 2500
+    OUTER_FRACTION = 0.35
+
+    def __init__(self, footprint_bytes: int = int(1.5 * GIB)) -> None:
+        self.spec = WorkloadSpec(
+            name="canneal",
+            description="PARSEC canneal simulated annealing (native input)",
+            category="compute",
+            footprint_bytes=footprint_bytes,
+            ideal_cycles_per_ref=128.8,
+            pt_updates_per_mref=2135.0,
+            content_profile=_PARSEC_CONTENT,
+            # A netlist element and its net list span a few lines.
+            refs_per_entry=4.0,
+        )
+
+    def trace(self, length: int | None = None, seed: int = 0) -> np.ndarray:
+        length = length or self.spec.default_trace_length
+        rng = np.random.default_rng(seed)
+        return two_scale_hot_cold(
+            length,
+            self.spec.footprint_pages,
+            inner_pages=self.INNER_PAGES,
+            inner_fraction=self.INNER_FRACTION,
+            outer_pages=self.OUTER_PAGES,
+            outer_fraction=self.OUTER_FRACTION,
+            rng=rng,
+        )
+
+
+class Streamcluster(Workload):
+    """Streaming points + a hot center table."""
+
+    #: Size of the cluster-center region (straddles the L2 TLB).
+    CENTER_BYTES = 4 * MIB
+    #: Share of page visits going to centers vs streamed points.
+    CENTER_FRACTION = 0.5
+    #: Within the centers, the currently-open centers are hottest.
+    INNER_CENTER_PAGES = 128
+    INNER_CENTER_SHARE = 0.55
+
+    def __init__(self, footprint_bytes: int = 768 * MIB) -> None:
+        self.spec = WorkloadSpec(
+            name="streamcluster",
+            description="PARSEC streamcluster online clustering (native input)",
+            category="compute",
+            footprint_bytes=footprint_bytes,
+            ideal_cycles_per_ref=75.3,
+            pt_updates_per_mref=377.0,
+            content_profile=_PARSEC_CONTENT,
+            # A distance computation streams a point's full dimension
+            # vector (several lines per page visit).
+            refs_per_entry=10.0,
+        )
+
+    def trace(self, length: int | None = None, seed: int = 0) -> np.ndarray:
+        length = length or self.spec.default_trace_length
+        rng = np.random.default_rng(seed)
+        pages = self.spec.footprint_pages
+        center_pages = self.CENTER_BYTES // 4096
+        point_pages = pages - center_pages
+        # Points stream sequentially, one page visit per point block.
+        points = np.arange(length, dtype=np.int64) % np.int64(point_pages)
+        centers = point_pages + two_scale_hot_cold(
+            length,
+            center_pages,
+            inner_pages=self.INNER_CENTER_PAGES,
+            inner_fraction=self.INNER_CENTER_SHARE,
+            outer_pages=center_pages,
+            outer_fraction=1.0 - self.INNER_CENTER_SHARE,
+            rng=rng,
+        )
+        return mixture(
+            length,
+            [(1.0 - self.CENTER_FRACTION, points), (self.CENTER_FRACTION, centers)],
+            rng,
+        )

@@ -1,0 +1,56 @@
+"""Lookup of all Table V workloads by name."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.workloads.base import Workload
+from repro.workloads.graph500 import Graph500
+from repro.workloads.gups import Gups
+from repro.workloads.memcached import Memcached
+from repro.workloads.npb_cg import NpbCg
+from repro.workloads.parsec import Canneal, Streamcluster
+from repro.workloads.spec import CactusADM, GemsFDTD, Mcf, Omnetpp
+
+_FACTORIES: dict[str, Callable[[], Workload]] = {
+    "graph500": Graph500,
+    "memcached": Memcached,
+    "npb-cg": NpbCg,
+    "gups": Gups,
+    "mcf": Mcf,
+    "cactusadm": CactusADM,
+    "gemsfdtd": GemsFDTD,
+    "omnetpp": Omnetpp,
+    "canneal": Canneal,
+    "streamcluster": Streamcluster,
+}
+
+#: The paper's Figure 11 x-axis.
+BIG_MEMORY_WORKLOADS = ("graph500", "memcached", "npb-cg", "gups")
+
+#: The paper's Figure 12 x-axis.
+COMPUTE_WORKLOADS = (
+    "cactusadm",
+    "gemsfdtd",
+    "mcf",
+    "omnetpp",
+    "canneal",
+    "streamcluster",
+)
+
+ALL_WORKLOADS = BIG_MEMORY_WORKLOADS + COMPUTE_WORKLOADS
+
+
+def create_workload(name: str) -> Workload:
+    """Instantiate a workload by its Table V name."""
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_FACTORIES))
+        raise ValueError(f"unknown workload {name!r}; known: {known}") from None
+    return factory()
+
+
+def workload_names() -> tuple[str, ...]:
+    """All registered workload names."""
+    return tuple(_FACTORIES)

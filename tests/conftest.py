@@ -1,0 +1,43 @@
+"""Shared test fixtures: a tiny, fast workload for system-level tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.address import MIB
+from repro.vmm.page_sharing import ContentProfile
+from repro.workloads.base import Workload, WorkloadSpec, uniform_pages
+
+
+class TinyWorkload(Workload):
+    """A small synthetic workload so system tests build in milliseconds.
+
+    64 MB footprint with a 60/40 hot/cold split: enough pages to
+    exercise every TLB level without multi-second page-table
+    population.
+    """
+
+    def __init__(self, footprint_bytes: int = 64 * MIB) -> None:
+        self.spec = WorkloadSpec(
+            name="tiny",
+            description="test workload",
+            category="big-memory",
+            footprint_bytes=footprint_bytes,
+            ideal_cycles_per_ref=5.0,
+            pt_updates_per_mref=10.0,
+            content_profile=ContentProfile(zero_fraction=0.01, os_pages=64),
+            refs_per_entry=2.0,
+        )
+
+    def trace(self, length: int | None = None, seed: int = 0) -> np.ndarray:
+        length = length or 4000
+        rng = np.random.default_rng(seed)
+        hot = uniform_pages(length, 64, rng)
+        cold = uniform_pages(length, self.spec.footprint_pages, rng)
+        pick = rng.random(length) < 0.6
+        out = np.where(pick, hot, cold)
+        return out.astype(np.int64)
+
+
+@pytest.fixture
+def tiny_workload() -> TinyWorkload:
+    return TinyWorkload()

@@ -1,0 +1,197 @@
+"""Tests for x86-64 address arithmetic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.address import (
+    ADDRESS_SPACE_SIZE,
+    BASE_PAGE_SIZE,
+    GIB,
+    KIB,
+    MIB,
+    AddressRange,
+    PageSize,
+    align_down,
+    align_up,
+    check_canonical,
+    format_size,
+    is_aligned,
+    is_canonical,
+    page_base,
+    page_number,
+    page_offset,
+    radix_index,
+    radix_indices,
+    vpn_to_address,
+)
+
+
+class TestPageSize:
+    def test_values_are_bytes(self):
+        assert int(PageSize.SIZE_4K) == 4 * KIB
+        assert int(PageSize.SIZE_2M) == 2 * MIB
+        assert int(PageSize.SIZE_1G) == 1 * GIB
+
+    def test_bits(self):
+        assert PageSize.SIZE_4K.bits == 12
+        assert PageSize.SIZE_2M.bits == 21
+        assert PageSize.SIZE_1G.bits == 30
+
+    def test_levels_match_x86(self):
+        assert PageSize.SIZE_4K.levels == 4
+        assert PageSize.SIZE_2M.levels == 3
+        assert PageSize.SIZE_1G.levels == 2
+
+    def test_base_pages(self):
+        assert PageSize.SIZE_4K.base_pages == 1
+        assert PageSize.SIZE_2M.base_pages == 512
+        assert PageSize.SIZE_1G.base_pages == 512 * 512
+
+    def test_labels_round_trip(self):
+        for size in PageSize:
+            assert PageSize.from_label(size.label) is size
+
+    def test_from_label_case_insensitive(self):
+        assert PageSize.from_label("2m") is PageSize.SIZE_2M
+
+    def test_from_label_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown page size"):
+            PageSize.from_label("3M")
+
+
+class TestCanonical:
+    def test_bounds(self):
+        assert is_canonical(0)
+        assert is_canonical(ADDRESS_SPACE_SIZE - 1)
+        assert not is_canonical(ADDRESS_SPACE_SIZE)
+        assert not is_canonical(-1)
+
+    def test_check_returns_value(self):
+        assert check_canonical(0x1234) == 0x1234
+
+    def test_check_raises(self):
+        with pytest.raises(ValueError, match="outside 48-bit"):
+            check_canonical(1 << 48)
+
+
+class TestPageArithmetic:
+    def test_page_number_and_offset(self):
+        address = 5 * BASE_PAGE_SIZE + 123
+        assert page_number(address) == 5
+        assert page_offset(address) == 123
+        assert page_base(address) == 5 * BASE_PAGE_SIZE
+
+    def test_large_page_number(self):
+        address = 3 * GIB + 5
+        assert page_number(address, PageSize.SIZE_1G) == 3
+        assert page_offset(address, PageSize.SIZE_1G) == 5
+
+    def test_align_up_down(self):
+        assert align_up(1, PageSize.SIZE_4K) == 4096
+        assert align_up(4096, PageSize.SIZE_4K) == 4096
+        assert align_down(4097, PageSize.SIZE_4K) == 4096
+        assert is_aligned(2 * MIB, PageSize.SIZE_2M)
+        assert not is_aligned(2 * MIB + 8, PageSize.SIZE_2M)
+
+    def test_vpn_round_trip(self):
+        assert vpn_to_address(7) == 7 * 4096
+        assert page_number(vpn_to_address(7)) == 7
+
+    @given(st.integers(min_value=0, max_value=ADDRESS_SPACE_SIZE - 1))
+    def test_split_recombines(self, address):
+        for size in PageSize:
+            assert (
+                page_number(address, size) * int(size) + page_offset(address, size)
+                == address
+            )
+
+
+class TestRadixIndices:
+    def test_known_split(self):
+        # Address with distinct 9-bit groups: PML4=1, PDPT=2, PD=3, PT=4.
+        address = (1 << 39) | (2 << 30) | (3 << 21) | (4 << 12)
+        assert radix_indices(address) == (1, 2, 3, 4)
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            radix_index(0, 4)
+        with pytest.raises(ValueError):
+            radix_index(0, -1)
+
+    @given(st.integers(min_value=0, max_value=ADDRESS_SPACE_SIZE - 1))
+    def test_indices_in_range(self, address):
+        for index in radix_indices(address):
+            assert 0 <= index < 512
+
+    @given(st.integers(min_value=0, max_value=ADDRESS_SPACE_SIZE - 1))
+    def test_indices_reconstruct_page(self, address):
+        i0, i1, i2, i3 = radix_indices(address)
+        rebuilt = (i0 << 39) | (i1 << 30) | (i2 << 21) | (i3 << 12)
+        assert rebuilt == page_base(address)
+
+
+class TestAddressRange:
+    def test_contains_half_open(self):
+        r = AddressRange(100, 200)
+        assert 100 in r
+        assert 199 in r
+        assert 200 not in r
+        assert 99 not in r
+
+    def test_of_size(self):
+        r = AddressRange.of_size(0x1000, 0x2000)
+        assert r.start == 0x1000
+        assert r.end == 0x3000
+        assert r.size == 0x2000
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            AddressRange(10, 5)
+
+    def test_overlap_and_intersection(self):
+        a = AddressRange(0, 100)
+        b = AddressRange(50, 150)
+        c = AddressRange(100, 200)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)  # half-open: they only touch
+        assert a.intersection(b) == AddressRange(50, 100)
+        assert a.intersection(c) is None
+
+    def test_contains_range(self):
+        outer = AddressRange(0, 1000)
+        assert outer.contains_range(AddressRange(0, 1000))
+        assert outer.contains_range(AddressRange(10, 20))
+        assert not outer.contains_range(AddressRange(10, 1001))
+
+    def test_pages(self):
+        r = AddressRange(4096, 3 * 4096 + 1)
+        assert list(r.pages()) == [1, 2, 3]
+        assert list(AddressRange(0, 0).pages()) == []
+
+    def test_equality_and_hash(self):
+        assert AddressRange(1, 2) == AddressRange(1, 2)
+        assert hash(AddressRange(1, 2)) == hash(AddressRange(1, 2))
+        assert AddressRange(1, 2) != AddressRange(1, 3)
+
+    @given(
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_intersection_symmetric(self, s1, l1, s2, l2):
+        a = AddressRange.of_size(s1, l1)
+        b = AddressRange.of_size(s2, l2)
+        assert a.intersection(b) == b.intersection(a)
+        assert a.overlaps(b) == b.overlaps(a)
+
+
+class TestFormatSize:
+    def test_exact_units(self):
+        assert format_size(256 * MIB) == "256MB"
+        assert format_size(2 * GIB) == "2GB"
+        assert format_size(512) == "512B"
+
+    def test_fractional(self):
+        assert format_size(int(1.5 * GIB)) == "1.5GB"

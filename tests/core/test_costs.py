@@ -1,0 +1,48 @@
+"""Tests for the cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.costs import DEFAULT_COSTS, CacheLatencies, CostModel
+
+
+class TestCacheLatencies:
+    def test_expected_cycles_are_blended(self):
+        lat = CacheLatencies()
+        for depth in range(4):
+            expected = lat.expected_cycles(depth)
+            assert lat.l2_cycles <= expected <= lat.dram_cycles
+
+    def test_deeper_levels_cost_more(self):
+        # PT leaves have the largest working set, so the lowest cache
+        # residency and the highest expected latency.
+        lat = CacheLatencies()
+        costs = [lat.expected_cycles(d) for d in range(4)]
+        assert costs == sorted(costs)
+
+    def test_custom_residency(self):
+        lat = CacheLatencies(residency=((1.0, 0.0),) * 4)
+        assert lat.expected_cycles(3) == lat.l2_cycles
+
+    @given(st.integers(min_value=0, max_value=3))
+    def test_probabilities_bounded(self, depth):
+        lat = CacheLatencies()
+        l2_p, llc_p = lat.residency[depth]
+        assert 0 <= l2_p <= 1 and 0 <= llc_p <= 1 and l2_p + llc_p <= 1
+
+
+class TestCostModel:
+    def test_defaults_present(self):
+        assert DEFAULT_COSTS.base_bound_check_cycles == 1  # the paper's Delta
+        assert DEFAULT_COSTS.vm_exit_cycles > 100
+        assert DEFAULT_COSTS.l2_tlb_probe_cycles > 0
+
+    def test_pte_access_delegates(self):
+        model = CostModel()
+        for depth in range(4):
+            assert model.pte_access_cycles(depth) == model.cache.expected_cycles(depth)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COSTS.vm_exit_cycles = 1  # type: ignore[misc]

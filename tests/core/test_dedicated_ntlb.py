@@ -1,0 +1,67 @@
+"""Tests for the dedicated-nested-TLB walker option (ablation hook)."""
+
+import itertools
+
+from repro.core.address import BASE_PAGE_SIZE
+from repro.core.costs import DEFAULT_COSTS
+from repro.core.walker import NestedWalker
+from repro.mem.page_table import PageTable
+from repro.tlb.hierarchy import TLBHierarchy
+from repro.tlb.pwc import NestedTLB
+
+
+def machine(dedicated=None):
+    guest_frames = itertools.count(0x100)
+    host_frames = itertools.count(0x9000)
+    guest = PageTable(lambda: next(guest_frames))
+    nested = PageTable(lambda: next(host_frames))
+    hierarchy = TLBHierarchy()
+    walker = NestedWalker(
+        guest, nested, DEFAULT_COSTS, hierarchy, dedicated_nested_tlb=dedicated
+    )
+    return guest, nested, hierarchy, walker
+
+
+def map_2d(guest, nested, gva, gpa, hpa):
+    guest.map(gva, gpa)
+    nested.map(gpa, hpa)
+    for frame in guest.node_frames:
+        base = frame * BASE_PAGE_SIZE
+        if not nested.is_mapped(base):
+            nested.map(base, 0x100_0000_0000 + base)
+
+
+class TestDedicatedNestedTlb:
+    def test_translations_identical_either_way(self):
+        shared = machine()
+        dedicated = machine(NestedTLB())
+        for m in (shared, dedicated):
+            map_2d(m[0], m[1], 0x7000_0000, 0x2000_0000, 0x8000_0000)
+        a = shared[3].walk(0x7000_0000)
+        b = dedicated[3].walk(0x7000_0000)
+        assert a.frame == b.frame
+
+    def test_dedicated_keeps_l2_clean(self):
+        ntlb = NestedTLB()
+        guest, nested, hierarchy, walker = machine(ntlb)
+        map_2d(guest, nested, 0x7000_0000, 0x2000_0000, 0x8000_0000)
+        walker.walk(0x7000_0000)
+        # No nested insertions hit the shared L2 array.
+        assert hierarchy.nested_insertions == 0
+        # The dedicated structure holds them instead.
+        assert ntlb.lookup(0x2000_0000 // BASE_PAGE_SIZE) is not None
+
+    def test_shared_mode_pollutes_l2(self):
+        guest, nested, hierarchy, walker = machine()
+        map_2d(guest, nested, 0x7000_0000, 0x2000_0000, 0x8000_0000)
+        walker.walk(0x7000_0000)
+        assert hierarchy.nested_insertions > 0
+
+    def test_dedicated_hits_on_rewalk(self):
+        ntlb = NestedTLB()
+        guest, nested, hierarchy, walker = machine(ntlb)
+        map_2d(guest, nested, 0x7000_0000, 0x2000_0000, 0x8000_0000)
+        first = walker.walk(0x7000_0000)
+        second = walker.walk(0x7000_0000)
+        assert second.refs < first.refs or second.refs <= 1
+        assert second.frame == first.frame

@@ -1,0 +1,150 @@
+"""Tests for the escape filter (Section V)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.escape_filter import (
+    DEFAULT_FILTER_BITS,
+    DEFAULT_HASH_FUNCTIONS,
+    EscapeFilter,
+    H3Hash,
+)
+
+import random
+
+
+class TestH3Hash:
+    def test_deterministic(self):
+        h1 = H3Hash(6, random.Random(42))
+        h2 = H3Hash(6, random.Random(42))
+        for key in (0, 1, 0xDEADBEEF, (1 << 36) - 1):
+            assert h1(key) == h2(key)
+
+    def test_range(self):
+        h = H3Hash(6, random.Random(1))
+        for key in range(1000):
+            assert 0 <= h(key) < 64
+
+    def test_zero_maps_to_zero(self):
+        # GF(2)-linearity: the zero key XORs no rows.
+        h = H3Hash(8, random.Random(7))
+        assert h(0) == 0
+
+    def test_linearity(self):
+        # H3 is linear over GF(2): h(a ^ b) == h(a) ^ h(b).
+        h = H3Hash(6, random.Random(3))
+        for a, b in [(5, 9), (1234, 5678), (0xFFFF, 0xF0F0)]:
+            assert h(a ^ b) == h(a) ^ h(b)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(ValueError):
+            H3Hash(0, random.Random(0))
+
+
+class TestEscapeFilter:
+    def test_default_geometry(self):
+        f = EscapeFilter()
+        assert f.total_bits == DEFAULT_FILTER_BITS
+        assert f.num_hashes == DEFAULT_HASH_FUNCTIONS
+        assert f.bank_bits == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError, match="not divisible"):
+            EscapeFilter(total_bits=100, num_hashes=3)
+        with pytest.raises(ValueError, match="power of two"):
+            EscapeFilter(total_bits=96, num_hashes=2)
+
+    def test_no_false_negatives(self):
+        f = EscapeFilter()
+        pages = [3, 77, 1 << 20, (1 << 36) - 1]
+        for p in pages:
+            f.insert(p)
+        for p in pages:
+            assert f.may_contain(p)
+
+    def test_empty_filter_rejects_everything(self):
+        f = EscapeFilter()
+        assert not any(f.may_contain(p) for p in range(10_000))
+
+    def test_false_positive_rate_with_16_pages(self):
+        # The paper's design point: 256 bits / 4 hashes / 16 bad pages
+        # keeps false positives rare enough to be performance-neutral.
+        f = EscapeFilter()
+        rng = random.Random(0)
+        inserted = rng.sample(range(1 << 30), 16)
+        for p in inserted:
+            f.insert(p)
+        rate = f.false_positive_rate(range(200_000))
+        # Analytic expectation ~ (1 - (1 - 1/64)^16)^4 ~ 0.24%.
+        assert rate < 0.02
+
+    def test_is_false_positive(self):
+        f = EscapeFilter()
+        inserted = list(range(1000, 1016))  # 16 pages: FP rate ~0.24%
+        for p in inserted:
+            f.insert(p)
+        assert not f.is_false_positive(inserted[0])  # genuinely inserted
+        fp = next(
+            p
+            for p in range(1 << 20)
+            if p not in f.inserted_pages and f.may_contain(p)
+        )
+        assert f.is_false_positive(fp)
+
+    def test_inserted_pages_ground_truth(self):
+        f = EscapeFilter()
+        f.insert(1)
+        f.insert(2)
+        assert f.inserted_pages == frozenset({1, 2})
+        assert len(f) == 2
+
+    def test_clear(self):
+        f = EscapeFilter()
+        f.insert(99)
+        f.clear()
+        assert not f.may_contain(99)
+        assert len(f) == 0
+
+    def test_save_restore(self):
+        # Section V: the filter is context state, saved with the
+        # segment registers.
+        f = EscapeFilter()
+        f.insert(7)
+        state = f.save()
+        f.clear()
+        f.insert(1234)
+        f.restore(state)
+        assert f.may_contain(7)
+        assert 7 in f.inserted_pages
+        assert 1234 not in f.inserted_pages
+
+    def test_seed_changes_hashes(self):
+        a = EscapeFilter(seed=1)
+        b = EscapeFilter(seed=2)
+        a.insert(123456)
+        b.insert(123456)
+        assert a.save()[0] != b.save()[0]
+
+    @settings(max_examples=50)
+    @given(st.sets(st.integers(min_value=0, max_value=(1 << 36) - 1), max_size=32))
+    def test_membership_superset_invariant(self, pages):
+        f = EscapeFilter()
+        for p in pages:
+            f.insert(p)
+        assert all(f.may_contain(p) for p in pages)
+
+    @settings(max_examples=20)
+    @given(
+        st.sets(st.integers(min_value=0, max_value=(1 << 36) - 1), max_size=16),
+        st.integers(min_value=0, max_value=(1 << 36) - 1),
+    )
+    def test_save_restore_identity(self, pages, probe):
+        f = EscapeFilter()
+        for p in pages:
+            f.insert(p)
+        before = f.may_contain(probe)
+        state = f.save()
+        f.clear()
+        f.restore(state)
+        assert f.may_contain(probe) == before

@@ -1,0 +1,156 @@
+"""Tests for the MMU flow (native modes, counters, fault handling)."""
+
+import itertools
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB, AddressRange, PageSize
+from repro.core.costs import DEFAULT_COSTS
+from repro.core.escape_filter import EscapeFilter
+from repro.core.modes import TranslationMode
+from repro.core.mmu import CASE_GUEST_ONLY, MMU, MMUCounters
+from repro.core.segments import SegmentRegisters
+from repro.core.walker import DirectSegmentWalker, NativeWalker, TranslationFault
+from repro.mem.page_table import PageTable
+from repro.tlb.hierarchy import TLBHierarchy
+
+
+def native_machine(segment=None, escape=None):
+    frames = itertools.count(0x1000)
+    table = PageTable(lambda: next(frames))
+    hierarchy = TLBHierarchy()
+    if segment is not None:
+        walker = DirectSegmentWalker(table, DEFAULT_COSTS, segment, escape)
+        mode = TranslationMode.NATIVE_DIRECT_SEGMENT
+    else:
+        walker = NativeWalker(table, DEFAULT_COSTS)
+        mode = TranslationMode.NATIVE
+
+    def fault(va):
+        page = va & ~0xFFF
+        table.map(page, 0x40_0000_0000 + page)
+
+    mmu = MMU(mode, hierarchy, walker, on_guest_fault=fault)
+    return mmu, table
+
+
+class TestNativeFlow:
+    def test_miss_walk_then_hits(self):
+        mmu, table = native_machine()
+        va = 0x7000_1000
+        frame = mmu.access(va)
+        assert mmu.counters.walks == 1
+        assert mmu.access(va) == frame
+        assert mmu.counters.l1_hits == 1
+
+    def test_l2_backs_up_l1(self):
+        mmu, table = native_machine()
+        # Fill well past L1 (64 entries) but within L2 (512).
+        for i in range(200):
+            mmu.access(0x7000_0000 + i * BASE_PAGE_SIZE)
+        walks_before = mmu.counters.walks
+        for i in range(200):
+            mmu.access(0x7000_0000 + i * BASE_PAGE_SIZE)
+        # Second pass served by L1+L2, almost no new walks.
+        assert mmu.counters.walks - walks_before < 10
+
+    def test_mode_walker_mismatch_rejected(self):
+        frames = itertools.count(0x1000)
+        table = PageTable(lambda: next(frames))
+        walker = NativeWalker(table, DEFAULT_COSTS)
+        with pytest.raises(ValueError, match="walker type"):
+            MMU(TranslationMode.BASE_VIRTUALIZED, TLBHierarchy(), walker)
+
+    def test_unhandled_fault_propagates(self):
+        frames = itertools.count(0x1000)
+        table = PageTable(lambda: next(frames))
+        mmu = MMU(
+            TranslationMode.NATIVE,
+            TLBHierarchy(),
+            NativeWalker(table, DEFAULT_COSTS),
+        )
+        with pytest.raises(TranslationFault):
+            mmu.access(0x1234)
+
+    def test_touch_does_not_count(self):
+        mmu, table = native_machine()
+        mmu.touch(0x7000_0000)
+        fresh = MMUCounters()
+        assert mmu.counters.accesses == fresh.accesses == 0
+
+    def test_counters_reset(self):
+        mmu, table = native_machine()
+        mmu.access(0x7000_0000)
+        mmu.counters.reset()
+        assert mmu.counters.accesses == 0
+        assert mmu.counters.walks == 0
+        assert mmu.counters.walks_by_case[CASE_GUEST_ONLY] == 0
+
+
+class TestDirectSegmentMode:
+    SEG = SegmentRegisters.mapping(AddressRange.of_size(16 * GIB, 64 * MIB), 1 * GIB)
+
+    def test_covered_address_costs_nothing(self):
+        mmu, table = native_machine(segment=self.SEG)
+        va = 16 * GIB + 5 * BASE_PAGE_SIZE
+        frame = mmu.access(va)
+        assert frame == self.SEG.translate(va) // BASE_PAGE_SIZE
+        assert mmu.counters.walks == 0
+        assert mmu.counters.segment_l2_parallel_hits == 1
+        assert mmu.counters.translation_cycles == 0.0
+
+    def test_uncovered_address_walks(self):
+        mmu, table = native_machine(segment=self.SEG)
+        mmu.access(0x7000_0000)
+        assert mmu.counters.walks == 1
+
+    def test_escaped_page_falls_back_to_paging(self):
+        escape = EscapeFilter()
+        victim_page = (16 * GIB) // BASE_PAGE_SIZE + 3
+        escape.insert(victim_page)
+        mmu, table = native_machine(segment=self.SEG, escape=escape)
+        va = victim_page * BASE_PAGE_SIZE
+        frame = mmu.access(va)
+        # Served by the paging path (fault handler's mapping), not the
+        # segment computation.
+        assert frame == (0x40_0000_0000 + va) // BASE_PAGE_SIZE
+        assert mmu.counters.walks == 1
+
+    def test_classification_counts_ds_hits(self):
+        mmu, table = native_machine(segment=self.SEG)
+        mmu.access(16 * GIB)
+        assert mmu.counters.miss_fraction(CASE_GUEST_ONLY) == 1.0
+
+
+class TestCounters:
+    def test_cycles_per_walk(self):
+        c = MMUCounters()
+        assert c.cycles_per_walk == 0.0
+        c.walks = 4
+        c.walk_cycles = 100.0
+        assert c.cycles_per_walk == 25.0
+
+    def test_classified_events(self):
+        c = MMUCounters()
+        c.walks = 3
+        c.dual_direct_hits = 2
+        c.segment_l2_parallel_hits = 1
+        assert c.classified_events == 6
+
+    def test_miss_fraction_empty(self):
+        assert MMUCounters().miss_fraction(CASE_GUEST_ONLY) == 0.0
+
+    def test_translation_cycles_sums_terms(self):
+        c = MMUCounters()
+        c.walk_cycles = 10.0
+        c.check_cycles = 2.0
+        assert c.translation_cycles == 12.0
+
+
+class TestFlush:
+    def test_flush_tlbs_forces_rewalk(self):
+        mmu, table = native_machine()
+        mmu.access(0x7000_0000)
+        mmu.flush_tlbs()
+        mmu.access(0x7000_0000)
+        assert mmu.counters.walks == 2

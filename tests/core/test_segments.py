@@ -1,0 +1,98 @@
+"""Tests for the direct-segment register file."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.address import GIB, MIB, AddressRange
+from repro.core.segments import SegmentFault, SegmentFile, SegmentRegisters
+
+
+class TestSegmentRegisters:
+    def test_disabled_encoding(self):
+        regs = SegmentRegisters.disabled()
+        assert not regs.enabled
+        assert regs.size == 0
+        assert not regs.covers(0)
+
+    def test_base_equal_limit_disables(self):
+        # The paper's trick: BASE == LIMIT nullifies a register set.
+        regs = SegmentRegisters(base=GIB, limit=GIB, offset=123 * MIB)
+        assert not regs.enabled
+
+    def test_mapping_constructor(self):
+        regs = SegmentRegisters.mapping(AddressRange(4 * GIB, 6 * GIB), 1 * GIB)
+        assert regs.base == 4 * GIB
+        assert regs.limit == 6 * GIB
+        assert regs.offset == 1 * GIB - 4 * GIB
+
+    def test_translate_by_addition(self):
+        regs = SegmentRegisters(base=0x1000, limit=0x3000, offset=0x10000)
+        assert regs.translate(0x1000) == 0x11000
+        assert regs.translate(0x2FFF) == 0x12FFF
+
+    def test_translate_outside_faults(self):
+        regs = SegmentRegisters(base=0x1000, limit=0x3000, offset=0x10000)
+        with pytest.raises(SegmentFault):
+            regs.translate(0x3000)
+        with pytest.raises(SegmentFault):
+            regs.translate(0xFFF)
+
+    def test_covers_is_half_open(self):
+        regs = SegmentRegisters(base=100, limit=200, offset=0)
+        assert regs.covers(100)
+        assert regs.covers(199)
+        assert not regs.covers(200)
+
+    def test_negative_offset(self):
+        # Physical range below the virtual range is legitimate.
+        regs = SegmentRegisters.mapping(AddressRange(4 * GIB, 5 * GIB), 1 * GIB)
+        assert regs.offset < 0
+        assert regs.translate(4 * GIB) == 1 * GIB
+
+    def test_rejects_inverted_limit(self):
+        with pytest.raises(ValueError, match="LIMIT"):
+            SegmentRegisters(base=100, limit=50, offset=0)
+
+    def test_rejects_offset_below_zero(self):
+        with pytest.raises(ValueError, match="below address zero"):
+            SegmentRegisters(base=GIB, limit=2 * GIB, offset=-2 * GIB)
+
+    def test_ranges(self):
+        regs = SegmentRegisters.mapping(AddressRange(0x10000, 0x20000), 0x50000)
+        assert regs.virtual_range == AddressRange(0x10000, 0x20000)
+        assert regs.physical_range == AddressRange(0x50000, 0x60000)
+
+    @given(
+        st.integers(min_value=0, max_value=2**40),
+        st.integers(min_value=1, max_value=2**30),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    def test_translation_preserves_offsets(self, base, size, phys):
+        regs = SegmentRegisters.mapping(AddressRange.of_size(base, size), phys)
+        for delta in (0, size // 2, size - 1):
+            assert regs.translate(base + delta) == phys + delta
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_unchecked_matches_checked_inside(self, delta):
+        regs = SegmentRegisters(base=0, limit=2**41, offset=2**20)
+        assert regs.translate(delta) == regs.translate_unchecked(delta)
+
+
+class TestSegmentFile:
+    def test_all_disabled(self):
+        sf = SegmentFile.all_disabled()
+        assert not sf.guest.enabled
+        assert not sf.vmm.enabled
+
+    def test_save_restore_round_trip(self):
+        sf = SegmentFile(
+            guest=SegmentRegisters(0, 100, 5),
+            vmm=SegmentRegisters(0, 200, 7),
+        )
+        saved = sf.save()
+        sf.guest = SegmentRegisters.disabled()
+        sf.vmm = SegmentRegisters.disabled()
+        sf.restore(saved)
+        assert sf.guest == SegmentRegisters(0, 100, 5)
+        assert sf.vmm == SegmentRegisters(0, 200, 7)

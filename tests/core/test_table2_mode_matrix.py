@@ -1,0 +1,164 @@
+"""Table II verification: the mode trade-off matrix and walk arithmetic."""
+
+import pytest
+
+from repro.core.address import PageSize
+from repro.core.modes import (
+    MODE_PROPERTIES,
+    TranslationMode,
+    base_bound_checks,
+    walk_references,
+)
+
+
+class TestTable2Matrix:
+    """Assert the exact rows of Table II."""
+
+    def test_walk_dimensions(self):
+        assert MODE_PROPERTIES[TranslationMode.BASE_VIRTUALIZED].walk_dimensions == 2
+        assert MODE_PROPERTIES[TranslationMode.DUAL_DIRECT].walk_dimensions == 0
+        assert MODE_PROPERTIES[TranslationMode.VMM_DIRECT].walk_dimensions == 1
+        assert MODE_PROPERTIES[TranslationMode.GUEST_DIRECT].walk_dimensions == 1
+
+    def test_memory_accesses_row(self):
+        accesses = {
+            mode: props.walk_memory_accesses
+            for mode, props in MODE_PROPERTIES.items()
+        }
+        assert accesses[TranslationMode.BASE_VIRTUALIZED] == 24
+        assert accesses[TranslationMode.DUAL_DIRECT] == 0
+        assert accesses[TranslationMode.VMM_DIRECT] == 4
+        assert accesses[TranslationMode.GUEST_DIRECT] == 4
+
+    def test_base_bound_checks_row(self):
+        checks = {
+            mode: props.base_bound_checks for mode, props in MODE_PROPERTIES.items()
+        }
+        assert checks[TranslationMode.BASE_VIRTUALIZED] == 0
+        assert checks[TranslationMode.DUAL_DIRECT] == 1
+        assert checks[TranslationMode.VMM_DIRECT] == 5
+        assert checks[TranslationMode.GUEST_DIRECT] == 1
+
+    def test_modification_rows(self):
+        base = MODE_PROPERTIES[TranslationMode.BASE_VIRTUALIZED]
+        assert not base.guest_os_modifications and not base.vmm_modifications
+        dd = MODE_PROPERTIES[TranslationMode.DUAL_DIRECT]
+        assert dd.guest_os_modifications and dd.vmm_modifications
+        vd = MODE_PROPERTIES[TranslationMode.VMM_DIRECT]
+        assert not vd.guest_os_modifications and vd.vmm_modifications
+        gd = MODE_PROPERTIES[TranslationMode.GUEST_DIRECT]
+        assert gd.guest_os_modifications and not gd.vmm_modifications
+
+    def test_application_category_row(self):
+        assert MODE_PROPERTIES[TranslationMode.BASE_VIRTUALIZED].application_category == "any"
+        assert MODE_PROPERTIES[TranslationMode.VMM_DIRECT].application_category == "any"
+        assert (
+            MODE_PROPERTIES[TranslationMode.DUAL_DIRECT].application_category
+            == "big memory"
+        )
+        assert (
+            MODE_PROPERTIES[TranslationMode.GUEST_DIRECT].application_category
+            == "big memory"
+        )
+
+    def test_memory_management_rows(self):
+        base = MODE_PROPERTIES[TranslationMode.BASE_VIRTUALIZED]
+        assert base.page_sharing == "unrestricted"
+        assert base.ballooning == "unrestricted"
+        gd = MODE_PROPERTIES[TranslationMode.GUEST_DIRECT]
+        assert gd.page_sharing == "unrestricted"
+        assert gd.vmm_swapping == "unrestricted"
+        assert gd.guest_swapping == "limited"
+        vd = MODE_PROPERTIES[TranslationMode.VMM_DIRECT]
+        assert vd.page_sharing == "limited"
+        assert vd.guest_swapping == "unrestricted"
+        dd = MODE_PROPERTIES[TranslationMode.DUAL_DIRECT]
+        assert dd.page_sharing == "limited"
+        assert dd.guest_swapping == "limited"
+
+
+class TestWalkReferences:
+    """The Figure 2 reference-count arithmetic, generalized."""
+
+    def test_paper_headline_numbers(self):
+        assert walk_references(TranslationMode.NATIVE) == 4
+        assert walk_references(TranslationMode.BASE_VIRTUALIZED) == 24
+        assert walk_references(TranslationMode.VMM_DIRECT) == 4
+        assert walk_references(TranslationMode.GUEST_DIRECT) == 4
+        assert walk_references(TranslationMode.DUAL_DIRECT) == 0
+
+    def test_large_guest_pages_shrink_the_walk(self):
+        assert walk_references(TranslationMode.NATIVE, PageSize.SIZE_2M) == 3
+        assert walk_references(TranslationMode.NATIVE, PageSize.SIZE_1G) == 2
+        # 2M guest over 4K nested: 3 * (4 + 1) + 4 = 19.
+        assert (
+            walk_references(
+                TranslationMode.BASE_VIRTUALIZED, PageSize.SIZE_2M, PageSize.SIZE_4K
+            )
+            == 19
+        )
+        # 4K guest over 2M nested: 4 * (3 + 1) + 3 = 19.
+        assert (
+            walk_references(
+                TranslationMode.BASE_VIRTUALIZED, PageSize.SIZE_4K, PageSize.SIZE_2M
+            )
+            == 19
+        )
+        # 1G both: 2 * 3 + 2 = 8.
+        assert (
+            walk_references(
+                TranslationMode.BASE_VIRTUALIZED, PageSize.SIZE_1G, PageSize.SIZE_1G
+            )
+            == 8
+        )
+
+    def test_vmm_direct_tracks_guest_levels(self):
+        assert walk_references(TranslationMode.VMM_DIRECT, PageSize.SIZE_2M) == 3
+
+    def test_guest_direct_tracks_nested_levels(self):
+        assert (
+            walk_references(
+                TranslationMode.GUEST_DIRECT, PageSize.SIZE_4K, PageSize.SIZE_2M
+            )
+            == 3
+        )
+
+
+class TestBaseBoundChecks:
+    def test_paper_deltas(self):
+        # Delta_VD = 5 and Delta_GD = 1 (Section VII).
+        assert base_bound_checks(TranslationMode.VMM_DIRECT) == 5
+        assert base_bound_checks(TranslationMode.GUEST_DIRECT) == 1
+        assert base_bound_checks(TranslationMode.DUAL_DIRECT) == 1
+        assert base_bound_checks(TranslationMode.BASE_VIRTUALIZED) == 0
+        assert base_bound_checks(TranslationMode.NATIVE) == 0
+
+    def test_vmm_direct_with_large_guest_pages(self):
+        # 2M guest walk: 3 PTE pointers + final gPA = 4 checks.
+        assert base_bound_checks(TranslationMode.VMM_DIRECT, PageSize.SIZE_2M) == 4
+
+
+class TestModeFlags:
+    def test_virtualized_flags(self):
+        assert not TranslationMode.NATIVE.virtualized
+        assert not TranslationMode.NATIVE_DIRECT_SEGMENT.virtualized
+        for mode in (
+            TranslationMode.BASE_VIRTUALIZED,
+            TranslationMode.DUAL_DIRECT,
+            TranslationMode.VMM_DIRECT,
+            TranslationMode.GUEST_DIRECT,
+        ):
+            assert mode.virtualized
+
+    def test_segment_usage_flags(self):
+        assert TranslationMode.DUAL_DIRECT.uses_guest_segment
+        assert TranslationMode.DUAL_DIRECT.uses_vmm_segment
+        assert TranslationMode.VMM_DIRECT.uses_vmm_segment
+        assert not TranslationMode.VMM_DIRECT.uses_guest_segment
+        assert TranslationMode.GUEST_DIRECT.uses_guest_segment
+        assert not TranslationMode.GUEST_DIRECT.uses_vmm_segment
+        assert TranslationMode.NATIVE_DIRECT_SEGMENT.uses_guest_segment
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            walk_references("bogus")  # type: ignore[arg-type]

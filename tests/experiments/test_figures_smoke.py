@@ -1,0 +1,125 @@
+"""Smoke tests for the figure/table experiment modules (tiny scale).
+
+The benchmarks exercise these at paper scale; here each experiment is
+driven at miniature scale so plain `pytest tests/` validates the whole
+harness quickly.
+"""
+
+import pytest
+
+from repro.experiments import (
+    breakdown,
+    energy,
+    figure01,
+    figure11,
+    figure12,
+    figure13,
+    shadow,
+    table4_models,
+)
+
+TINY = 5_000
+
+
+class TestFigure11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure11.run(
+            trace_length=TINY,
+            workloads=("gups",),
+            configs=("4K", "4K+4K", "DD"),
+        )
+
+    def test_grid_complete(self, result):
+        assert len(result.grid.results) == 3
+
+    def test_series(self, result):
+        series = dict(result.series("gups"))
+        assert set(series) == {"4K", "4K+4K", "DD"}
+        assert series["DD"] < series["4K"] < series["4K+4K"]
+
+    def test_format(self, result):
+        text = figure11.format_figure(result)
+        assert "gups" in text and "4K+4K" in text
+
+    def test_paper_reference_table_sane(self):
+        for (workload, config), value in figure11.PAPER_REFERENCE.items():
+            assert workload == "graph500"
+            assert value >= 0
+
+
+class TestFigure12:
+    def test_tiny_run(self):
+        result = figure12.run(
+            trace_length=TINY, workloads=("omnetpp",), configs=("4K", "THP")
+        )
+        assert figure12.format_figure(result)
+        series = dict(result.series("omnetpp"))
+        assert series["THP"] <= series["4K"] * 1.5
+
+
+class TestFigure01:
+    def test_preview_is_subset_of_figure11(self):
+        assert set(figure01.PREVIEW_CONFIGS) < set(figure11.FIGURE11_CONFIGS)
+
+
+class TestFigure13:
+    def test_tiny_run(self):
+        result = figure13.run(
+            trace_length=3_000,
+            workloads=("gups",),
+            bad_counts=(1,),
+            trials=2,
+        )
+        point = result.point("gups", 1)
+        assert len(point.samples) == 2
+        assert 0.99 < point.mean < 1.05
+        assert figure13.format_figure(result)
+
+    def test_point_lookup_missing(self):
+        result = figure13.run(
+            trace_length=3_000, workloads=("gups",), bad_counts=(1,), trials=1
+        )
+        with pytest.raises(KeyError):
+            result.point("gups", 99)
+
+    def test_ci_of_single_sample_is_zero(self):
+        result = figure13.run(
+            trace_length=3_000, workloads=("gups",), bad_counts=(1,), trials=1
+        )
+        assert result.point("gups", 1).ci95 == 0.0
+
+
+class TestBreakdown:
+    def test_tiny_run(self):
+        result = breakdown.run(trace_length=TINY, workloads=("gups",))
+        row = result.rows[0]
+        assert row.workload == "gups"
+        assert row.dd_l2_miss_reduction > 0.9
+        assert breakdown.format_breakdown(result)
+
+
+class TestShadow:
+    def test_tiny_run(self):
+        result = shadow.run(trace_length=TINY, workloads=("memcached", "gups"))
+        by_name = {r.workload: r for r in result.rows}
+        assert by_name["memcached"].shadow_category == 1
+        assert by_name["gups"].shadow_category == 2
+        assert shadow.format_comparison(result)
+
+
+class TestEnergy:
+    def test_tiny_run(self):
+        result = energy.run(trace_length=TINY, workloads=("gups",))
+        row = result.rows[0]
+        assert row.dd_dynamic.total < row.base_dynamic.total
+        assert energy.format_energy(result)
+
+
+class TestTable4:
+    def test_tiny_run(self):
+        result = table4_models.run(trace_length=TINY, workloads=("gups",))
+        assert len(result.comparisons) == 4
+        assert table4_models.format_comparison(result)
+        dd = next(c for c in result.comparisons if c.design == "Dual Direct")
+        assert dd.predicted_cycles == pytest.approx(0.0, abs=1.0)

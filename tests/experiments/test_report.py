@@ -1,0 +1,74 @@
+"""Tests for the JSON report serializer."""
+
+import json
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.experiments import report
+from repro.core.modes import TranslationMode
+
+
+@dataclass
+class Inner:
+    count: int
+    label: str
+
+    @property
+    def doubled(self) -> int:
+        return 2 * self.count
+
+
+@dataclass
+class Outer:
+    inner: Inner
+    values: list = field(default_factory=lambda: [1, 2.5, "x", None])
+    mode: TranslationMode = TranslationMode.DUAL_DIRECT
+    mapping: dict = field(default_factory=lambda: {("a", 1): True})
+    _private: int = 7
+
+
+class TestToJsonable:
+    def test_dataclass_fields(self):
+        out = report.to_jsonable(Outer(Inner(3, "hi")))
+        assert out["inner"]["count"] == 3
+        assert out["inner"]["label"] == "hi"
+
+    def test_properties_included(self):
+        out = report.to_jsonable(Inner(3, "hi"))
+        assert out["doubled"] == 6
+
+    def test_enums_become_values(self):
+        out = report.to_jsonable(Outer(Inner(1, "a")))
+        assert out["mode"] == "dual-direct"
+
+    def test_private_fields_excluded(self):
+        out = report.to_jsonable(Outer(Inner(1, "a")))
+        assert "_private" not in out
+
+    def test_dict_keys_stringified(self):
+        out = report.to_jsonable(Outer(Inner(1, "a")))
+        assert list(out["mapping"]) == ["('a', 1)"]
+
+    def test_scalars_pass_through(self):
+        for value in (1, 2.5, "x", True, None):
+            assert report.to_jsonable(value) == value
+
+    def test_collections(self):
+        assert report.to_jsonable((1, 2)) == [1, 2]
+        assert sorted(report.to_jsonable({3, 1})) == [1, 3]
+
+
+class TestDumps:
+    def test_round_trips_through_json(self):
+        text = report.dumps(Outer(Inner(3, "hi")))
+        parsed = json.loads(text)
+        assert parsed["inner"]["doubled"] == 6
+
+    def test_real_experiment_result_serializes(self):
+        from repro.experiments import sharing
+
+        result = sharing.run(workloads=("gups",))
+        parsed = json.loads(report.dumps(result))
+        assert parsed["pairs"][0]["workload_a"] == "gups"
+        assert 0 <= parsed["max_savings"] < 1

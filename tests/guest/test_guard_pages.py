@@ -1,0 +1,104 @@
+"""Tests for guest-level escapes: guard pages inside a direct segment.
+
+Section V's second use of the escape filter: "a limited number of pages
+with different protection, such as guard pages", escaped at the guest
+level so the guest OS controls them.
+"""
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB
+from repro.guest.guest_os import GuestOS
+from repro.mem.physical_layout import PhysicalLayout
+from repro.sim.config import parse_config
+from repro.sim.system import build_system
+
+
+def segmented_process():
+    guest = GuestOS(PhysicalLayout(2 * GIB))
+    process = guest.spawn()
+    process.mmap(128 * MIB, is_primary_region=True)
+    guest.create_guest_segment(process)
+    return guest, process
+
+
+class TestEscapeGuardPage:
+    def test_guard_page_enters_the_filter(self):
+        guest, process = segmented_process()
+        gva = process.primary_region.range.start + 10 * BASE_PAGE_SIZE
+        guest.escape_guard_page(process, gva)
+        assert process.guest_escape_filter.may_contain(gva // BASE_PAGE_SIZE)
+
+    def test_guard_page_pte_preserves_placement(self):
+        # The PTE reproduces the segment's computed gPA, so the page's
+        # data is where the segment would have put it -- only the
+        # permissions differ.
+        guest, process = segmented_process()
+        gva = process.primary_region.range.start + 5 * BASE_PAGE_SIZE
+        guest.escape_guard_page(process, gva)
+        table = guest.page_table_of(process)
+        assert table.translate(gva) == process.guest_segment.translate(gva)
+        walked = table.walk(gva)
+        assert not walked.steps[-1].entry.writable
+
+    def test_outside_segment_rejected(self):
+        guest, process = segmented_process()
+        other = process.mmap(4 * MIB)
+        with pytest.raises(ValueError, match="not inside the guest segment"):
+            guest.escape_guard_page(process, other.range.start)
+
+    def test_requires_segment(self):
+        guest = GuestOS(PhysicalLayout(1 * GIB))
+        process = guest.spawn()
+        process.mmap(16 * MIB, is_primary_region=True)
+        with pytest.raises(ValueError):
+            guest.escape_guard_page(process, process.primary_region.range.start)
+
+
+class TestGuardPagesEndToEnd:
+    def test_guarded_page_still_translates_correctly(self, tiny_workload):
+        system = build_system(parse_config("4K+GD"), tiny_workload.spec)
+        process = system.process
+        guest = system.guest_os
+        gva = process.primary_region.range.start + 7 * BASE_PAGE_SIZE
+
+        # Translation before guarding (via the segment fast path).
+        before = system.mmu.access(gva)
+
+        guest.escape_guard_page(process, gva)
+        system.mmu.flush_tlbs()
+        after = system.mmu.access(gva)
+        # Escaping must not move the data: same host frame either way.
+        assert after == before
+
+    def test_guarded_page_takes_the_paging_path(self, tiny_workload):
+        system = build_system(parse_config("4K+GD"), tiny_workload.spec)
+        process = system.process
+        gva = process.primary_region.range.start + 3 * BASE_PAGE_SIZE
+        system.guest_os.escape_guard_page(process, gva)
+        system.mmu.flush_tlbs()
+        system.mmu.counters.reset()
+        system.mmu.access(gva)
+        # The walk could not use the guest segment for this page.
+        c = system.mmu.counters
+        assert c.walks == 1
+        assert c.walks_by_case["guest_only"] == 0
+
+    def test_unguarded_neighbours_keep_the_fast_path(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        process = system.process
+        base = process.primary_region.range.start
+        system.guest_os.escape_guard_page(process, base + 2 * BASE_PAGE_SIZE)
+        system.mmu.flush_tlbs()
+        system.mmu.counters.reset()
+        # A non-escaped, non-false-positive neighbour still resolves by
+        # the Dual Direct fast path.
+        neighbour = next(
+            base + i * BASE_PAGE_SIZE
+            for i in range(4, 64)
+            if not process.guest_escape_filter.may_contain(
+                (base + i * BASE_PAGE_SIZE) // BASE_PAGE_SIZE
+            )
+        )
+        system.mmu.access(neighbour)
+        assert system.mmu.counters.dual_direct_hits == 1

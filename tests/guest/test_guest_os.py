@@ -1,0 +1,215 @@
+"""Tests for the guest OS: demand paging, segments, THP, emulation."""
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB, AddressRange, PageSize
+from repro.guest.guest_os import GuestOS, GuestOSConfig, SegmentCreationError
+from repro.mem.physical_layout import PhysicalLayout
+
+
+def make_os(memory=2 * GIB, **config) -> GuestOS:
+    return GuestOS(PhysicalLayout(memory), GuestOSConfig(**config))
+
+
+class TestProcesses:
+    def test_spawn_creates_table(self):
+        os = make_os()
+        p1, p2 = os.spawn(), os.spawn()
+        assert p1.pid != p2.pid
+        assert os.page_table_of(p1) is not os.page_table_of(p2)
+
+    def test_mmap_lays_out_regions(self):
+        os = make_os()
+        p = os.spawn()
+        a = p.mmap(64 * MIB)
+        b = p.mmap(32 * MIB)
+        assert not a.range.overlaps(b.range)
+        assert p.vma_at(a.range.start) is a
+        assert p.vma_at(b.range.end - 1) is b
+        assert p.vma_at(b.range.end) is None
+
+    def test_primary_region(self):
+        os = make_os()
+        p = os.spawn()
+        assert p.primary_region is None
+        vma = p.mmap(128 * MIB, is_primary_region=True)
+        assert p.primary_region is vma
+        assert p.mapped_bytes == 128 * MIB
+
+
+class TestDemandPaging:
+    def test_fault_installs_mapping(self):
+        os = make_os()
+        p = os.spawn()
+        vma = p.mmap(16 * MIB)
+        table = os.page_table_of(p)
+        va = vma.range.start + 5 * BASE_PAGE_SIZE
+        os.handle_page_fault(p, va)
+        assert table.is_mapped(va)
+        assert os.minor_faults == 1
+
+    def test_fault_outside_vma_is_segv(self):
+        os = make_os()
+        p = os.spawn()
+        with pytest.raises(MemoryError, match="SEGV"):
+            os.handle_page_fault(p, 0x1234)
+
+    def test_page_size_preference(self):
+        os = make_os()
+        p = os.spawn(page_size=PageSize.SIZE_2M)
+        vma = p.mmap(64 * MIB)
+        os.handle_page_fault(p, vma.range.start)
+        walked = os.page_table_of(p).walk(vma.range.start)
+        assert walked.page_size is PageSize.SIZE_2M
+
+    def test_1g_pages(self):
+        os = make_os(memory=6 * GIB)
+        p = os.spawn(page_size=PageSize.SIZE_1G)
+        vma = p.mmap(2 * GIB)
+        os.handle_page_fault(p, vma.range.start + 123)
+        walked = os.page_table_of(p).walk(vma.range.start)
+        assert walked.page_size is PageSize.SIZE_1G
+
+    def test_thp_promotes_to_2m(self):
+        os = make_os(thp=True, thp_success_fraction=1.0)
+        p = os.spawn()
+        vma = p.mmap(16 * MIB)
+        os.handle_page_fault(p, vma.range.start)
+        assert os.page_table_of(p).walk(vma.range.start).page_size is PageSize.SIZE_2M
+
+    def test_thp_fallback(self):
+        os = make_os(thp=True, thp_success_fraction=0.0)
+        p = os.spawn()
+        vma = p.mmap(16 * MIB)
+        os.handle_page_fault(p, vma.range.start)
+        assert os.page_table_of(p).walk(vma.range.start).page_size is PageSize.SIZE_4K
+        assert os.thp_fallbacks == 1
+
+
+class TestPopulate:
+    def test_populate_vma_maps_everything(self):
+        os = make_os()
+        p = os.spawn()
+        vma = p.mmap(8 * MIB)
+        faults = os.populate_vma(p, vma)
+        assert faults == 8 * MIB // BASE_PAGE_SIZE
+        table = os.page_table_of(p)
+        for va in range(vma.range.start, vma.range.end, BASE_PAGE_SIZE):
+            assert table.is_mapped(va)
+
+    def test_populate_is_idempotent(self):
+        os = make_os()
+        p = os.spawn()
+        vma = p.mmap(4 * MIB)
+        os.populate_vma(p, vma)
+        assert os.populate_vma(p, vma) == 0
+
+    def test_populate_skips_hw_segment_range(self):
+        os = make_os()
+        p = os.spawn()
+        vma = p.mmap(64 * MIB, is_primary_region=True)
+        os.create_guest_segment(p)
+        assert os.populate_vma(p, vma) == 0
+        assert os.page_table_of(p).leaf_count() == 0
+
+
+class TestGuestSegments:
+    def test_create_segment_backs_primary_region(self):
+        os = make_os()
+        p = os.spawn()
+        p.mmap(128 * MIB, is_primary_region=True)
+        regs = os.create_guest_segment(p)
+        assert regs.enabled
+        assert regs.size == 128 * MIB
+        assert regs.base == p.primary_region.range.start
+        # The backing gPA range is a real reservation.
+        assert os.allocator.allocated_frames >= 128 * MIB // BASE_PAGE_SIZE
+
+    def test_segment_requires_primary_region(self):
+        os = make_os()
+        p = os.spawn()
+        with pytest.raises(SegmentCreationError, match="primary region"):
+            os.create_guest_segment(p)
+
+    def test_partial_segment(self):
+        # A primary region may be partially mapped by a segment
+        # (Section II.B / Figure 4).
+        os = make_os()
+        p = os.spawn()
+        p.mmap(128 * MIB, is_primary_region=True)
+        regs = os.create_guest_segment(p, size=64 * MIB)
+        assert regs.size == 64 * MIB
+
+    def test_oversized_segment_rejected(self):
+        os = make_os()
+        p = os.spawn()
+        p.mmap(64 * MIB, is_primary_region=True)
+        with pytest.raises(SegmentCreationError, match="larger than"):
+            os.create_guest_segment(p, size=128 * MIB)
+
+    def test_fragmentation_blocks_segment(self):
+        import random
+
+        os = make_os(memory=1 * GIB)
+        p = os.spawn()
+        p.mmap(256 * MIB, is_primary_region=True)
+        os.allocator.fragment(0.5, rng=random.Random(0), hold_orders=(0, 1))
+        with pytest.raises(SegmentCreationError, match="contiguous"):
+            os.create_guest_segment(p)
+
+    def test_drop_segment_frees_memory(self):
+        os = make_os()
+        p = os.spawn()
+        p.mmap(64 * MIB, is_primary_region=True)
+        before = os.allocator.allocated_frames
+        os.create_guest_segment(p)
+        os.drop_guest_segment(p)
+        assert os.allocator.allocated_frames == before
+        assert not p.guest_segment.enabled
+
+    def test_within_constraint(self):
+        os = make_os(memory=8 * GIB)
+        p = os.spawn()
+        p.mmap(64 * MIB, is_primary_region=True)
+        above_gap = AddressRange(4 * GIB, 9 * GIB)
+        regs = os.create_guest_segment(p, within=above_gap)
+        assert regs.physical_range.start >= 4 * GIB
+
+
+class TestEmulationMode:
+    """Section VI.B: segments emulated with computed PTEs."""
+
+    def test_fault_in_segment_installs_computed_pte(self):
+        os = make_os(emulate_segments=True)
+        p = os.spawn()
+        vma = p.mmap(64 * MIB, is_primary_region=True)
+        os.create_guest_segment(p)
+        va = vma.range.start + 7 * BASE_PAGE_SIZE + 42
+        os.handle_page_fault(p, va)
+        table = os.page_table_of(p)
+        # The computed PTE reproduces the segment translation exactly.
+        assert table.translate(va) == p.guest_segment.translate(va)
+
+    def test_emulated_and_hw_translations_agree(self):
+        # Functional equivalence between the prototype's emulation and
+        # the hardware segment datapath.
+        emu = make_os(emulate_segments=True)
+        p = emu.spawn()
+        vma = p.mmap(32 * MIB, is_primary_region=True)
+        emu.create_guest_segment(p)
+        table = emu.page_table_of(p)
+        for offset in (0, 12345, 31 * MIB):
+            va = vma.range.start + offset
+            emu.handle_page_fault(p, va)
+            assert table.translate(va) == p.guest_segment.translate(va)
+
+
+class TestContextSwitch:
+    def test_returns_per_process_registers(self):
+        os = make_os()
+        p1 = os.spawn()
+        p1.mmap(32 * MIB, is_primary_region=True)
+        os.create_guest_segment(p1)
+        p2 = os.spawn()
+        assert os.context_switch(None, p1) == p1.guest_segment
+        assert not os.context_switch(p1, p2).enabled

@@ -1,0 +1,84 @@
+"""Tests for the I/O-gap reclaim (Section IV / VI.C)."""
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB
+from repro.guest.guest_os import GuestOS
+from repro.guest.hotplug import HotplugError, reclaim_io_gap
+from repro.mem.physical_layout import IO_GAP_START, PhysicalLayout
+from repro.vmm.hypervisor import Hypervisor
+
+
+def _vm_and_guest(guest_bytes=6 * GIB, host_bytes=12 * GIB):
+    hypervisor = Hypervisor(host_memory_bytes=host_bytes)
+    vm = hypervisor.create_vm("vm0", memory_bytes=guest_bytes)
+    guest = GuestOS(vm.guest_layout)
+    return hypervisor, vm, guest
+
+
+class TestReclaimIoGap:
+    def test_moves_below_gap_memory_above(self):
+        hypervisor, vm, guest = _vm_and_guest()
+        total_before = guest.allocator.total_frames
+        result = reclaim_io_gap(guest, vm)
+        # 3 GB - 256 MB unplugged, same amount added above the gap.
+        assert result.removed.size == 3 * GIB - 256 * MIB
+        assert result.added.size == result.removed.size
+        assert guest.allocator.total_frames == total_before
+
+    def test_slots_track_the_move(self):
+        hypervisor, vm, guest = _vm_and_guest()
+        reclaim_io_gap(guest, vm)
+        assert vm.slots.low_slot.gpa_range.size == 256 * MIB
+        # High slot: original above-gap 3 GB + reclaimed 2.75 GB.
+        assert vm.slots.high_slot.gpa_range.size == 3 * GIB + (3 * GIB - 256 * MIB)
+
+    def test_single_segment_covers_almost_everything(self):
+        # The point of the exercise: after reclaim, one VMM segment maps
+        # all guest memory except the kernel's 256 MB.
+        hypervisor, vm, guest = _vm_and_guest()
+        reclaim_io_gap(guest, vm)
+        regs = vm.create_vmm_segment()
+        covered = regs.size
+        assert covered == 6 * GIB - 256 * MIB
+
+    def test_reclaimed_addresses_never_allocated(self):
+        hypervisor, vm, guest = _vm_and_guest()
+        reclaim_io_gap(guest, vm)
+        removed_frames = range(
+            (256 * MIB) // BASE_PAGE_SIZE, IO_GAP_START // BASE_PAGE_SIZE
+        )
+        # Exhaust guest memory; no allocation may land in the hole.
+        seen = set()
+        try:
+            while True:
+                seen.add(guest.allocator.alloc_block(9))
+        except Exception:
+            pass
+        overlap = [f for f in seen if removed_frames.start <= f < removed_frames.stop]
+        assert not overlap
+
+    def test_requires_free_below_gap_memory(self):
+        hypervisor, vm, guest = _vm_and_guest()
+        # Occupy a below-gap frame: reclaim must refuse.
+        guest.allocator.alloc_specific((1 * GIB) // BASE_PAGE_SIZE, 0)
+        with pytest.raises(HotplugError, match="not entirely free"):
+            reclaim_io_gap(guest, vm)
+
+    def test_small_guest_has_nothing_to_reclaim(self):
+        hypervisor = Hypervisor(host_memory_bytes=4 * GIB)
+        vm = hypervisor.create_vm("small", memory_bytes=128 * MIB)
+        guest = GuestOS(vm.guest_layout, pt_pool_hint=None)
+        with pytest.raises(HotplugError, match="no removable memory"):
+            reclaim_io_gap(guest, vm)
+
+    def test_custom_keep_amount(self):
+        hypervisor, vm, guest = _vm_and_guest()
+        result = reclaim_io_gap(guest, vm, keep_below_gap=512 * MIB)
+        assert result.removed.start == 512 * MIB
+
+    def test_describe(self):
+        hypervisor, vm, guest = _vm_and_guest()
+        result = reclaim_io_gap(guest, vm)
+        text = result.describe()
+        assert "unplugged" in text and "extended" in text

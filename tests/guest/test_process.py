@@ -1,0 +1,75 @@
+"""Tests for guest process address-space layout."""
+
+import pytest
+
+from repro.core.address import GIB, MIB, PageSize
+from repro.guest.process import (
+    DEFAULT_PRIMARY_REGION_BASE,
+    GuestProcess,
+    VirtualMemoryArea,
+)
+
+
+class TestMmapLayout:
+    def test_first_region_at_base(self):
+        p = GuestProcess(pid=1)
+        vma = p.mmap(16 * MIB)
+        assert vma.range.start == DEFAULT_PRIMARY_REGION_BASE
+
+    def test_regions_are_disjoint_with_guard_gaps(self):
+        p = GuestProcess(pid=1)
+        vmas = [p.mmap(8 * MIB) for _ in range(5)]
+        for a, b in zip(vmas, vmas[1:]):
+            assert a.range.end < b.range.start  # strict gap
+
+    def test_size_rounds_to_page_size(self):
+        p = GuestProcess(pid=1)
+        vma = p.mmap(3 * MIB, page_size=PageSize.SIZE_2M)
+        assert vma.range.size == 4 * MIB
+
+    def test_1g_alignment(self):
+        p = GuestProcess(pid=1, page_size=PageSize.SIZE_1G)
+        vma = p.mmap(1 * GIB)
+        assert vma.range.start % (1 * GIB) == 0
+
+    def test_vma_at_boundaries(self):
+        p = GuestProcess(pid=1)
+        vma = p.mmap(4 * MIB)
+        assert p.vma_at(vma.range.start) is vma
+        assert p.vma_at(vma.range.end - 1) is vma
+        assert p.vma_at(vma.range.end) is None
+        assert p.vma_at(0) is None
+
+    def test_default_page_size_inherited(self):
+        p = GuestProcess(pid=1, page_size=PageSize.SIZE_2M)
+        assert p.mmap(8 * MIB).page_size is PageSize.SIZE_2M
+        assert p.mmap(8 * MIB, page_size=PageSize.SIZE_4K).page_size is PageSize.SIZE_4K
+
+
+class TestPrimaryRegion:
+    def test_only_flagged_region_is_primary(self):
+        p = GuestProcess(pid=1)
+        p.mmap(4 * MIB)
+        primary = p.mmap(64 * MIB, is_primary_region=True)
+        p.mmap(4 * MIB)
+        assert p.primary_region is primary
+
+    def test_segment_defaults_disabled(self):
+        p = GuestProcess(pid=1)
+        assert not p.guest_segment.enabled
+
+    def test_mapped_bytes(self):
+        p = GuestProcess(pid=1)
+        p.mmap(4 * MIB)
+        p.mmap(8 * MIB)
+        assert p.mapped_bytes == 12 * MIB
+
+
+class TestVma:
+    def test_vma_fields(self):
+        from repro.core.address import AddressRange
+
+        vma = VirtualMemoryArea(range=AddressRange(0, 4096))
+        assert vma.page_size is PageSize.SIZE_4K
+        assert not vma.is_primary_region
+        assert vma.writable

@@ -1,0 +1,113 @@
+"""Tests for self-ballooning (Section IV / VI.C, Figure 9)."""
+
+import random
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB, AddressRange
+from repro.guest.balloon import BalloonError, SelfBalloonDriver
+from repro.guest.guest_os import GuestOS, SegmentCreationError
+from repro.mem.physical_layout import PhysicalLayout
+from repro.vmm.hypervisor import Hypervisor
+
+
+class FakePort:
+    """Stand-in VMM for driver-only tests."""
+
+    def __init__(self, reserve_start=8 * GIB):
+        self.reclaimed: list[int] = []
+        self._cursor = reserve_start
+
+    def reclaim_guest_frames(self, frames):
+        self.reclaimed.extend(frames)
+
+    def release_reserved_region(self, num_frames):
+        region = AddressRange.of_size(self._cursor, num_frames * BASE_PAGE_SIZE)
+        self._cursor = region.end
+        return region
+
+
+class TestDriverWithFakePort:
+    def test_make_contiguous_trades_fragmented_for_contiguous(self):
+        guest = GuestOS(PhysicalLayout(2 * GIB))
+        guest.allocator.fragment(0.5, rng=random.Random(0), hold_orders=(0, 1))
+        assert guest.allocator.largest_free_run_frames() < 32768
+        port = FakePort()
+        driver = SelfBalloonDriver(guest, port)
+        released = driver.make_contiguous(128 * MIB)
+        assert released.size == 128 * MIB
+        # The released region is now allocatable contiguously.
+        assert guest.allocator.largest_free_run_frames() >= 32768
+        # The pinned pages went to the VMM.
+        assert len(port.reclaimed) == 32768
+        assert driver.stats.inflations == 1
+        assert driver.stats.frames_ballooned == 32768
+
+    def test_balloon_error_when_guest_memory_short(self):
+        guest = GuestOS(PhysicalLayout(256 * MIB))
+        port = FakePort()
+        driver = SelfBalloonDriver(guest, port)
+        with pytest.raises(BalloonError):
+            driver.make_contiguous(1 * GIB)
+        assert not port.reclaimed  # nothing leaked
+
+    def test_total_guest_memory_is_conserved(self):
+        # Ballooning out N frames and hot-adding N frames keeps the
+        # guest's usable memory constant (Figure 9).
+        guest = GuestOS(PhysicalLayout(2 * GIB))
+        free_before = guest.allocator.free_frames
+        driver = SelfBalloonDriver(guest, FakePort())
+        driver.make_contiguous(64 * MIB)
+        assert guest.allocator.free_frames == free_before
+
+
+class TestEndToEndWithKvm:
+    """Driver against the real VirtualMachine balloon port."""
+
+    def _setup(self, reserve=512 * MIB):
+        hypervisor = Hypervisor(host_memory_bytes=6 * GIB)
+        vm = hypervisor.create_vm("vm0", memory_bytes=2 * GIB, reserve_bytes=reserve)
+        guest = GuestOS(vm.guest_layout)
+        return hypervisor, vm, guest
+
+    def test_segment_creation_after_self_ballooning(self):
+        hypervisor, vm, guest = self._setup()
+        process = guest.spawn()
+        process.mmap(256 * MIB, is_primary_region=True)
+        guest.allocator.fragment(0.6, rng=random.Random(1), hold_orders=(0, 1))
+        with pytest.raises(SegmentCreationError):
+            guest.create_guest_segment(process)
+        driver = SelfBalloonDriver(guest, vm)
+        driver.make_contiguous(256 * MIB)
+        regs = guest.create_guest_segment(process)
+        assert regs.enabled
+        assert regs.size == 256 * MIB
+        # The segment's backing lies in the released reserve range (the
+        # region the VMM hot-added above nominal guest memory).
+        assert regs.physical_range.start >= 2 * GIB
+
+    def test_reclaimed_host_memory_returns_to_hypervisor(self):
+        hypervisor, vm, guest = self._setup()
+        # Demand-map some guest pages so the balloon reclaims real
+        # host frames.
+        for gppn in range(100):
+            vm.handle_nested_fault(gppn * BASE_PAGE_SIZE)
+        host_free_before = hypervisor.allocator.free_frames
+        frames = [guest.allocator.alloc_frame() for _ in range(100)]
+        vm.reclaim_guest_frames(frames)
+        # Frames 0..99 were mapped, so the balloon freed host frames.
+        assert hypervisor.allocator.free_frames >= host_free_before
+
+    def test_ballooned_pages_cannot_be_touched(self):
+        hypervisor, vm, guest = self._setup()
+        frames = [guest.allocator.alloc_frame() for _ in range(4)]
+        vm.reclaim_guest_frames(frames)
+        with pytest.raises(MemoryError, match="ballooned"):
+            vm.handle_nested_fault(frames[0] * BASE_PAGE_SIZE)
+
+    def test_reserve_exhaustion(self):
+        hypervisor, vm, guest = self._setup(reserve=16 * MIB)
+        driver = SelfBalloonDriver(guest, vm)
+        driver.make_contiguous(16 * MIB)
+        with pytest.raises(ValueError, match="reserve"):
+            driver.make_contiguous(16 * MIB)

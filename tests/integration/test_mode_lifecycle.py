@@ -1,0 +1,123 @@
+"""End-to-end integration: fragmentation repair and mode upgrades.
+
+Small-scale executions of the Table III life cycles: a VM starts in a
+degraded mode, self-ballooning and/or compaction repair contiguity, and
+the VM upgrades -- with translations staying correct throughout.
+"""
+
+import random
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB, AddressRange
+from repro.core.modes import TranslationMode
+from repro.mem.physical_layout import IO_GAP_END
+from repro.guest.guest_os import GuestOS, GuestOSConfig
+from repro.vmm.hypervisor import Hypervisor
+from repro.vmm.policy import (
+    FragmentationManager,
+    FragmentationState,
+    WorkloadClass,
+    plan_modes,
+)
+
+
+def build_vm(host_fragmented=False, guest_fragmented=False, reserve=0):
+    hypervisor = Hypervisor(host_memory_bytes=4 * GIB)
+    if host_fragmented:
+        hypervisor.allocator.fragment(
+            0.4, rng=random.Random(0), hold_orders=(2, 3)
+        )
+    vm = hypervisor.create_vm(
+        "vm0", memory_bytes=int(3.5 * GIB), reserve_bytes=reserve
+    )
+    guest = GuestOS(
+        vm.guest_layout,
+        GuestOSConfig(pt_pool_bytes=8 * MIB),
+        pt_pool_hint=AddressRange(IO_GAP_END, IO_GAP_END + 4 * GIB),
+    )
+    process = guest.spawn()
+    process.mmap(128 * MIB, is_primary_region=True)
+    if guest_fragmented:
+        guest.allocator.fragment(0.5, rng=random.Random(1), hold_orders=(2, 3))
+    return hypervisor, vm, guest, process
+
+
+class TestBigMemoryHostFragmented:
+    def test_guest_direct_upgrades_to_dual_direct(self):
+        hypervisor, vm, guest, process = build_vm(host_fragmented=True)
+        plan = plan_modes(
+            WorkloadClass.BIG_MEMORY, FragmentationState(host_fragmented=True)
+        )
+        manager = FragmentationManager(vm, guest, process, plan)
+        manager.prepare_guest()
+        assert vm.mode is TranslationMode.GUEST_DIRECT
+        assert process.guest_segment.enabled
+        ticks = 0
+        while not manager.at_final_mode and ticks < 500:
+            manager.tick(page_budget=16384)
+            ticks += 1
+        assert vm.mode is TranslationMode.DUAL_DIRECT
+        assert vm.vmm_segment.enabled
+
+    def test_translations_stable_across_upgrade(self):
+        hypervisor, vm, guest, process = build_vm(host_fragmented=True)
+        plan = plan_modes(
+            WorkloadClass.BIG_MEMORY, FragmentationState(host_fragmented=True)
+        )
+        manager = FragmentationManager(vm, guest, process, plan)
+        manager.prepare_guest()
+        # Touch some guest-physical pages through nested paging before
+        # the upgrade.
+        segment = process.guest_segment
+        gpas = [segment.translate(segment.base + i * BASE_PAGE_SIZE) for i in range(8)]
+        for gpa in gpas:
+            vm.handle_nested_fault(gpa)
+        before = {gpa: vm.nested_table.translate(gpa) for gpa in gpas}
+        while not manager.at_final_mode:
+            if manager.tick(page_budget=16384) is None:  # pragma: no cover
+                break
+        # Pinned (mapped) pages were not moved by compaction.
+        for gpa, hpa in before.items():
+            assert vm.nested_table.translate(gpa) == hpa
+
+
+class TestBigMemoryGuestFragmented:
+    def test_self_ballooning_enables_dual_direct(self):
+        hypervisor, vm, guest, process = build_vm(
+            guest_fragmented=True, reserve=256 * MIB
+        )
+        plan = plan_modes(
+            WorkloadClass.BIG_MEMORY, FragmentationState(guest_fragmented=True)
+        )
+        manager = FragmentationManager(vm, guest, process, plan)
+        manager.prepare_guest()
+        assert vm.mode is TranslationMode.DUAL_DIRECT
+        assert process.guest_segment.enabled
+        # The segment landed in the hot-added reserve range.
+        assert process.guest_segment.physical_range.start >= int(3.5 * GIB)
+
+
+class TestComputeWorkloads:
+    def test_compute_base_to_vmm_direct(self):
+        hypervisor, vm, guest, process = build_vm(host_fragmented=True)
+        plan = plan_modes(
+            WorkloadClass.COMPUTE, FragmentationState(host_fragmented=True)
+        )
+        manager = FragmentationManager(vm, guest, process, plan)
+        manager.prepare_guest()
+        assert vm.mode is TranslationMode.BASE_VIRTUALIZED
+        assert not process.guest_segment.enabled
+        ticks = 0
+        while not manager.at_final_mode and ticks < 500:
+            manager.tick(page_budget=16384)
+            ticks += 1
+        assert vm.mode is TranslationMode.VMM_DIRECT
+
+    def test_compute_unfragmented_goes_straight_to_vmm_direct(self):
+        hypervisor, vm, guest, process = build_vm()
+        plan = plan_modes(WorkloadClass.COMPUTE, FragmentationState())
+        manager = FragmentationManager(vm, guest, process, plan)
+        manager.prepare_guest()
+        assert vm.mode is TranslationMode.VMM_DIRECT
+        assert manager.at_final_mode

@@ -1,0 +1,117 @@
+"""Property-based invariants of the full translation stack.
+
+Hypothesis drives randomized page-visit sequences through complete
+systems and checks the properties any MMU must uphold: determinism,
+path-independence (TLB state never changes the *result*), injectivity
+within an address space, and counter conservation.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import parse_config
+from repro.sim.system import build_system
+from tests.conftest import TinyWorkload
+
+#: Page-visit sequences over a small arena (keeps runs fast).
+visits = st.lists(
+    st.integers(min_value=0, max_value=2000), min_size=1, max_size=60
+)
+
+_SLOW = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def _fresh(label):
+    return build_system(parse_config(label), TinyWorkload().spec)
+
+
+class TestDeterminism:
+    @settings(**_SLOW)
+    @given(pages=visits)
+    def test_same_sequence_same_frames(self, pages):
+        a = _fresh("4K+4K")
+        b = _fresh("4K+4K")
+        for page in pages:
+            va = (page << 12) + a.base_va
+            assert a.mmu.access(va) == b.mmu.access(va)
+
+    @settings(**_SLOW)
+    @given(pages=visits)
+    def test_tlb_state_never_changes_results(self, pages):
+        system = _fresh("DD")
+        first = {}
+        for page in set(pages):
+            va = (page << 12) + system.base_va
+            first[page] = system.mmu.access(va)
+        system.mmu.flush_tlbs()
+        for page, frame in first.items():
+            va = (page << 12) + system.base_va
+            assert system.mmu.access(va) == frame
+
+
+class TestInjectivity:
+    @settings(**_SLOW)
+    @given(pages=st.sets(st.integers(min_value=0, max_value=2000), min_size=2, max_size=40))
+    def test_distinct_pages_distinct_frames(self, pages):
+        system = _fresh("4K+VD")
+        frames = {}
+        for page in pages:
+            va = (page << 12) + system.base_va
+            frames[page] = system.mmu.access(va)
+        assert len(set(frames.values())) == len(frames), (
+            "two virtual pages translated to the same host frame"
+        )
+
+
+class TestCounterConservation:
+    @settings(**_SLOW)
+    @given(pages=visits)
+    def test_hits_plus_misses_equals_accesses(self, pages):
+        system = _fresh("4K+4K")
+        for page in pages:
+            system.mmu.access((page << 12) + system.base_va)
+        c = system.mmu.counters
+        assert c.l1_hits + c.l1_misses == c.accesses == len(pages)
+        assert c.l2_hits + c.l2_misses == c.l1_misses
+        assert c.walks <= c.l2_misses  # walks can only come from L2 misses
+
+    @settings(**_SLOW)
+    @given(pages=visits)
+    def test_dd_misses_split_between_fastpath_and_walks(self, pages):
+        system = _fresh("DD")
+        for page in pages:
+            system.mmu.access((page << 12) + system.base_va)
+        c = system.mmu.counters
+        assert c.dual_direct_hits + c.l2_hits + c.l2_misses == c.l1_misses
+        # In-arena addresses are fully covered: never a walk.
+        assert c.walks == 0
+
+
+class TestCrossModeAgreement:
+    @settings(**_SLOW)
+    @given(pages=visits)
+    def test_all_modes_translate_all_addresses(self, pages):
+        # Whatever the mode, every in-arena address must translate.
+        for label in ("4K", "DS", "4K+4K", "4K+VD", "4K+GD", "DD"):
+            system = _fresh(label)
+            for page in pages[:20]:
+                frame = system.mmu.access((page << 12) + system.base_va)
+                assert frame >= 0
+
+    @settings(**_SLOW)
+    @given(pages=visits)
+    def test_vd_and_dd_agree_on_host_frames(self, pages):
+        # Both modes fix hPA = f(gPA) via the same VMM segment layout,
+        # and the guest side allocates identically (same seed/order) --
+        # so the actual host frames must agree.
+        trace = np.array(sorted(set(pages)), dtype=np.int64)
+        vd = _fresh("DD")
+        dd = _fresh("DD")
+        for page in trace:
+            va = (int(page) << 12) + vd.base_va
+            assert vd.mmu.access(va) == dd.mmu.access(va)

@@ -1,0 +1,44 @@
+"""Tests for bad-page tracking."""
+
+import pytest
+
+from repro.mem.badpages import BadPageList
+
+
+class TestBadPageList:
+    def test_empty(self):
+        bad = BadPageList()
+        assert len(bad) == 0
+        assert 7 not in bad
+
+    def test_membership(self):
+        bad = BadPageList([1, 2, 3])
+        assert 2 in bad
+        assert 4 not in bad
+        assert bad.frames == frozenset({1, 2, 3})
+
+    def test_mark_bad(self):
+        bad = BadPageList()
+        bad.mark_bad(42)
+        assert 42 in bad
+
+    def test_random_draw_is_deterministic(self):
+        a = BadPageList.random(16, range(1_000_000), seed=7)
+        b = BadPageList.random(16, range(1_000_000), seed=7)
+        assert a.frames == b.frames
+        assert len(a) == 16
+
+    def test_random_draws_distinct_frames(self):
+        bad = BadPageList.random(100, range(200), seed=0)
+        assert len(bad) == 100
+        assert all(f in range(200) for f in bad.frames)
+
+    def test_random_rejects_oversized_request(self):
+        with pytest.raises(ValueError):
+            BadPageList.random(10, range(5))
+
+    def test_bad_frames_in_window(self):
+        bad = BadPageList([5, 100, 250, 999])
+        assert bad.bad_frames_in(100, 151) == [100, 250]
+        assert bad.bad_frames_in(0, 10) == [5]
+        assert bad.bad_frames_in(1000, 50) == []

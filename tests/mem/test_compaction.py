@@ -1,0 +1,120 @@
+"""Tests for the compaction daemon."""
+
+import random
+
+import pytest
+
+from repro.core.address import MIB
+from repro.mem.compaction import CompactionDaemon
+from repro.mem.frame_allocator import FrameAllocator
+
+
+def fragmented_allocator(mib: int = 64, fraction: float = 0.4, seed: int = 0):
+    alloc = FrameAllocator.of_size(mib * MIB)
+    held = alloc.fragment(fraction, rng=random.Random(seed), hold_orders=(0, 1))
+    return alloc, held
+
+
+class TestCompactionBasics:
+    def test_request_validation(self):
+        daemon = CompactionDaemon(FrameAllocator.of_size(1 * MIB))
+        with pytest.raises(ValueError):
+            daemon.request(0)
+
+    def test_not_complete_without_goal(self):
+        daemon = CompactionDaemon(FrameAllocator.of_size(1 * MIB))
+        assert not daemon.complete
+        assert daemon.step(100) == 0
+
+    def test_trivially_complete(self):
+        alloc = FrameAllocator.of_size(4 * MIB)
+        daemon = CompactionDaemon(alloc)
+        daemon.request(16)
+        assert daemon.complete
+        assert daemon.step(100) == 0
+
+    def test_impossible_goal(self):
+        alloc = FrameAllocator.of_size(1 * MIB)
+        daemon = CompactionDaemon(alloc)
+        daemon.request(alloc.total_frames * 2)
+        assert not daemon.run_to_completion(max_steps=10)
+
+
+class TestCompactionProgress:
+    def test_creates_requested_run(self):
+        alloc, _ = fragmented_allocator()
+        goal = 4096  # 16 MiB run out of a shattered 64 MiB
+        assert alloc.largest_free_run_frames() < goal
+        daemon = CompactionDaemon(alloc)
+        daemon.request(goal)
+        assert daemon.run_to_completion(step_pages=2048)
+        assert alloc.largest_free_run_frames() >= goal
+        # The run is genuinely reservable.
+        start = alloc.reserve_contiguous(goal)
+        alloc.free_contiguous(start, goal)
+
+    def test_preserves_allocation_count(self):
+        alloc, held = fragmented_allocator()
+        before = alloc.allocated_frames
+        daemon = CompactionDaemon(alloc)
+        daemon.request(4096)
+        daemon.run_to_completion(step_pages=2048)
+        assert alloc.allocated_frames == before
+
+    def test_on_move_callback_invoked(self):
+        alloc, _ = fragmented_allocator(mib=16)
+        moves: list[tuple[int, int, int]] = []
+        daemon = CompactionDaemon(
+            alloc, on_move=lambda old, new, order: moves.append((old, new, order))
+        )
+        daemon.request(1024)
+        daemon.run_to_completion(step_pages=512)
+        assert moves, "compaction converged without moving anything?"
+        assert daemon.stats.blocks_moved == len(moves)
+        assert daemon.stats.pages_moved == sum(1 << o for _, _, o in moves)
+        for old, new, order in moves:
+            assert old != new
+            assert new % (1 << order) == 0
+
+    def test_step_respects_budget(self):
+        alloc, _ = fragmented_allocator(mib=32)
+        daemon = CompactionDaemon(alloc)
+        daemon.request(2048)
+        moved = daemon.step(page_budget=64)
+        # Budget is a cap measured before each block moves; the final
+        # block may overshoot by at most one block (order <= 1 here).
+        assert 0 < moved <= 64 + 2
+
+    def test_incremental_steps_eventually_converge(self):
+        alloc, _ = fragmented_allocator(mib=32)
+        daemon = CompactionDaemon(alloc)
+        daemon.request(2048)
+        steps = 0
+        while not daemon.complete and steps < 10_000:
+            if daemon.step(128) == 0:
+                break
+            steps += 1
+        assert daemon.complete
+
+
+class TestUnmovableBlocks:
+    def test_unmovable_blocks_are_skipped(self):
+        alloc = FrameAllocator.of_size(16 * MIB)
+        pinned = {alloc.alloc_specific(512 * i, 0) for i in range(1, 5)}
+        daemon = CompactionDaemon(
+            alloc, is_movable=lambda frame: frame not in pinned
+        )
+        daemon.request(256)
+        daemon.run_to_completion(step_pages=512)
+        # Pinned frames never moved.
+        for frame in pinned:
+            assert alloc.allocation_order(frame) == 0
+
+    def test_all_unmovable_cannot_converge(self):
+        alloc = FrameAllocator.of_size(4 * MIB)
+        # Pin every 64th frame so no 64-frame run exists or can be made.
+        for base in range(0, 1024, 32):
+            alloc.alloc_specific(base, 0)
+        daemon = CompactionDaemon(alloc, is_movable=lambda frame: False)
+        daemon.request(64)
+        assert not daemon.run_to_completion(max_steps=50)

@@ -1,0 +1,247 @@
+"""Tests for the buddy frame allocator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import GIB, MIB, AddressRange
+from repro.mem.frame_allocator import (
+    MAX_ORDER,
+    FrameAllocator,
+    OutOfMemoryError,
+)
+
+
+def make_allocator(mib: int = 64) -> FrameAllocator:
+    return FrameAllocator.of_size(mib * MIB)
+
+
+class TestBasicAllocation:
+    def test_total_frames(self):
+        alloc = make_allocator(64)
+        assert alloc.total_frames == 64 * 256  # 256 frames per MiB
+        assert alloc.free_frames == alloc.total_frames
+
+    def test_alloc_free_round_trip(self):
+        alloc = make_allocator()
+        frame = alloc.alloc_frame()
+        assert alloc.allocated_frames == 1
+        alloc.free_block(frame)
+        assert alloc.allocated_frames == 0
+
+    def test_alloc_block_alignment(self):
+        alloc = make_allocator()
+        for order in (0, 3, 9):
+            frame = alloc.alloc_block(order)
+            assert frame % (1 << order) == 0
+            alloc.free_block(frame)
+
+    def test_alloc_is_lowest_first(self):
+        alloc = make_allocator()
+        assert alloc.alloc_frame() == 0
+        assert alloc.alloc_frame() == 1
+
+    def test_rejects_bad_order(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.alloc_block(-1)
+        with pytest.raises(ValueError):
+            alloc.alloc_block(MAX_ORDER + 1)
+
+    def test_out_of_memory(self):
+        alloc = FrameAllocator.of_size(4 * 4096)
+        for _ in range(4):
+            alloc.alloc_frame()
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc_frame()
+
+    def test_free_unknown_frame_rejected(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.free_block(5)
+
+    def test_double_free_rejected(self):
+        alloc = make_allocator()
+        frame = alloc.alloc_frame()
+        alloc.free_block(frame)
+        with pytest.raises(ValueError):
+            alloc.free_block(frame)
+
+
+class TestBuddyCoalescing:
+    def test_coalesce_restores_large_blocks(self):
+        alloc = FrameAllocator.of_size(1 * MIB)  # 256 frames, order 8
+        frames = [alloc.alloc_frame() for _ in range(256)]
+        assert alloc.largest_free_order() == -1
+        for frame in frames:
+            alloc.free_block(frame)
+        assert alloc.largest_free_order() == 8
+        assert alloc.largest_free_run_frames() == 256
+
+    def test_partial_free_no_overcoalesce(self):
+        alloc = FrameAllocator.of_size(1 * MIB)
+        a = alloc.alloc_frame()
+        b = alloc.alloc_frame()
+        alloc.free_block(a)
+        # b still allocated: the order-0 buddy of a cannot coalesce.
+        assert alloc.is_free_block(a, 0)
+        alloc.free_block(b)
+        assert not alloc.is_free_block(a, 0)  # merged upward
+
+
+class TestSpecificAllocation:
+    def test_alloc_specific(self):
+        alloc = make_allocator()
+        frame = alloc.alloc_specific(512, 2)
+        assert frame == 512
+        assert alloc.allocation_order(512) == 2
+
+    def test_alloc_specific_requires_alignment(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError, match="aligned"):
+            alloc.alloc_specific(3, 2)
+
+    def test_alloc_specific_requires_free(self):
+        alloc = make_allocator()
+        alloc.alloc_specific(0, 0)
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc_specific(0, 0)
+
+    def test_alloc_specific_mid_block(self):
+        # Carving from the middle of a larger free block splits it.
+        alloc = FrameAllocator.of_size(1 * MIB)
+        alloc.alloc_specific(100, 0)
+        assert alloc.allocated_frames == 1
+        assert alloc.free_frames == 255
+        # Neighbours are still allocatable.
+        assert alloc.alloc_specific(99, 0) == 99
+        assert alloc.alloc_specific(101, 0) == 101
+
+
+class TestContiguousReservation:
+    def test_reserve_and_free(self):
+        alloc = make_allocator(64)
+        start = alloc.reserve_contiguous(1000)
+        assert alloc.allocated_frames == 1000
+        alloc.free_contiguous(start, 1000)
+        assert alloc.allocated_frames == 0
+
+    def test_reserve_non_power_of_two(self):
+        alloc = make_allocator(64)
+        start = alloc.reserve_contiguous(777)
+        assert alloc.allocated_frames == 777
+        alloc.free_contiguous(start, 777)
+
+    def test_reserve_within(self):
+        alloc = make_allocator(64)
+        window = AddressRange(4096, 8192)
+        start = alloc.reserve_contiguous(100, within=window)
+        assert 4096 <= start and start + 100 <= 8192
+
+    def test_reserve_fails_when_fragmented(self):
+        alloc = FrameAllocator.of_size(1 * MIB)
+        # Pin every other 16-frame block.
+        for base in range(0, 256, 32):
+            alloc.alloc_specific(base, 4)
+        with pytest.raises(OutOfMemoryError):
+            alloc.reserve_contiguous(64)
+
+    def test_free_contiguous_rejects_bad_range(self):
+        alloc = make_allocator()
+        start = alloc.reserve_contiguous(64)
+        with pytest.raises(ValueError):
+            alloc.free_contiguous(start + 1, 63)
+        alloc.free_contiguous(start, 64)
+
+
+class TestRegions:
+    def test_multiple_regions(self):
+        alloc = FrameAllocator(
+            [AddressRange(0, 1 * MIB), AddressRange(4 * MIB, 5 * MIB)]
+        )
+        assert alloc.total_frames == 512
+        # The gap is never allocated from.
+        frames = [alloc.alloc_frame() for _ in range(512)]
+        for frame in frames:
+            assert frame < 256 or 1024 <= frame < 1280
+
+    def test_add_region(self):
+        alloc = FrameAllocator.of_size(1 * MIB)
+        alloc.add_region(AddressRange(8 * MIB, 9 * MIB))
+        assert alloc.total_frames == 512
+
+    def test_unplug_range(self):
+        alloc = FrameAllocator.of_size(2 * MIB)
+        alloc.unplug_range(AddressRange(1 * MIB, 2 * MIB))
+        assert alloc.total_frames == 256
+        # Unplugged frames can never be allocated again.
+        frames = [alloc.alloc_frame() for _ in range(256)]
+        assert all(f < 256 for f in frames)
+        with pytest.raises(OutOfMemoryError):
+            alloc.alloc_frame()
+
+    def test_unplug_requires_free(self):
+        alloc = FrameAllocator.of_size(2 * MIB)
+        alloc.alloc_specific(300, 0)
+        with pytest.raises(OutOfMemoryError):
+            alloc.unplug_range(AddressRange(1 * MIB, 2 * MIB))
+
+
+class TestFragmentation:
+    def test_fragment_holds_requested_fraction(self):
+        alloc = FrameAllocator.of_size(64 * MIB)
+        held = alloc.fragment(0.3, rng=random.Random(0))
+        held_frames = alloc.allocated_frames
+        assert abs(held_frames / alloc.total_frames - 0.3) < 0.01
+        alloc.free_many(held)
+        assert alloc.allocated_frames == 0
+
+    def test_fragment_destroys_contiguity(self):
+        alloc = FrameAllocator.of_size(64 * MIB)
+        before = alloc.largest_free_run_frames()
+        alloc.fragment(0.4, rng=random.Random(1), hold_orders=(0,))
+        after = alloc.largest_free_run_frames()
+        assert after < before / 50
+
+    def test_fragment_rejects_bad_fraction(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.fragment(1.0)
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=6), max_size=60))
+    def test_alloc_free_conservation(self, orders):
+        alloc = FrameAllocator.of_size(16 * MIB)
+        total = alloc.total_frames
+        live: list[int] = []
+        for i, order in enumerate(orders):
+            if live and i % 3 == 2:
+                alloc.free_block(live.pop())
+            else:
+                try:
+                    live.append(alloc.alloc_block(order))
+                except OutOfMemoryError:
+                    continue
+        assert alloc.free_frames + alloc.allocated_frames == total
+        for frame in live:
+            alloc.free_block(frame)
+        assert alloc.free_frames == total
+        assert alloc.largest_free_run_frames() == total
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=5), min_size=1, max_size=40))
+    def test_no_overlapping_allocations(self, orders):
+        alloc = FrameAllocator.of_size(8 * MIB)
+        owned: set[int] = set()
+        for order in orders:
+            try:
+                frame = alloc.alloc_block(order)
+            except OutOfMemoryError:
+                break
+            block = set(range(frame, frame + (1 << order)))
+            assert not block & owned, "allocator handed out overlapping frames"
+            owned |= block

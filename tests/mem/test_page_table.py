@@ -1,0 +1,190 @@
+"""Tests for the 4-level radix page table."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB, PageSize
+from repro.mem.page_table import PTE_SIZE, PageFault, PageTable
+
+
+def make_table() -> PageTable:
+    counter = itertools.count(1000)
+    return PageTable(lambda: next(counter))
+
+
+class TestMapping:
+    def test_map_and_translate_4k(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        assert table.translate(0x1000) == 0x5000
+        assert table.translate(0x1FFF) == 0x5FFF
+
+    def test_map_and_translate_2m(self):
+        table = make_table()
+        table.map(2 * MIB, 8 * MIB, PageSize.SIZE_2M)
+        assert table.translate(2 * MIB + 12345) == 8 * MIB + 12345
+
+    def test_map_and_translate_1g(self):
+        table = make_table()
+        table.map(1 * GIB, 3 * GIB, PageSize.SIZE_1G)
+        assert table.translate(1 * GIB + 7) == 3 * GIB + 7
+
+    def test_unmapped_faults(self):
+        table = make_table()
+        with pytest.raises(PageFault):
+            table.walk(0x1000)
+
+    def test_fault_carries_level(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        # Sibling in the same PT node: fault at the leaf level.
+        with pytest.raises(PageFault) as info:
+            table.walk(0x3000)
+        assert info.value.level == 3
+        # Far-away address: fault at the root.
+        with pytest.raises(PageFault) as info:
+            table.walk(1 << 40)
+        assert info.value.level == 0
+
+    def test_misaligned_map_rejected(self):
+        table = make_table()
+        with pytest.raises(ValueError, match="aligned"):
+            table.map(0x1001, 0x5000)
+        with pytest.raises(ValueError, match="aligned"):
+            table.map(2 * MIB + 4096, 0, PageSize.SIZE_2M)
+
+    def test_remap_overwrites(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        table.map(0x1000, 0x9000)
+        assert table.translate(0x1000) == 0x9000
+
+    def test_large_leaf_over_subtree_rejected(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)  # creates a PT subtree under one PD slot
+        with pytest.raises(ValueError, match="finer-grained subtree"):
+            table.map(0, 0, PageSize.SIZE_2M)
+
+    def test_small_map_under_large_leaf_rejected(self):
+        table = make_table()
+        table.map(0, 0, PageSize.SIZE_1G)
+        with pytest.raises(ValueError, match="larger leaf"):
+            table.map(0x1000, 0x5000)
+
+
+class TestWalkSteps:
+    def test_4k_walk_has_4_steps(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        result = table.walk(0x1000)
+        assert [s.level for s in result.steps] == [0, 1, 2, 3]
+        assert result.page_size is PageSize.SIZE_4K
+
+    def test_2m_walk_has_3_steps(self):
+        table = make_table()
+        table.map(0, 0, PageSize.SIZE_2M)
+        assert len(table.walk(0).steps) == 3
+
+    def test_1g_walk_has_2_steps(self):
+        table = make_table()
+        table.map(0, 0, PageSize.SIZE_1G)
+        assert len(table.walk(0).steps) == 2
+
+    def test_pte_addresses_live_in_node_frames(self):
+        # The 2D walk depends on PTE addresses being real physical
+        # addresses inside the table's node frames.
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        result = table.walk(0x1000)
+        for step in result.steps:
+            frame = step.pte_address // BASE_PAGE_SIZE
+            assert frame in table.node_frames
+            assert step.pte_address % PTE_SIZE == 0
+
+    def test_update_count_tracks_writes(self):
+        table = make_table()
+        before = table.update_count
+        table.map(0x1000, 0x5000)
+        # 3 pointer entries + 1 leaf.
+        assert table.update_count == before + 4
+        table.map(0x2000, 0x6000)  # shares all nodes: 1 leaf write
+        assert table.update_count == before + 5
+
+    def test_unmap(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        entry = table.unmap(0x1000)
+        assert entry.frame == 0x5
+        with pytest.raises(PageFault):
+            table.walk(0x1000)
+
+    def test_unmap_missing_faults(self):
+        table = make_table()
+        with pytest.raises(PageFault):
+            table.unmap(0x1000)
+
+
+class TestEnumeration:
+    def test_leaves(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        table.map(4 * MIB, 6 * MIB, PageSize.SIZE_2M)
+        leaves = dict(table.leaves())
+        assert leaves[0x1000].frame == 0x5
+        assert leaves[4 * MIB].page_size is PageSize.SIZE_2M
+        assert table.leaf_count() == 2
+
+    def test_clear(self):
+        table = make_table()
+        table.map(0x1000, 0x5000)
+        freed: list[int] = []
+        table.clear(free_frame=freed.append)
+        assert table.leaf_count() == 0
+        assert table.node_count == 1  # fresh root retained
+        assert len(freed) == 3  # PDPT, PD, PT nodes returned
+
+    def test_is_mapped_and_lookup(self):
+        table = make_table()
+        assert not table.is_mapped(0)
+        table.map(0, 0x10000)
+        assert table.is_mapped(0)
+        assert table.lookup(0x5000) is None
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=(1 << 30) - 1),
+            st.integers(min_value=0, max_value=(1 << 30) - 1),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_many_mappings_translate_independently(self, pairs):
+        table = make_table()
+        mapping = {
+            (v >> 12) << 12: (p >> 12) << 12 for v, p in pairs.items()
+        }
+        for virt, phys in mapping.items():
+            table.map(virt, phys)
+        for virt, phys in mapping.items():
+            assert table.translate(virt) == phys
+        assert table.leaf_count() == len(mapping)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=1 << 18), min_size=1, max_size=30))
+    def test_unmap_removes_only_target(self, vpns):
+        table = make_table()
+        for vpn in vpns:
+            table.map(vpn * 4096, vpn * 4096)
+        victim = next(iter(vpns))
+        table.unmap(victim * 4096)
+        for vpn in vpns:
+            if vpn == victim:
+                assert not table.is_mapped(vpn * 4096)
+            else:
+                assert table.translate(vpn * 4096) == vpn * 4096

@@ -1,0 +1,68 @@
+"""Tests for the physical layout and the I/O gap."""
+
+import pytest
+
+from repro.core.address import GIB, MIB
+from repro.mem.physical_layout import (
+    IO_GAP,
+    IO_GAP_END,
+    IO_GAP_START,
+    KERNEL_RESERVED_BELOW_GAP,
+    PhysicalLayout,
+)
+
+
+class TestIoGapConstants:
+    def test_gap_is_3_to_4_gb(self):
+        assert IO_GAP_START == 3 * GIB
+        assert IO_GAP_END == 4 * GIB
+        assert IO_GAP.size == 1 * GIB
+
+    def test_kernel_reservation_matches_prototype(self):
+        # Section VI.C: 256 MB is enough to boot Linux.
+        assert KERNEL_RESERVED_BELOW_GAP == 256 * MIB
+
+
+class TestPhysicalLayout:
+    def test_large_memory_splits_at_gap(self):
+        layout = PhysicalLayout(8 * GIB)
+        below, above = layout.regions
+        assert below.start == 0 and below.end == 3 * GIB
+        assert above.start == 4 * GIB
+        # DRAM after the gap holds the remapped remainder.
+        assert above.size == 5 * GIB
+        assert layout.highest_address == 9 * GIB
+
+    def test_small_memory_has_no_split(self):
+        layout = PhysicalLayout(2 * GIB)
+        assert layout.regions == (layout.regions[0],)
+        assert layout.regions[0].size == 2 * GIB
+
+    def test_total_dram_preserved(self):
+        for size in (1 * GIB, 3 * GIB, 4 * GIB, 96 * GIB):
+            layout = PhysicalLayout(size)
+            assert sum(r.size for r in layout.regions) == size
+
+    def test_largest_region(self):
+        layout = PhysicalLayout(8 * GIB)
+        assert layout.largest_region.start == 4 * GIB
+        small = PhysicalLayout(4 * GIB)
+        assert small.largest_region.start == 0  # 3 GB below beats 1 GB above
+
+    def test_is_dram(self):
+        layout = PhysicalLayout(8 * GIB)
+        assert layout.is_dram(0)
+        assert layout.is_dram(3 * GIB - 1)
+        assert not layout.is_dram(3 * GIB)  # inside the I/O gap
+        assert not layout.is_dram(4 * GIB - 1)
+        assert layout.is_dram(4 * GIB)
+        assert not layout.is_dram(9 * GIB)
+
+    def test_gapless_layout(self):
+        layout = PhysicalLayout(8 * GIB, include_io_gap=False)
+        assert len(layout.regions) == 1
+        assert layout.regions[0].size == 8 * GIB
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PhysicalLayout(0)

@@ -1,0 +1,60 @@
+"""Tests for the Section IX.B energy accounting."""
+
+import pytest
+
+from repro.model.energy import (
+    EnergyParameters,
+    dynamic_energy,
+    static_energy_saving,
+)
+
+
+class TestStaticEnergy:
+    def test_saving_matches_runtime_reduction(self):
+        # "Reduces execution time by X% -> static energy by about X%."
+        assert static_energy_saving(100.0, 89.0) == pytest.approx(0.11)
+        assert static_energy_saving(100.0, 11.0) == pytest.approx(0.89)
+
+    def test_no_saving_when_slower(self):
+        assert static_energy_saving(100.0, 120.0) == 0.0
+
+    def test_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            static_energy_saving(0.0, 10.0)
+
+
+class TestDynamicEnergy:
+    def test_terms_decompose(self):
+        params = EnergyParameters(
+            l1_probe=1.0, l2_probe=4.0, segment_check=0.05, walk_reference=20.0
+        )
+        breakdown = dynamic_energy(
+            accesses=1000,
+            l1_misses=100,
+            segment_checked_misses=100,
+            l2_probes=100,
+            walk_refs=50,
+            params=params,
+        )
+        assert breakdown.l1_energy == 1000.0
+        assert breakdown.l2_energy == pytest.approx(400.0 + 5.0)
+        assert breakdown.walker_energy == 1000.0
+        assert breakdown.total == pytest.approx(2405.0)
+
+    def test_walker_reduction_dominates_comparator_cost(self):
+        # The paper's argument: adding the tiny segment comparators to
+        # every L1 miss costs far less than the walker references the
+        # new design removes.
+        base = dynamic_energy(
+            accesses=10_000, l1_misses=1000, segment_checked_misses=0,
+            l2_probes=1000, walk_refs=5000,
+        )
+        dual_direct = dynamic_energy(
+            accesses=10_000, l1_misses=1000, segment_checked_misses=1000,
+            l2_probes=0, walk_refs=0,
+        )
+        assert dual_direct.total < base.total
+
+    def test_zero_events(self):
+        b = dynamic_energy(0, 0, 0, 0, 0)
+        assert b.total == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the overhead metric and summaries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.overhead import (
+    OverheadResult,
+    geometric_mean,
+    overhead_from_trace,
+    speedup,
+)
+
+
+class TestOverheadResult:
+    def test_basic_decomposition(self):
+        r = OverheadResult(ideal_cycles=1000.0, translation_cycles=280.0)
+        assert r.execution_cycles == 1280.0
+        assert r.overhead == pytest.approx(0.28)
+        assert r.overhead_percent == pytest.approx(28.0)
+
+    def test_zero_translation(self):
+        r = OverheadResult(ideal_cycles=1000.0, translation_cycles=0.0)
+        assert r.overhead == 0.0
+
+    def test_from_trace(self):
+        r = overhead_from_trace(100, 5.0, 50.0)
+        assert r.ideal_cycles == 500.0
+        assert r.overhead == pytest.approx(0.1)
+
+    def test_from_trace_validation(self):
+        with pytest.raises(ValueError):
+            overhead_from_trace(0, 5.0, 1.0)
+        with pytest.raises(ValueError):
+            overhead_from_trace(10, 0.0, 1.0)
+
+    def test_speedup(self):
+        base = OverheadResult(1000.0, 1000.0)
+        improved = OverheadResult(1000.0, 0.0)
+        assert speedup(base, improved) == pytest.approx(2.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e9),
+        st.floats(min_value=0.0, max_value=1e9),
+    )
+    def test_overhead_nonnegative(self, ideal, translation):
+        r = OverheadResult(ideal, translation)
+        assert r.overhead >= 0.0
+        assert r.execution_cycles >= r.ideal_cycles
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value(self):
+        assert geometric_mean([7.0]) == 7.0
+
+    def test_rejects_empty_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=10))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9

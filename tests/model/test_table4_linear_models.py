@@ -1,0 +1,121 @@
+"""Tests for the Table IV linear models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.linear_model import (
+    DELTA_GD,
+    DELTA_VD,
+    MeasuredInputs,
+    base_virtualized_cycles,
+    direct_segment_cycles,
+    dual_direct_cycles,
+    guest_direct_cycles,
+    native_cycles,
+    vmm_direct_cycles,
+)
+
+
+def inputs(**kwargs) -> MeasuredInputs:
+    defaults = dict(
+        native_misses=1_000_000,
+        native_cycles_per_miss=40.0,
+        virtualized_cycles_per_miss=100.0,
+    )
+    defaults.update(kwargs)
+    return MeasuredInputs(**defaults)
+
+
+class TestValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            inputs(f_vd=1.5)
+        with pytest.raises(ValueError):
+            inputs(f_gd=-0.1)
+
+    def test_dual_direct_fractions_sum(self):
+        with pytest.raises(ValueError):
+            inputs(f_vd=0.5, f_gd=0.4, f_dd=0.3)
+
+
+class TestPaperFormulas:
+    """Each model, checked against hand computation."""
+
+    def test_native_and_base(self):
+        m = inputs()
+        assert native_cycles(m) == 40.0 * 1_000_000
+        assert base_virtualized_cycles(m) == 100.0 * 1_000_000
+
+    def test_direct_segment(self):
+        # Cn * (1 - F_DS) * Mn.
+        m = inputs(f_ds=0.99)
+        assert direct_segment_cycles(m) == pytest.approx(40.0 * 0.01 * 1e6)
+
+    def test_vmm_direct(self):
+        # [(Cn + 5)*F_VD + Cv*(1 - F_VD)] * Mn.
+        m = inputs(f_vd=0.9)
+        expected = ((40 + 5) * 0.9 + 100 * 0.1) * 1e6
+        assert vmm_direct_cycles(m) == pytest.approx(expected)
+
+    def test_guest_direct(self):
+        m = inputs(f_gd=0.95)
+        expected = ((40 + 1) * 0.95 + 100 * 0.05) * 1e6
+        assert guest_direct_cycles(m) == pytest.approx(expected)
+
+    def test_dual_direct(self):
+        m = inputs(f_dd=0.9, f_vd=0.05, f_gd=0.03)
+        expected = ((40 + 5) * 0.05 + (40 + 1) * 0.03 + 100 * 0.02) * 1e6
+        assert dual_direct_cycles(m) == pytest.approx(expected)
+
+    def test_dual_direct_full_coverage_is_free(self):
+        m = inputs(f_dd=1.0)
+        assert dual_direct_cycles(m) == 0.0
+
+    def test_deltas_match_paper(self):
+        assert DELTA_VD == 5.0
+        assert DELTA_GD == 1.0
+
+
+class TestOrderings:
+    """Relationships the paper's design space implies."""
+
+    @given(
+        st.floats(min_value=20, max_value=100),  # Cn
+        st.floats(min_value=2.0, max_value=4.0),  # Cv/Cn: Cv > Cn + 5
+        st.floats(min_value=0.5, max_value=1.0),  # coverage
+    )
+    def test_modes_always_beat_base_virtualized(self, cn, ratio, coverage):
+        vd = inputs(
+            native_cycles_per_miss=cn,
+            virtualized_cycles_per_miss=cn * ratio,
+            f_vd=coverage,
+        )
+        gd = inputs(
+            native_cycles_per_miss=cn,
+            virtualized_cycles_per_miss=cn * ratio,
+            f_gd=coverage,
+        )
+        assert vmm_direct_cycles(vd) < base_virtualized_cycles(vd)
+        assert guest_direct_cycles(gd) < base_virtualized_cycles(gd)
+
+    @given(st.floats(min_value=0.5, max_value=1.0))
+    def test_guest_direct_cheaper_than_vmm_direct_at_equal_coverage(self, coverage):
+        # Delta_GD < Delta_VD, so at equal coverage GD wins slightly.
+        vd = inputs(f_vd=coverage)
+        gd = inputs(f_gd=coverage)
+        assert guest_direct_cycles(gd) < vmm_direct_cycles(vd)
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.6),
+        st.floats(min_value=0.0, max_value=0.3),
+    )
+    def test_dual_direct_is_best(self, f_dd, f_rest):
+        m = inputs(f_dd=f_dd, f_vd=f_rest, f_gd=min(f_rest, 1 - f_dd - f_rest))
+        assert dual_direct_cycles(m) <= base_virtualized_cycles(m)
+
+    def test_coverage_monotonicity(self):
+        costs = [
+            vmm_direct_cycles(inputs(f_vd=f)) for f in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert costs == sorted(costs, reverse=True)

@@ -1,0 +1,110 @@
+"""Tests for configuration-label parsing."""
+
+import pytest
+
+from repro.core.address import PageSize
+from repro.core.modes import TranslationMode
+from repro.sim.config import (
+    NATIVE_CONFIGS,
+    PROPOSED_CONFIGS,
+    VIRTUALIZED_BASELINE_CONFIGS,
+    SystemConfig,
+    parse_config,
+)
+
+
+class TestNativeLabels:
+    @pytest.mark.parametrize(
+        "label,size",
+        [("4K", PageSize.SIZE_4K), ("2M", PageSize.SIZE_2M), ("1G", PageSize.SIZE_1G)],
+    )
+    def test_page_sizes(self, label, size):
+        config = parse_config(label)
+        assert config.mode is TranslationMode.NATIVE
+        assert config.guest_page is size
+        assert config.nested_page is None
+        assert not config.virtualized
+
+    def test_thp(self):
+        config = parse_config("THP")
+        assert config.mode is TranslationMode.NATIVE
+        assert config.thp
+        assert config.guest_page is PageSize.SIZE_4K
+
+    def test_ds(self):
+        config = parse_config("DS")
+        assert config.mode is TranslationMode.NATIVE_DIRECT_SEGMENT
+
+
+class TestVirtualizedLabels:
+    def test_page_size_grid(self):
+        config = parse_config("2M+1G")
+        assert config.mode is TranslationMode.BASE_VIRTUALIZED
+        assert config.guest_page is PageSize.SIZE_2M
+        assert config.nested_page is PageSize.SIZE_1G
+
+    def test_dd(self):
+        config = parse_config("DD")
+        assert config.mode is TranslationMode.DUAL_DIRECT
+        assert config.virtualized
+
+    def test_vd_and_gd(self):
+        vd = parse_config("4K+VD")
+        assert vd.mode is TranslationMode.VMM_DIRECT
+        assert vd.guest_page is PageSize.SIZE_4K
+        gd = parse_config("4K+GD")
+        assert gd.mode is TranslationMode.GUEST_DIRECT
+
+    def test_thp_guest_over_vmm(self):
+        config = parse_config("THP+2M")
+        assert config.thp
+        assert config.nested_page is PageSize.SIZE_2M
+
+    def test_thp_with_vd(self):
+        config = parse_config("THP+VD")
+        assert config.mode is TranslationMode.VMM_DIRECT
+        assert config.thp
+
+    def test_case_and_whitespace(self):
+        assert parse_config(" 4k+vd ").mode is TranslationMode.VMM_DIRECT
+
+    def test_unknown_label(self):
+        with pytest.raises(ValueError):
+            parse_config("3M+4K")
+
+
+class TestValidation:
+    def test_virtualized_needs_nested_page(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                label="x",
+                mode=TranslationMode.BASE_VIRTUALIZED,
+                guest_page=PageSize.SIZE_4K,
+                nested_page=None,
+            )
+
+    def test_native_rejects_nested_page(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                label="x",
+                mode=TranslationMode.NATIVE,
+                guest_page=PageSize.SIZE_4K,
+                nested_page=PageSize.SIZE_4K,
+            )
+
+    def test_thp_requires_4k_guest(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                label="x",
+                mode=TranslationMode.NATIVE,
+                guest_page=PageSize.SIZE_2M,
+                nested_page=None,
+                thp=True,
+            )
+
+
+class TestConfigSets:
+    def test_all_predefined_labels_parse(self):
+        for label in NATIVE_CONFIGS + VIRTUALIZED_BASELINE_CONFIGS + PROPOSED_CONFIGS:
+            config = parse_config(label)
+            assert config.label == label

@@ -1,0 +1,96 @@
+"""Tests for the trace-driven simulator."""
+
+import pytest
+
+from repro.sim.config import parse_config
+from repro.sim.simulator import run_trace, simulate
+from repro.sim.system import build_system
+
+
+class TestRunTrace:
+    def test_produces_consistent_result(self, tiny_workload):
+        result = simulate("4K", tiny_workload, trace_length=3000)
+        run = result.run
+        assert run.config_name == "4K"
+        assert run.workload_name == "tiny"
+        c = result.counters
+        assert c.accesses == c.l1_hits + c.l1_misses
+        assert c.l2_hits + c.l2_misses == c.l1_misses
+        assert run.walks == c.l2_misses
+        assert result.overhead_percent >= 0
+
+    def test_refs_per_entry_scales_reference_count(self, tiny_workload):
+        result = simulate("4K", tiny_workload, trace_length=3000)
+        measured_entries = int(3000 * 0.85)  # default 15% warm-up
+        assert result.run.trace_length == int(
+            measured_entries * tiny_workload.spec.refs_per_entry
+        )
+
+    def test_prepopulation_eliminates_measured_faults(self, tiny_workload):
+        result = simulate("4K+4K", tiny_workload, trace_length=2000)
+        assert result.counters.faults == 0
+
+    def test_demand_paging_mode(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        trace = tiny_workload.trace(1000, seed=0)
+        result = run_trace(
+            system, trace, 5.0, prepopulate=False, warmup_fraction=0.0
+        )
+        assert result.counters.faults > 0
+
+    def test_determinism(self, tiny_workload):
+        a = simulate("4K+4K", tiny_workload, trace_length=2000, seed=5)
+        b = simulate("4K+4K", tiny_workload, trace_length=2000, seed=5)
+        assert a.run == b.run
+
+    def test_warmup_fraction_validation(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        with pytest.raises(ValueError):
+            run_trace(system, tiny_workload.trace(100), 5.0, warmup_fraction=1.0)
+
+
+class TestCrossModeProperties:
+    """The paper's headline orderings, on the tiny workload."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from tests.conftest import TinyWorkload
+
+        out = {}
+        for label in ("4K", "4K+4K", "DD", "4K+VD", "4K+GD", "DS"):
+            out[label] = simulate(label, TinyWorkload(), trace_length=6000)
+        return out
+
+    def test_virtualization_multiplies_overhead(self, results):
+        assert (
+            results["4K+4K"].overhead_percent
+            > 1.5 * results["4K"].overhead_percent
+        )
+
+    def test_vmm_direct_is_near_native(self, results):
+        native = results["4K"].overhead_percent
+        vd = results["4K+VD"].overhead_percent
+        assert vd < native * 1.4
+        assert vd < results["4K+4K"].overhead_percent
+
+    def test_guest_direct_is_near_native(self, results):
+        assert results["4K+GD"].overhead_percent < results["4K"].overhead_percent * 1.4
+
+    def test_dual_direct_is_near_zero(self, results):
+        assert results["DD"].overhead_percent < 0.5
+        assert results["DS"].overhead_percent < 0.5
+
+    def test_dd_eliminates_l2_misses(self, results):
+        assert results["DD"].l2_tlb_misses < 0.01 * max(
+            1, results["4K+4K"].l2_tlb_misses
+        )
+
+    def test_all_modes_translate_same_misses(self, results):
+        # Same trace, same L1 behaviour for 4K-grain modes.
+        assert (
+            abs(
+                results["4K"].counters.l1_misses
+                - results["DD"].counters.l1_misses
+            )
+            < 0.2 * results["4K"].counters.l1_misses
+        )

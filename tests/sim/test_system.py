@@ -1,0 +1,156 @@
+"""Tests for the system builder."""
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB
+from repro.core.modes import TranslationMode
+from repro.core.walker import DirectSegmentWalker, NativeWalker, NestedWalker
+from repro.mem.physical_layout import IO_GAP_START
+from repro.sim.config import parse_config
+from repro.sim.system import build_system, populate_for_addresses
+
+
+class TestNativeBuild:
+    def test_4k_native(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        assert system.vm is None
+        assert isinstance(system.mmu.walker, NativeWalker)
+        assert system.process.primary_region is not None
+
+    def test_ds_native_has_segment(self, tiny_workload):
+        system = build_system(parse_config("DS"), tiny_workload.spec)
+        walker = system.mmu.walker
+        assert isinstance(walker, DirectSegmentWalker)
+        assert walker.segment.enabled
+        assert walker.segment.size == tiny_workload.spec.footprint_bytes
+
+    def test_access_translates(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        frame = system.mmu.access(system.base_va + 4096 + 17)
+        assert frame > 0
+
+
+class TestVirtualizedBuild:
+    @pytest.mark.parametrize("label", ["4K+4K", "4K+2M", "DD", "4K+VD", "4K+GD"])
+    def test_builds_and_translates(self, tiny_workload, label):
+        system = build_system(parse_config(label), tiny_workload.spec)
+        assert system.vm is not None
+        assert isinstance(system.mmu.walker, NestedWalker)
+        assert system.vm.mode is parse_config(label).mode
+        frame = system.mmu.access(system.base_va + 12345)
+        assert frame > 0
+
+    def test_vd_has_vmm_segment_only(self, tiny_workload):
+        system = build_system(parse_config("4K+VD"), tiny_workload.spec)
+        walker = system.mmu.walker
+        assert walker.vmm_segment.enabled
+        assert not walker.guest_segment.enabled
+
+    def test_gd_has_guest_segment_only(self, tiny_workload):
+        system = build_system(parse_config("4K+GD"), tiny_workload.spec)
+        walker = system.mmu.walker
+        assert walker.guest_segment.enabled
+        assert not walker.vmm_segment.enabled
+
+    def test_dd_has_both_segments(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        walker = system.mmu.walker
+        assert walker.guest_segment.enabled
+        assert walker.vmm_segment.enabled
+        # Guest segment's gPA range lies inside the VMM segment.
+        assert walker.vmm_segment.virtual_range.contains_range(
+            walker.guest_segment.physical_range
+        )
+
+    def test_vd_performs_io_gap_reclaim(self, tiny_workload):
+        system = build_system(parse_config("4K+VD"), tiny_workload.spec)
+        assert system.vm.slots.low_slot.gpa_range.size <= 256 * 1024 * 1024
+
+    def test_base_virtualized_keeps_standard_slots(self, tiny_workload):
+        system = build_system(parse_config("4K+4K"), tiny_workload.spec)
+        assert system.vm.slots.low_slot.gpa_range.size == min(
+            IO_GAP_START, system.vm.memory_bytes
+        )
+
+    def test_guest_pt_pool_inside_vmm_segment(self, tiny_workload):
+        # Section III.B: guest page tables must resolve via the segment.
+        system = build_system(parse_config("4K+VD"), tiny_workload.spec)
+        table = system.guest_os.page_table_of(system.process)
+        segment = system.vm.vmm_segment
+        for frame in table.node_frames:
+            assert segment.covers(frame * BASE_PAGE_SIZE)
+
+
+class TestPopulation:
+    def test_populate_prevents_faults(self, tiny_workload):
+        system = build_system(parse_config("4K+4K"), tiny_workload.spec)
+        trace = tiny_workload.trace(2000, seed=0)
+        addresses = [(int(p) << 12) + system.base_va for p in trace]
+        populate_for_addresses(system, sorted(set(a & ~0xFFF for a in addresses)))
+        for va in addresses:
+            system.mmu.access(va)
+        assert system.mmu.counters.faults == 0
+
+    def test_populate_with_segments_prevents_faults(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        trace = tiny_workload.trace(1000, seed=1)
+        addresses = [(int(p) << 12) + system.base_va for p in trace]
+        populate_for_addresses(system, sorted(set(a & ~0xFFF for a in addresses)))
+        for va in addresses:
+            system.mmu.access(va)
+        assert system.mmu.counters.faults == 0
+
+
+class TestFunctionalEquivalence:
+    """Hardware segments vs Section VI.B emulation produce identical
+    translations (the prototype's correctness claim)."""
+
+    @pytest.mark.parametrize("label", ["DD", "4K+VD"])
+    def test_emulation_matches_hardware(self, tiny_workload, label):
+        # For modes with a VMM segment the final hPA is fully determined
+        # (hPA = gPA + OFFSET_V), so hardware and emulation must agree
+        # bit for bit.
+        config = parse_config(label)
+        hw = build_system(config, tiny_workload.spec)
+        emu = build_system(config, tiny_workload.spec, emulate_segments=True)
+        trace = tiny_workload.trace(500, seed=2)
+        for page in sorted(set(int(p) for p in trace))[:200]:
+            va = (page << 12) + hw.base_va
+            assert hw.mmu.access(va) == emu.mmu.access(va), hex(va)
+
+    def test_guest_direct_emulation_matches_first_dimension(self, tiny_workload):
+        # Guest Direct's nested dimension demand-allocates host frames,
+        # so hPAs depend on allocation order; the architectural contract
+        # is the first dimension: gVA -> gPA must match the segment.
+        config = parse_config("4K+GD")
+        hw = build_system(config, tiny_workload.spec)
+        emu = build_system(config, tiny_workload.spec, emulate_segments=True)
+        table = emu.guest_os.page_table_of(emu.process)
+        segment = hw.mmu.walker.guest_segment
+        trace = tiny_workload.trace(300, seed=3)
+        for page in sorted(set(int(p) for p in trace))[:100]:
+            va = (page << 12) + emu.base_va
+            emu.mmu.access(va)
+            assert table.translate(va) == segment.translate(va)
+
+    def test_emulation_uses_no_hardware_segments(self, tiny_workload):
+        emu = build_system(
+            parse_config("DD"), tiny_workload.spec, emulate_segments=True
+        )
+        walker = emu.mmu.walker
+        assert not walker.guest_segment.enabled
+        assert not walker.vmm_segment.enabled
+        # But the walk still succeeds through computed PTEs.
+        frame = emu.mmu.access(emu.base_va + 999)
+        assert frame > 0
+
+
+class TestRefreshSegments:
+    def test_refresh_after_mode_change(self, tiny_workload):
+        system = build_system(parse_config("4K+GD"), tiny_workload.spec)
+        # Upgrade: create a VMM segment and switch to Dual Direct.
+        system.vm.create_vmm_segment()
+        system.vm.set_mode(TranslationMode.DUAL_DIRECT)
+        system.mmu.mode = TranslationMode.DUAL_DIRECT
+        system.refresh_segments()
+        assert system.mmu.walker.vmm_segment.enabled

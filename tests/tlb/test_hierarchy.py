@@ -1,0 +1,128 @@
+"""Tests for the TLB hierarchy and nested-entry capacity sharing."""
+
+from repro.core.address import PageSize
+from repro.tlb.hierarchy import TLBGeometry, TLBHierarchy
+
+
+class TestGeometryDefaults:
+    def test_table6_geometry(self):
+        h = TLBHierarchy()
+        assert h.l1[PageSize.SIZE_4K].entries == 64
+        assert h.l1[PageSize.SIZE_4K].ways == 4
+        assert h.l1[PageSize.SIZE_2M].entries == 32
+        assert h.l1[PageSize.SIZE_1G].entries == 4
+        assert h.l2.entries == 512
+        assert h.l2.ways == 4
+
+
+class TestRegularEntries:
+    def test_insert_then_l1_hit(self):
+        h = TLBHierarchy()
+        h.insert(vpn=100, page_size=PageSize.SIZE_4K, frame=7)
+        assert h.lookup_l1(100) == (PageSize.SIZE_4K, 7)
+        assert h.l1_stats.hits == 1
+
+    def test_l1_miss_counts(self):
+        h = TLBHierarchy()
+        assert h.lookup_l1(100) is None
+        assert h.l1_stats.misses == 1
+
+    def test_2m_entry_matches_any_contained_4k_vpn(self):
+        h = TLBHierarchy()
+        # 2M page at vpn base 512 (second 2M region).
+        h.insert(vpn=512, page_size=PageSize.SIZE_2M, frame=1000)
+        for vpn in (512, 700, 1023):
+            size, frame = h.lookup_l1(vpn)
+            assert size is PageSize.SIZE_2M
+            assert frame == 1000
+        assert h.lookup_l1(1024) is None
+
+    def test_l2_holds_only_4k_regular_entries(self):
+        h = TLBHierarchy()
+        h.insert(vpn=0, page_size=PageSize.SIZE_2M, frame=5)
+        # The 2M entry is in L1 but not L2 (Sandy Bridge, Table VI).
+        assert h.lookup_l2(0) is None
+        h.insert(vpn=3, page_size=PageSize.SIZE_4K, frame=9)
+        assert h.lookup_l2(3) == (PageSize.SIZE_4K, 9)
+
+    def test_l2_backs_up_l1(self):
+        geometry = TLBGeometry(l1_4k_entries=4, l1_4k_ways=4)
+        h = TLBHierarchy(geometry)
+        for vpn in range(8):
+            h.insert(vpn, PageSize.SIZE_4K, vpn + 100)
+        # L1 holds only 4 entries; older ones must still hit in L2.
+        evicted = [vpn for vpn in range(8) if h.lookup_l1(vpn) is None]
+        assert evicted
+        for vpn in evicted:
+            assert h.lookup_l2(vpn) == (PageSize.SIZE_4K, vpn + 100)
+
+    def test_insert_l1_only(self):
+        h = TLBHierarchy()
+        h.insert_l1(42, PageSize.SIZE_4K, 9)
+        assert h.lookup_l1(42) is not None
+        assert h.lookup_l2(42) is None
+
+
+class TestNestedSharing:
+    def test_nested_round_trip(self):
+        h = TLBHierarchy()
+        h.insert_nested(gppn=100, page_size=PageSize.SIZE_4K, frame=55)
+        assert h.lookup_nested(100, PageSize.SIZE_4K) == 55
+        assert h.nested_insertions == 1
+
+    def test_nested_and_regular_do_not_alias(self):
+        h = TLBHierarchy()
+        h.insert(vpn=100, page_size=PageSize.SIZE_4K, frame=1)
+        h.insert_nested(gppn=100, page_size=PageSize.SIZE_4K, frame=2)
+        assert h.lookup_l2(100) == (PageSize.SIZE_4K, 1)
+        assert h.lookup_nested(100, PageSize.SIZE_4K) == 2
+
+    def test_nested_entries_steal_l2_capacity(self):
+        # The Section IX.A mechanism: nested insertions can evict
+        # regular entries because they share the 512-entry array.
+        h = TLBHierarchy()
+        for vpn in range(512):
+            h.insert(vpn, PageSize.SIZE_4K, vpn)
+        regular_before = sum(
+            1 for vpn in range(512) if h.l2.peek((0, PageSize.SIZE_4K, vpn))
+        )
+        # Hash indexing is not perfectly uniform, but most entries fit.
+        assert regular_before > 300
+        for gppn in range(512):
+            h.insert_nested(gppn, PageSize.SIZE_4K, gppn)
+        regular_after = sum(
+            1 for vpn in range(512) if h.l2.peek((0, PageSize.SIZE_4K, vpn))
+        )
+        assert regular_after < regular_before
+
+    def test_nested_2m_granularity(self):
+        h = TLBHierarchy()
+        h.insert_nested(gppn=512, page_size=PageSize.SIZE_2M, frame=4096)
+        assert h.lookup_nested(512, PageSize.SIZE_2M) == 4096
+        # Same entry serves any gppn in the 2M page via the shifted tag.
+        assert h.lookup_nested(700, PageSize.SIZE_2M) == 4096
+
+
+class TestMaintenance:
+    def test_flush(self):
+        h = TLBHierarchy()
+        h.insert(1, PageSize.SIZE_4K, 1)
+        h.insert_nested(2, PageSize.SIZE_4K, 2)
+        h.flush()
+        assert h.lookup_l1(1) is None
+        assert h.lookup_nested(2, PageSize.SIZE_4K) is None
+
+    def test_invalidate_page(self):
+        h = TLBHierarchy()
+        h.insert(1, PageSize.SIZE_4K, 1)
+        h.invalidate_page(1)
+        assert h.lookup_l1(1) is None
+        assert h.lookup_l2(1) is None
+
+    def test_reset_stats_keeps_entries(self):
+        h = TLBHierarchy()
+        h.insert(1, PageSize.SIZE_4K, 1)
+        h.lookup_l1(1)
+        h.reset_stats()
+        assert h.l1_stats.accesses == 0
+        assert h.lookup_l1(1) is not None

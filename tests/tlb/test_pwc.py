@@ -1,0 +1,84 @@
+"""Tests for the page-walk caches and nested TLB."""
+
+from repro.tlb.pwc import NestedTLB, PageWalkCache
+
+
+class TestPageWalkCache:
+    def test_cold_probe_misses(self):
+        pwc = PageWalkCache()
+        assert pwc.probe(0x1234_5678_9000).deepest_level == -1
+        assert pwc.probe(0).skipped_levels == 0
+
+    def test_fill_then_probe_deepest(self):
+        pwc = PageWalkCache()
+        address = 0x7F00_1234_5000
+        pwc.fill(address, upto_level=2)
+        probe = pwc.probe(address)
+        assert probe.deepest_level == 2
+        assert probe.skipped_levels == 3
+
+    def test_partial_fill(self):
+        pwc = PageWalkCache()
+        address = 0x7F00_1234_5000
+        pwc.fill(address, upto_level=0)
+        assert pwc.probe(address).deepest_level == 0
+
+    def test_neighbouring_2m_region_misses_pde(self):
+        pwc = PageWalkCache()
+        address = 0x4000_0000
+        pwc.fill(address, upto_level=2)
+        # Same 1G region, different 2M region: PDE miss, PDPTE hit.
+        sibling = address + (1 << 21)
+        assert pwc.probe(sibling).deepest_level == 1
+
+    def test_far_address_misses_everything(self):
+        pwc = PageWalkCache()
+        pwc.fill(0, upto_level=2)
+        assert pwc.probe(1 << 40).deepest_level == -1
+
+    def test_fill_caps_at_pde(self):
+        # Leaf entries belong in the TLB, not the PWC: fill(upto=3)
+        # must behave as fill(upto=2).
+        pwc = PageWalkCache()
+        pwc.fill(0, upto_level=3)
+        assert pwc.probe(0).deepest_level == 2
+
+    def test_flush(self):
+        pwc = PageWalkCache()
+        pwc.fill(0, upto_level=2)
+        pwc.flush()
+        assert pwc.probe(0).deepest_level == -1
+
+    def test_capacity_eviction(self):
+        pwc = PageWalkCache(entries=4, ways=4)
+        for i in range(16):
+            pwc.fill(i << 21, upto_level=2)  # distinct PDE entries
+        hits = sum(1 for i in range(16) if pwc.probe(i << 21).deepest_level == 2)
+        assert hits <= 8  # bounded by PWC capacity (PDE + PDPTE aliasing)
+
+    def test_stats(self):
+        pwc = PageWalkCache()
+        pwc.probe(0)
+        stats = pwc.stats
+        assert set(stats) == {0, 1, 2}
+
+
+class TestNestedTLB:
+    def test_round_trip(self):
+        ntlb = NestedTLB()
+        assert ntlb.lookup(5) is None
+        ntlb.insert(5, 99)
+        assert ntlb.lookup(5) == 99
+
+    def test_flush(self):
+        ntlb = NestedTLB()
+        ntlb.insert(5, 99)
+        ntlb.flush()
+        assert ntlb.lookup(5) is None
+
+    def test_eviction_bounded(self):
+        ntlb = NestedTLB(entries=8, ways=2)
+        for gppn in range(100):
+            ntlb.insert(gppn, gppn)
+        live = sum(1 for gppn in range(100) if ntlb.lookup(gppn) is not None)
+        assert live <= 8

@@ -1,0 +1,126 @@
+"""Tests for the generic set-associative LRU cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tlb.tlb import SetAssociativeCache
+
+
+class TestGeometry:
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 1)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(10, 4)  # not divisible
+
+    def test_fully_associative(self):
+        cache = SetAssociativeCache(4, 4)
+        assert cache.num_sets == 1
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(8, 2)
+        assert cache.lookup(1) is None
+        cache.insert(1, 100)
+        assert cache.lookup(1) == 100
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_payload_none_rejected(self):
+        cache = SetAssociativeCache(8, 2)
+        with pytest.raises(ValueError):
+            cache.insert(1, None)
+
+    def test_reinsert_updates_value(self):
+        cache = SetAssociativeCache(8, 2)
+        cache.insert(1, 100)
+        cache.insert(1, 200)
+        assert cache.lookup(1) == 200
+        assert len(cache) == 1
+
+    def test_peek_does_not_touch_stats(self):
+        cache = SetAssociativeCache(8, 2)
+        cache.insert(1, 100)
+        assert cache.peek(1) == 100
+        assert cache.peek(2) is None
+        assert cache.stats.accesses == 0
+
+
+class TestLRUReplacement:
+    def test_evicts_least_recently_used(self):
+        cache = SetAssociativeCache(2, 2)  # one set, two ways
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        cache.lookup("a")  # refresh a
+        cache.insert("c", 3)  # evicts b
+        assert cache.peek("a") == 1
+        assert cache.peek("b") is None
+        assert cache.peek("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_insertion_refreshes_recency(self):
+        cache = SetAssociativeCache(2, 2)
+        cache.insert("a", 1)
+        cache.insert("b", 2)
+        cache.insert("a", 10)  # refresh by reinsert
+        cache.insert("c", 3)  # evicts b, not a
+        assert cache.peek("a") == 10
+        assert cache.peek("b") is None
+
+    def test_capacity_never_exceeded(self):
+        cache = SetAssociativeCache(16, 4)
+        for i in range(200):
+            cache.insert(i, i)
+        assert len(cache) <= 16
+        assert cache.occupancy() <= 1.0
+
+
+class TestInvalidateFlush:
+    def test_invalidate(self):
+        cache = SetAssociativeCache(8, 2)
+        cache.insert(1, 100)
+        assert cache.invalidate(1)
+        assert not cache.invalidate(1)
+        assert cache.peek(1) is None
+
+    def test_flush_preserves_stats(self):
+        cache = SetAssociativeCache(8, 2)
+        cache.insert(1, 100)
+        cache.lookup(1)
+        cache.flush()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_stats_reset(self):
+        cache = SetAssociativeCache(8, 2)
+        cache.lookup(1)
+        cache.stats.reset()
+        assert cache.stats.accesses == 0
+        assert cache.stats.miss_rate == 0.0
+
+
+class TestProperties:
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=200))
+    def test_lookup_after_insert_always_hits_within_way_pressure(self, keys):
+        # With a fully-associative cache as large as the key universe,
+        # nothing is ever evicted: every insert must remain findable.
+        cache = SetAssociativeCache(128, 128)
+        inserted = set()
+        for key in keys:
+            cache.insert(key, key + 1)
+            inserted.add(key)
+        for key in inserted:
+            assert cache.peek(key) == key + 1
+
+    @settings(max_examples=50)
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=300))
+    def test_hits_plus_misses_equals_accesses(self, keys):
+        cache = SetAssociativeCache(32, 4)
+        for key in keys:
+            if cache.lookup(key) is None:
+                cache.insert(key, 1)
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses == len(keys)

@@ -1,0 +1,198 @@
+"""Tests for the hypervisor: nested paging, VMM segments, escapes."""
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB, AddressRange, PageSize
+from repro.core.modes import TranslationMode
+from repro.mem.badpages import BadPageList
+from repro.vmm.hypervisor import Hypervisor, VmmSegmentError
+
+
+def make_hypervisor(host=8 * GIB, **kwargs) -> Hypervisor:
+    return Hypervisor(host_memory_bytes=host, **kwargs)
+
+
+class TestVmLifecycle:
+    def test_create_vm(self):
+        hv = make_hypervisor()
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        assert vm.name == "a"
+        assert vm.mode is TranslationMode.BASE_VIRTUALIZED
+        assert "a" in hv.vms
+
+    def test_duplicate_name_rejected(self):
+        hv = make_hypervisor()
+        hv.create_vm("a", memory_bytes=1 * GIB)
+        with pytest.raises(ValueError, match="already exists"):
+            hv.create_vm("a", memory_bytes=1 * GIB)
+
+    def test_destroy_vm_returns_memory(self):
+        hv = make_hypervisor()
+        free_before = hv.allocator.free_frames
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        for gppn in range(64):
+            vm.handle_nested_fault(gppn * BASE_PAGE_SIZE)
+        hv.destroy_vm("a")
+        assert hv.allocator.free_frames == free_before
+        assert "a" not in hv.vms
+
+
+class TestNestedPaging:
+    def test_demand_fault_maps_page(self):
+        hv = make_hypervisor()
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        gpa = 17 * MIB
+        vm.handle_nested_fault(gpa)
+        hpa = vm.nested_table.translate(gpa)
+        assert hpa % BASE_PAGE_SIZE == gpa % BASE_PAGE_SIZE
+
+    def test_nested_page_size_preference(self):
+        hv = make_hypervisor()
+        vm = hv.create_vm("a", memory_bytes=2 * GIB, nested_page_size=PageSize.SIZE_2M)
+        vm.handle_nested_fault(100 * MIB)
+        assert vm.nested_table.walk(100 * MIB).page_size is PageSize.SIZE_2M
+
+    def test_large_page_never_straddles_slot_boundary(self):
+        hv = make_hypervisor(host=12 * GIB)
+        # 2.5 GB guest: the low slot ends at 2.5 GB, so a 1G page at
+        # [2G, 3G) would spill past the slot (into the I/O gap region).
+        vm = hv.create_vm(
+            "a", memory_bytes=int(2.5 * GIB), nested_page_size=PageSize.SIZE_1G
+        )
+        gpa = int(2.2 * GIB)
+        vm.handle_nested_fault(gpa)
+        assert vm.nested_table.walk(gpa).page_size is not PageSize.SIZE_1G
+        # An aligned page fully inside the slot still maps at 1G.
+        vm.handle_nested_fault(1 * GIB + 5)
+        assert vm.nested_table.walk(1 * GIB).page_size is PageSize.SIZE_1G
+
+    def test_fault_outside_slots_rejected(self):
+        hv = make_hypervisor()
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        with pytest.raises(MemoryError, match="outside all memory slots"):
+            vm.handle_nested_fault(64 * GIB)
+
+
+class TestVmmSegment:
+    def test_create_covers_high_slot(self):
+        hv = make_hypervisor(host=8 * GIB)
+        vm = hv.create_vm("a", memory_bytes=5 * GIB)
+        regs = vm.create_vmm_segment()
+        assert regs.enabled
+        assert regs.virtual_range == vm.slots.high_slot.gpa_range
+
+    def test_segment_translation_is_linear(self):
+        hv = make_hypervisor(host=8 * GIB)
+        vm = hv.create_vm("a", memory_bytes=5 * GIB)
+        regs = vm.create_vmm_segment()
+        gpa = regs.base + 12345
+        assert regs.translate(gpa) == regs.base + regs.offset + 12345
+
+    def test_fragmented_host_blocks_segment(self):
+        import random
+
+        hv = make_hypervisor(host=8 * GIB)
+        hv.allocator.fragment(0.5, rng=random.Random(0), hold_orders=(0, 1))
+        vm = hv.create_vm("a", memory_bytes=5 * GIB)
+        with pytest.raises(VmmSegmentError):
+            vm.create_vmm_segment()
+
+    def test_drop_segment_frees_host_memory(self):
+        hv = make_hypervisor(host=8 * GIB)
+        vm = hv.create_vm("a", memory_bytes=5 * GIB)
+        free_before = hv.allocator.free_frames
+        vm.create_vmm_segment()
+        vm.drop_vmm_segment()
+        assert hv.allocator.free_frames == free_before
+        assert not vm.vmm_segment.enabled
+
+    def test_set_mode_requires_segment(self):
+        hv = make_hypervisor()
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        with pytest.raises(VmmSegmentError):
+            vm.set_mode(TranslationMode.VMM_DIRECT)
+        vm.create_vmm_segment()
+        vm.set_mode(TranslationMode.VMM_DIRECT)
+        assert vm.mode is TranslationMode.VMM_DIRECT
+
+    def test_set_mode_rejects_native(self):
+        hv = make_hypervisor()
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        with pytest.raises(ValueError):
+            vm.set_mode(TranslationMode.NATIVE)
+
+
+class TestBadPagesAndEscapes:
+    def _vm_with_bad_page(self):
+        hv = make_hypervisor(host=8 * GIB)
+        vm = hv.create_vm("a", memory_bytes=5 * GIB)
+        # Plant a bad frame inside the region the segment will occupy
+        # (deterministic: the lowest free run).
+        probe = hv.allocator.reserve_contiguous(
+            vm.slots.high_slot.gpa_range.size // BASE_PAGE_SIZE
+        )
+        hv.allocator.free_contiguous(
+            probe, vm.slots.high_slot.gpa_range.size // BASE_PAGE_SIZE
+        )
+        # Several bad frames so the 256-bit filter exhibits false
+        # positives within the segment's page range.
+        bad_frames = [probe + 1000 + 64 * i for i in range(8)]
+        for frame in bad_frames:
+            hv.bad_pages.mark_bad(frame)
+        regs = vm.create_vmm_segment()
+        return hv, vm, regs, bad_frames[0]
+
+    def test_bad_frame_is_escaped(self):
+        hv, vm, regs, bad_frame = self._vm_with_bad_page()
+        gppn = bad_frame - regs.offset // BASE_PAGE_SIZE
+        assert vm.escape_filter.may_contain(gppn)
+        assert gppn in vm.escape_filter.inserted_pages
+
+    def test_escaped_page_remapped_to_healthy_frame(self):
+        hv, vm, regs, bad_frame = self._vm_with_bad_page()
+        gppn = bad_frame - regs.offset // BASE_PAGE_SIZE
+        hpa = vm.nested_table.translate(gppn * BASE_PAGE_SIZE)
+        assert hpa // BASE_PAGE_SIZE != bad_frame
+        assert hpa // BASE_PAGE_SIZE not in hv.bad_pages
+
+    def test_false_positive_gets_computed_mapping(self):
+        hv, vm, regs, bad_frame = self._vm_with_bad_page()
+        offset_frames = regs.offset // BASE_PAGE_SIZE
+        # Find a false positive within the segment's gPA range.
+        fp_gppn = next(
+            gppn
+            for gppn in regs.virtual_range.pages()
+            if vm.escape_filter.is_false_positive(gppn)
+        )
+        vm.handle_nested_fault(fp_gppn * BASE_PAGE_SIZE)
+        # The mapping reproduces the segment's computed translation.
+        hpa = vm.nested_table.translate(fp_gppn * BASE_PAGE_SIZE)
+        assert hpa // BASE_PAGE_SIZE == fp_gppn + offset_frames
+
+    def test_demand_allocation_avoids_bad_frames(self):
+        hv = make_hypervisor(host=1 * GIB)
+        for frame in range(0, 2048, 64):
+            hv.bad_pages.mark_bad(frame)
+        vm = hv.create_vm("a", memory_bytes=256 * MIB)
+        for gppn in range(128):
+            vm.handle_nested_fault(gppn * BASE_PAGE_SIZE)
+        for gppn in range(128):
+            hpa = vm.nested_table.translate(gppn * BASE_PAGE_SIZE)
+            assert hpa // BASE_PAGE_SIZE not in hv.bad_pages
+
+
+class TestVmExitEntry:
+    def test_segment_state_save_restore(self):
+        hv = make_hypervisor()
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        vm.create_vmm_segment()
+        saved_regs = vm.vmm_segment
+        vm.vm_exit()
+        # Host runs; clobber the live registers (another VM's state).
+        from repro.core.segments import SegmentRegisters
+
+        vm.vmm_segment = SegmentRegisters.disabled()
+        vm.vm_entry()
+        assert vm.vmm_segment == saved_regs
+        assert vm.exit_stats.exits == 1
+        assert vm.exit_stats.entries == 1

@@ -1,0 +1,77 @@
+"""Tests for KVM memory slots (Figure 10)."""
+
+import pytest
+
+from repro.core.address import GIB, MIB
+from repro.core.address import AddressRange
+from repro.mem.physical_layout import IO_GAP_END, IO_GAP_START, PhysicalLayout
+from repro.vmm.memory_slots import MemorySlots
+
+
+class TestStandardLayout:
+    def test_two_slots_for_big_vm(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB))
+        assert len(slots.slots) == 2
+        assert slots.low_slot.gpa_range == AddressRange(0, IO_GAP_START)
+        assert slots.high_slot.gpa_range.start == IO_GAP_END
+        assert slots.total_bytes == 8 * GIB
+
+    def test_single_slot_for_small_vm(self):
+        slots = MemorySlots(PhysicalLayout(1 * GIB))
+        assert len(slots.slots) == 1
+        assert slots.total_bytes == 1 * GIB
+
+    def test_slot_for_lookup(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB))
+        assert slots.slot_for(1 * GIB) is slots.low_slot
+        assert slots.slot_for(5 * GIB) is slots.high_slot
+        assert slots.slot_for(int(3.5 * GIB)) is None  # the I/O gap
+        assert slots.slot_for(100 * GIB) is None
+
+    def test_describe(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB))
+        assert "slot 0" in slots.low_slot.describe()
+
+
+class TestReserve:
+    def test_reserve_extends_high_slot(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB), reserve_bytes=1 * GIB)
+        assert slots.total_bytes == 9 * GIB
+        assert slots.reserve_remaining == 1 * GIB
+
+    def test_release_advances_through_reserve(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB), reserve_bytes=512 * MIB)
+        first = slots.release_reserve(128 * MIB)
+        second = slots.release_reserve(128 * MIB)
+        assert second.start == first.end
+        assert slots.reserve_remaining == 256 * MIB
+
+    def test_release_beyond_reserve_rejected(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB), reserve_bytes=64 * MIB)
+        with pytest.raises(ValueError, match="reserve"):
+            slots.release_reserve(128 * MIB)
+
+    def test_small_vm_reserve_creates_high_slot(self):
+        slots = MemorySlots(PhysicalLayout(1 * GIB), reserve_bytes=256 * MIB)
+        assert len(slots.slots) == 2
+        assert slots.high_slot.gpa_range.start == IO_GAP_END
+
+
+class TestSlotSurgery:
+    def test_shrink_low_slot(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB))
+        removed = AddressRange(256 * MIB, IO_GAP_START)
+        slots.shrink_low_slot(removed)
+        assert slots.low_slot.gpa_range == AddressRange(0, 256 * MIB)
+
+    def test_shrink_must_be_from_tail(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB))
+        with pytest.raises(ValueError, match="tail"):
+            slots.shrink_low_slot(AddressRange(0, 1 * GIB))
+
+    def test_extend_high_slot(self):
+        slots = MemorySlots(PhysicalLayout(8 * GIB))
+        end_before = slots.high_slot.gpa_range.end
+        added = slots.extend_high_slot(1 * GIB)
+        assert added.start == end_before
+        assert slots.high_slot.gpa_range.end == end_before + 1 * GIB

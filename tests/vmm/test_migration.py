@@ -1,0 +1,108 @@
+"""Tests for dirty-page tracking and pre-copy migration."""
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB
+from repro.vmm.hypervisor import Hypervisor
+from repro.vmm.migration import (
+    DirtyLog,
+    MigrationUnsupportedError,
+    precopy_migrate,
+)
+
+
+def paged_vm(num_pages=64):
+    hypervisor = Hypervisor(host_memory_bytes=4 * GIB)
+    vm = hypervisor.create_vm("a", memory_bytes=1 * GIB)
+    for gppn in range(num_pages):
+        vm.handle_nested_fault(gppn * BASE_PAGE_SIZE)
+    return vm
+
+
+class TestDirtyLog:
+    def test_start_write_protects(self):
+        vm = paged_vm()
+        log = DirtyLog(vm)
+        log.start()
+        assert log.armed
+        for _, entry in vm.nested_table.leaves():
+            assert not entry.writable
+
+    def test_writes_are_logged(self):
+        vm = paged_vm()
+        log = DirtyLog(vm)
+        log.start()
+        log.record_write(5 * BASE_PAGE_SIZE)
+        log.record_write(9 * BASE_PAGE_SIZE + 123)
+        assert log.collect() == {5, 9}
+
+    def test_collect_rearms(self):
+        vm = paged_vm()
+        log = DirtyLog(vm)
+        log.start()
+        log.record_write(5 * BASE_PAGE_SIZE)
+        log.collect()
+        # Page 5 is protected again; a new write is logged afresh.
+        log.record_write(5 * BASE_PAGE_SIZE)
+        assert log.collect() == {5}
+
+    def test_stop_restores_permissions(self):
+        vm = paged_vm()
+        log = DirtyLog(vm)
+        log.start()
+        log.stop()
+        for _, entry in vm.nested_table.leaves():
+            assert entry.writable
+        log.record_write(3 * BASE_PAGE_SIZE)
+        assert log.collect() == set()
+
+    def test_vmm_segment_precludes_tracking(self):
+        # The Table II restriction, executable: Dual/VMM Direct memory
+        # has no nested entries to write-protect.
+        hypervisor = Hypervisor(host_memory_bytes=8 * GIB)
+        vm = hypervisor.create_vm("a", memory_bytes=5 * GIB)
+        vm.create_vmm_segment()
+        log = DirtyLog(vm)
+        with pytest.raises(MigrationUnsupportedError, match="VMM segment"):
+            log.start()
+
+    def test_guest_direct_vm_supports_tracking(self):
+        # Guest Direct keeps nested paging, so migration works -- the
+        # paper's reason for the mode's existence.
+        vm = paged_vm()
+        log = DirtyLog(vm)
+        log.start()  # no exception
+        log.stop()
+
+
+class TestPreCopy:
+    def test_quiet_guest_converges_in_one_round(self):
+        vm = paged_vm(num_pages=128)
+        rounds = precopy_migrate(vm, write_rounds=[[]])
+        assert len(rounds) == 1
+        assert rounds[0].pages_sent == 128
+        assert rounds[0].pages_dirtied_during == 0
+
+    def test_dirtying_guest_needs_more_rounds(self):
+        vm = paged_vm(num_pages=256)
+        writes = [
+            [gppn * BASE_PAGE_SIZE for gppn in range(200)],
+            [gppn * BASE_PAGE_SIZE for gppn in range(100)],
+            [gppn * BASE_PAGE_SIZE for gppn in range(10)],
+        ]
+        rounds = precopy_migrate(vm, write_rounds=writes)
+        assert len(rounds) == 3
+        assert rounds[1].pages_sent == 200  # resends what round 0 dirtied
+        assert rounds[2].pages_dirtied_during == 10
+
+    def test_never_converging_guest_hits_round_cap(self):
+        vm = paged_vm(num_pages=128)
+        writes = [[gppn * BASE_PAGE_SIZE for gppn in range(128)]] * 50
+        rounds = precopy_migrate(vm, write_rounds=writes, max_rounds=5)
+        assert len(rounds) == 5
+
+    def test_permissions_restored_after_migration(self):
+        vm = paged_vm()
+        precopy_migrate(vm, write_rounds=[[]])
+        for _, entry in vm.nested_table.leaves():
+            assert entry.writable

@@ -1,0 +1,74 @@
+"""Tests for content-based page sharing (Section IX.E)."""
+
+from repro.vmm.page_sharing import (
+    ContentProfile,
+    ksm_scan,
+    sharing_study,
+)
+
+
+class TestContentProfile:
+    def test_fingerprint_counts(self):
+        profile = ContentProfile(zero_fraction=0.0, os_pages=10)
+        prints = profile.fingerprints(100, vm_id=1)
+        assert len(prints) == 100
+        assert sum(1 for p in prints if p[0] == "os") == 10
+        assert sum(1 for p in prints if p[0] == "data") == 90
+
+    def test_zero_pages_share_one_fingerprint(self):
+        profile = ContentProfile(zero_fraction=1.0, os_pages=0)
+        prints = profile.fingerprints(50, vm_id=1)
+        assert len(set(prints)) == 1
+
+    def test_data_pages_unique_across_vms(self):
+        profile = ContentProfile(zero_fraction=0.0, os_pages=0)
+        a = set(profile.fingerprints(100, vm_id=1))
+        b = set(profile.fingerprints(100, vm_id=2))
+        assert not a & b
+
+    def test_os_pages_identical_across_vms(self):
+        profile = ContentProfile(zero_fraction=0.0, os_pages=100)
+        a = profile.fingerprints(100, vm_id=1)
+        b = profile.fingerprints(100, vm_id=2)
+        assert a == b  # all OS pages, same image
+
+    def test_deterministic_per_seed(self):
+        profile = ContentProfile(zero_fraction=0.5, os_pages=5)
+        assert profile.fingerprints(100, 1, seed=3) == profile.fingerprints(100, 1, seed=3)
+
+
+class TestKsmScan:
+    def test_disjoint_vms_share_nothing(self):
+        profile = ContentProfile(zero_fraction=0.0, os_pages=0)
+        result = ksm_scan(
+            [profile.fingerprints(100, 1), profile.fingerprints(100, 2)]
+        )
+        assert result.pages_saved == 0
+        assert result.savings_fraction == 0.0
+
+    def test_identical_vms_share_everything(self):
+        profile = ContentProfile(zero_fraction=0.0, os_pages=50)
+        prints = profile.fingerprints(50, 1)
+        result = ksm_scan([prints, list(prints)])
+        assert result.pages_saved == 50
+        assert result.savings_fraction == 0.5
+
+    def test_empty_scan(self):
+        result = ksm_scan([])
+        assert result.total_pages == 0
+        assert result.savings_fraction == 0.0
+
+
+class TestSharingStudy:
+    def test_big_memory_savings_stay_small(self):
+        # The paper's bound: <= ~3% for big-memory workload pairs.
+        profile = ContentProfile(zero_fraction=0.02, os_pages=2000)
+        result = sharing_study(profile, profile, vm_pages=100_000)
+        assert result.savings_fraction < 0.05
+
+    def test_savings_scale_with_os_footprint(self):
+        small_os = ContentProfile(zero_fraction=0.0, os_pages=100)
+        big_os = ContentProfile(zero_fraction=0.0, os_pages=10_000)
+        small = sharing_study(small_os, small_os, vm_pages=50_000)
+        big = sharing_study(big_os, big_os, vm_pages=50_000)
+        assert big.savings_fraction > small.savings_fraction

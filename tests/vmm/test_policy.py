@@ -1,0 +1,105 @@
+"""Tests for the Table III mode policy."""
+
+import pytest
+
+from repro.core.modes import TranslationMode
+from repro.vmm.policy import (
+    FragmentationState,
+    ModePlan,
+    WorkloadClass,
+    plan_modes,
+)
+
+
+class TestPlanModes:
+    """The six Table III rows plus the unfragmented defaults."""
+
+    def test_big_memory_host_fragmented(self):
+        plan = plan_modes(
+            WorkloadClass.BIG_MEMORY, FragmentationState(host_fragmented=True)
+        )
+        assert plan.initial_mode is TranslationMode.GUEST_DIRECT
+        assert plan.final_mode is TranslationMode.DUAL_DIRECT
+        assert plan.uses_compaction
+        assert not plan.uses_self_ballooning
+        assert plan.upgrades
+
+    def test_big_memory_guest_fragmented(self):
+        plan = plan_modes(
+            WorkloadClass.BIG_MEMORY, FragmentationState(guest_fragmented=True)
+        )
+        assert plan.initial_mode is TranslationMode.DUAL_DIRECT
+        assert plan.final_mode is TranslationMode.DUAL_DIRECT
+        assert plan.uses_self_ballooning
+        assert not plan.uses_compaction
+        assert not plan.upgrades
+
+    def test_big_memory_both_fragmented(self):
+        plan = plan_modes(
+            WorkloadClass.BIG_MEMORY,
+            FragmentationState(host_fragmented=True, guest_fragmented=True),
+        )
+        assert plan.initial_mode is TranslationMode.GUEST_DIRECT
+        assert plan.final_mode is TranslationMode.DUAL_DIRECT
+        assert plan.uses_self_ballooning
+        assert plan.uses_compaction
+
+    def test_compute_host_fragmented(self):
+        plan = plan_modes(
+            WorkloadClass.COMPUTE, FragmentationState(host_fragmented=True)
+        )
+        assert plan.initial_mode is TranslationMode.BASE_VIRTUALIZED
+        assert plan.final_mode is TranslationMode.VMM_DIRECT
+        assert plan.uses_compaction
+
+    def test_compute_guest_fragmented(self):
+        # Guest fragmentation does not matter for VMM Direct.
+        plan = plan_modes(
+            WorkloadClass.COMPUTE, FragmentationState(guest_fragmented=True)
+        )
+        assert plan.initial_mode is TranslationMode.VMM_DIRECT
+        assert not plan.upgrades
+
+    def test_compute_both_fragmented(self):
+        plan = plan_modes(
+            WorkloadClass.COMPUTE,
+            FragmentationState(host_fragmented=True, guest_fragmented=True),
+        )
+        assert plan.initial_mode is TranslationMode.BASE_VIRTUALIZED
+        assert plan.final_mode is TranslationMode.VMM_DIRECT
+
+    def test_unfragmented_defaults(self):
+        big = plan_modes(WorkloadClass.BIG_MEMORY, FragmentationState())
+        assert big.initial_mode is TranslationMode.DUAL_DIRECT
+        compute = plan_modes(WorkloadClass.COMPUTE, FragmentationState())
+        assert compute.initial_mode is TranslationMode.VMM_DIRECT
+
+    def test_compute_never_uses_guest_segments(self):
+        for state in (
+            FragmentationState(),
+            FragmentationState(host_fragmented=True),
+            FragmentationState(guest_fragmented=True),
+            FragmentationState(host_fragmented=True, guest_fragmented=True),
+        ):
+            plan = plan_modes(WorkloadClass.COMPUTE, state)
+            assert not plan.uses_self_ballooning
+            for mode in (plan.initial_mode, plan.final_mode):
+                assert not mode.uses_guest_segment
+
+
+class TestModePlan:
+    def test_upgrades_property(self):
+        plan = ModePlan(
+            TranslationMode.GUEST_DIRECT,
+            TranslationMode.DUAL_DIRECT,
+            uses_self_ballooning=False,
+            uses_compaction=True,
+        )
+        assert plan.upgrades
+        stable = ModePlan(
+            TranslationMode.DUAL_DIRECT,
+            TranslationMode.DUAL_DIRECT,
+            uses_self_ballooning=False,
+            uses_compaction=False,
+        )
+        assert not stable.upgrades

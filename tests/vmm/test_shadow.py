@@ -1,0 +1,104 @@
+"""Tests for shadow paging (Section II.A / IX.D)."""
+
+import itertools
+
+from repro.core.address import BASE_PAGE_SIZE, MIB, PageSize
+from repro.core.costs import DEFAULT_COSTS
+from repro.mem.page_table import PageTable
+from repro.vmm.shadow import ShadowPageTable, shadow_slowdown_fraction
+
+
+def make_tables():
+    guest_frames = itertools.count(0x100)
+    shadow_frames = itertools.count(0x9000)
+    guest = PageTable(lambda: next(guest_frames))
+    shadow_alloc = lambda: next(shadow_frames)  # noqa: E731
+    return guest, shadow_alloc
+
+
+def identity_plus(offset):
+    return lambda gpa: gpa + offset
+
+
+class TestShadowSync:
+    def test_sync_composes_translations(self):
+        guest, shadow_alloc = make_tables()
+        guest.map(0x1000, 0x20_0000)
+        shadow = ShadowPageTable(guest, identity_plus(0x1_0000_0000), shadow_alloc)
+        shadow.sync(0x1000)
+        # Shadow translates gVA directly to hPA.
+        assert shadow.table.translate(0x1234) == 0x1_0020_0234
+        assert shadow.stats.vm_exits == 1
+
+    def test_sync_2m_guest_page_shadows_at_4k(self):
+        guest, shadow_alloc = make_tables()
+        guest.map(2 * MIB, 8 * MIB, PageSize.SIZE_2M)
+        shadow = ShadowPageTable(guest, identity_plus(0), shadow_alloc)
+        va = 2 * MIB + 5 * BASE_PAGE_SIZE + 7
+        shadow.sync(va)
+        walked = shadow.table.walk(va)
+        assert walked.page_size is PageSize.SIZE_4K
+        assert shadow.table.translate(va) == 8 * MIB + 5 * BASE_PAGE_SIZE + 7
+
+    def test_observe_guest_updates_charges_exits(self):
+        guest, shadow_alloc = make_tables()
+        shadow = ShadowPageTable(guest, identity_plus(0), shadow_alloc)
+        guest.map(0x1000, 0x5000)  # several PTE writes
+        updates = shadow.observe_guest_updates()
+        assert updates == 4  # 3 pointers + 1 leaf
+        assert shadow.stats.vm_exits == 4
+        # Nothing new: no further exits.
+        assert shadow.observe_guest_updates() == 0
+        assert shadow.stats.vm_exits == 4
+
+    def test_invalidate_clears_shadow(self):
+        guest, shadow_alloc = make_tables()
+        guest.map(0x1000, 0x5000)
+        shadow = ShadowPageTable(guest, identity_plus(0), shadow_alloc)
+        shadow.sync(0x1000)
+        shadow.invalidate()
+        assert shadow.table.leaf_count() == 0
+        assert shadow.stats.full_rebuilds == 1
+
+    def test_resync_after_guest_remap(self):
+        guest, shadow_alloc = make_tables()
+        guest.map(0x1000, 0x5000)
+        shadow = ShadowPageTable(guest, identity_plus(0), shadow_alloc)
+        shadow.sync(0x1000)
+        guest.unmap(0x1000)
+        guest.map(0x1000, 0x9000)
+        shadow.sync(0x1000)
+        assert shadow.table.translate(0x1000) == 0x9000
+
+    def test_exit_cycles(self):
+        guest, shadow_alloc = make_tables()
+        shadow = ShadowPageTable(guest, identity_plus(0), shadow_alloc)
+        guest.map(0x1000, 0x5000)
+        shadow.observe_guest_updates()
+        assert shadow.stats.exit_cycles(DEFAULT_COSTS) == 4 * DEFAULT_COSTS.vm_exit_cycles
+
+
+class TestSlowdownModel:
+    def test_zero_updates_zero_slowdown(self):
+        assert shadow_slowdown_fraction(0.0, 10.0, DEFAULT_COSTS) == 0.0
+
+    def test_slowdown_scales_linearly(self):
+        a = shadow_slowdown_fraction(100.0, 10.0, DEFAULT_COSTS)
+        b = shadow_slowdown_fraction(200.0, 10.0, DEFAULT_COSTS)
+        assert abs(b - 2 * a) < 1e-12
+
+    def test_paper_category_boundary(self):
+        # memcached-like update rates cross the 5% category boundary;
+        # graph500-like rates stay below it.
+        from repro.workloads.registry import create_workload
+
+        memcached = create_workload("memcached").spec
+        graph500 = create_workload("graph500").spec
+        high = shadow_slowdown_fraction(
+            memcached.pt_updates_per_mref, memcached.ideal_cycles_per_ref, DEFAULT_COSTS
+        )
+        low = shadow_slowdown_fraction(
+            graph500.pt_updates_per_mref, graph500.ideal_cycles_per_ref, DEFAULT_COSTS
+        )
+        assert high > 0.05
+        assert low < 0.05

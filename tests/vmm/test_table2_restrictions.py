@@ -1,0 +1,79 @@
+"""Tests for Table II's memory-management restrictions, operationalized.
+
+The matrix rows "page sharing / ballooning / guest swapping / VMM
+swapping" are not just documentation: the capability checks on the VM
+and guest OS enforce them, keyed off the live segment state.
+"""
+
+from repro.core.address import BASE_PAGE_SIZE, GIB, MIB
+from repro.guest.guest_os import GuestOS, GuestOSConfig
+from repro.mem.physical_layout import PhysicalLayout
+from repro.vmm.hypervisor import Hypervisor
+
+
+def vm_with_segment():
+    hypervisor = Hypervisor(host_memory_bytes=8 * GIB)
+    vm = hypervisor.create_vm("a", memory_bytes=5 * GIB)
+    vm.create_vmm_segment()
+    return vm
+
+
+class TestVmmSideRestrictions:
+    def test_segment_covered_pages_not_shareable(self):
+        vm = vm_with_segment()
+        covered_gppn = vm.vmm_segment.base // BASE_PAGE_SIZE + 10
+        uncovered_gppn = 16  # below-gap kernel memory, paged
+        assert not vm.can_share_page(covered_gppn)
+        assert vm.can_share_page(uncovered_gppn)
+
+    def test_everything_shareable_without_segment(self):
+        hypervisor = Hypervisor(host_memory_bytes=4 * GIB)
+        vm = hypervisor.create_vm("a", memory_bytes=2 * GIB)
+        for gppn in (0, 1000, 100_000):
+            assert vm.can_share_page(gppn)
+            assert vm.can_vmm_swap_page(gppn)
+            assert vm.can_balloon_page(gppn)
+
+    def test_escaped_pages_regain_shareability(self):
+        vm = vm_with_segment()
+        gppn = vm.vmm_segment.base // BASE_PAGE_SIZE + 99
+        assert not vm.can_share_page(gppn)
+        vm.escape_filter.insert(gppn)
+        assert vm.can_share_page(gppn)
+
+    def test_swap_and_balloon_track_sharing(self):
+        vm = vm_with_segment()
+        covered = vm.vmm_segment.base // BASE_PAGE_SIZE + 5
+        assert not vm.can_vmm_swap_page(covered)
+        assert not vm.can_balloon_page(covered)
+
+
+class TestGuestSideRestrictions:
+    def _guest_with_segment(self, emulate=False):
+        guest = GuestOS(
+            PhysicalLayout(2 * GIB), GuestOSConfig(emulate_segments=emulate)
+        )
+        process = guest.spawn()
+        process.mmap(128 * MIB, is_primary_region=True)
+        guest.create_guest_segment(process)
+        return guest, process
+
+    def test_segment_covered_addresses_not_swappable(self):
+        guest, process = self._guest_with_segment()
+        inside = process.primary_region.range.start + 4096
+        outside = process.mmap(4 * MIB).range.start
+        assert not guest.can_swap_out(process, inside)
+        assert guest.can_swap_out(process, outside)
+
+    def test_emulation_mode_keeps_swapping(self):
+        # Section VI.B's computed PTEs are real PTEs: the OS can still
+        # invalidate them, so nothing is restricted.
+        guest, process = self._guest_with_segment(emulate=True)
+        inside = process.primary_region.range.start + 4096
+        assert guest.can_swap_out(process, inside)
+
+    def test_no_segment_no_restriction(self):
+        guest = GuestOS(PhysicalLayout(1 * GIB))
+        process = guest.spawn()
+        vma = process.mmap(16 * MIB)
+        assert guest.can_swap_out(process, vma.range.start)

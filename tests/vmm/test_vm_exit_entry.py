@@ -1,0 +1,92 @@
+"""Tests for VM exit/entry state management across multiple VMs.
+
+Section III.A: on VM-exit/entry, hardware must save/restore BASE_V,
+LIMIT_V and OFFSET_V along with other VM state; the escape filter is
+part of that context (Section V).  These tests interleave two VMs on
+one hypervisor and verify each gets its own segment state back.
+"""
+
+from repro.core.address import GIB, MIB
+from repro.core.segments import SegmentRegisters
+from repro.vmm.hypervisor import Hypervisor
+
+
+def two_vms():
+    hypervisor = Hypervisor(host_memory_bytes=8 * GIB)
+    a = hypervisor.create_vm("a", memory_bytes=2 * GIB)
+    b = hypervisor.create_vm("b", memory_bytes=1 * GIB)
+    return hypervisor, a, b
+
+
+class TestInterleavedVms:
+    def test_segments_are_per_vm(self):
+        hypervisor, a, b = two_vms()
+        regs_a = a.create_vmm_segment()
+        regs_b = b.create_vmm_segment()
+        assert regs_a != regs_b
+        # The host reservations are disjoint.
+        assert not regs_a.physical_range.overlaps(regs_b.physical_range)
+
+    def test_exit_entry_round_trip_under_interleaving(self):
+        hypervisor, a, b = two_vms()
+        regs_a = a.create_vmm_segment()
+        regs_b = b.create_vmm_segment()
+
+        # Schedule a, then b, then a again.
+        a.vm_entry()
+        a.vm_exit()
+        b.vm_entry()
+        # While b runs, a's live registers may be clobbered by the
+        # world switch; the saved state must restore them.
+        a.vmm_segment = SegmentRegisters.disabled()
+        b.vm_exit()
+        a.vm_entry()
+        assert a.vmm_segment == regs_a
+        assert b.vmm_segment == regs_b
+
+    def test_escape_filter_travels_with_the_vm(self):
+        hypervisor, a, b = two_vms()
+        a.create_vmm_segment()
+        a.escape_filter.insert(12345)
+        a.vm_exit()
+        a.escape_filter.clear()  # clobbered while another VM runs
+        a.vm_entry()
+        assert a.escape_filter.may_contain(12345)
+
+    def test_exit_statistics(self):
+        hypervisor, a, b = two_vms()
+        for _ in range(3):
+            a.vm_exit()
+            a.vm_entry()
+        assert a.exit_stats.exits == 3
+        assert a.exit_stats.entries == 3
+        assert b.exit_stats.exits == 0
+
+    def test_entry_without_prior_exit_is_noop(self):
+        hypervisor, a, b = two_vms()
+        regs = a.create_vmm_segment()
+        a.vm_entry()  # no saved state yet
+        assert a.vmm_segment == regs
+
+    def test_both_vms_demand_page_from_shared_host(self):
+        hypervisor, a, b = two_vms()
+        for gppn in range(32):
+            a.handle_nested_fault(gppn * 4096)
+            b.handle_nested_fault(gppn * 4096)
+        # Same gPAs, different host frames: VMs are isolated.
+        for gppn in range(32):
+            ha = a.nested_table.translate(gppn * 4096)
+            hb = b.nested_table.translate(gppn * 4096)
+            assert ha != hb
+
+    def test_destroying_one_vm_leaves_the_other_intact(self):
+        hypervisor, a, b = two_vms()
+        for gppn in range(16):
+            a.handle_nested_fault(gppn * 4096)
+            b.handle_nested_fault(gppn * 4096)
+        translations = {
+            gppn: b.nested_table.translate(gppn * 4096) for gppn in range(16)
+        }
+        hypervisor.destroy_vm("a")
+        for gppn, hpa in translations.items():
+            assert b.nested_table.translate(gppn * 4096) == hpa

@@ -1,0 +1,189 @@
+"""Tests for the workload trace generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.base import (
+    hot_cold_pages,
+    mixture,
+    sequential_sweep,
+    strided_pages,
+    two_scale_hot_cold,
+    uniform_pages,
+    zipf_pages,
+)
+from repro.workloads.registry import (
+    ALL_WORKLOADS,
+    BIG_MEMORY_WORKLOADS,
+    COMPUTE_WORKLOADS,
+    create_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_table5_workloads_present(self):
+        names = set(workload_names())
+        for expected in (
+            "graph500",
+            "memcached",
+            "npb-cg",
+            "gups",
+            "mcf",
+            "cactusadm",
+            "gemsfdtd",
+            "omnetpp",
+            "canneal",
+            "streamcluster",
+        ):
+            assert expected in names
+
+    def test_categories(self):
+        for name in BIG_MEMORY_WORKLOADS:
+            if name == "gups":
+                assert create_workload(name).spec.category == "micro"
+            else:
+                assert create_workload(name).spec.category == "big-memory"
+        for name in COMPUTE_WORKLOADS:
+            assert create_workload(name).spec.category == "compute"
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            create_workload("doom")
+
+    def test_case_insensitive(self):
+        assert create_workload("GUPS").spec.name == "gups"
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestEveryWorkload:
+    def test_trace_in_bounds(self, name):
+        w = create_workload(name)
+        trace = w.trace(5000, seed=1)
+        assert trace.dtype == np.int64
+        assert len(trace) == 5000
+        assert trace.min() >= 0
+        assert trace.max() < w.spec.footprint_pages
+
+    def test_trace_deterministic(self, name):
+        w = create_workload(name)
+        assert np.array_equal(w.trace(2000, seed=7), w.trace(2000, seed=7))
+
+    def test_trace_seed_sensitivity(self, name):
+        w = create_workload(name)
+        assert not np.array_equal(w.trace(2000, seed=1), w.trace(2000, seed=2))
+
+    def test_spec_sanity(self, name):
+        spec = create_workload(name).spec
+        assert spec.footprint_bytes > 0
+        assert spec.ideal_cycles_per_ref > 0
+        assert spec.refs_per_entry >= 1.0
+        assert spec.pt_updates_per_mref >= 0
+        assert 0 < spec.pt_update_2m_factor <= 1
+        assert spec.footprint_pages == spec.footprint_bytes // 4096
+
+
+class TestLocalityShapes:
+    """The structural properties the simulator depends on."""
+
+    def test_gups_is_effectively_uniform(self):
+        w = create_workload("gups")
+        trace = w.trace(50_000, seed=0)
+        # Nearly all references are distinct pages.
+        assert len(np.unique(trace)) > 0.95 * len(trace)
+
+    def test_big_memory_footprints_exceed_tlb_reach(self):
+        for name in BIG_MEMORY_WORKLOADS:
+            spec = create_workload(name).spec
+            # >> L2 reach (2 MB) and beyond four 1 GB L1 entries.
+            assert spec.footprint_bytes > 4 * (1 << 30)
+
+    def test_hot_workloads_have_reuse(self):
+        for name in ("memcached", "omnetpp", "canneal"):
+            trace = create_workload(name).trace(50_000, seed=0)
+            # A hot set implies far fewer distinct pages than entries.
+            assert len(np.unique(trace)) < 0.8 * len(trace)
+
+    def test_streaming_workloads_touch_fresh_pages(self):
+        trace = create_workload("gemsfdtd").trace(50_000, seed=0)
+        diffs = np.diff(np.sort(np.unique(trace)))
+        # Sweeps produce long runs of consecutive pages.
+        assert np.median(diffs) == 1
+
+    def test_cactus_strides_defeat_2m_pages(self):
+        trace = create_workload("cactusadm").trace(50_000, seed=0)
+        pages_2m = np.unique(trace >> 9)
+        # The stride pattern spreads across many distinct 2M regions
+        # (more than the 2M L1 TLB and a meaningful share of L2).
+        assert len(pages_2m) > 512
+
+
+class TestToolkit:
+    def test_uniform_pages_range(self):
+        rng = np.random.default_rng(0)
+        pages = uniform_pages(10_000, 100, rng)
+        assert pages.min() >= 0 and pages.max() < 100
+
+    def test_zipf_is_skewed(self):
+        rng = np.random.default_rng(0)
+        draws = zipf_pages(50_000, 10_000, alpha=1.0, rng=rng, scatter=False)
+        counts = np.bincount(draws, minlength=10_000)
+        # Rank-1 page gets far more than the median page.
+        assert counts.max() > 50 * max(1, int(np.median(counts[counts > 0])))
+
+    def test_zipf_zero_alpha_is_uniform(self):
+        rng = np.random.default_rng(0)
+        draws = zipf_pages(10_000, 100, alpha=0.0, rng=rng)
+        assert len(np.unique(draws)) == 100
+
+    def test_sequential_sweep_wraps(self):
+        sweep = sequential_sweep(10, 4, start=2)
+        assert list(sweep) == [2, 3, 0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_strided_pages_round_robin(self):
+        rng = np.random.default_rng(0)
+        trace = strided_pages(8, 1_000_000, stride_pages=100, chains=2, rng=rng)
+        # Chain members advance by the stride on alternate entries.
+        assert trace[2] - trace[0] == 100
+        assert trace[3] - trace[1] == 100
+
+    def test_mixture_weights(self):
+        rng = np.random.default_rng(0)
+        a = np.zeros(10_000, dtype=np.int64)
+        b = np.ones(10_000, dtype=np.int64)
+        mixed = mixture(10_000, [(0.7, a), (0.3, b)], rng)
+        share = float(np.mean(mixed))
+        assert 0.25 < share < 0.35
+
+    def test_hot_cold_respects_bounds(self):
+        rng = np.random.default_rng(0)
+        trace = hot_cold_pages(10_000, 5_000, 50, 0.9, rng)
+        assert trace.max() < 5_000
+        assert len(np.unique(trace)) < 2_000
+
+    def test_hot_cold_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            hot_cold_pages(10, 5, 50, 0.5, rng)
+
+    def test_two_scale_validates(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            two_scale_hot_cold(10, 1000, 10, 0.7, 100, 0.5, rng)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=100, max_value=5000),
+        st.integers(min_value=10, max_value=100_000),
+    )
+    def test_toolkit_outputs_always_in_bounds(self, n, pages):
+        rng = np.random.default_rng(0)
+        for stream in (
+            uniform_pages(n, pages, rng),
+            zipf_pages(n, pages, 0.8, rng),
+            two_scale_hot_cold(n, pages, min(10, pages), 0.5, min(50, pages), 0.3, rng),
+        ):
+            assert stream.min() >= 0
+            assert stream.max() < pages
