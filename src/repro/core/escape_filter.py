@@ -20,6 +20,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.errors import EscapeFilterFullError
+
 #: Geometry evaluated in Section IX.C.
 DEFAULT_FILTER_BITS = 256
 DEFAULT_HASH_FUNCTIONS = 4
@@ -75,6 +77,13 @@ class EscapeFilter:
     total_bits: int = DEFAULT_FILTER_BITS
     num_hashes: int = DEFAULT_HASH_FUNCTIONS
     seed: int = 0x5EED
+    #: Modelled insert limit.  A Bloom filter has no architectural cap,
+    #: but its false-positive rate -- the fraction of the segment that
+    #: silently pays for paging -- grows with every insertion, so the
+    #: managing software refuses inserts past this point and must degrade
+    #: instead (shrink the segment or fall back to nested paging).
+    #: ``None`` means unlimited (the seed behaviour).
+    capacity: int | None = None
     _banks: list[int] = field(init=False, repr=False)
     _hashes: tuple[H3Hash, ...] = field(init=False, repr=False)
     _inserted: set[int] = field(init=False, repr=False)
@@ -104,8 +113,23 @@ class EscapeFilter:
         """Exact set of pages software has escaped (ground truth, not HW)."""
         return frozenset(self._inserted)
 
+    @property
+    def is_full(self) -> bool:
+        """True when the modelled capacity is exhausted."""
+        return self.capacity is not None and len(self._inserted) >= self.capacity
+
     def insert(self, page: int) -> None:
-        """Escape ``page``: set one bit per bank."""
+        """Escape ``page``: set one bit per bank.
+
+        Raises :class:`~repro.errors.EscapeFilterFullError` when the
+        modelled capacity is exhausted (re-inserting an already-escaped
+        page is always allowed -- it changes no state).
+        """
+        if self.is_full and page not in self._inserted:
+            raise EscapeFilterFullError(
+                f"escape filter at capacity ({self.capacity} pages); "
+                f"cannot escape page {page:#x}"
+            )
         for bank, h in enumerate(self._hashes):
             self._banks[bank] |= 1 << h(page)
         self._inserted.add(page)

@@ -99,7 +99,9 @@ class NativeWalker:
         probe = self.pwc.probe(virtual)
         skip = min(probe.skipped_levels, leaf_level)
         outcome = WalkOutcome(
-            frame=result.frame,
+            # The MMU consumes the 4 KB frame of the *referenced* address
+            # (WalkOutcome.frame), not the leaf's base frame.
+            frame=result.frame + (virtual % int(result.page_size)) // BASE_PAGE_SIZE,
             page_size=result.page_size,
             raw_refs=len(result.steps),
         )
@@ -352,7 +354,12 @@ class NestedWalker:
             outcome.cycles += self.costs.pte_access_cycles(step.level)
         self.guest_pwc.fill(gva, upto_level=leaf_level - 1)
 
-        final_gpa = guest_result.frame * BASE_PAGE_SIZE
+        # Resolve the gPA of the *referenced* 4 KB page, not the guest
+        # leaf's base: with a large guest page over 4 KB nested pages the
+        # two resolve to different host frames, and WalkOutcome.frame is
+        # defined as the referenced address's frame.
+        in_page_frames = (gva % int(guest_result.page_size)) // BASE_PAGE_SIZE
+        final_gpa = (guest_result.frame + in_page_frames) * BASE_PAGE_SIZE
         final = self.resolve_gpa(final_gpa)
         outcome.merge_cost(final.cost)
         all_nested_by_segment &= final.by_segment

@@ -1,0 +1,152 @@
+"""Unified exception hierarchy for the reproduction.
+
+Before this module existed, failure types were scattered ad hoc across
+the packages (``VmmSegmentError`` in :mod:`repro.vmm.hypervisor`,
+``SegmentCreationError`` in :mod:`repro.guest.guest_os`,
+``OutOfMemoryError`` in :mod:`repro.mem.frame_allocator`, ...), which
+made "catch every model failure" impossible to express and left the
+fault-injection subsystem with no way to distinguish *expected,
+degradable* failures from bugs.
+
+Every failure the simulated software stack can raise now derives from
+:class:`ReproError`, organised by subsystem.  The historical names are
+still importable from their original modules (they are re-exported), so
+existing call sites and tests keep working; new code should import from
+here.
+
+Design contract (see DESIGN.md, "Failure model & degradation paths"):
+every raise of a :class:`ReproError` subclass is either
+
+* **degradable** -- the caller (usually the graceful-degradation layer in
+  :mod:`repro.vmm.hypervisor` or the retry loop in
+  :mod:`repro.mem.frame_allocator`) catches it and continues in a
+  reduced mode, recording a ``DegradationLog`` entry; or
+* **terminal** -- a documented, typed error that ends the run with a
+  clear message instead of an arbitrary ``KeyError``/``AssertionError``
+  deep inside the walker.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every modelled failure in the reproduction."""
+
+
+# ----------------------------------------------------------------------
+# Configuration / input validation
+
+
+class ConfigError(ReproError, ValueError):
+    """Invalid simulation configuration (bad label, size, geometry...).
+
+    Subclasses :class:`ValueError` so callers that predate the unified
+    hierarchy (``pytest.raises(ValueError)``) keep working.
+    """
+
+
+# ----------------------------------------------------------------------
+# Memory substrate
+
+
+class MemoryModelError(ReproError):
+    """Base for failures of the physical-memory model."""
+
+
+class OutOfMemoryError(MemoryModelError):
+    """No free block large enough to satisfy a request.
+
+    Canonical home of the class formerly defined in
+    :mod:`repro.mem.frame_allocator` (still re-exported there).
+    """
+
+
+class TransientAllocationError(OutOfMemoryError):
+    """An allocation failed transiently (injected fault, Section V spirit).
+
+    Subclasses :class:`OutOfMemoryError` so every existing
+    fall-back-to-smaller-page path degrades identically for transient
+    and permanent failures.  Raised only after the allocator's
+    retry/backoff budget is exhausted.
+    """
+
+
+# ----------------------------------------------------------------------
+# Direct segments
+
+
+class SegmentError(ReproError):
+    """Base for direct-segment lifecycle failures (either level)."""
+
+
+class VmmSegmentError(SegmentError):
+    """Host memory is too fragmented (or small) for a VMM segment.
+
+    Canonical home of the class formerly defined in
+    :mod:`repro.vmm.hypervisor` (still re-exported there).
+    """
+
+
+class SegmentCreationError(SegmentError):
+    """Not enough contiguous guest physical memory for a guest segment.
+
+    Canonical home of the class formerly defined in
+    :mod:`repro.guest.guest_os` (still re-exported there).
+    """
+
+
+class EscapeFilterFullError(SegmentError):
+    """The escape filter reached its modelled capacity (Section V).
+
+    A Bloom filter has no architectural insert limit, but its
+    false-positive rate -- and with it the fraction of the segment that
+    silently falls back to paging -- grows with every insertion; the
+    modelled capacity is the point past which the VMM must degrade
+    (shrink the segment or fall back to nested paging) instead of
+    escaping yet another page.
+    """
+
+
+# ----------------------------------------------------------------------
+# Swapping / ballooning (Table II restrictions)
+
+
+class SwapError(ReproError):
+    """The page cannot be swapped (Table II restriction or no mapping).
+
+    Canonical home of the guest-level class formerly defined in
+    :mod:`repro.guest.guest_os` (still re-exported there).
+    """
+
+
+class VmmSwapError(SwapError):
+    """The gPA page cannot be VMM-swapped (Table II restriction).
+
+    Canonical home of the class formerly defined in
+    :mod:`repro.vmm.hypervisor` (still re-exported there).
+    """
+
+
+class BalloonError(ReproError):
+    """The balloon could not inflate by the requested amount.
+
+    Canonical home of the class formerly defined in
+    :mod:`repro.guest.balloon` (still re-exported there).
+    """
+
+
+# ----------------------------------------------------------------------
+# Fault injection and the translation oracle
+
+
+class FaultInjectionError(ReproError):
+    """A fault event could not be delivered to the running system."""
+
+
+class TranslationOracleError(ReproError):
+    """The MMU fast path and the shadow translation disagreed.
+
+    Raised only in the oracle's strict mode; by default mismatches are
+    recorded in the :class:`~repro.faults.oracle.OracleReport` so a
+    sweep can report all of them at once.
+    """

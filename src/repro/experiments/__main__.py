@@ -5,8 +5,8 @@ Usage::
     python -m repro.experiments <name> [--trace-length N] [--quick] [--json]
 
 where ``<name>`` is one of: figure1, figure11, figure12, figure13,
-breakdown, table3, table4, shadow, sharing, energy, all.  ``--json``
-emits machine-readable results instead of formatted tables.
+breakdown, table3, table4, shadow, sharing, energy, resilience, all.
+``--json`` emits machine-readable results instead of formatted tables.
 """
 
 from __future__ import annotations
@@ -23,6 +23,7 @@ from repro.experiments import (
     figure12,
     figure13,
     report,
+    resilience,
     shadow,
     sharing,
     table3_fragmentation,
@@ -72,6 +73,12 @@ EXPERIMENTS = {
         lambda length: energy.run(trace_length=length, progress=True),
         energy.format_energy,
     ),
+    "resilience": (
+        lambda length: resilience.run(
+            trace_length=min(length, 40_000), progress=True
+        ),
+        resilience.format_resilience,
+    ),
 }
 
 
@@ -98,12 +105,21 @@ def main(argv: list[str] | None = None) -> int:
         help="shrink traces for a fast smoke run",
     )
     parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="minimal traces for CI sanity checks (even shorter than --quick)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of formatted tables",
     )
     args = parser.parse_args(argv)
-    length = 20_000 if args.quick else args.trace_length
+    length = args.trace_length
+    if args.quick:
+        length = 20_000
+    if args.smoke:
+        length = 6_000
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -1,0 +1,44 @@
+"""Runtime fault injection, graceful degradation, and the translation oracle.
+
+Three cooperating pieces:
+
+- :mod:`repro.faults.degradation` -- the vocabulary (actions, events,
+  log) the hypervisor uses to record how it absorbed each fault.
+- :mod:`repro.faults.injector` -- scheduled mid-trace fault events and
+  the :class:`FaultInjector` the simulator polls each measured reference.
+- :mod:`repro.faults.oracle` -- the :class:`TranslationOracle` that
+  shadow-translates sampled references through raw architectural state
+  and asserts the MMU agreed.
+"""
+
+from repro.faults.degradation import (
+    DegradationAction,
+    DegradationEvent,
+    DegradationLog,
+)
+from repro.faults.injector import (
+    BalloonInflationFailure,
+    DramHardFault,
+    EscapeFilterExhaustion,
+    FaultInjector,
+    FragmentationShock,
+    InjectedFault,
+    TransientAllocationFailures,
+)
+from repro.faults.oracle import OracleMismatch, OracleReport, TranslationOracle
+
+__all__ = [
+    "BalloonInflationFailure",
+    "DegradationAction",
+    "DegradationEvent",
+    "DegradationLog",
+    "DramHardFault",
+    "EscapeFilterExhaustion",
+    "FaultInjector",
+    "FragmentationShock",
+    "InjectedFault",
+    "OracleMismatch",
+    "OracleReport",
+    "TransientAllocationFailures",
+    "TranslationOracle",
+]

@@ -1,0 +1,139 @@
+"""Degradation accounting: what the system gave up to stay correct.
+
+Section V's argument for the escape filter is that real machines develop
+DRAM hard faults *while running*; Table III's argument for dynamic mode
+switching is that contiguity comes and goes.  When a mid-run fault makes
+the current translation mode untenable, the hypervisor reacts along a
+fixed ladder (escape the page, shrink the segment, fall back to nested
+paging) -- each rung trades performance for continued correctness.
+
+This module records those reactions.  :class:`DegradationLog` is the
+flight recorder: every action the graceful-degradation layer takes is
+appended as a :class:`DegradationEvent` with its modelled cycle cost, so
+experiments can attribute exactly how much performance each injected
+fault cost and tests can assert the right rung was chosen.
+
+Kept dependency-light on purpose: :mod:`repro.vmm.hypervisor` and
+:mod:`repro.vmm.policy` import it, so it must not import them back.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.modes import TranslationMode
+
+
+class DegradationAction(enum.Enum):
+    """The rungs of the degradation ladder, mildest first."""
+
+    #: Nothing needed to change (e.g. the faulty frame was free and was
+    #: simply quarantined).
+    QUARANTINE = "quarantine"
+    #: A paged (non-segment) frame was migrated to a healthy replacement.
+    REMAP = "remap"
+    #: The faulty page escaped the segment through the escape filter.
+    ESCAPE = "escape"
+    #: The segment was shrunk past the faulty page (it stays enabled over
+    #: a smaller range; the trimmed range falls back to nested paging).
+    SHRINK = "shrink"
+    #: The segment was dropped entirely; the VM fell back to the best
+    #: remaining paging mode (Dual Direct -> Guest Direct, VMM Direct ->
+    #: Base Virtualized).
+    FALLBACK = "fallback"
+    #: A software component failed and the system continued without it
+    #: (e.g. a balloon inflation that could not complete).
+    TOLERATE = "tolerate"
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One reaction of the graceful-degradation layer."""
+
+    #: Measured-trace reference index at which the event fired (-1 when
+    #: it happened outside a measured run, e.g. in a unit test).
+    ref_index: int
+    #: Which VM reacted ("" for host-level events).
+    vm_name: str
+    action: DegradationAction
+    #: Human-readable cause ("hard fault at frame 0x1234", ...).
+    detail: str
+    #: Translation mode before/after the reaction (equal when the mode
+    #: survived the event; ``None`` for host-level events with no VM).
+    from_mode: TranslationMode | None = None
+    to_mode: TranslationMode | None = None
+    #: Modelled cost of the reaction itself (page copies, TLB shootdown,
+    #: PTE installs), charged on top of the steady-state translation
+    #: cycles the run measures.
+    cycle_cost: float = 0.0
+
+    @property
+    def is_mode_transition(self) -> bool:
+        """True when the VM changed translation mode."""
+        return self.from_mode is not self.to_mode
+
+
+@dataclass
+class DegradationLog:
+    """Ordered record of every degradation a run performed."""
+
+    events: list[DegradationEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        ref_index: int,
+        vm_name: str,
+        action: DegradationAction,
+        detail: str,
+        from_mode: TranslationMode | None = None,
+        to_mode: TranslationMode | None = None,
+        cycle_cost: float = 0.0,
+    ) -> DegradationEvent:
+        """Append one event and return it."""
+        event = DegradationEvent(
+            ref_index=ref_index,
+            vm_name=vm_name,
+            action=action,
+            detail=detail,
+            from_mode=from_mode,
+            to_mode=to_mode,
+            cycle_cost=cycle_cost,
+        )
+        self.events.append(event)
+        return event
+
+    def count(self, action: DegradationAction) -> int:
+        """Number of events of one action kind."""
+        return sum(1 for e in self.events if e.action is action)
+
+    @property
+    def mode_transitions(self) -> list[DegradationEvent]:
+        """Events where the VM actually changed translation mode."""
+        return [e for e in self.events if e.is_mode_transition]
+
+    @property
+    def total_cycle_cost(self) -> float:
+        """Cycles spent reacting to faults, across all events."""
+        return sum(e.cycle_cost for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def summary(self) -> str:
+        """One line per event, for experiment reports."""
+        if not self.events:
+            return "no degradation events"
+        lines = []
+        for e in self.events:
+            arrow = (
+                f" [{e.from_mode.value} -> {e.to_mode.value}]"
+                if e.is_mode_transition
+                else ""
+            )
+            lines.append(
+                f"ref {e.ref_index}: {e.vm_name or 'host'} "
+                f"{e.action.value}{arrow}: {e.detail} "
+                f"({e.cycle_cost:.0f} cycles)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,299 @@
+"""Scheduled mid-trace fault events and the injector that delivers them.
+
+The paper's resilience story (Section V, Figure 13) is evaluated with
+*static* fault injection: bad pages exist before the system boots.  Real
+machines are messier -- DRAM develops hard faults while the workload
+runs, balloons fail to inflate, memory fragments under multi-tenant
+churn, and allocations fail transiently under reclaim pressure.  This
+module schedules exactly those events at chosen points of the measured
+trace; :mod:`repro.sim.simulator` polls :meth:`FaultInjector.deliver_due`
+once per measured reference.
+
+Every event degrades, never crashes: delivery routes through the
+graceful-degradation layer (:meth:`repro.vmm.hypervisor.Hypervisor.
+inject_hard_fault` and friends), which records its reactions in the
+hypervisor's :class:`~repro.faults.degradation.DegradationLog`.
+
+Module-level imports stay clear of :mod:`repro.vmm` / :mod:`repro.sim` /
+:mod:`repro.guest`: the hypervisor imports this package's sibling
+:mod:`repro.faults.degradation`, which triggers ``repro.faults.__init__``
+and hence this module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.address import page_number
+from repro.errors import BalloonError, FaultInjectionError
+from repro.mem.frame_allocator import MAX_ALLOC_RETRIES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.system import SimulatedSystem
+
+
+@dataclass
+class InjectedFault:
+    """One scheduled fault event.
+
+    ``at_ref`` is the index into the *measured* reference stream at (or
+    after) which the event fires; the simulator delivers every due event
+    before performing that reference.
+    """
+
+    at_ref: int
+
+    def deliver(self, system: "SimulatedSystem", rng: random.Random) -> str:
+        """Apply the fault to the running system; returns a short note."""
+        raise NotImplementedError
+
+    def _require_virtualized(self, system: "SimulatedSystem"):
+        if system.vm is None or system.hypervisor is None:
+            raise FaultInjectionError(
+                f"{type(self).__name__} requires a virtualized system"
+            )
+        return system.vm
+
+
+@dataclass
+class DramHardFault(InjectedFault):
+    """A host DRAM frame develops a permanent hard fault mid-run.
+
+    ``frame`` pins the faulty frame explicitly; otherwise ``placement``
+    picks one relative to the VM's segment: ``"segment-edge"`` (within
+    the policy's shrinkable edge), ``"segment-middle"`` (forces
+    filter-full faults to a full fall-back), ``"segment"`` (uniform over
+    the covered range) or ``"anywhere"`` (uniform over host DRAM).
+    """
+
+    frame: int | None = None
+    placement: str = "segment"
+
+    PLACEMENTS = ("segment", "segment-edge", "segment-middle", "anywhere")
+
+    def __post_init__(self) -> None:
+        if self.placement not in self.PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {self.PLACEMENTS}, got "
+                f"{self.placement!r}"
+            )
+
+    def deliver(self, system: "SimulatedSystem", rng: random.Random) -> str:
+        self._require_virtualized(system)
+        frame = self.frame
+        if frame is None:
+            frame = self._pick_frame(system, rng)
+        event = system.hypervisor.inject_hard_fault(frame)
+        return f"hard fault at frame {frame:#x} -> {event.action.value}"
+
+    def _pick_frame(self, system: "SimulatedSystem", rng: random.Random) -> int:
+        vm = system.vm
+        segment = vm.vmm_segment
+        if self.placement != "anywhere" and segment.enabled:
+            start = page_number(segment.base + segment.offset)
+            end = page_number(segment.limit + segment.offset)
+            span = end - start
+            # Stay comfortably inside / outside the default policy's
+            # edge_fraction (1/8 of the segment from either end).
+            if self.placement == "segment-edge":
+                margin = max(1, span // 16)
+                if rng.random() < 0.5:
+                    return rng.randrange(start, start + margin)
+                return rng.randrange(end - margin, end)
+            if self.placement == "segment-middle":
+                margin = max(1, span * 3 // 8)
+                lo, hi = start + margin, end - margin
+                if lo < hi:
+                    return rng.randrange(lo, hi)
+            return rng.randrange(start, end)
+        reserved = vm.reserved_frame_range
+        if self.placement != "anywhere" and reserved is not None:
+            return rng.randrange(reserved[0], reserved[1])
+        region = rng.choice(system.hypervisor.layout.regions)
+        return rng.randrange(page_number(region.start), page_number(region.end))
+
+
+@dataclass
+class EscapeFilterExhaustion(InjectedFault):
+    """The VM's escape filter hits its modelled capacity.
+
+    Caps the filter at its current occupancy (plus ``headroom`` spare
+    inserts), so subsequent hard faults under the segment cannot escape
+    and must take a harsher degradation rung (shrink or fall back).
+    """
+
+    headroom: int = 0
+
+    def __post_init__(self) -> None:
+        if self.headroom < 0:
+            raise ValueError(f"headroom must be >= 0, got {self.headroom}")
+
+    def deliver(self, system: "SimulatedSystem", rng: random.Random) -> str:
+        vm = self._require_virtualized(system)
+        vm.escape_filter.capacity = len(vm.escape_filter) + self.headroom
+        return (
+            f"escape filter capped at {vm.escape_filter.capacity} pages "
+            f"({len(vm.escape_filter)} in use)"
+        )
+
+
+@dataclass
+class BalloonInflationFailure(InjectedFault):
+    """A self-balloon inflation fails after the reclaim half completed.
+
+    Arms the VM's balloon port to reject the hot-add, then (by default)
+    drives an inflation through a fresh
+    :class:`~repro.guest.balloon.SelfBalloonDriver` to exercise the
+    failure and the driver's deflate-rollback.  The VM logs a TOLERATE
+    event either way.
+    """
+
+    size_bytes: int = 2 * 1024 * 1024
+    attempt: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be > 0, got {self.size_bytes}")
+
+    def deliver(self, system: "SimulatedSystem", rng: random.Random) -> str:
+        vm = self._require_virtualized(system)
+        vm.arm_balloon_failures(1)
+        if not self.attempt:
+            return "armed one balloon-inflation failure"
+        from repro.guest.balloon import SelfBalloonDriver  # noqa: PLC0415 (cycle)
+
+        driver = SelfBalloonDriver(system.guest_os, vm)
+        try:
+            driver.make_contiguous(self.size_bytes)
+        except BalloonError:
+            return (
+                f"balloon inflation of {self.size_bytes} bytes failed "
+                f"(injected) and was rolled back"
+            )
+        return "balloon inflation unexpectedly succeeded"
+
+
+@dataclass
+class FragmentationShock(InjectedFault):
+    """Other tenants suddenly dice up a fraction of free host memory."""
+
+    fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fraction < 1.0:
+            raise ValueError(f"fraction must be in [0, 1), got {self.fraction}")
+
+    def deliver(self, system: "SimulatedSystem", rng: random.Random) -> str:
+        allocator = (
+            system.hypervisor.allocator
+            if system.hypervisor is not None
+            else system.guest_os.allocator
+        )
+        held = allocator.fragment(self.fraction, rng=rng)
+        return f"fragmentation shock: pinned {len(held)} scattered blocks"
+
+
+@dataclass
+class TransientAllocationFailures(InjectedFault):
+    """A burst of transient allocation failures (reclaim pressure).
+
+    ``count`` must stay below the allocator's retry budget so the burst
+    degrades into backoff cycles instead of an unhandled
+    :class:`~repro.errors.TransientAllocationError`.
+    """
+
+    count: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.count < MAX_ALLOC_RETRIES:
+            raise ValueError(
+                f"count must be in [1, {MAX_ALLOC_RETRIES - 1}] so the "
+                f"retry budget absorbs the burst, got {self.count}"
+            )
+
+    def deliver(self, system: "SimulatedSystem", rng: random.Random) -> str:
+        allocator = (
+            system.hypervisor.allocator
+            if system.hypervisor is not None
+            else system.guest_os.allocator
+        )
+        allocator.inject_transient_failures(self.count)
+        return f"armed {self.count} transient allocation failures"
+
+
+class FaultInjector:
+    """Delivers scheduled fault events into a running simulation.
+
+    The simulator calls :meth:`deliver_due` with the current measured
+    reference index before performing each reference; every event whose
+    ``at_ref`` has been reached is delivered (in schedule order), after
+    which the system's translation state is re-synced (register reload +
+    TLB shootdown, as real fault handling would).
+    """
+
+    def __init__(self, events, seed: int) -> None:
+        self.events = sorted(events, key=lambda e: e.at_ref)
+        self._queue = list(self.events)
+        self.rng = random.Random(seed)
+        #: (ref_index, event, note) per delivered event.
+        self.delivered: list[tuple[int, InjectedFault, str]] = []
+
+    @property
+    def pending(self) -> int:
+        """Events not yet delivered."""
+        return len(self._queue)
+
+    def deliver_due(self, ref_index: int, system: "SimulatedSystem") -> list[str]:
+        """Deliver every event scheduled at or before ``ref_index``."""
+        if not self._queue or self._queue[0].at_ref > ref_index:
+            return []
+        hypervisor = system.hypervisor
+        notes: list[str] = []
+        while self._queue and self._queue[0].at_ref <= ref_index:
+            event = self._queue.pop(0)
+            if hypervisor is not None:
+                hypervisor.current_ref_index = ref_index
+            note = event.deliver(system, self.rng)
+            self.delivered.append((ref_index, event, note))
+            notes.append(note)
+        if hypervisor is not None:
+            hypervisor.current_ref_index = -1
+        system.resync_translation_state()
+        return notes
+
+    @classmethod
+    def chaos_plan(
+        cls,
+        trace_length: int,
+        seed: int = 0,
+        extra_hard_faults: int = 2,
+    ) -> "FaultInjector":
+        """A representative mixed schedule over ``trace_length`` refs.
+
+        Front-loads the benign events, exhausts the escape filter, then
+        lands hard faults at the segment edge (provoking a shrink) and
+        mid-segment (provoking a fall-back to nested paging), plus
+        ``extra_hard_faults`` anywhere in host memory.
+        """
+        if trace_length < 10:
+            raise ValueError(f"trace_length too short: {trace_length}")
+        rng = random.Random(seed)
+        events: list[InjectedFault] = [
+            TransientAllocationFailures(at_ref=trace_length // 10, count=3),
+            BalloonInflationFailure(at_ref=trace_length // 5),
+            DramHardFault(at_ref=trace_length * 3 // 10, placement="segment"),
+            EscapeFilterExhaustion(at_ref=trace_length * 2 // 5),
+            DramHardFault(at_ref=trace_length // 2, placement="segment-edge"),
+            DramHardFault(at_ref=trace_length * 3 // 5, placement="segment-middle"),
+            FragmentationShock(at_ref=trace_length * 7 // 10, fraction=0.05),
+        ]
+        for _ in range(extra_hard_faults):
+            events.append(
+                DramHardFault(
+                    at_ref=rng.randrange(trace_length * 3 // 4, trace_length),
+                    placement="anywhere",
+                )
+            )
+        return cls(events, seed=seed)

@@ -1,0 +1,227 @@
+"""Translation-consistency oracle: shadow-translate and compare.
+
+The MMU fast path stacks many mechanisms -- split L1 TLBs, a shared L2,
+page-walk caches, two levels of segment registers, two escape filters,
+and the degradation ladder rewiring all of the above mid-run.  The
+oracle is the independent referee: it re-translates a sampled subset of
+references through the *raw software state* (guest page table, nested
+page table, the segment register contents and the VMM's own remap
+records) with none of the caching machinery, and asserts the MMU
+returned the identical host-physical frame.
+
+This is the simulator's analogue of Virtuoso-style built-in consistency
+checking: a run under injected chaos (new bad frames, filter
+exhaustion, segment shrinks, mode fallbacks) is trusted because the
+oracle observed zero mismatches, not because nothing crashed.
+
+The shadow path reads the *architectural* state -- the segment register
+files, the escape filters (both genuinely part of the context, Section
+V) and the raw page tables -- and recomputes the translation the
+hardware order prescribes (segment-with-filter first, then tables).
+What it deliberately never touches are the caches: L1/L2 TLBs and the
+page-walk caches.  Any stale entry, wrong base-frame arithmetic, or
+fault handler installing the wrong PTE therefore shows up as a
+mismatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.address import PageSize, align_down, page_number
+from repro.core.walker import NestedWalker
+from repro.errors import TranslationOracleError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (sim imports us)
+    from repro.sim.system import SimulatedSystem
+
+
+@dataclass(frozen=True)
+class OracleMismatch:
+    """One disagreement between the MMU and the shadow translation."""
+
+    ref_index: int
+    vaddr: int
+    observed_frame: int
+    expected_frame: int
+
+    def describe(self) -> str:
+        return (
+            f"ref {self.ref_index}: va {self.vaddr:#x} -> MMU frame "
+            f"{self.observed_frame:#x}, shadow walk says {self.expected_frame:#x}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Tally of one run's oracle activity."""
+
+    checks: int = 0
+    mismatches: int = 0
+    #: References whose ground truth was indeterminate (no mapping
+    #: installed yet anywhere); these are skipped, not failed.
+    unresolved: int = 0
+    #: First few mismatches in full detail (bounded so a systematically
+    #: wrong run does not hoard memory).
+    samples: list[OracleMismatch] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when every checked reference agreed."""
+        return self.mismatches == 0
+
+    def summary(self) -> str:
+        head = (
+            f"oracle: {self.checks} checks, {self.mismatches} mismatches, "
+            f"{self.unresolved} unresolved"
+        )
+        if not self.samples:
+            return head
+        return head + "\n" + "\n".join(m.describe() for m in self.samples)
+
+
+class TranslationOracle:
+    """Invariant checker wired into the simulator's measured loop.
+
+    Parameters
+    ----------
+    system:
+        The built machine whose MMU is being audited.
+    sample_every:
+        Check one in this many measured references (1 = every
+        reference).  Sampling keeps the oracle's cost negligible while
+        still catching systematic divergence almost immediately.
+    strict:
+        Raise :class:`~repro.errors.TranslationOracleError` on the first
+        mismatch instead of recording it.
+    """
+
+    MAX_RECORDED_MISMATCHES = 16
+
+    def __init__(
+        self,
+        system: "SimulatedSystem",
+        sample_every: int = 64,
+        strict: bool = False,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.system = system
+        self.sample_every = sample_every
+        self.strict = strict
+        self.report = OracleReport()
+
+    # ------------------------------------------------------------------
+    # Ground truth
+
+    def shadow_translate(self, vaddr: int) -> int | None:
+        """Host 4 KB frame for ``vaddr`` from raw architectural state.
+
+        Returns None when no dimension has a mapping yet (the reference
+        would demand-fault; after the MMU serviced it, the ground truth
+        becomes determinate).
+        """
+        va_page = align_down(vaddr, PageSize.SIZE_4K)
+        walker = self.system.mmu.walker
+        if isinstance(walker, NestedWalker):
+            gpa_page = self._shadow_guest(walker, va_page)
+            if gpa_page is None:
+                return None
+            return self._shadow_nested(walker, gpa_page)
+        return self._shadow_native(walker, va_page)
+
+    @staticmethod
+    def _segment_hit(segment, escape_filter, address: int) -> bool:
+        """The hardware membership test: covered and not filtered out."""
+        if segment is None or not segment.enabled or not segment.covers(address):
+            return False
+        if escape_filter is not None and escape_filter.may_contain(
+            page_number(address)
+        ):
+            return False
+        return True
+
+    @classmethod
+    def _shadow_native(cls, walker, va_page: int) -> int | None:
+        """Native translation: optional direct segment, then the table."""
+        segment = getattr(walker, "segment", None)
+        escape = getattr(walker, "escape_filter", None)
+        if cls._segment_hit(segment, escape, va_page):
+            return page_number(segment.translate_unchecked(va_page))
+        walked = walker.page_table.lookup(va_page)
+        if walked is None:
+            return None
+        return page_number(walked.translate(va_page))
+
+    @classmethod
+    def _shadow_guest(cls, walker: NestedWalker, va_page: int) -> int | None:
+        """First dimension: gVA -> gPA of the referenced 4 KB page."""
+        if cls._segment_hit(
+            walker.guest_segment, walker.guest_escape_filter, va_page
+        ):
+            return walker.guest_segment.translate_unchecked(va_page)
+        walked = walker.guest_table.lookup(va_page)
+        if walked is None:
+            return None
+        return align_down(walked.translate(va_page), PageSize.SIZE_4K)
+
+    def _shadow_nested(self, walker: NestedWalker, gpa_page: int) -> int | None:
+        """Second dimension: gPA -> hPA frame from VMM records."""
+        if self._segment_hit(
+            walker.vmm_segment, walker.vmm_escape_filter, gpa_page
+        ):
+            return page_number(walker.vmm_segment.translate_unchecked(gpa_page))
+        walked = walker.nested_table.lookup(gpa_page)
+        if walked is not None:
+            return page_number(walked.translate(gpa_page))
+        vm = self.system.vm
+        if vm is not None:
+            # Ranges trimmed off the segment by graceful degradation keep
+            # their computed backing until first touch installs the PTE.
+            return vm.degraded_frame_for(page_number(gpa_page))
+        return None
+
+    # ------------------------------------------------------------------
+    # Checking
+
+    def observe(self, ref_index: int, vaddr: int, observed_frame: int) -> None:
+        """Simulator hook: sample-check one measured reference."""
+        if ref_index % self.sample_every:
+            return
+        self.check(vaddr, observed_frame, ref_index=ref_index)
+
+    def check(self, vaddr: int, observed_frame: int, ref_index: int = -1) -> bool:
+        """Compare one MMU result against the shadow translation."""
+        expected = self.shadow_translate(vaddr)
+        if expected is None:
+            self.report.unresolved += 1
+            return True
+        self.report.checks += 1
+        if expected == observed_frame:
+            return True
+        self.report.mismatches += 1
+        mismatch = OracleMismatch(
+            ref_index=ref_index,
+            vaddr=vaddr,
+            observed_frame=observed_frame,
+            expected_frame=expected,
+        )
+        if len(self.report.samples) < self.MAX_RECORDED_MISMATCHES:
+            self.report.samples.append(mismatch)
+        if self.strict:
+            raise TranslationOracleError(mismatch.describe())
+        return False
+
+    def audit_addresses(self, addresses) -> OracleReport:
+        """Drive ``addresses`` through the MMU uncounted and check each.
+
+        Used by tests to prove translation is unchanged across a fault:
+        run it before the injection, inject, run it again, and assert
+        :attr:`report` stayed clean.
+        """
+        touch = self.system.mmu.touch
+        for vaddr in addresses:
+            vaddr = int(vaddr)
+            self.check(vaddr, touch(vaddr))
+        return self.report

@@ -25,8 +25,13 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.core.address import BASE_PAGE_SIZE, AddressRange
+from repro.errors import BalloonError
 from repro.guest.guest_os import GuestOS
 from repro.mem.frame_allocator import OutOfMemoryError
+
+# BalloonError historically lived here; it is re-exported from
+# repro.errors so existing imports keep working.
+__all__ = ["BalloonPort", "BalloonError", "BalloonStats", "SelfBalloonDriver"]
 
 
 class BalloonPort(Protocol):
@@ -43,15 +48,14 @@ class BalloonPort(Protocol):
         """
 
 
-class BalloonError(Exception):
-    """The balloon could not inflate by the requested amount."""
-
-
 @dataclass
 class BalloonStats:
     """Driver-side accounting."""
 
     inflations: int = 0
+    #: Inflations that failed after hand-off to the VMM and were rolled
+    #: back (the guest deflated and kept running, Section IV spirit).
+    failed_inflations: int = 0
     frames_ballooned: int = 0
     frames_released: int = 0
     pinned_frames: list[int] = field(default_factory=list)
@@ -76,13 +80,32 @@ class SelfBalloonDriver:
         num_frames = -(-size_bytes // BASE_PAGE_SIZE)
         pinned = self._pin_frames(num_frames)
         self.port.reclaim_guest_frames(pinned)
-        released = self.port.release_reserved_region(num_frames)
+        try:
+            released = self.port.release_reserved_region(num_frames)
+        except BalloonError:
+            self._deflate(pinned)
+            raise
         self.guest_os.allocator.add_region(released)
         self.stats.inflations += 1
         self.stats.frames_ballooned += len(pinned)
         self.stats.frames_released += released.size // BASE_PAGE_SIZE
         self.stats.pinned_frames.extend(pinned)
         return released
+
+    def _deflate(self, pinned: list[int]) -> None:
+        """Roll back a failed inflation: unpin and return the frames.
+
+        The VMM already reclaimed the pinned frames' host backing, so we
+        first ask it to forget the balloon-out (the backing refaults in
+        on next touch); ports that cannot (e.g. test fakes) just see the
+        frames return to the guest's free lists.
+        """
+        self.stats.failed_inflations += 1
+        unballoon = getattr(self.port, "unballoon_guest_frames", None)
+        if unballoon is not None:
+            unballoon(pinned)
+        for frame in pinned:
+            self.guest_os.allocator.free_block(frame)
 
     def _pin_frames(self, num_frames: int) -> list[int]:
         """Allocate (pin) scattered single frames from the guest kernel.

@@ -32,17 +32,14 @@ from repro.core.address import (
 )
 from repro.core.segments import SegmentRegisters
 from repro.guest.process import GuestProcess, VirtualMemoryArea
+from repro.errors import SegmentCreationError, SwapError
 from repro.mem.frame_allocator import FrameAllocator, OutOfMemoryError
 from repro.mem.page_table import PageTable
 from repro.mem.physical_layout import PhysicalLayout
 
-
-class SegmentCreationError(Exception):
-    """Not enough contiguous guest physical memory for a segment."""
-
-
-class SwapError(Exception):
-    """The page cannot be swapped (Table II restriction or no mapping)."""
+# SegmentCreationError and SwapError historically lived here; they are
+# re-exported from repro.errors so existing imports keep working.
+__all__ = ["GuestOS", "GuestOSConfig", "SegmentCreationError", "SwapError"]
 
 
 @dataclass

@@ -22,12 +22,15 @@ class BadPageList:
 
     @classmethod
     def random(
-        cls, num_bad: int, frame_range: range, seed: int = 0
+        cls, num_bad: int, frame_range: range, *, seed: int
     ) -> "BadPageList":
         """Draw ``num_bad`` distinct faulty frames uniformly from a range.
 
         This is the fault-injection of Section IX.C ("30 different random
-        sets of bad pages" per count).
+        sets of bad pages" per count).  ``seed`` is keyword-only and has
+        no default on purpose: a silently-shared default seed makes "30
+        random trials" draw the identical bad-page set 30 times.  Derive
+        a distinct seed per trial (see experiments/figure13.py).
         """
         if num_bad > len(frame_range):
             raise ValueError("more bad pages requested than frames available")

@@ -18,15 +18,38 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 from repro.core.address import BASE_PAGE_SIZE, AddressRange
+
+# Historical home of OutOfMemoryError; canonical definitions now live in
+# repro.errors.  Re-exported so existing imports keep working.
+from repro.errors import OutOfMemoryError, TransientAllocationError
+
+__all__ = [
+    "MAX_ORDER",
+    "OutOfMemoryError",
+    "TransientAllocationError",
+    "FrameAllocator",
+    "RetryStats",
+]
 
 #: Largest buddy order we manage: order 18 = 2**18 frames = 1 GB blocks.
 MAX_ORDER = 18
 
+#: Retry budget for transiently-failing allocations, and the modelled
+#: cost of the first backoff (doubled on each further attempt).
+MAX_ALLOC_RETRIES = 8
+BACKOFF_BASE_CYCLES = 500
 
-class OutOfMemoryError(Exception):
-    """No free block large enough to satisfy a request."""
+
+@dataclass
+class RetryStats:
+    """Accounting for the allocator's transient-failure retry loop."""
+
+    attempts: int = 0
+    transient_failures: int = 0
+    backoff_cycles: int = 0
 
 
 class FrameAllocator:
@@ -43,6 +66,10 @@ class FrameAllocator:
         self._allocated: dict[int, int] = {}  # block start frame -> order
         self._total_frames = 0
         self._region_frames: list[tuple[int, int]] = []
+        #: Armed injected failures: the next N alloc_block calls fail
+        #: transiently before succeeding (consumed one per attempt).
+        self._transient_failures_armed = 0
+        self.retry_stats = RetryStats()
         for region in regions:
             self._add_region(region)
 
@@ -161,12 +188,46 @@ class FrameAllocator:
     # ------------------------------------------------------------------
     # Allocation
 
+    def inject_transient_failures(self, count: int) -> None:
+        """Arm ``count`` injected transient allocation failures.
+
+        The next ``count`` allocation *attempts* fail as a real kernel's
+        allocation fast path does under temporary reclaim pressure;
+        :meth:`alloc_block` retries with exponential backoff (modelled in
+        cycles, recorded in :attr:`retry_stats`), so runs survive any
+        burst shorter than its retry budget.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._transient_failures_armed += count
+
+    @property
+    def transient_failures_armed(self) -> int:
+        """Injected failures not yet consumed by allocation attempts."""
+        return self._transient_failures_armed
+
     def alloc_block(self, order: int) -> int:
         """Allocate a naturally-aligned block of ``2**order`` frames.
 
         Returns the start frame.  Raises :class:`OutOfMemoryError` when no
-        block of sufficient order exists.
+        block of sufficient order exists, or
+        :class:`TransientAllocationError` when injected transient
+        failures outlast the retry budget.
         """
+        for attempt in range(MAX_ALLOC_RETRIES):
+            self.retry_stats.attempts += 1
+            if self._transient_failures_armed:
+                self._transient_failures_armed -= 1
+                self.retry_stats.transient_failures += 1
+                self.retry_stats.backoff_cycles += BACKOFF_BASE_CYCLES << attempt
+                continue
+            return self._alloc_block_now(order)
+        raise TransientAllocationError(
+            f"allocation of order-{order} block failed "
+            f"{MAX_ALLOC_RETRIES} times (injected transient faults)"
+        )
+
+    def _alloc_block_now(self, order: int) -> int:
         if not 0 <= order <= MAX_ORDER:
             raise ValueError(f"order must be 0..{MAX_ORDER}, got {order}")
         found = None
@@ -362,7 +423,10 @@ class FrameAllocator:
         """
         if not 0.0 <= fraction < 1.0:
             raise ValueError("fraction must be in [0, 1)")
-        rng = rng or random.Random(0)
+        if rng is None:
+            # No default seed on purpose: a silently-shared Random(0)
+            # makes every "independent" fragmentation trial identical.
+            raise ValueError("fragment() requires an explicit rng")
         target = int(self._total_frames * fraction)
         held: list[int] = []
         held_frames = 0

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.core.address import PageSize
 from repro.core.modes import TranslationMode
+from repro.errors import ConfigError
 
 
 @dataclass(frozen=True)
@@ -31,11 +32,11 @@ class SystemConfig:
 
     def __post_init__(self) -> None:
         if self.mode.virtualized and self.nested_page is None:
-            raise ValueError(f"{self.label}: virtualized config needs a nested page size")
+            raise ConfigError(f"{self.label}: virtualized config needs a nested page size")
         if not self.mode.virtualized and self.nested_page is not None:
-            raise ValueError(f"{self.label}: native config cannot have a nested page size")
+            raise ConfigError(f"{self.label}: native config cannot have a nested page size")
         if self.thp and self.guest_page is not PageSize.SIZE_4K:
-            raise ValueError(f"{self.label}: THP only applies to 4K guests")
+            raise ConfigError(f"{self.label}: THP only applies to 4K guests")
 
     @property
     def virtualized(self) -> bool:
@@ -60,6 +61,16 @@ def parse_config(label: str) -> SystemConfig:
                       DD
     """
     text = label.strip().upper()
+    if not text:
+        raise ConfigError(
+            "empty configuration label; expected one of e.g. "
+            "4K, 2M, 1G, THP, DS, DD, 4K+2M, 4K+VD, THP+GD"
+        )
+    if text.count("+") > 1:
+        raise ConfigError(
+            f"malformed configuration label {label!r}: at most one '+' "
+            f"(guest+nested) is allowed"
+        )
     if text == "DD":
         return SystemConfig(
             label="DD",
@@ -93,11 +104,18 @@ def parse_config(label: str) -> SystemConfig:
             nested_page=PageSize.SIZE_4K,
             thp=thp,
         )
+    try:
+        nested_page = PageSize.from_label(nested_text)
+    except ValueError:
+        raise ConfigError(
+            f"unknown nested level {nested_text!r} in {label!r}: expected "
+            f"a page size (4K, 2M, 1G) or a mode (VD, GD)"
+        ) from None
     return SystemConfig(
         label=text,
         mode=TranslationMode.BASE_VIRTUALIZED,
         guest_page=guest_page,
-        nested_page=PageSize.from_label(nested_text),
+        nested_page=nested_page,
         thp=thp,
     )
 
@@ -105,7 +123,56 @@ def parse_config(label: str) -> SystemConfig:
 def _parse_guest(text: str) -> tuple[PageSize, bool]:
     if text == "THP":
         return PageSize.SIZE_4K, True
-    return PageSize.from_label(text), False
+    try:
+        return PageSize.from_label(text), False
+    except ValueError:
+        raise ConfigError(
+            f"unknown guest level {text!r}: expected a page size "
+            f"(4K, 2M, 1G) or THP"
+        ) from None
+
+
+def validate_geometry(geometry) -> None:
+    """Reject degenerate TLB geometries before a system is built.
+
+    A zero-entry or negative TLB, or a cache with more ways than
+    entries, silently produces nonsense statistics; fail fast instead.
+    Accepts any object with the :class:`repro.tlb.hierarchy.TLBGeometry`
+    fields (duck-typed to keep this module free of TLB imports).
+    """
+    pairs = (
+        ("l1_4k", geometry.l1_4k_entries, geometry.l1_4k_ways),
+        ("l1_2m", geometry.l1_2m_entries, geometry.l1_2m_ways),
+        ("l1_1g", geometry.l1_1g_entries, geometry.l1_1g_ways),
+        ("l2", geometry.l2_entries, geometry.l2_ways),
+    )
+    for name, entries, ways in pairs:
+        if entries <= 0:
+            raise ConfigError(f"{name}: TLB needs at least one entry, got {entries}")
+        if ways <= 0:
+            raise ConfigError(f"{name}: TLB needs at least one way, got {ways}")
+        if entries % ways:
+            raise ConfigError(
+                f"{name}: {entries} entries not divisible into {ways} ways"
+            )
+
+
+def validate_run_parameters(
+    footprint_bytes: int,
+    trace_length: int | None = None,
+    warmup_fraction: float | None = None,
+) -> None:
+    """Reject impossible run parameters with a :class:`ConfigError`."""
+    if footprint_bytes <= 0:
+        raise ConfigError(
+            f"workload footprint must be positive, got {footprint_bytes}"
+        )
+    if trace_length is not None and trace_length <= 0:
+        raise ConfigError(f"trace length must be positive, got {trace_length}")
+    if warmup_fraction is not None and not 0.0 <= warmup_fraction < 1.0:
+        raise ConfigError(
+            f"warmup fraction must be in [0, 1), got {warmup_fraction}"
+        )
 
 
 #: The native bars of Figures 11 and 12.

@@ -15,9 +15,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.mmu import MMUCounters
+from repro.errors import ConfigError
+from repro.faults.degradation import DegradationLog
+from repro.faults.injector import FaultInjector
+from repro.faults.oracle import OracleReport, TranslationOracle
 from repro.model.counters import MeasuredRun, measured_run
 from repro.model.overhead import OverheadResult, overhead_from_trace
-from repro.sim.config import SystemConfig, parse_config
+from repro.sim.config import SystemConfig, parse_config, validate_run_parameters
 from repro.sim.system import SimulatedSystem, build_system, populate_for_addresses
 from repro.workloads.base import Workload
 
@@ -36,6 +40,10 @@ class SimulationResult:
     overhead: OverheadResult
     counters: MMUCounters
     l2_tlb_misses: int
+    #: How the system absorbed injected faults; None without injection.
+    degradation_log: DegradationLog | None = None
+    #: Consistency-check tally; None when no oracle was attached.
+    oracle_report: OracleReport | None = None
 
     @property
     def overhead_percent(self) -> float:
@@ -75,6 +83,8 @@ def run_trace(
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     prepopulate: bool = True,
     refs_per_entry: float = 1.0,
+    fault_injector: FaultInjector | None = None,
+    oracle: TranslationOracle | None = None,
 ) -> SimulationResult:
     """Drive ``trace`` through ``system`` and measure the steady state.
 
@@ -82,9 +92,16 @@ def run_trace(
     are rebased onto the process's primary region.  With ``prepopulate``
     (the default) the touched pages are faulted in up front, so measured
     misses reflect steady-state walks, not demand paging.
+
+    ``fault_injector`` delivers its scheduled events against measured
+    reference indices (warm-up is fault-free); ``oracle`` shadow-checks
+    sampled measured references.  Both are optional and the fast loop is
+    unchanged when neither is supplied.
     """
     if not 0.0 <= warmup_fraction < 1.0:
-        raise ValueError("warmup fraction must be in [0, 1)")
+        raise ConfigError(
+            f"warmup fraction must be in [0, 1), got {warmup_fraction}"
+        )
     base_va = system.base_va
     rebased = (trace.astype(np.int64) << 12) + base_va
     if prepopulate:
@@ -99,8 +116,16 @@ def run_trace(
     mmu.counters.reset()
     system.hierarchy.reset_stats()
 
-    for va in addresses[split:]:
-        access(va)
+    if fault_injector is None and oracle is None:
+        for va in addresses[split:]:
+            access(va)
+    else:
+        for index, va in enumerate(addresses[split:]):
+            if fault_injector is not None:
+                fault_injector.deliver_due(index, system)
+            frame = access(va)
+            if oracle is not None:
+                oracle.observe(index, va, frame)
 
     measured_entries = len(addresses) - split
     # Each trace entry is one page visit standing for refs_per_entry
@@ -118,6 +143,9 @@ def run_trace(
     overhead = overhead_from_trace(
         measured_refs, ideal_cycles_per_ref, counters.translation_cycles
     )
+    degradation_log = None
+    if fault_injector is not None and system.hypervisor is not None:
+        degradation_log = system.hypervisor.degradation_log
     return SimulationResult(
         config=system.config,
         workload_name=workload_name,
@@ -125,6 +153,8 @@ def run_trace(
         overhead=overhead,
         counters=counters,
         l2_tlb_misses=counters.l2_misses,
+        degradation_log=degradation_log,
+        oracle_report=oracle.report if oracle is not None else None,
     )
 
 
@@ -134,12 +164,27 @@ def simulate(
     trace_length: int | None = None,
     seed: int = 0,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    fault_injector: FaultInjector | None = None,
+    oracle_sample_every: int | None = None,
     **build_kwargs,
 ) -> SimulationResult:
-    """One-call convenience: build the system, generate a trace, run it."""
+    """One-call convenience: build the system, generate a trace, run it.
+
+    ``oracle_sample_every`` attaches a :class:`TranslationOracle`
+    checking one in that many measured references (the report lands on
+    the result).
+    """
     config = parse_config(config_label)
+    validate_run_parameters(
+        workload.spec.footprint_bytes,
+        trace_length=trace_length,
+        warmup_fraction=warmup_fraction,
+    )
     system = build_system(config, workload.spec, **build_kwargs)
     trace = workload.trace(trace_length, seed=seed)
+    oracle = None
+    if oracle_sample_every is not None:
+        oracle = TranslationOracle(system, sample_every=oracle_sample_every)
     return run_trace(
         system,
         trace,
@@ -147,4 +192,6 @@ def simulate(
         workload_name=workload.spec.name,
         warmup_fraction=warmup_fraction,
         refs_per_entry=workload.spec.refs_per_entry,
+        fault_injector=fault_injector,
+        oracle=oracle,
     )

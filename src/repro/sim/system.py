@@ -30,7 +30,7 @@ from repro.guest.process import GuestProcess
 from repro.mem.badpages import BadPageList
 from repro.mem.frame_allocator import OutOfMemoryError
 from repro.mem.physical_layout import IO_GAP_END, IO_GAP_START, PhysicalLayout
-from repro.sim.config import SystemConfig
+from repro.sim.config import SystemConfig, validate_geometry, validate_run_parameters
 from repro.tlb.hierarchy import TLBGeometry, TLBHierarchy
 from repro.vmm.hypervisor import Hypervisor, VirtualMachine
 from repro.workloads.base import WorkloadSpec
@@ -69,13 +69,29 @@ class SimulatedSystem:
         walker = self.mmu.walker
         if isinstance(walker, NestedWalker):
             assert self.vm is not None
-            walker.guest_segment = self.process.guest_segment
-            walker.vmm_segment = self.vm.vmm_segment
+            if not self.guest_os.config.emulate_segments:
+                walker.guest_segment = self.process.guest_segment
+                walker.vmm_segment = self.vm.vmm_segment
             walker.vmm_escape_filter = self.vm.escape_filter
             walker.guest_escape_filter = self.process.guest_escape_filter
         elif isinstance(walker, DirectSegmentWalker):
             walker.segment = self.process.guest_segment
             walker.escape_filter = self.process.guest_escape_filter
+
+    def resync_translation_state(self) -> None:
+        """Bring the MMU back in line with software state after a fault.
+
+        Graceful degradation may have shrunk a segment, repointed the
+        escape filter, remapped frames or changed the VM's translation
+        mode; real fault handling ends with a register reload and a TLB
+        shoot-down, which this models: the MMU adopts the VM's (possibly
+        downgraded) mode, the walker re-reads the segment register file,
+        and every cached translation is discarded.
+        """
+        if self.vm is not None:
+            self.mmu.mode = self.vm.mode
+        self.refresh_segments()
+        self.mmu.flush_tlbs()
 
     def context_switch(self, new_process) -> None:
         """Switch the running guest process (Section III.C).
@@ -118,6 +134,9 @@ def build_system(
     MMU and let demand paging fill them.
     """
     costs = costs or DEFAULT_COSTS
+    validate_run_parameters(spec.footprint_bytes)
+    if geometry is not None:
+        validate_geometry(geometry)
     if config.virtualized:
         return _build_virtualized(
             config, spec, costs, geometry, bad_pages, emulate_segments

@@ -18,21 +18,42 @@ from repro.core.address import (
     align_down,
     page_number,
 )
+from repro.core.costs import DEFAULT_COSTS
 from repro.core.escape_filter import EscapeFilter
 from repro.core.modes import TranslationMode
 from repro.core.segments import SegmentRegisters
+from repro.errors import (
+    BalloonError,
+    EscapeFilterFullError,
+    VmmSegmentError,
+    VmmSwapError,
+)
+from repro.faults.degradation import (
+    DegradationAction,
+    DegradationEvent,
+    DegradationLog,
+)
 from repro.mem.badpages import BadPageList
 from repro.mem.frame_allocator import FrameAllocator, OutOfMemoryError
 from repro.mem.page_table import PageTable
 from repro.mem.physical_layout import PhysicalLayout
 
+# VmmSegmentError and VmmSwapError historically lived here; they are
+# re-exported from repro.errors so existing imports keep working.
+__all__ = [
+    "Hypervisor",
+    "VirtualMachine",
+    "VmExitStats",
+    "VmmSegmentError",
+    "VmmSwapError",
+]
 
-class VmmSegmentError(Exception):
-    """Host memory is too fragmented (or small) for a VMM segment."""
-
-
-class VmmSwapError(Exception):
-    """The gPA page cannot be VMM-swapped (Table II restriction)."""
+#: Mode each segment-backed mode falls back to when its VMM segment is
+#: lost (Table II column-wise: drop the gPA->hPA segment, keep the rest).
+FALLBACK_MODES = {
+    TranslationMode.DUAL_DIRECT: TranslationMode.GUEST_DIRECT,
+    TranslationMode.VMM_DIRECT: TranslationMode.BASE_VIRTUALIZED,
+}
 
 
 @dataclass
@@ -78,6 +99,16 @@ class VirtualMachine:
         self.vmm_swap_ins = 0
         #: Pages remapped around hard faults: gppn -> replacement frame.
         self.escaped_remaps: dict[int, int] = {}
+        #: Host-frame reservation backing the VMM segment, as
+        #: (start_frame, num_frames); outlives segment shrinks so the
+        #: trimmed ranges keep their backing (and their data).
+        self._segment_reservation: tuple[int, int] | None = None
+        #: gPA ranges trimmed off the segment by graceful degradation,
+        #: as (start_gppn, num_pages, offset_frames); still backed by
+        #: the reservation at the segment-computed frames.
+        self._degraded_ranges: list[tuple[int, int, int]] = []
+        #: Injected fault arming: the next N balloon hot-adds fail.
+        self.balloon_failures_armed = 0
 
     # ------------------------------------------------------------------
     # Nested paging (gPA -> hPA)
@@ -117,6 +148,12 @@ class VirtualMachine:
                     gpa_page, segment.translate_unchecked(gpa_page), PageSize.SIZE_4K
                 )
                 return
+        frame = self.degraded_frame_for(gppn, create=True)
+        if frame is not None:
+            self.nested_table.map(
+                gppn * BASE_PAGE_SIZE, frame * BASE_PAGE_SIZE, PageSize.SIZE_4K
+            )
+            return
         self._demand_map(gpa)
 
     def _map_escaped_page(self, gppn: int) -> None:
@@ -238,6 +275,7 @@ class VirtualMachine:
             ) from exc
         registers = SegmentRegisters.mapping(gpa_range, host_start * BASE_PAGE_SIZE)
         self.vmm_segment = registers
+        self._segment_reservation = (host_start, num_frames)
         self._escape_bad_frames(host_start, num_frames)
         return registers
 
@@ -249,16 +287,290 @@ class VirtualMachine:
             self._map_escaped_page(gppn)
 
     def drop_vmm_segment(self) -> None:
-        """Tear down the VMM segment, returning its host memory."""
-        if not self.vmm_segment.enabled:
+        """Tear down the VMM segment, returning its host memory.
+
+        Freed via the reservation record (not BASE+OFFSET arithmetic):
+        after a degradation shrink the registers cover only part of the
+        reservation, but the whole reservation is still allocated.
+        """
+        if self._segment_reservation is None:
             return
-        start_frame = page_number(self.vmm_segment.base + self.vmm_segment.offset)
-        self.hypervisor.allocator.free_contiguous(
-            start_frame, self.vmm_segment.size // BASE_PAGE_SIZE
-        )
+        start_frame, num_frames = self._segment_reservation
+        self.hypervisor.allocator.free_contiguous(start_frame, num_frames)
+        self._segment_reservation = None
         self.vmm_segment = SegmentRegisters.disabled()
         self.escape_filter.clear()
         self.escaped_remaps.clear()
+        self._degraded_ranges.clear()
+
+    # ------------------------------------------------------------------
+    # Graceful degradation (runtime hard faults, Section V spirit)
+
+    @property
+    def reserved_frame_range(self) -> tuple[int, int] | None:
+        """Host frames ``[start, end)`` reserved for the VMM segment."""
+        if self._segment_reservation is None:
+            return None
+        start, num = self._segment_reservation
+        return start, start + num
+
+    def degraded_frame_for(self, gppn: int, create: bool = False) -> int | None:
+        """Host frame backing ``gppn`` in a degraded (trimmed) range.
+
+        Trimmed ranges keep their reservation backing, so the old
+        segment-computed frame is still the correct translation --
+        unless that frame is itself bad, in which case the page is
+        remapped to a healthy replacement (allocated on first touch when
+        ``create`` is set; until then the translation is indeterminate
+        and this returns None).
+        """
+        for start, num, offset_frames in self._degraded_ranges:
+            if start <= gppn < start + num:
+                computed = gppn + offset_frames
+                if computed in self.hypervisor.bad_pages:
+                    replacement = self.escaped_remaps.get(gppn)
+                    if replacement is None and create:
+                        replacement = self.hypervisor.alloc_host_block(0)
+                        self.escaped_remaps[gppn] = replacement
+                    return replacement
+                return computed
+        return None
+
+    def arm_balloon_failures(self, count: int = 1) -> None:
+        """Make the next ``count`` balloon hot-adds fail (fault injection)."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self.balloon_failures_armed += count
+
+    def shrink_vmm_segment_past(self, gppn: int) -> int:
+        """Shrink the segment past the faulty gPA page ``gppn``.
+
+        Trims whichever end loses fewer pages (raising BASE past the
+        page or lowering LIMIT onto it).  The trimmed range keeps its
+        reservation backing and falls back to nested paging lazily
+        (computed PTEs installed on next touch), so host physical
+        addresses -- and with them the data -- are unchanged.  Returns
+        the number of pages trimmed.
+        """
+        seg = self.vmm_segment
+        gpa = gppn * BASE_PAGE_SIZE
+        if not (seg.enabled and seg.covers(gpa)):
+            raise ValueError(f"gPA page {gppn:#x} is not segment-covered")
+        drop_from_base = (gpa + BASE_PAGE_SIZE) - seg.base
+        drop_from_limit = seg.limit - gpa
+        if drop_from_base <= drop_from_limit:
+            dropped = AddressRange(seg.base, gpa + BASE_PAGE_SIZE)
+            remaining = AddressRange(gpa + BASE_PAGE_SIZE, seg.limit)
+        else:
+            dropped = AddressRange(gpa, seg.limit)
+            remaining = AddressRange(seg.base, gpa)
+        self._degraded_ranges.append(
+            (
+                page_number(dropped.start),
+                dropped.size // BASE_PAGE_SIZE,
+                seg.offset // BASE_PAGE_SIZE,
+            )
+        )
+        if remaining.size:
+            self.vmm_segment = SegmentRegisters(
+                base=remaining.start, limit=remaining.end, offset=seg.offset
+            )
+        else:
+            self.vmm_segment = SegmentRegisters.disabled()
+        return dropped.size // BASE_PAGE_SIZE
+
+    def degrade_to_paging(self) -> TranslationMode:
+        """Drop the segment datapath; fall back to the best paging mode.
+
+        The reservation keeps backing the old range at identical host
+        physical addresses; PTEs reproducing the segment translation are
+        installed lazily by the nested fault handler.  Returns the new
+        translation mode (Dual Direct -> Guest Direct, VMM Direct ->
+        Base Virtualized).
+        """
+        seg = self.vmm_segment
+        if seg.enabled:
+            self._degraded_ranges.append(
+                (
+                    page_number(seg.base),
+                    seg.size // BASE_PAGE_SIZE,
+                    seg.offset // BASE_PAGE_SIZE,
+                )
+            )
+        self.vmm_segment = SegmentRegisters.disabled()
+        self.mode = FALLBACK_MODES.get(self.mode, self.mode)
+        return self.mode
+
+    def react_to_hard_fault(self, frame: int, ref_index: int) -> DegradationEvent | None:
+        """Degrade gracefully around a new hard fault at host ``frame``.
+
+        Returns the recorded :class:`DegradationEvent` when this VM owns
+        the frame, or None so the hypervisor can try other owners.
+        """
+        reserved = self.reserved_frame_range
+        if reserved is not None and reserved[0] <= frame < reserved[1]:
+            seg = self.vmm_segment
+            if seg.enabled:
+                gppn = frame - seg.offset // BASE_PAGE_SIZE
+                if seg.covers(gppn * BASE_PAGE_SIZE):
+                    return self._degrade_segment_page(gppn, frame, ref_index)
+            return self._remap_degraded_frame(frame, ref_index)
+        return self._remap_paged_frame(frame, ref_index)
+
+    def _degrade_segment_page(
+        self, gppn: int, frame: int, ref_index: int
+    ) -> DegradationEvent:
+        """The degradation ladder for a fault under the live segment."""
+        from repro.vmm.policy import choose_degradation  # noqa: PLC0415 (cycle)
+
+        log = self.hypervisor.degradation_log
+        costs = DEFAULT_COSTS
+        mode = self.mode
+        action = choose_degradation(
+            self.vmm_segment,
+            self.escape_filter,
+            gppn,
+            self.hypervisor.degradation_policy,
+        )
+        if action is DegradationAction.ESCAPE:
+            try:
+                self.escape_filter.insert(gppn)
+            except EscapeFilterFullError:
+                # Re-run the ladder knowing escape is off the table.
+                action = choose_degradation(
+                    self.vmm_segment,
+                    self.escape_filter,
+                    gppn,
+                    self.hypervisor.degradation_policy,
+                )
+            else:
+                self._map_escaped_page(gppn)
+                return log.record(
+                    ref_index,
+                    self.name,
+                    DegradationAction.ESCAPE,
+                    f"hard fault at frame {frame:#x}: escaped gPA page {gppn:#x}",
+                    from_mode=mode,
+                    to_mode=mode,
+                    cycle_cost=costs.page_fault_cycles,
+                )
+        if action is DegradationAction.SHRINK:
+            trimmed = self.shrink_vmm_segment_past(gppn)
+            if not self.vmm_segment.enabled:
+                # The shrink consumed the whole segment.
+                self.mode = FALLBACK_MODES.get(self.mode, self.mode)
+            return log.record(
+                ref_index,
+                self.name,
+                DegradationAction.SHRINK,
+                f"hard fault at frame {frame:#x}: shrank segment past gPA "
+                f"page {gppn:#x} ({trimmed} pages trimmed)",
+                from_mode=mode,
+                to_mode=self.mode,
+                cycle_cost=costs.vm_exit_cycles + costs.page_fault_cycles,
+            )
+        new_mode = self.degrade_to_paging()
+        return log.record(
+            ref_index,
+            self.name,
+            DegradationAction.FALLBACK,
+            f"hard fault at frame {frame:#x}: escape filter full and page "
+            f"mid-segment; dropped segment, fell back to nested paging",
+            from_mode=mode,
+            to_mode=new_mode,
+            cycle_cost=costs.vm_exit_cycles + costs.page_fault_cycles,
+        )
+
+    def _remap_degraded_frame(self, frame: int, ref_index: int) -> DegradationEvent:
+        """Fault in a reservation range already trimmed off the segment."""
+        log = self.hypervisor.degradation_log
+        costs = DEFAULT_COSTS
+        for start, num, offset_frames in self._degraded_ranges:
+            gppn = frame - offset_frames
+            if start <= gppn < start + num:
+                gpa = gppn * BASE_PAGE_SIZE
+                walked = self.nested_table.lookup(gpa)
+                if walked is not None and page_number(walked.translate(gpa)) == frame:
+                    # Already paged at the bad frame: migrate it now.
+                    replacement = self.hypervisor.alloc_host_block(0)
+                    self.escaped_remaps[gppn] = replacement
+                    self.nested_table.unmap(gpa)
+                    self.nested_table.map(
+                        gpa, replacement * BASE_PAGE_SIZE, PageSize.SIZE_4K
+                    )
+                    detail = (
+                        f"hard fault at frame {frame:#x}: migrated degraded "
+                        f"gPA page {gppn:#x} to frame {replacement:#x}"
+                    )
+                else:
+                    # Untouched: the lazy computed-PTE path remaps it on
+                    # first access (degraded_frame_for sees the bad frame).
+                    detail = (
+                        f"hard fault at frame {frame:#x}: degraded gPA page "
+                        f"{gppn:#x} will be remapped on first touch"
+                    )
+                return log.record(
+                    ref_index,
+                    self.name,
+                    DegradationAction.REMAP,
+                    detail,
+                    from_mode=self.mode,
+                    to_mode=self.mode,
+                    cycle_cost=costs.page_fault_cycles,
+                )
+        return log.record(
+            ref_index,
+            self.name,
+            DegradationAction.TOLERATE,
+            f"hard fault at frame {frame:#x}: inside the reservation but "
+            f"outside the segment and every degraded range",
+            from_mode=self.mode,
+            to_mode=self.mode,
+        )
+
+    def _remap_paged_frame(self, frame: int, ref_index: int) -> DegradationEvent | None:
+        """Migrate an ordinary paged frame this VM owns, if it owns it."""
+        log = self.hypervisor.degradation_log
+        costs = DEFAULT_COSTS
+        if frame in self.nested_table.node_frames:
+            return log.record(
+                ref_index,
+                self.name,
+                DegradationAction.TOLERATE,
+                f"hard fault at frame {frame:#x}: nested page-table node "
+                f"(reconstructible from VMM records)",
+                from_mode=self.mode,
+                to_mode=self.mode,
+            )
+        for virt, entry in self.nested_table.leaves():
+            span = int(entry.page_size) // BASE_PAGE_SIZE
+            if not entry.frame <= frame < entry.frame + span:
+                continue
+            order = {
+                PageSize.SIZE_4K: 0,
+                PageSize.SIZE_2M: 9,
+                PageSize.SIZE_1G: 18,
+            }[entry.page_size]
+            replacement = self.hypervisor.alloc_host_block(order)
+            self.nested_table.unmap(virt)
+            self.nested_table.map(
+                virt, replacement * BASE_PAGE_SIZE, entry.page_size
+            )
+            # The faulty block goes back to the allocator, which
+            # quarantines it on any later allocation attempt.
+            self.hypervisor.allocator.free_block(entry.frame)
+            return log.record(
+                ref_index,
+                self.name,
+                DegradationAction.REMAP,
+                f"hard fault at frame {frame:#x}: migrated "
+                f"{entry.page_size.label} nested page at gPA {virt:#x} to "
+                f"frame {replacement:#x}",
+                from_mode=self.mode,
+                to_mode=self.mode,
+                cycle_cost=costs.page_fault_cycles * span,
+            )
+        return None
 
     # ------------------------------------------------------------------
     # Mode management
@@ -353,8 +665,38 @@ class VirtualMachine:
                 self.hypervisor.allocator.free_block(removed.frame)
 
     def release_reserved_region(self, num_frames: int) -> AddressRange:
-        """Hot-add reserved contiguous gPA back to the guest."""
+        """Hot-add reserved contiguous gPA back to the guest.
+
+        An armed injected failure (see :meth:`arm_balloon_failures`)
+        makes the hot-add fail after the reclaim half of the inflation
+        already happened -- the worst case for the driver, which must
+        deflate to recover.  The tolerated failure is logged.
+        """
+        if self.balloon_failures_armed:
+            self.balloon_failures_armed -= 1
+            self.hypervisor.degradation_log.record(
+                self.hypervisor.current_ref_index,
+                self.name,
+                DegradationAction.TOLERATE,
+                f"balloon hot-add of {num_frames} frames failed (injected); "
+                f"driver deflated and continued",
+                from_mode=self.mode,
+                to_mode=self.mode,
+            )
+            raise BalloonError(
+                f"{self.name}: hot-add of {num_frames} frames failed "
+                f"(injected fault)"
+            )
         return self.slots.release_reserve(num_frames * BASE_PAGE_SIZE)
+
+    def unballoon_guest_frames(self, frames: list[int]) -> None:
+        """Roll back :meth:`reclaim_guest_frames` for a failed inflation.
+
+        The host backing is not restored eagerly; dropping the pages
+        from the ballooned set lets them refault in on next touch.
+        """
+        for gframe in frames:
+            self.ballooned_gpa_pages.discard(gframe)
 
     # ------------------------------------------------------------------
     # Hotplug port (I/O-gap reclaim, Section VI.C)
@@ -390,6 +732,14 @@ class Hypervisor:
         )
         self.allocator = FrameAllocator(self.layout.regions)
         self._quarantined: list[int] = []
+        #: Flight recorder for every graceful-degradation reaction.
+        self.degradation_log = DegradationLog()
+        #: Measured-trace reference index of the event being delivered
+        #: (-1 outside a measured run); set by the fault injector.
+        self.current_ref_index = -1
+        #: Ladder policy; None means "defaults" (resolved lazily because
+        #: repro.vmm.policy imports this module).
+        self.degradation_policy = None
 
     def create_vm(
         self,
@@ -414,13 +764,58 @@ class Hypervisor:
         return vm
 
     def destroy_vm(self, name: str) -> None:
-        """Tear down a VM, returning all its host memory."""
+        """Tear down a VM, returning all its host memory.
+
+        Nested leaves that point into the segment reservation (computed
+        PTEs for escaped false positives and degraded ranges) are not
+        individual allocations; they are returned wholesale when the
+        reservation itself is dropped.
+        """
         vm = self.vms.pop(name)
-        vm.drop_vmm_segment()
+        reserved = vm.reserved_frame_range
         for _, entry in vm.nested_table.leaves():
+            if reserved is not None and reserved[0] <= entry.frame < reserved[1]:
+                continue
             self.allocator.free_block(entry.frame)
         vm.nested_table.clear(free_frame=self.allocator.free_block)
         self.allocator.free_block(vm.nested_table.root.frame)
+        vm.drop_vmm_segment()
+
+    def inject_hard_fault(self, frame: int) -> DegradationEvent:
+        """A DRAM hard fault develops at host ``frame`` mid-run.
+
+        Section V's motivating scenario, made dynamic: the frame is
+        added to the bad-page list, then the system degrades gracefully
+        -- free frames are quarantined; frames backing VM memory are
+        escaped, shrunk around, migrated, or force a fall-back to nested
+        paging, whichever rung the policy ladder picks.  Returns the
+        recorded :class:`DegradationEvent`.
+        """
+        ref = self.current_ref_index
+        self.bad_pages.mark_bad(frame)
+        try:
+            self.allocator.alloc_specific(frame, 0)
+        except OutOfMemoryError:
+            pass  # in use -- find the owner below
+        else:
+            self._quarantined.append(frame)
+            return self.degradation_log.record(
+                ref,
+                "",
+                DegradationAction.QUARANTINE,
+                f"hard fault at free frame {frame:#x}: quarantined",
+            )
+        for vm in self.vms.values():
+            event = vm.react_to_hard_fault(frame, ref)
+            if event is not None:
+                return event
+        return self.degradation_log.record(
+            ref,
+            "",
+            DegradationAction.TOLERATE,
+            f"hard fault at frame {frame:#x}: allocated but not VM memory "
+            f"(quarantined on next free)",
+        )
 
     # ------------------------------------------------------------------
     # Host allocation helpers

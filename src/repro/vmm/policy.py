@@ -15,7 +15,10 @@ import enum
 from dataclasses import dataclass
 
 from repro.core.address import BASE_PAGE_SIZE
+from repro.core.escape_filter import EscapeFilter
 from repro.core.modes import TranslationMode
+from repro.core.segments import SegmentRegisters
+from repro.faults.degradation import DegradationAction
 from repro.guest.balloon import SelfBalloonDriver
 from repro.guest.guest_os import GuestOS, SegmentCreationError
 from repro.guest.process import GuestProcess
@@ -105,6 +108,54 @@ def plan_modes(workload: WorkloadClass, state: FragmentationState) -> ModePlan:
         uses_self_ballooning=False,
         uses_compaction=False,
     )
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Tunables of the graceful-degradation ladder (hard faults).
+
+    The ladder, mildest rung first: *escape* the page through the
+    filter; if the filter is at capacity, *shrink* the segment past the
+    page when it sits near an edge (cheap: a register write plus lazy
+    PTEs for the small trimmed range); otherwise *fall back* to nested
+    paging entirely (a mid-segment shrink would throw away half the
+    contiguity for one bad frame).
+    """
+
+    #: A page within this fraction of the segment size from BASE or
+    #: LIMIT counts as "near an edge" and is shrunk past rather than
+    #: forcing a full fall-back.
+    edge_fraction: float = 0.125
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.edge_fraction <= 0.5:
+            raise ValueError(
+                f"edge_fraction must be in [0, 0.5], got {self.edge_fraction}"
+            )
+
+
+def choose_degradation(
+    segment: SegmentRegisters,
+    escape_filter: EscapeFilter,
+    gppn: int,
+    policy: DegradationPolicy | None = None,
+) -> DegradationAction:
+    """Pick the mildest viable ladder rung for a fault under ``segment``.
+
+    ``gppn`` is the guest-physical page whose segment-computed host
+    frame went bad.  Pure function of the segment geometry, the filter
+    state and the policy -- the hypervisor performs the chosen action.
+    """
+    policy = policy or DegradationPolicy()
+    if not escape_filter.is_full or gppn in escape_filter.inserted_pages:
+        return DegradationAction.ESCAPE
+    gpa = gppn * BASE_PAGE_SIZE
+    edge_bytes = int(segment.size * policy.edge_fraction)
+    near_base = gpa < segment.base + edge_bytes
+    near_limit = gpa >= segment.limit - edge_bytes
+    if near_base or near_limit:
+        return DegradationAction.SHRINK
+    return DegradationAction.FALLBACK
 
 
 class FragmentationManager:

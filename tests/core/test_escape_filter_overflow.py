@@ -1,0 +1,63 @@
+"""Tests for the escape filter's modelled capacity limit."""
+
+import pytest
+
+from repro.core.escape_filter import EscapeFilter
+from repro.errors import EscapeFilterFullError
+
+
+class TestCapacity:
+    def test_unlimited_by_default(self):
+        filt = EscapeFilter()
+        for page in range(500):
+            filt.insert(page)
+        assert not filt.is_full
+        assert len(filt) == 500
+
+    def test_fills_at_capacity(self):
+        filt = EscapeFilter(capacity=3)
+        for page in (10, 20, 30):
+            filt.insert(page)
+        assert filt.is_full
+        with pytest.raises(EscapeFilterFullError):
+            filt.insert(40)
+        assert len(filt) == 3
+
+    def test_reinserting_a_member_never_overflows(self):
+        filt = EscapeFilter(capacity=2)
+        filt.insert(1)
+        filt.insert(2)
+        filt.insert(1)  # already present: no new state, no error
+        assert len(filt) == 2
+
+    def test_failed_insert_leaves_filter_unchanged(self):
+        filt = EscapeFilter(capacity=1)
+        filt.insert(7)
+        with pytest.raises(EscapeFilterFullError):
+            filt.insert(8)
+        assert filt.may_contain(7)
+        assert 8 not in filt.inserted_pages
+
+    def test_zero_capacity_rejects_everything(self):
+        filt = EscapeFilter(capacity=0)
+        assert filt.is_full
+        with pytest.raises(EscapeFilterFullError):
+            filt.insert(1)
+
+    def test_capacity_retrofit_on_live_filter(self):
+        # The injector caps a filter that already has members.
+        filt = EscapeFilter()
+        filt.insert(1)
+        filt.insert(2)
+        filt.capacity = len(filt)
+        assert filt.is_full
+        filt.insert(2)  # members still fine
+        with pytest.raises(EscapeFilterFullError):
+            filt.insert(3)
+
+    def test_clear_resets_occupancy(self):
+        filt = EscapeFilter(capacity=1)
+        filt.insert(5)
+        filt.clear()
+        assert not filt.is_full
+        filt.insert(6)

@@ -1,0 +1,87 @@
+"""Tests for the degradation vocabulary: actions, events, log."""
+
+import pytest
+
+from repro.core.modes import TranslationMode
+from repro.faults.degradation import (
+    DegradationAction,
+    DegradationEvent,
+    DegradationLog,
+)
+
+
+class TestDegradationEvent:
+    def test_mode_transition_detection(self):
+        same = DegradationEvent(
+            ref_index=1,
+            vm_name="a",
+            action=DegradationAction.ESCAPE,
+            detail="x",
+            from_mode=TranslationMode.DUAL_DIRECT,
+            to_mode=TranslationMode.DUAL_DIRECT,
+        )
+        changed = DegradationEvent(
+            ref_index=2,
+            vm_name="a",
+            action=DegradationAction.FALLBACK,
+            detail="y",
+            from_mode=TranslationMode.DUAL_DIRECT,
+            to_mode=TranslationMode.GUEST_DIRECT,
+        )
+        assert not same.is_mode_transition
+        assert changed.is_mode_transition
+
+    def test_host_level_event_has_no_modes(self):
+        event = DegradationEvent(
+            ref_index=0,
+            vm_name="host",
+            action=DegradationAction.QUARANTINE,
+            detail="z",
+        )
+        assert event.from_mode is None
+        assert not event.is_mode_transition
+
+
+class TestDegradationLog:
+    def _populated(self) -> DegradationLog:
+        log = DegradationLog()
+        log.record(0, "a", DegradationAction.ESCAPE, "e", cycle_cost=100.0)
+        log.record(1, "a", DegradationAction.SHRINK, "s", cycle_cost=200.0)
+        log.record(
+            2,
+            "a",
+            DegradationAction.FALLBACK,
+            "f",
+            from_mode=TranslationMode.DUAL_DIRECT,
+            to_mode=TranslationMode.GUEST_DIRECT,
+            cycle_cost=300.0,
+        )
+        return log
+
+    def test_record_returns_the_event(self):
+        log = DegradationLog()
+        event = log.record(5, "vm", DegradationAction.REMAP, "detail")
+        assert event in log.events
+        assert event.ref_index == 5
+
+    def test_counts_and_length(self):
+        log = self._populated()
+        assert len(log) == 3
+        assert log.count(DegradationAction.ESCAPE) == 1
+        assert log.count(DegradationAction.QUARANTINE) == 0
+
+    def test_mode_transitions(self):
+        log = self._populated()
+        transitions = log.mode_transitions
+        assert len(transitions) == 1
+        assert transitions[0].action is DegradationAction.FALLBACK
+
+    def test_total_cycle_cost(self):
+        log = self._populated()
+        assert log.total_cycle_cost == pytest.approx(600.0)
+
+    def test_summary_mentions_every_action_taken(self):
+        text = self._populated().summary()
+        assert "escape" in text
+        assert "shrink" in text
+        assert "fallback" in text

@@ -1,0 +1,145 @@
+"""Tests for the fault injector: scheduling, validation, delivery."""
+
+import pytest
+
+from repro.errors import FaultInjectionError
+from repro.faults.degradation import DegradationAction
+from repro.faults.injector import (
+    BalloonInflationFailure,
+    DramHardFault,
+    EscapeFilterExhaustion,
+    FaultInjector,
+    FragmentationShock,
+    InjectedFault,
+    TransientAllocationFailures,
+)
+from repro.mem.frame_allocator import MAX_ALLOC_RETRIES
+from repro.sim.config import parse_config
+from repro.sim.system import build_system
+
+
+class TestEventValidation:
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            DramHardFault(at_ref=0, placement="nowhere")
+
+    def test_fragmentation_fraction_bounded(self):
+        with pytest.raises(ValueError):
+            FragmentationShock(at_ref=0, fraction=1.5)
+
+    def test_transient_count_must_fit_retry_budget(self):
+        with pytest.raises(ValueError):
+            TransientAllocationFailures(at_ref=0, count=MAX_ALLOC_RETRIES)
+        with pytest.raises(ValueError):
+            TransientAllocationFailures(at_ref=0, count=0)
+
+    def test_balloon_size_positive(self):
+        with pytest.raises(ValueError):
+            BalloonInflationFailure(at_ref=0, size_bytes=0)
+
+    def test_base_event_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            InjectedFault(at_ref=0).deliver(None, None)
+
+
+class TestScheduling:
+    def test_events_sorted_by_at_ref(self):
+        injector = FaultInjector(
+            [
+                EscapeFilterExhaustion(at_ref=30),
+                TransientAllocationFailures(at_ref=10),
+                FragmentationShock(at_ref=20),
+            ],
+            seed=0,
+        )
+        assert [e.at_ref for e in injector.events] == [10, 20, 30]
+        assert injector.pending == 3
+
+    def test_nothing_due_is_cheap_noop(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        injector = FaultInjector(
+            [FragmentationShock(at_ref=100)], seed=0
+        )
+        assert injector.deliver_due(5, system) == []
+        assert injector.pending == 1
+        assert injector.delivered == []
+
+    def test_due_events_delivered_in_order(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        injector = FaultInjector(
+            [
+                FragmentationShock(at_ref=4, fraction=0.01),
+                TransientAllocationFailures(at_ref=2, count=1),
+            ],
+            seed=0,
+        )
+        notes = injector.deliver_due(10, system)
+        assert len(notes) == 2
+        assert injector.pending == 0
+        assert [ref for ref, _, _ in injector.delivered] == [10, 10]
+        # First delivered event is the earliest-scheduled one.
+        assert isinstance(injector.delivered[0][1], TransientAllocationFailures)
+
+    def test_chaos_plan_rejects_tiny_traces(self):
+        with pytest.raises(ValueError):
+            FaultInjector.chaos_plan(5)
+
+    def test_chaos_plan_schedule_fits_trace(self):
+        injector = FaultInjector.chaos_plan(1000, seed=3, extra_hard_faults=4)
+        assert all(0 <= e.at_ref < 1000 for e in injector.events)
+        kinds = {type(e) for e in injector.events}
+        assert DramHardFault in kinds
+        assert EscapeFilterExhaustion in kinds
+        assert BalloonInflationFailure in kinds
+
+
+class TestDelivery:
+    def test_vm_events_need_a_vm(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        injector = FaultInjector([DramHardFault(at_ref=0)], seed=0)
+        with pytest.raises(FaultInjectionError):
+            injector.deliver_due(0, system)
+
+    def test_hard_fault_under_segment_escapes(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        injector = FaultInjector(
+            [DramHardFault(at_ref=0, placement="segment")], seed=1
+        )
+        notes = injector.deliver_due(0, system)
+        assert len(notes) == 1
+        log = system.hypervisor.degradation_log
+        assert log.count(DegradationAction.ESCAPE) == 1
+        assert log.events[0].ref_index == 0
+        # Delivery resynced the walker's registers and filter view.
+        assert system.mmu.walker.vmm_escape_filter is system.vm.escape_filter
+
+    def test_transient_failures_armed_on_host_allocator(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        injector = FaultInjector(
+            [TransientAllocationFailures(at_ref=0, count=2)], seed=0
+        )
+        injector.deliver_due(0, system)
+        allocator = system.hypervisor.allocator
+        assert allocator.transient_failures_armed == 2
+        # The next allocation absorbs the burst through retries.
+        allocator.alloc_block(0)
+        assert allocator.transient_failures_armed == 0
+        assert allocator.retry_stats.transient_failures == 2
+        assert allocator.retry_stats.backoff_cycles > 0
+
+    def test_balloon_failure_rolls_back_and_tolerates(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        injector = FaultInjector(
+            [BalloonInflationFailure(at_ref=0)], seed=0
+        )
+        notes = injector.deliver_due(0, system)
+        assert "failed" in notes[0]
+        log = system.hypervisor.degradation_log
+        assert log.count(DegradationAction.TOLERATE) == 1
+        assert system.vm.balloon_failures_armed == 0
+
+    def test_filter_exhaustion_caps_at_current_occupancy(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        injector = FaultInjector([EscapeFilterExhaustion(at_ref=0)], seed=0)
+        injector.deliver_due(0, system)
+        assert system.vm.escape_filter.is_full

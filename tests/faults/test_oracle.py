@@ -1,0 +1,89 @@
+"""Tests for the translation-consistency oracle."""
+
+import pytest
+
+from repro.errors import TranslationOracleError
+from repro.faults.injector import DramHardFault, FaultInjector
+from repro.faults.oracle import TranslationOracle
+from repro.sim.config import parse_config
+from repro.sim.system import build_system
+
+
+def _touched_addresses(system, count=64, stride=4096):
+    base = system.base_va
+    return [base + i * stride for i in range(count)]
+
+
+class TestShadowTranslate:
+    @pytest.mark.parametrize("label", ["4K", "2M", "DS", "4K+4K", "DD", "4K+VD"])
+    def test_agrees_with_mmu_in_every_mode(self, tiny_workload, label):
+        system = build_system(parse_config(label), tiny_workload.spec)
+        oracle = TranslationOracle(system)
+        report = oracle.audit_addresses(_touched_addresses(system))
+        assert report.clean
+        assert report.checks > 0
+
+    def test_unmapped_address_is_unresolved(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        oracle = TranslationOracle(system)
+        # Nothing faulted in yet: ground truth is indeterminate.
+        assert oracle.shadow_translate(system.base_va) is None
+
+    def test_agrees_after_injected_hard_fault(self, tiny_workload):
+        system = build_system(parse_config("DD"), tiny_workload.spec)
+        oracle = TranslationOracle(system)
+        addresses = _touched_addresses(system, count=128)
+        assert oracle.audit_addresses(addresses).clean
+        injector = FaultInjector(
+            [DramHardFault(at_ref=0, placement="segment")], seed=2
+        )
+        injector.deliver_due(0, system)
+        assert oracle.audit_addresses(addresses).clean
+
+
+class TestChecking:
+    def test_wrong_frame_is_a_mismatch(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        oracle = TranslationOracle(system)
+        va = system.base_va
+        frame = system.mmu.touch(va)
+        assert oracle.check(va, frame)
+        assert not oracle.check(va, frame + 1)
+        assert oracle.report.mismatches == 1
+        assert not oracle.report.clean
+        assert oracle.report.samples[0].observed_frame == frame + 1
+
+    def test_strict_mode_raises(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        oracle = TranslationOracle(system, strict=True)
+        va = system.base_va
+        frame = system.mmu.touch(va)
+        with pytest.raises(TranslationOracleError):
+            oracle.check(va, frame + 1)
+
+    def test_sampling_skips_off_stride_references(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        oracle = TranslationOracle(system, sample_every=4)
+        va = system.base_va
+        frame = system.mmu.touch(va)
+        oracle.observe(1, va, frame + 999)  # off-stride: not checked
+        assert oracle.report.mismatches == 0
+        oracle.observe(4, va, frame)
+        assert oracle.report.checks == 1
+
+    def test_recorded_mismatches_are_bounded(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        oracle = TranslationOracle(system)
+        va = system.base_va
+        frame = system.mmu.touch(va)
+        for _ in range(oracle.MAX_RECORDED_MISMATCHES + 10):
+            oracle.check(va, frame + 1)
+        assert len(oracle.report.samples) == oracle.MAX_RECORDED_MISMATCHES
+        assert (
+            oracle.report.mismatches == oracle.MAX_RECORDED_MISMATCHES + 10
+        )
+
+    def test_sample_every_validated(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        with pytest.raises(ValueError):
+            TranslationOracle(system, sample_every=0)

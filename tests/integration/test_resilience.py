@@ -1,0 +1,145 @@
+"""End-to-end resilience: the ISSUE's acceptance scenario.
+
+A Dual Direct run with mid-trace injected faults (new bad frames at the
+segment edge and middle, a balloon-inflation failure, escape-filter
+exhaustion) must complete without crashing, the DegradationLog must show
+at least one segment shrink and one fall-back-to-paging mode transition,
+and the TranslationOracle must report zero mismatches.
+"""
+
+from repro.faults.degradation import DegradationAction
+from repro.faults.injector import (
+    BalloonInflationFailure,
+    DramHardFault,
+    EscapeFilterExhaustion,
+    FaultInjector,
+)
+from repro.faults.oracle import TranslationOracle
+from repro.sim.config import parse_config
+from repro.sim.simulator import run_trace
+from repro.sim.system import build_system
+
+TRACE_LENGTH = 4000
+WARMUP = 0.15
+
+
+def chaos_run(tiny_workload, sample_every=16):
+    system = build_system(parse_config("DD"), tiny_workload.spec)
+    trace = tiny_workload.trace(TRACE_LENGTH, seed=11)
+    measured = TRACE_LENGTH - int(TRACE_LENGTH * WARMUP)
+    injector = FaultInjector(
+        [
+            BalloonInflationFailure(at_ref=measured // 8),
+            EscapeFilterExhaustion(at_ref=measured // 4),
+            DramHardFault(at_ref=measured // 2, placement="segment-edge"),
+            DramHardFault(
+                at_ref=measured * 3 // 4, placement="segment-middle"
+            ),
+        ],
+        seed=5,
+    )
+    oracle = TranslationOracle(system, sample_every=sample_every)
+    result = run_trace(
+        system,
+        trace,
+        tiny_workload.spec.ideal_cycles_per_ref,
+        warmup_fraction=WARMUP,
+        fault_injector=injector,
+        oracle=oracle,
+    )
+    return system, injector, result
+
+
+class TestAcceptanceScenario:
+    def test_chaos_run_completes_with_all_events_delivered(
+        self, tiny_workload
+    ):
+        _, injector, result = chaos_run(tiny_workload)
+        assert injector.pending == 0
+        assert len(injector.delivered) == 4
+        assert result.run.trace_length > 0
+
+    def test_degradation_log_records_shrink_and_fallback(self, tiny_workload):
+        _, _, result = chaos_run(tiny_workload)
+        log = result.degradation_log
+        assert log is not None
+        assert log.count(DegradationAction.SHRINK) >= 1
+        assert log.count(DegradationAction.FALLBACK) >= 1
+        transitions = log.mode_transitions
+        assert len(transitions) >= 1
+        assert any(
+            t.action is DegradationAction.FALLBACK for t in transitions
+        )
+
+    def test_oracle_reports_zero_mismatches(self, tiny_workload):
+        _, _, result = chaos_run(tiny_workload)
+        report = result.oracle_report
+        assert report is not None
+        assert report.checks > 0
+        assert report.mismatches == 0
+        assert report.clean
+
+    def test_mmu_mode_follows_the_fallback(self, tiny_workload):
+        system, _, _ = chaos_run(tiny_workload)
+        # After the mid-segment fault the VM fell back and the MMU
+        # (re-synced by the injector) runs the degraded mode.
+        assert system.vm.mode is system.mmu.mode
+        assert not system.vm.vmm_segment.enabled
+
+    def test_faulty_run_costs_more_than_clean_run(self, tiny_workload):
+        clean_system = build_system(parse_config("DD"), tiny_workload.spec)
+        trace = tiny_workload.trace(TRACE_LENGTH, seed=11)
+        clean = run_trace(
+            clean_system,
+            trace,
+            tiny_workload.spec.ideal_cycles_per_ref,
+            warmup_fraction=WARMUP,
+        )
+        _, _, faulty = chaos_run(tiny_workload)
+        assert (
+            faulty.overhead.execution_cycles > clean.overhead.execution_cycles
+        )
+
+
+class TestResilienceExperiment:
+    def test_smoke_sweep_is_consistent(self, tiny_workload):
+        # The experiment module end-to-end on real (small) workloads is
+        # exercised by CI's nightly `resilience --smoke`; here we drive
+        # its core loop shape cheaply via run()'s helpers.
+        from repro.experiments import resilience
+
+        result = resilience.run(
+            trace_length=3000,
+            workloads=("gups",),
+            extra_fault_counts=(0,),
+            sample_every=32,
+        )
+        assert result.all_consistent
+        point = result.points[0]
+        assert point.normalized_time >= 1.0
+        assert point.mode_transitions >= 1
+
+    def test_format_mentions_verdict(self):
+        from repro.experiments.resilience import (
+            ResiliencePoint,
+            ResilienceResult,
+            format_resilience,
+        )
+
+        result = ResilienceResult(
+            config="DD",
+            trace_length=100,
+            points=[
+                ResiliencePoint(
+                    workload="w",
+                    extra_hard_faults=0,
+                    normalized_time=1.01,
+                    actions={"escape": 1},
+                    oracle_checks=10,
+                )
+            ],
+        )
+        text = format_resilience(result)
+        assert "escape:1" in text
+        assert "10 checks OK" in text
+        assert "consistency" in text

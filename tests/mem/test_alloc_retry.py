@@ -1,0 +1,77 @@
+"""Tests for transient allocation failures and the retry/backoff loop."""
+
+import pytest
+
+from repro.errors import OutOfMemoryError, TransientAllocationError
+from repro.mem.frame_allocator import (
+    BACKOFF_BASE_CYCLES,
+    MAX_ALLOC_RETRIES,
+    FrameAllocator,
+)
+
+
+def make_allocator(frames=1024) -> FrameAllocator:
+    return FrameAllocator.of_size(frames * 4096)
+
+
+class TestTransientFailures:
+    def test_nothing_armed_is_the_fast_path(self):
+        alloc = make_allocator()
+        frame = alloc.alloc_block(0)
+        assert frame >= 0
+        assert alloc.retry_stats.attempts == 1
+        assert alloc.retry_stats.transient_failures == 0
+        assert alloc.retry_stats.backoff_cycles == 0
+
+    def test_armed_failures_are_absorbed_by_retries(self):
+        alloc = make_allocator()
+        alloc.inject_transient_failures(3)
+        frame = alloc.alloc_block(0)
+        assert frame >= 0
+        assert alloc.transient_failures_armed == 0
+        assert alloc.retry_stats.transient_failures == 3
+        # 4 attempts total: 3 failures + the success.
+        assert alloc.retry_stats.attempts == 4
+
+    def test_backoff_doubles_per_attempt(self):
+        alloc = make_allocator()
+        alloc.inject_transient_failures(3)
+        alloc.alloc_block(0)
+        expected = (
+            BACKOFF_BASE_CYCLES
+            + (BACKOFF_BASE_CYCLES << 1)
+            + (BACKOFF_BASE_CYCLES << 2)
+        )
+        assert alloc.retry_stats.backoff_cycles == expected
+
+    def test_budget_exhaustion_raises_transient_error(self):
+        alloc = make_allocator()
+        alloc.inject_transient_failures(MAX_ALLOC_RETRIES + 5)
+        with pytest.raises(TransientAllocationError):
+            alloc.alloc_block(0)
+        # The failed call consumed its whole retry budget.
+        assert alloc.retry_stats.transient_failures == MAX_ALLOC_RETRIES
+
+    def test_transient_error_is_an_oom_subclass(self):
+        # Callers that catch OutOfMemoryError keep working unchanged.
+        assert issubclass(TransientAllocationError, OutOfMemoryError)
+
+    def test_negative_injection_rejected(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError):
+            alloc.inject_transient_failures(-1)
+
+    def test_genuine_exhaustion_still_immediate(self):
+        alloc = make_allocator(frames=1)
+        alloc.alloc_block(0)
+        with pytest.raises(OutOfMemoryError) as excinfo:
+            alloc.alloc_block(0)
+        # Real exhaustion is not retried as if it were transient.
+        assert not isinstance(excinfo.value, TransientAllocationError)
+
+
+class TestFragmentValidation:
+    def test_fragment_requires_explicit_rng(self):
+        alloc = make_allocator()
+        with pytest.raises(ValueError, match="rng"):
+            alloc.fragment(0.5)

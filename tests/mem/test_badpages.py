@@ -35,7 +35,11 @@ class TestBadPageList:
 
     def test_random_rejects_oversized_request(self):
         with pytest.raises(ValueError):
-            BadPageList.random(10, range(5))
+            BadPageList.random(10, range(5), seed=0)
+
+    def test_random_requires_explicit_seed(self):
+        with pytest.raises(TypeError):
+            BadPageList.random(2, range(100))
 
     def test_bad_frames_in_window(self):
         bad = BadPageList([5, 100, 250, 999])

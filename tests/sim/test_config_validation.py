@@ -1,0 +1,87 @@
+"""Tests for configuration and run-parameter validation."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.config import (
+    parse_config,
+    validate_geometry,
+    validate_run_parameters,
+)
+from repro.sim.simulator import run_trace, simulate
+from repro.sim.system import build_system
+from repro.tlb.hierarchy import TLBGeometry
+
+
+class TestParseConfigErrors:
+    def test_empty_label(self):
+        with pytest.raises(ConfigError, match="empty"):
+            parse_config("   ")
+
+    def test_unknown_guest_level_lists_options(self):
+        with pytest.raises(ConfigError, match="4K, 2M, 1G"):
+            parse_config("3M")
+
+    def test_unknown_nested_level_lists_options(self):
+        with pytest.raises(ConfigError, match="VD, GD"):
+            parse_config("4K+8M")
+
+    def test_double_plus_rejected(self):
+        with pytest.raises(ConfigError, match="one '\\+'"):
+            parse_config("4K+2M+1G")
+
+    def test_config_error_is_a_value_error(self):
+        # Existing callers catching ValueError keep working.
+        with pytest.raises(ValueError):
+            parse_config("bogus")
+
+
+class TestGeometryValidation:
+    def test_default_geometry_is_valid(self):
+        validate_geometry(TLBGeometry())
+
+    def test_zero_entry_tlb_rejected(self):
+        with pytest.raises(ConfigError, match="at least one entry"):
+            validate_geometry(TLBGeometry(l1_4k_entries=0))
+
+    def test_negative_ways_rejected(self):
+        with pytest.raises(ConfigError, match="way"):
+            validate_geometry(TLBGeometry(l2_ways=-1))
+
+    def test_indivisible_sets_rejected(self):
+        with pytest.raises(ConfigError, match="divisible"):
+            validate_geometry(TLBGeometry(l2_entries=500, l2_ways=3))
+
+    def test_build_system_validates_geometry(self, tiny_workload):
+        with pytest.raises(ConfigError):
+            build_system(
+                parse_config("4K"),
+                tiny_workload.spec,
+                geometry=TLBGeometry(l1_2m_entries=0),
+            )
+
+
+class TestRunParameterValidation:
+    def test_negative_footprint_rejected(self):
+        with pytest.raises(ConfigError, match="footprint"):
+            validate_run_parameters(-1)
+
+    def test_zero_trace_length_rejected(self):
+        with pytest.raises(ConfigError, match="trace length"):
+            validate_run_parameters(4096, trace_length=0)
+
+    def test_warmup_fraction_bounds(self):
+        with pytest.raises(ConfigError, match="warmup"):
+            validate_run_parameters(4096, warmup_fraction=1.0)
+        with pytest.raises(ConfigError, match="warmup"):
+            validate_run_parameters(4096, warmup_fraction=-0.1)
+        validate_run_parameters(4096, warmup_fraction=0.0)
+
+    def test_run_trace_rejects_bad_warmup(self, tiny_workload):
+        system = build_system(parse_config("4K"), tiny_workload.spec)
+        with pytest.raises(ConfigError):
+            run_trace(system, tiny_workload.trace(100), 5.0, warmup_fraction=2.0)
+
+    def test_simulate_rejects_bad_trace_length(self, tiny_workload):
+        with pytest.raises(ConfigError):
+            simulate("4K", tiny_workload, trace_length=-5)

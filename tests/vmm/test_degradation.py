@@ -1,0 +1,210 @@
+"""Tests for the graceful-degradation ladder in the hypervisor.
+
+Covers the satellite edge cases: hard faults at the segment base/limit
+with the escape filter full (shrink), mid-segment with the filter full
+(full fall-back), every frame bad, and the non-segment reactions
+(quarantine, paged-frame migration, lazy remap of degraded ranges).
+"""
+
+import pytest
+
+from repro.core.address import BASE_PAGE_SIZE, GIB
+from repro.core.modes import TranslationMode
+from repro.faults.degradation import DegradationAction
+from repro.vmm.hypervisor import FALLBACK_MODES, Hypervisor
+from repro.vmm.policy import DegradationPolicy, choose_degradation
+
+
+def make_vm(host=8 * GIB, guest=5 * GIB, mode=TranslationMode.VMM_DIRECT):
+    hv = Hypervisor(host_memory_bytes=host)
+    vm = hv.create_vm("a", memory_bytes=guest)
+    vm.create_vmm_segment()
+    vm.set_mode(mode)
+    return hv, vm
+
+
+def segment_frames(vm):
+    seg = vm.vmm_segment
+    start = (seg.base + seg.offset) // BASE_PAGE_SIZE
+    return start, (seg.base + seg.offset + seg.size) // BASE_PAGE_SIZE
+
+
+def fill_filter(vm):
+    vm.escape_filter.capacity = len(vm.escape_filter)
+    assert vm.escape_filter.is_full
+
+
+class TestPolicy:
+    def test_escape_preferred_while_filter_has_room(self):
+        _, vm = make_vm()
+        start, _ = segment_frames(vm)
+        gppn = start - vm.vmm_segment.offset // BASE_PAGE_SIZE
+        action = choose_degradation(vm.vmm_segment, vm.escape_filter, gppn)
+        assert action is DegradationAction.ESCAPE
+
+    def test_edge_fraction_validated(self):
+        with pytest.raises(ValueError):
+            DegradationPolicy(edge_fraction=0.6)
+
+
+class TestSegmentFaults:
+    def test_fault_with_filter_room_escapes(self):
+        hv, vm = make_vm()
+        start, _ = segment_frames(vm)
+        event = hv.inject_hard_fault(start + 100)
+        assert event.action is DegradationAction.ESCAPE
+        assert not event.is_mode_transition
+        gppn = start + 100 - vm.vmm_segment.offset // BASE_PAGE_SIZE
+        assert vm.escape_filter.may_contain(gppn)
+        # The escaped page got a healthy conventional mapping.
+        hpa = vm.nested_table.translate(gppn * BASE_PAGE_SIZE)
+        assert hpa // BASE_PAGE_SIZE != start + 100
+
+    def test_fault_at_segment_base_shrinks(self):
+        hv, vm = make_vm()
+        fill_filter(vm)
+        start, end = segment_frames(vm)
+        old_base = vm.vmm_segment.base
+        event = hv.inject_hard_fault(start)  # the very first frame
+        assert event.action is DegradationAction.SHRINK
+        assert vm.vmm_segment.enabled
+        assert vm.vmm_segment.base == old_base + BASE_PAGE_SIZE
+        assert vm.mode is TranslationMode.VMM_DIRECT  # mode survives
+
+    def test_fault_at_segment_limit_shrinks(self):
+        hv, vm = make_vm()
+        fill_filter(vm)
+        start, end = segment_frames(vm)
+        old_limit = vm.vmm_segment.limit
+        event = hv.inject_hard_fault(end - 1)  # the very last frame
+        assert event.action is DegradationAction.SHRINK
+        assert vm.vmm_segment.limit == old_limit - BASE_PAGE_SIZE
+
+    def test_mid_segment_fault_with_full_filter_falls_back(self):
+        hv, vm = make_vm(mode=TranslationMode.VMM_DIRECT)
+        fill_filter(vm)
+        start, end = segment_frames(vm)
+        event = hv.inject_hard_fault((start + end) // 2)
+        assert event.action is DegradationAction.FALLBACK
+        assert event.is_mode_transition
+        assert vm.mode is TranslationMode.BASE_VIRTUALIZED
+        assert not vm.vmm_segment.enabled
+
+    def test_dual_direct_falls_back_to_guest_direct(self):
+        # DD's fallback keeps the guest segment and only drops the VMM one.
+        assert (
+            FALLBACK_MODES[TranslationMode.DUAL_DIRECT]
+            is TranslationMode.GUEST_DIRECT
+        )
+
+    def test_trimmed_range_keeps_identical_translation(self):
+        hv, vm = make_vm()
+        fill_filter(vm)
+        start, end = segment_frames(vm)
+        offset_frames = vm.vmm_segment.offset // BASE_PAGE_SIZE
+        probe_gppn = start + 2 - offset_frames  # healthy page near base
+        before = vm.vmm_segment.translate_unchecked(
+            probe_gppn * BASE_PAGE_SIZE
+        )
+        hv.inject_hard_fault(start)  # shrink trims the base edge...
+        # ...but wherever the page ended up, its host address is unchanged.
+        if vm.vmm_segment.covers(probe_gppn * BASE_PAGE_SIZE):
+            after = vm.vmm_segment.translate_unchecked(
+                probe_gppn * BASE_PAGE_SIZE
+            )
+        else:
+            vm.handle_nested_fault(probe_gppn * BASE_PAGE_SIZE)
+            after = vm.nested_table.translate(probe_gppn * BASE_PAGE_SIZE)
+        assert after == before
+
+    def test_every_frame_bad_degrades_without_crashing(self):
+        hv, vm = make_vm()
+        vm.escape_filter.capacity = 2  # escape twice, then harsher rungs
+        start, end = segment_frames(vm)
+        for frame in range(start, min(start + 64, end)):
+            hv.inject_hard_fault(frame)
+        log = hv.degradation_log
+        assert len(log) >= 64
+        # The ladder ran through escapes into shrinks/fallback/remaps.
+        assert log.count(DegradationAction.ESCAPE) == 2
+        assert log.count(DegradationAction.SHRINK) >= 1
+
+    def test_shrink_rejects_uncovered_page(self):
+        _, vm = make_vm()
+        with pytest.raises(ValueError):
+            vm.shrink_vmm_segment_past(1)  # gPA page below the segment
+
+
+class TestNonSegmentFaults:
+    def test_free_frame_is_quarantined(self):
+        hv, vm = make_vm()
+        free_frame = hv.allocator.alloc_block(0)
+        hv.allocator.free_block(free_frame)
+        event = hv.inject_hard_fault(free_frame)
+        assert event.action is DegradationAction.QUARANTINE
+        assert event.vm_name == ""  # host-level event, no VM
+
+    def test_paged_frame_is_migrated(self):
+        hv = Hypervisor(host_memory_bytes=8 * GIB)
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        gpa = 64 * BASE_PAGE_SIZE
+        vm.handle_nested_fault(gpa)
+        old_frame = vm.nested_table.translate(gpa) // BASE_PAGE_SIZE
+        event = hv.inject_hard_fault(old_frame)
+        assert event.action is DegradationAction.REMAP
+        new_frame = vm.nested_table.translate(gpa) // BASE_PAGE_SIZE
+        assert new_frame != old_frame
+        assert old_frame in hv.bad_pages
+
+    def test_page_table_node_fault_is_tolerated(self):
+        hv = Hypervisor(host_memory_bytes=8 * GIB)
+        vm = hv.create_vm("a", memory_bytes=2 * GIB)
+        vm.handle_nested_fault(0)
+        node = next(iter(vm.nested_table.node_frames))
+        event = hv.inject_hard_fault(node)
+        assert event.action is DegradationAction.TOLERATE
+
+    def test_degraded_range_lazy_remap(self):
+        hv, vm = make_vm()
+        vm.degrade_to_paging()  # whole segment becomes a degraded range
+        start, _end = vm.reserved_frame_range
+        frame = start + 10
+        event = hv.inject_hard_fault(frame)
+        assert event.action is DegradationAction.REMAP
+        # First touch of the degraded page lands on a healthy frame.
+        gppn = frame - vm._degraded_ranges[0][2]
+        vm.handle_nested_fault(gppn * BASE_PAGE_SIZE)
+        mapped = vm.nested_table.translate(gppn * BASE_PAGE_SIZE)
+        assert mapped // BASE_PAGE_SIZE != frame
+
+
+class TestBalloonArming:
+    def test_negative_count_rejected(self):
+        _, vm = make_vm()
+        with pytest.raises(ValueError):
+            vm.arm_balloon_failures(-1)
+
+    def test_armed_failures_accumulate(self):
+        _, vm = make_vm()
+        vm.arm_balloon_failures()
+        vm.arm_balloon_failures(2)
+        assert vm.balloon_failures_armed == 3
+
+
+class TestTeardownAfterDegradation:
+    def test_destroy_vm_returns_memory_after_shrink_and_fallback(self):
+        hv = Hypervisor(host_memory_bytes=8 * GIB)
+        free_before = hv.allocator.free_frames
+        vm = hv.create_vm("a", memory_bytes=5 * GIB)
+        vm.create_vmm_segment()
+        vm.set_mode(TranslationMode.VMM_DIRECT)
+        fill_filter(vm)
+        start, end = segment_frames(vm)
+        hv.inject_hard_fault(start)              # shrink
+        hv.inject_hard_fault((start + end) // 2)  # fallback
+        # Touch degraded pages so lazy computed PTEs get installed.
+        offset_frames = vm._degraded_ranges[0][2]
+        for gppn in range(start - offset_frames, start - offset_frames + 8):
+            vm.handle_nested_fault(gppn * BASE_PAGE_SIZE)
+        hv.destroy_vm("a")
+        assert hv.allocator.free_frames == free_before
