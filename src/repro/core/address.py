@@ -47,10 +47,11 @@ class PageSize(enum.IntEnum):
     SIZE_2M = 2 * MIB
     SIZE_1G = 1 * GIB
 
-    @property
-    def bits(self) -> int:
-        """Number of offset bits for this page size (12, 21 or 30)."""
-        return int(self).bit_length() - 1
+    #: Number of offset bits for this page size (12, 21 or 30).  A plain
+    #: per-member attribute, precomputed below: ``bits`` sits on the walk
+    #: and TLB-probe hot paths, where a property call per reference is
+    #: measurable.
+    bits: int
 
     @property
     def levels(self) -> int:
@@ -85,6 +86,13 @@ class PageSize(enum.IntEnum):
             return table[label.upper()]
         except KeyError:
             raise ValueError(f"unknown page size label: {label!r}") from None
+
+
+# Precompute the hot per-member attributes (enum members accept plain
+# attribute assignment; the values are immutable facts of the size).
+for _member in PageSize:
+    _member.bits = int(_member).bit_length() - 1
+del _member
 
 
 #: Names of the four x86-64 page-table levels, root first.

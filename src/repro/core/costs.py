@@ -73,9 +73,22 @@ class CostModel:
     #: Cost of a minor page fault serviced by the guest OS (demand paging).
     page_fault_cycles: int = 3000
 
+    def __post_init__(self) -> None:
+        # pte_access_cycles runs several times per simulated walk; the
+        # blend is a pure function of the (frozen) latencies, so bake it
+        # into a tuple once.  object.__setattr__ because frozen=True.
+        object.__setattr__(
+            self,
+            "_pte_cycles",
+            tuple(
+                self.cache.expected_cycles(depth)
+                for depth in range(len(self.cache.residency))
+            ),
+        )
+
     def pte_access_cycles(self, depth: int) -> float:
         """Expected cost of one page-table memory reference at ``depth``."""
-        return self.cache.expected_cycles(depth)
+        return self._pte_cycles[depth]
 
 
 #: Shared default cost model; experiments may construct their own.

@@ -282,6 +282,22 @@ class MMU:
 
     # ------------------------------------------------------------------
 
+    def access_batch(self, addresses) -> None:
+        """Translate a numpy int64 address stream via the batched engine.
+
+        Exactly equivalent to ``for va in addresses: self.access(va)``
+        for every counter, TLB/PWC entry and LRU position, but
+        fast-paths hit runs with array arithmetic (see
+        :mod:`repro.sim.engine`).  Returns nothing: batch translation is
+        for measurement loops, which consume counters, not frames.
+        """
+        # Imported here: repro.sim builds on repro.core, not vice versa.
+        from repro.sim.engine import BatchedTranslationEngine
+
+        BatchedTranslationEngine(self).run(addresses)
+
+    # ------------------------------------------------------------------
+
     def touch(self, vaddr: int) -> int:
         """Translate without counting (warm-up / functional checks)."""
         saved = self.counters

@@ -37,7 +37,7 @@ from repro.tlb.hierarchy import TLBHierarchy
 from repro.tlb.pwc import PageWalkCache
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkOutcome:
     """Translation plus full cost accounting for one page walk."""
 
@@ -134,7 +134,7 @@ class DirectSegmentWalker(NativeWalker):
         self.escape_filter = escape_filter
 
 
-@dataclass
+@dataclass(slots=True)
 class NestedResolution:
     """Result of resolving one guest-physical address to host-physical."""
 

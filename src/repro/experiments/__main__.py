@@ -2,11 +2,14 @@
 
 Usage::
 
-    python -m repro.experiments <name> [--trace-length N] [--quick] [--json]
+    python -m repro.experiments <name> [--trace-length N] [--quick]
+                                       [--jobs N] [--json]
 
 where ``<name>`` is one of: figure1, figure11, figure12, figure13,
-breakdown, table3, table4, shadow, sharing, energy, resilience, all.
-``--json`` emits machine-readable results instead of formatted tables.
+breakdown, table3, table4, shadow, sharing, energy, resilience, bench,
+all.  ``--jobs N`` fans independent simulation cells out over N worker
+processes (results are identical to a serial run); ``--json`` emits
+machine-readable results instead of formatted tables.
 """
 
 from __future__ import annotations
@@ -16,6 +19,7 @@ import sys
 import time
 
 from repro.experiments import (
+    bench,
     breakdown,
     energy,
     figure01,
@@ -31,53 +35,72 @@ from repro.experiments import (
 )
 
 
-#: name -> (runner(trace_length) -> result, formatter(result) -> str).
+#: name -> (runner(trace_length, jobs) -> result, formatter -> str).
+#: Runners without independent cells to fan out ignore ``jobs``.
 EXPERIMENTS = {
     "figure1": (
-        lambda length: figure01.run(trace_length=length, progress=True),
+        lambda length, jobs: figure01.run(
+            trace_length=length, progress=True, jobs=jobs
+        ),
         figure01.format_figure,
     ),
     "figure11": (
-        lambda length: figure11.run(trace_length=length, progress=True),
+        lambda length, jobs: figure11.run(
+            trace_length=length, progress=True, jobs=jobs
+        ),
         figure11.format_figure,
     ),
     "figure12": (
-        lambda length: figure12.run(trace_length=length, progress=True),
+        lambda length, jobs: figure12.run(
+            trace_length=length, progress=True, jobs=jobs
+        ),
         figure12.format_figure,
     ),
     "figure13": (
-        lambda length: figure13.run(trace_length=min(length, 40_000), progress=True),
+        lambda length, jobs: figure13.run(
+            trace_length=min(length, 40_000), progress=True, jobs=jobs
+        ),
         figure13.format_figure,
     ),
     "breakdown": (
-        lambda length: breakdown.run(trace_length=length, progress=True),
+        lambda length, jobs: breakdown.run(
+            trace_length=length, progress=True, jobs=jobs
+        ),
         breakdown.format_breakdown,
     ),
     "table3": (
-        lambda length: table3_fragmentation.run(progress=True),
+        lambda length, jobs: table3_fragmentation.run(progress=True),
         table3_fragmentation.format_scenarios,
     ),
     "table4": (
-        lambda length: table4_models.run(trace_length=length, progress=True),
+        lambda length, jobs: table4_models.run(
+            trace_length=length, progress=True, jobs=jobs
+        ),
         table4_models.format_comparison,
     ),
     "shadow": (
-        lambda length: shadow.run(trace_length=length, progress=True),
+        lambda length, jobs: shadow.run(trace_length=length, progress=True),
         shadow.format_comparison,
     ),
     "sharing": (
-        lambda length: sharing.run(progress=True),
+        lambda length, jobs: sharing.run(progress=True),
         sharing.format_study,
     ),
     "energy": (
-        lambda length: energy.run(trace_length=length, progress=True),
+        lambda length, jobs: energy.run(trace_length=length, progress=True),
         energy.format_energy,
     ),
     "resilience": (
-        lambda length: resilience.run(
+        lambda length, jobs: resilience.run(
             trace_length=min(length, 40_000), progress=True
         ),
         resilience.format_resilience,
+    ),
+    "bench": (
+        lambda length, jobs: bench.run(
+            trace_length=min(length, 40_000), jobs=jobs, progress=True
+        ),
+        bench.format_bench,
     ),
 }
 
@@ -110,6 +133,13 @@ def main(argv: list[str] | None = None) -> int:
         help="minimal traces for CI sanity checks (even shorter than --quick)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation cells "
+        "(default 1 = serial; results are identical either way)",
+    )
+    parser.add_argument(
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of formatted tables",
@@ -126,7 +156,7 @@ def main(argv: list[str] | None = None) -> int:
         start = time.time()
         print(f"=== {name} ===", flush=True)
         runner, formatter = EXPERIMENTS[name]
-        result = runner(length)
+        result = runner(length, args.jobs)
         if args.json:
             print(report.dumps(result))
         else:

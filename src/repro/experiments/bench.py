@@ -1,0 +1,206 @@
+"""Simulator throughput bench: refs/sec now vs the recorded baseline.
+
+``python -m repro.experiments bench`` times the two regimes that matter
+for sweep wall-clock -- the batched fast path on a hit-dominated stream
+(against the scalar loop on the same stream) and an end-to-end
+mini-sweep through :func:`repro.sim.simulator.simulate` -- and compares
+against the committed baseline in ``benchmarks/BENCH_simulator.json``.
+
+Two kinds of numbers come out:
+
+* **refs/sec** -- absolute throughput; machine-dependent, reported for
+  context and refreshed with ``REPRO_BENCH_UPDATE=1``.
+* **ratios** (``batched_speedup``; per-metric speedup vs the baseline
+  file) -- the batched/scalar ratio is machine-independent enough to
+  gate on in CI (see ``benchmarks/test_simulator_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.experiments.parallel import CellTask, run_cells
+from repro.sim import trace_cache
+from repro.sim.config import parse_config
+from repro.sim.system import build_system, populate_for_addresses
+from repro.workloads.registry import create_workload
+
+#: Committed baseline (relative to the repository root); absent when the
+#: package is installed outside the repo, in which case no comparison.
+BASELINE_PATH = Path(__file__).resolve().parents[3] / "benchmarks" / "BENCH_simulator.json"
+
+#: The end-to-end mini-sweep: one big-memory workload across the config
+#: families (native, virtualized, proposed modes).
+SWEEP_WORKLOAD = "graph500"
+SWEEP_CONFIGS = ("4K", "4K+4K", "2M+2M", "DS", "DD", "4K+VD")
+
+#: Hot pages tiled into the hit-dominated engine microbench stream.
+HOT_PAGES = 48
+
+#: References per engine-microbench measurement.  The batched path
+#: clears tens of millions of refs/sec, so short streams time in
+#: microseconds and jitter dominates; keep the stream long regardless of
+#: the sweep's trace length.
+ENGINE_REFS = 200_000
+
+#: Timed repetitions per engine measurement; best-of filters scheduler
+#: noise (standard microbench practice).
+ENGINE_REPEATS = 3
+
+
+@dataclass
+class BenchResult:
+    """Measured throughput plus the baseline it is compared against."""
+
+    trace_length: int
+    jobs: int
+    #: metric name -> measured value (refs/sec, or a ratio).
+    metrics: dict[str, float] = field(default_factory=dict)
+    #: metric name -> committed baseline value (empty without a file).
+    baseline: dict[str, float] = field(default_factory=dict)
+
+    def speedup(self, name: str) -> float | None:
+        """measured / baseline for one metric; None without a baseline."""
+        base = self.baseline.get(name)
+        if not base:
+            return None
+        return self.metrics[name] / base
+
+
+def load_baseline(path: Path | None = None) -> dict[str, float]:
+    """The committed baseline metrics ({} when no file exists)."""
+    path = path or BASELINE_PATH
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text())
+    return {str(k): float(v) for k, v in data.get("metrics", {}).items()}
+
+
+def write_baseline(result: BenchResult, path: Path | None = None) -> Path:
+    """Record ``result`` as the new committed baseline."""
+    path = path or BASELINE_PATH
+    payload = {
+        "note": (
+            "Simulator throughput baseline; refresh with "
+            "REPRO_BENCH_UPDATE=1 pytest benchmarks/ --benchmark-only "
+            "-k baseline (or repro.experiments.bench.write_baseline). "
+            "CI gates on the *_speedup/*_ratio metrics only: absolute "
+            "refs/sec depends on the machine."
+        ),
+        "trace_length": result.trace_length,
+        "metrics": {k: round(v, 4) for k, v in result.metrics.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _hit_stream(system, length: int) -> np.ndarray:
+    """A hit-dominated address stream over ``HOT_PAGES`` resident pages."""
+    base_va = system.base_va
+    pages = np.arange(HOT_PAGES, dtype=np.int64)
+    stream = np.tile(pages, length // HOT_PAGES + 1)[:length]
+    return (stream << 12) + base_va
+
+
+def _engine_throughputs() -> tuple[float, float]:
+    """(scalar, batched) refs/sec on identical hit-dominated streams.
+
+    Best of :data:`ENGINE_REPEATS` timed runs each; hits leave TLB
+    contents untouched (only recency moves), so repeats see identical
+    state and simply re-measure the same work.
+    """
+    workload = create_workload(SWEEP_WORKLOAD)
+    results = []
+    for batched in (False, True):
+        system = build_system(parse_config("4K+4K"), workload.spec)
+        addresses = _hit_stream(system, ENGINE_REFS)
+        populate_for_addresses(system, np.unique(addresses))
+        system.mmu.access_batch(addresses[: HOT_PAGES * 2])  # warm
+        rest = addresses[HOT_PAGES * 2 :]
+        rest_list = rest.tolist()
+        best = 0.0
+        for _ in range(ENGINE_REPEATS):
+            start = time.perf_counter()
+            if batched:
+                system.mmu.access_batch(rest)
+            else:
+                access = system.mmu.access
+                for va in rest_list:
+                    access(va)
+            elapsed = time.perf_counter() - start
+            rate = len(rest) / elapsed if elapsed > 0 else float("inf")
+            best = max(best, rate)
+        results.append(best)
+    return results[0], results[1]
+
+
+def _sweep_throughput(trace_length: int, jobs: int) -> float:
+    """End-to-end simulate() refs/sec over the standard mini-sweep."""
+    tasks = [
+        CellTask(workload=SWEEP_WORKLOAD, config=config, trace_length=trace_length, seed=0)
+        for config in SWEEP_CONFIGS
+    ]
+    trace_cache.clear()  # charge trace generation to the sweep, once
+    start = time.perf_counter()
+    run_cells(tasks, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    total_refs = trace_length * len(tasks)
+    return total_refs / elapsed if elapsed > 0 else float("inf")
+
+
+def run(
+    trace_length: int = 20_000,
+    jobs: int = 1,
+    progress: bool = False,
+) -> BenchResult:
+    """Measure all bench metrics and attach the committed baseline."""
+    if progress:
+        print(
+            f"  engine microbench ({ENGINE_REFS} refs x {ENGINE_REPEATS}) ...",
+            flush=True,
+        )
+    scalar_rps, batched_rps = _engine_throughputs()
+    if progress:
+        print(
+            f"  sweep: {SWEEP_WORKLOAD} x {len(SWEEP_CONFIGS)} configs "
+            f"(jobs={jobs}) ...",
+            flush=True,
+        )
+    sweep_rps = _sweep_throughput(trace_length, jobs)
+    result = BenchResult(trace_length=trace_length, jobs=jobs)
+    result.metrics = {
+        "scalar_hit_refs_per_sec": scalar_rps,
+        "batched_hit_refs_per_sec": batched_rps,
+        "batched_speedup": batched_rps / scalar_rps if scalar_rps else 0.0,
+        "sweep_refs_per_sec": sweep_rps,
+    }
+    result.baseline = load_baseline()
+    return result
+
+
+def format_bench(result: BenchResult) -> str:
+    """Render measured metrics beside the committed baseline."""
+    headers = ["metric", "measured", "baseline", "vs baseline"]
+    rows = []
+    for name, value in result.metrics.items():
+        base = result.baseline.get(name)
+        speedup = result.speedup(name)
+        rows.append(
+            [
+                name,
+                f"{value:,.0f}" if value > 100 else f"{value:.2f}",
+                (f"{base:,.0f}" if base > 100 else f"{base:.2f}") if base else "-",
+                f"{speedup:.2f}x" if speedup is not None else "-",
+            ]
+        )
+    title = (
+        f"Simulator throughput bench ({result.trace_length} refs/run, "
+        f"jobs={result.jobs})"
+    )
+    return format_table(headers, rows, title=title)

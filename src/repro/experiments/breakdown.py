@@ -21,9 +21,8 @@ from repro.experiments.common import (
     DEFAULT_TRACE_LENGTH,
     format_table,
 )
+from repro.experiments.parallel import CellTask, run_cells
 from repro.model.overhead import geometric_mean
-from repro.sim.simulator import simulate
-from repro.workloads.registry import create_workload
 
 DEFAULT_WORKLOADS = ("graph500", "memcached", "gups", "canneal", "streamcluster")
 
@@ -59,20 +58,28 @@ def run(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     seed: int = 0,
     progress: bool = False,
+    jobs: int = 1,
 ) -> BreakdownResult:
     """Measure the Section IX.A quantities for each workload."""
+    configs = ("4K",) + VIRT_CONFIGS + ("4K+VD", "4K+GD", "DD")
+    tasks = [
+        CellTask(workload=name, config=config, trace_length=trace_length, seed=seed)
+        for name in workloads
+        for config in configs
+    ]
+    cells = dict(
+        zip(
+            ((t.workload, t.config) for t in tasks),
+            run_cells(tasks, jobs=jobs, progress=progress),
+        )
+    )
     rows = []
     for name in workloads:
-        if progress:
-            print(f"  breaking down {name} ...", flush=True)
-        native = simulate("4K", create_workload(name), trace_length, seed=seed)
-        virt = {
-            cfg: simulate(cfg, create_workload(name), trace_length, seed=seed)
-            for cfg in VIRT_CONFIGS
-        }
-        vd = simulate("4K+VD", create_workload(name), trace_length, seed=seed)
-        gd = simulate("4K+GD", create_workload(name), trace_length, seed=seed)
-        dd = simulate("DD", create_workload(name), trace_length, seed=seed)
+        native = cells[(name, "4K")]
+        virt = {cfg: cells[(name, cfg)] for cfg in VIRT_CONFIGS}
+        vd = cells[(name, "4K+VD")]
+        gd = cells[(name, "4K+GD")]
+        dd = cells[(name, "DD")]
 
         cn = native.run.cycles_per_walk
         base_l2_misses = virt["4K+4K"].l2_tlb_misses

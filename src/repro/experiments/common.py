@@ -11,8 +11,8 @@ from __future__ import annotations
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
-from repro.sim.simulator import SimulationResult, simulate
-from repro.workloads.registry import create_workload
+from repro.experiments.parallel import CellTask, run_cells
+from repro.sim.simulator import SimulationResult
 
 #: Default measured trace length for experiments (page visits).  Long
 #: enough for steady-state TLB statistics at every page size, short
@@ -43,19 +43,26 @@ def run_grid(
     trace_length: int = DEFAULT_TRACE_LENGTH,
     seed: int = 0,
     progress: bool = False,
+    jobs: int = 1,
 ) -> RunGrid:
-    """Simulate every (workload, config) pair."""
+    """Simulate every (workload, config) pair.
+
+    ``jobs > 1`` fans the cells out over that many worker processes
+    (:mod:`repro.experiments.parallel`); the assembled grid is identical
+    to a serial run because every cell is independently seeded and
+    results are collected in task order.
+    """
     workloads = tuple(workloads)
     configs = tuple(configs)
+    tasks = [
+        CellTask(workload=name, config=config, trace_length=trace_length, seed=seed)
+        for name in workloads
+        for config in configs
+    ]
+    results = run_cells(tasks, jobs=jobs, progress=progress)
     grid = RunGrid(workloads=workloads, configs=configs)
-    for name in workloads:
-        for config in configs:
-            if progress:
-                print(f"  running {name} / {config} ...", flush=True)
-            workload = create_workload(name)
-            grid.results[(name, config)] = simulate(
-                config, workload, trace_length=trace_length, seed=seed
-            )
+    for task, result in zip(tasks, results):
+        grid.results[(task.workload, task.config)] = result
     return grid
 
 

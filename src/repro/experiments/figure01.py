@@ -33,11 +33,12 @@ def run(
     workloads: tuple[str, ...] = PREVIEW_WORKLOADS,
     seed: int = 0,
     progress: bool = False,
+    jobs: int = 1,
 ) -> Figure01Result:
-    """Simulate the preview bars."""
+    """Simulate the preview bars (``jobs`` worker processes)."""
     return Figure01Result(
         grid=run_grid(workloads, PREVIEW_CONFIGS, trace_length=trace_length,
-                      seed=seed, progress=progress)
+                      seed=seed, progress=progress, jobs=jobs)
     )
 
 

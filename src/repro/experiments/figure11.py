@@ -72,11 +72,12 @@ def run(
     configs: tuple[str, ...] = FIGURE11_CONFIGS,
     seed: int = 0,
     progress: bool = False,
+    jobs: int = 1,
 ) -> Figure11Result:
-    """Simulate every Figure 11 bar."""
+    """Simulate every Figure 11 bar (``jobs`` worker processes)."""
     return Figure11Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
-                      progress=progress)
+                      progress=progress, jobs=jobs)
     )
 
 

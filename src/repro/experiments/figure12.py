@@ -53,11 +53,12 @@ def run(
     configs: tuple[str, ...] = FIGURE12_CONFIGS,
     seed: int = 0,
     progress: bool = False,
+    jobs: int = 1,
 ) -> Figure12Result:
-    """Simulate every Figure 12 bar."""
+    """Simulate every Figure 12 bar (``jobs`` worker processes)."""
     return Figure12Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
-                      progress=progress)
+                      progress=progress, jobs=jobs)
     )
 
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.core.address import BASE_PAGE_SIZE
 from repro.experiments.common import format_table
+from repro.experiments.parallel import parallel_map
 from repro.mem.badpages import BadPageList
 from repro.sim.config import parse_config
 from repro.sim.simulator import run_trace
@@ -95,28 +96,64 @@ def _dd_execution_cycles(
     return result.overhead.execution_cycles
 
 
+@dataclass(frozen=True)
+class _TrialTask:
+    """One Dual Direct run: picklable description of a figure-13 trial.
+
+    ``num_bad == 0`` is the workload's no-fault baseline; otherwise the
+    bad-page set is regenerated in the worker from the deterministic
+    seed, so parallel and serial runs sample identical fault sets.
+    """
+
+    workload: str
+    trace_length: int
+    num_bad: int
+    trial: int
+
+
+def _trial_cycles(task: _TrialTask) -> float:
+    """Execution cycles for one trial (module-level: pool-callable)."""
+    bad = None
+    if task.num_bad:
+        frames = _segment_host_frames(task.workload)
+        bad = BadPageList.random(
+            task.num_bad, frames, seed=task.num_bad * 1000 + task.trial
+        )
+    return _dd_execution_cycles(task.workload, task.trace_length, bad, seed=0)
+
+
 def run(
     trace_length: int = 40_000,
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     bad_counts: tuple[int, ...] = DEFAULT_BAD_COUNTS,
     trials: int = 10,
     progress: bool = False,
+    jobs: int = 1,
 ) -> Figure13Result:
-    """Measure the figure; ``trials=30`` matches the paper exactly."""
-    points = []
+    """Measure the figure; ``trials=30`` matches the paper exactly.
+
+    Every (baseline + trial) run is independent, so with ``jobs > 1``
+    they all fan out over one worker pool; results are assembled in
+    task order and match a serial run exactly.
+    """
+    tasks = []
     for name in workloads:
-        frames = _segment_host_frames(name)
-        baseline = _dd_execution_cycles(name, trace_length, None, seed=0)
+        tasks.append(_TrialTask(name, trace_length, num_bad=0, trial=0))
         for num_bad in bad_counts:
             if progress:
                 print(f"  {name}: {num_bad} bad pages x {trials} trials", flush=True)
-            samples = []
             for trial in range(trials):
-                bad = BadPageList.random(
-                    num_bad, frames, seed=num_bad * 1000 + trial
-                )
-                cycles = _dd_execution_cycles(name, trace_length, bad, seed=0)
-                samples.append(cycles / baseline)
+                tasks.append(_TrialTask(name, trace_length, num_bad, trial))
+    cycles = dict(zip(tasks, parallel_map(_trial_cycles, tasks, jobs=jobs)))
+
+    points = []
+    for name in workloads:
+        baseline = cycles[_TrialTask(name, trace_length, num_bad=0, trial=0)]
+        for num_bad in bad_counts:
+            samples = [
+                cycles[_TrialTask(name, trace_length, num_bad, trial)] / baseline
+                for trial in range(trials)
+            ]
             points.append(
                 EscapeFilterPoint(
                     workload=name, num_bad_pages=num_bad, samples=samples

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.common import DEFAULT_TRACE_LENGTH, format_table
+from repro.experiments.parallel import CellTask, run_cells
 from repro.model.counters import model_inputs
 from repro.model.linear_model import (
     direct_segment_cycles,
@@ -20,10 +21,12 @@ from repro.model.linear_model import (
     guest_direct_cycles,
     vmm_direct_cycles,
 )
-from repro.sim.simulator import simulate
-from repro.workloads.registry import create_workload
 
 DEFAULT_WORKLOADS = ("graph500", "memcached", "gups")
+
+#: Configurations each workload is measured under (model inputs + the
+#: directly-simulated designs the models are checked against).
+_CONFIGS = ("4K", "4K+4K", "DD", "4K+VD", "4K+GD", "DS")
 
 
 @dataclass
@@ -55,18 +58,28 @@ def run(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
     seed: int = 0,
     progress: bool = False,
+    jobs: int = 1,
 ) -> Table4Result:
     """Apply Table IV and compare against direct simulation."""
+    tasks = [
+        CellTask(workload=name, config=config, trace_length=trace_length, seed=seed)
+        for name in workloads
+        for config in _CONFIGS
+    ]
+    cells = dict(
+        zip(
+            ((t.workload, t.config) for t in tasks),
+            run_cells(tasks, jobs=jobs, progress=progress),
+        )
+    )
     comparisons = []
     for name in workloads:
-        if progress:
-            print(f"  modelling {name} ...", flush=True)
-        native = simulate("4K", create_workload(name), trace_length, seed=seed)
-        virt = simulate("4K+4K", create_workload(name), trace_length, seed=seed)
-        dd = simulate("DD", create_workload(name), trace_length, seed=seed)
-        vd = simulate("4K+VD", create_workload(name), trace_length, seed=seed)
-        gd = simulate("4K+GD", create_workload(name), trace_length, seed=seed)
-        ds = simulate("DS", create_workload(name), trace_length, seed=seed)
+        native = cells[(name, "4K")]
+        virt = cells[(name, "4K+4K")]
+        dd = cells[(name, "DD")]
+        vd = cells[(name, "4K+VD")]
+        gd = cells[(name, "4K+GD")]
+        ds = cells[(name, "DS")]
 
         inputs = model_inputs(native.run, virt.run, dd.run)
         designs = [

@@ -17,7 +17,9 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 from repro.core.address import (
+    BASE_PAGE_BITS,
     BASE_PAGE_SIZE,
+    RADIX_BITS,
     PageSize,
     page_offset,
     radix_index,
@@ -25,6 +27,9 @@ from repro.core.address import (
 
 #: Bytes per page-table entry (x86-64).
 PTE_SIZE = 8
+
+#: Mask selecting one radix index (512-entry nodes).
+RADIX_MASK = (1 << RADIX_BITS) - 1
 
 #: Page-table level at which each page size terminates (root = 0).
 LEAF_LEVEL = {PageSize.SIZE_4K: 3, PageSize.SIZE_2M: 2, PageSize.SIZE_1G: 1}
@@ -39,7 +44,7 @@ class PageFault(Exception):
         self.level = level
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """One slot in a page-table node: either a pointer or a leaf.
 
@@ -68,7 +73,7 @@ class PageTableNode:
         return self.frame * BASE_PAGE_SIZE + index * PTE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkStep:
     """One memory reference of a page-table walk."""
 
@@ -78,7 +83,7 @@ class WalkStep:
     entry: PageTableEntry
 
 
-@dataclass
+@dataclass(slots=True)
 class WalkResult:
     """Outcome of a successful walk."""
 
@@ -213,20 +218,26 @@ class PageTable:
         Raises :class:`PageFault` on a missing entry, carrying the level
         at which the walk failed (the fault handler needs it).
         """
+        # This loop runs once per simulated TLB miss (several times per
+        # miss in the nested case), so the radix arithmetic is inlined
+        # rather than calling radix_index with its per-call validation.
         steps: list[WalkStep] = []
         node = self.root
+        nodes = self._nodes
+        shift = BASE_PAGE_BITS + 3 * RADIX_BITS
         for level in range(4):
-            index = radix_index(virtual, level)
+            index = (virtual >> shift) & RADIX_MASK
             entry = node.entries.get(index)
             if entry is None:
                 raise PageFault(virtual, level)
             steps.append(
-                WalkStep(level=level, pte_address=node.entry_address(index), entry=entry)
+                WalkStep(level, node.frame * BASE_PAGE_SIZE + index * PTE_SIZE, entry)
             )
             if entry.leaf:
                 assert entry.page_size is not None
-                return WalkResult(steps=steps, frame=entry.frame, page_size=entry.page_size)
-            node = self._nodes[entry.frame]
+                return WalkResult(steps, entry.frame, entry.page_size)
+            node = nodes[entry.frame]
+            shift -= RADIX_BITS
         raise AssertionError("walk exceeded 4 levels without a leaf")
 
     def lookup(self, virtual: int) -> WalkResult | None:

@@ -21,6 +21,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.oracle import OracleReport, TranslationOracle
 from repro.model.counters import MeasuredRun, measured_run
 from repro.model.overhead import OverheadResult, overhead_from_trace
+from repro.sim import trace_cache
 from repro.sim.config import SystemConfig, parse_config, validate_run_parameters
 from repro.sim.system import SimulatedSystem, build_system, populate_for_addresses
 from repro.workloads.base import Workload
@@ -85,6 +86,7 @@ def run_trace(
     refs_per_entry: float = 1.0,
     fault_injector: FaultInjector | None = None,
     oracle: TranslationOracle | None = None,
+    unique_pages: np.ndarray | None = None,
 ) -> SimulationResult:
     """Drive ``trace`` through ``system`` and measure the steady state.
 
@@ -92,11 +94,15 @@ def run_trace(
     are rebased onto the process's primary region.  With ``prepopulate``
     (the default) the touched pages are faulted in up front, so measured
     misses reflect steady-state walks, not demand paging.
+    ``unique_pages`` optionally supplies the trace's pre-computed sorted
+    unique page indices (the trace cache shares one array across every
+    config of a sweep), saving the per-run ``np.unique``.
 
-    ``fault_injector`` delivers its scheduled events against measured
-    reference indices (warm-up is fault-free); ``oracle`` shadow-checks
-    sampled measured references.  Both are optional and the fast loop is
-    unchanged when neither is supplied.
+    Without ``fault_injector``/``oracle`` the trace runs through the
+    batched engine (:mod:`repro.sim.engine`) -- counters and TLB state
+    come out bit-identical to the scalar loop, only faster.  With either
+    attached, the scalar per-reference loop runs instead: injected
+    faults and shadow checks need reference-granular interleaving.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -105,29 +111,33 @@ def run_trace(
     base_va = system.base_va
     rebased = (trace.astype(np.int64) << 12) + base_va
     if prepopulate:
-        populate_for_addresses(system, np.unique(rebased & ~np.int64(0xFFF)))
-    addresses = rebased.tolist()
+        if unique_pages is not None and base_va & 0xFFF == 0:
+            unique_addresses = (unique_pages.astype(np.int64) << 12) + base_va
+        else:
+            unique_addresses = np.unique(rebased & ~np.int64(0xFFF))
+        populate_for_addresses(system, unique_addresses)
     mmu = system.mmu
-    access = mmu.access
 
-    split = int(len(addresses) * warmup_fraction)
-    for va in addresses[:split]:
-        access(va)
-    mmu.counters.reset()
-    system.hierarchy.reset_stats()
-
+    split = int(len(rebased) * warmup_fraction)
     if fault_injector is None and oracle is None:
-        for va in addresses[split:]:
-            access(va)
+        mmu.access_batch(rebased[:split])
+        mmu.counters.reset()
+        system.hierarchy.reset_stats()
+        mmu.access_batch(rebased[split:])
     else:
-        for index, va in enumerate(addresses[split:]):
+        access = mmu.access
+        for va in map(int, rebased[:split]):
+            access(va)
+        mmu.counters.reset()
+        system.hierarchy.reset_stats()
+        for index, va in enumerate(map(int, rebased[split:])):
             if fault_injector is not None:
                 fault_injector.deliver_due(index, system)
             frame = access(va)
             if oracle is not None:
                 oracle.observe(index, va, frame)
 
-    measured_entries = len(addresses) - split
+    measured_entries = len(rebased) - split
     # Each trace entry is one page visit standing for refs_per_entry
     # consecutive references; only the first of a run can change TLB
     # state, so reference counts scale without re-simulating the rest.
@@ -166,13 +176,18 @@ def simulate(
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     fault_injector: FaultInjector | None = None,
     oracle_sample_every: int | None = None,
+    use_trace_cache: bool = True,
     **build_kwargs,
 ) -> SimulationResult:
     """One-call convenience: build the system, generate a trace, run it.
 
     ``oracle_sample_every`` attaches a :class:`TranslationOracle`
     checking one in that many measured references (the report lands on
-    the result).
+    the result).  Traces are memoized per (workload, length, seed)
+    through :mod:`repro.sim.trace_cache` so sweeping many configs over
+    one cell generates the trace -- and its unique-page array -- once;
+    pass ``use_trace_cache=False`` for workloads whose ``trace`` is not
+    a pure function of (length, seed).
     """
     config = parse_config(config_label)
     validate_run_parameters(
@@ -181,7 +196,12 @@ def simulate(
         warmup_fraction=warmup_fraction,
     )
     system = build_system(config, workload.spec, **build_kwargs)
-    trace = workload.trace(trace_length, seed=seed)
+    if use_trace_cache:
+        cached = trace_cache.get_trace(workload, trace_length, seed)
+        trace, unique_pages = cached.pages, cached.unique_pages
+    else:
+        trace = workload.trace(trace_length, seed=seed)
+        unique_pages = None
     oracle = None
     if oracle_sample_every is not None:
         oracle = TranslationOracle(system, sample_every=oracle_sample_every)
@@ -194,4 +214,5 @@ def simulate(
         refs_per_entry=workload.spec.refs_per_entry,
         fault_injector=fault_injector,
         oracle=oracle,
+        unique_pages=unique_pages,
     )

@@ -1,0 +1,87 @@
+"""Process-wide memoization of generated workload traces.
+
+A sweep simulates the same (workload, trace length, seed) cell under a
+dozen configurations; regenerating the identical trace -- and re-running
+``np.unique`` over it for prepopulation -- for every configuration is
+pure waste.  This cache generates each trace once, computes its unique
+page set once, marks both arrays read-only, and shares them across every
+config of the sweep.
+
+The parallel experiment runner (:mod:`repro.experiments.parallel`)
+pre-warms this cache in the parent process before forking its worker
+pool, so on fork-based platforms the trace arrays are shared
+copy-on-write across all workers instead of being regenerated (or
+pickled) per process.  Under a ``spawn`` start method workers simply
+regenerate lazily -- slower, still correct.
+
+Keys include the workload class, name and footprint because test
+workloads (e.g. ``TinyWorkload``) reuse one name across different
+footprints, and the footprint changes the generated trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.base import Workload
+
+#: Cached traces before the oldest entries are discarded.  A full figure
+#: sweep needs one entry per workload; the bound only matters for
+#: long-lived processes sweeping many lengths/seeds.
+MAX_ENTRIES = 32
+
+#: (class qualname, workload name, footprint, requested length, seed).
+TraceKey = tuple[str, str, int, int | None, int]
+
+
+@dataclass(frozen=True)
+class CachedTrace:
+    """One generated trace plus its derived unique-page array."""
+
+    #: Page indices relative to the workload arena (read-only int64).
+    pages: np.ndarray
+    #: Sorted unique page indices (read-only; feeds prepopulation).
+    unique_pages: np.ndarray
+
+
+_CACHE: dict[TraceKey, CachedTrace] = {}
+
+
+def trace_key(workload: Workload, length: int | None, seed: int) -> TraceKey:
+    """Cache key for one (workload, length, seed) trace request."""
+    spec = workload.spec
+    return (
+        type(workload).__qualname__,
+        spec.name,
+        spec.footprint_bytes,
+        length,
+        seed,
+    )
+
+
+def get_trace(workload: Workload, length: int | None, seed: int) -> CachedTrace:
+    """The memoized trace for a request, generating it on first use."""
+    key = trace_key(workload, length, seed)
+    cached = _CACHE.get(key)
+    if cached is None:
+        pages = np.ascontiguousarray(workload.trace(length, seed=seed), dtype=np.int64)
+        unique_pages = np.unique(pages)
+        pages.flags.writeable = False
+        unique_pages.flags.writeable = False
+        cached = CachedTrace(pages=pages, unique_pages=unique_pages)
+        while len(_CACHE) >= MAX_ENTRIES:
+            _CACHE.pop(next(iter(_CACHE)))
+        _CACHE[key] = cached
+    return cached
+
+
+def clear() -> None:
+    """Drop every cached trace (tests; memory pressure)."""
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    """Number of traces currently cached."""
+    return len(_CACHE)

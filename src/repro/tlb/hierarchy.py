@@ -75,6 +75,11 @@ class TLBHierarchy:
         self.l2_stats = TLBStats()
         #: Nested-entry insertions into L2 (capacity-pressure accounting).
         self.nested_insertions = 0
+        #: Probe list for :meth:`lookup_l1`, precomputed because that
+        #: method runs once per simulated reference.
+        self._l1_probe = [
+            (size, cache, size.bits - 12) for size, cache in self.l1.items()
+        ]
 
     @staticmethod
     def _shift(page_size: PageSize) -> int:
@@ -89,10 +94,10 @@ class TLBHierarchy:
         ``vpn`` is a 4 KB page number.  Returns ``(page_size, frame)`` of
         the matching entry or None.
         """
-        for size, cache in self.l1.items():
-            value = cache.peek(vpn >> self._shift(size))
+        for size, cache, shift in self._l1_probe:
+            value = cache.peek(vpn >> shift)
             if value is not None:
-                cache.lookup(vpn >> self._shift(size))  # refresh recency
+                cache.lookup(vpn >> shift)  # refresh recency
                 self.l1_stats.hits += 1
                 return size, value
         self.l1_stats.misses += 1
@@ -122,6 +127,32 @@ class TLBHierarchy:
     def insert_l1(self, vpn: int, page_size: PageSize, frame: int) -> None:
         """Install into the size-matching L1 only (Table I's L2-hit path)."""
         self.l1[page_size].insert(vpn >> self._shift(page_size), frame)
+
+    # ------------------------------------------------------------------
+    # Batched-engine hooks (repro.sim.engine)
+    #
+    # The engine classifies whole runs of references as L1 hits against
+    # a residency snapshot and accounts them with array arithmetic; these
+    # hooks expose exactly the state it needs while keeping the scalar
+    # path (`lookup_l1`/`insert*`) the single source of truth for
+    # per-reference semantics.
+
+    def l1_residency(self) -> dict[PageSize, list]:
+        """Resident tags of each L1 TLB (page numbers at that size)."""
+        return {size: cache.resident_tags() for size, cache in self.l1.items()}
+
+    def bulk_account_l1_hits(self, counts: dict[PageSize, int]) -> None:
+        """Record L1 hits in bulk, exactly as ``lookup_l1`` would.
+
+        ``counts`` maps page size -> number of hits that matched that
+        L1.  Equivalent to that many scalar hits: the aggregate
+        ``l1_stats`` and the matching cache's own stats advance; nothing
+        else changes (recency is replayed separately via ``touch_mru``).
+        """
+        for size, count in counts.items():
+            if count:
+                self.l1[size].stats.hits += count
+                self.l1_stats.hits += count
 
     # ------------------------------------------------------------------
     # Nested (gPA -> hPA) entries, sharing the L2 array

@@ -34,7 +34,7 @@ DEFAULT_PWC_WAYS = 4
 _LEVEL_SHIFT = {0: 39, 1: 30, 2: 21}
 
 
-@dataclass
+@dataclass(slots=True)
 class PWCProbe:
     """Result of a page-walk-cache probe."""
 
@@ -61,6 +61,12 @@ class PageWalkCache:
             level: SetAssociativeCache(entries, ways, f"PWC-L{level}")
             for level in _LEVEL_SHIFT
         }
+        # probe/fill run on every simulated walk; precompute the
+        # (level, cache, shift) orders instead of indexing dicts per call.
+        self._probe_order = [
+            (level, self._caches[level], _LEVEL_SHIFT[level]) for level in (2, 1, 0)
+        ]
+        self._fill_order = list(reversed(self._probe_order))
 
     def probe(self, address: int) -> PWCProbe:
         """Find the deepest cached prefix of ``address``.
@@ -68,15 +74,17 @@ class PageWalkCache:
         Probes PDE first (skips the most), falling back to PDPTE and
         PML4E, mirroring how hardware selects the longest match.
         """
-        for level in (2, 1, 0):
-            if self._caches[level].lookup(address >> _LEVEL_SHIFT[level]) is not None:
+        for level, cache, shift in self._probe_order:
+            if cache.lookup(address >> shift) is not None:
                 return PWCProbe(deepest_level=level)
         return PWCProbe(deepest_level=-1)
 
     def fill(self, address: int, upto_level: int) -> None:
         """Record that levels 0..``upto_level`` of this walk were resolved."""
-        for level in range(min(upto_level, 2) + 1):
-            self._caches[level].insert(address >> _LEVEL_SHIFT[level], True)
+        for level, cache, shift in self._fill_order:
+            if level > upto_level:
+                break
+            cache.insert(address >> shift, True)
 
     def flush(self) -> None:
         """Drop all cached prefixes (context switch)."""

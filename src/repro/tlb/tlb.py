@@ -100,6 +100,22 @@ class SetAssociativeCache:
             self.stats.evictions += 1
         line[tag] = value
 
+    def touch_mru(self, tag: Hashable) -> None:
+        """Refresh recency of a resident entry without touching stats.
+
+        The batched engine accounts hits in bulk but must leave LRU
+        order exactly as the scalar path would; it replays the recency
+        effect of a hit run by touching each distinct tag in last-use
+        order.  Raises KeyError if the tag is not resident (the engine
+        only touches tags it has proven resident).
+        """
+        line = self._sets[hash(tag) % self.num_sets]
+        line[tag] = line.pop(tag)
+
+    def resident_tags(self) -> list[Hashable]:
+        """All currently valid tags (LRU order within each set)."""
+        return [tag for line in self._sets for tag in line]
+
     def invalidate(self, tag: Hashable) -> bool:
         """Drop one entry; returns whether it was present."""
         line = self._sets[hash(tag) % self.num_sets]

@@ -31,10 +31,12 @@ class TestFormatTable:
 
 class TestRunGrid:
     def test_grid_population(self, tiny_workload, monkeypatch):
-        import repro.experiments.common as common
+        # Cells resolve workloads inside the (serial or worker-side)
+        # cell runner, so that is where the lookup is patched.
+        import repro.experiments.parallel as parallel
 
         monkeypatch.setattr(
-            common, "create_workload", lambda name: tiny_workload
+            parallel, "create_workload", lambda name: tiny_workload
         )
         grid = run_grid(["tiny"], ["4K", "DD"], trace_length=2000)
         assert isinstance(grid, RunGrid)

@@ -1,0 +1,132 @@
+"""The batched engine's contract: bit-identical to the scalar loop.
+
+The fast path is only allowed to exist because it changes nothing
+observable: for any trace and any supported configuration, running the
+references through :meth:`MMU.access_batch` must leave every counter,
+every TLB and page-walk-cache entry -- including LRU order within each
+set -- and every stat identical to a scalar ``access`` loop.  These
+tests enforce that across all config labels the experiments use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import parse_config
+from repro.sim.engine import BatchedTranslationEngine, access_batch
+from repro.sim.system import build_system, populate_for_addresses
+from tests.conftest import TinyWorkload
+
+#: Every configuration family: native page sizes, THP, the virtualized
+#: grid, and all four proposed direct modes.
+ALL_CONFIG_LABELS = (
+    "4K",
+    "2M",
+    "1G",
+    "THP",
+    "4K+4K",
+    "4K+2M",
+    "4K+1G",
+    "2M+2M",
+    "2M+1G",
+    "1G+1G",
+    "THP+2M",
+    "DS",
+    "DD",
+    "4K+VD",
+    "4K+GD",
+    "THP+VD",
+)
+
+TRACE_LENGTH = 3000
+
+
+def _cache_state(cache):
+    """Full observable state of one cache: entries in LRU order + stats."""
+    return (
+        [list(line.items()) for line in cache._sets],
+        (cache.stats.hits, cache.stats.misses),
+    )
+
+
+def _full_state(mmu):
+    """Every observable the equivalence contract covers."""
+    h = mmu.hierarchy
+    state = {"counters": mmu.counters}
+    for size, cache in h.l1.items():
+        state[f"l1-{size.label}"] = _cache_state(cache)
+    state["l2"] = _cache_state(h.l2)
+    state["l1_stats"] = (h.l1_stats.hits, h.l1_stats.misses)
+    state["l2_stats"] = (h.l2_stats.hits, h.l2_stats.misses)
+    state["nested_insertions"] = h.nested_insertions
+    walker = mmu.walker
+    for attr in ("pwc", "guest_pwc", "nested_pwc"):
+        pwc = getattr(walker, attr, None)
+        if pwc is not None:
+            state[attr] = {
+                level: _cache_state(c) for level, c in pwc._caches.items()
+            }
+    return state
+
+
+def _build_pair(label, workload):
+    """Two freshly-populated identical systems for one config."""
+    systems = []
+    trace = workload.trace(TRACE_LENGTH, seed=11)
+    for _ in range(2):
+        system = build_system(parse_config(label), workload.spec)
+        rebased = (trace.astype(np.int64) << 12) + system.base_va
+        populate_for_addresses(system, np.unique(rebased))
+        systems.append((system, rebased))
+    return systems
+
+
+@pytest.mark.parametrize("label", ALL_CONFIG_LABELS)
+def test_batched_equals_scalar_everywhere(label):
+    """Counters, TLB/PWC contents, LRU order: all identical per config."""
+    (sys_scalar, trace_scalar), (sys_batched, trace_batched) = _build_pair(
+        label, TinyWorkload()
+    )
+    for va in trace_scalar.tolist():
+        sys_scalar.mmu.access(va)
+    sys_batched.mmu.access_batch(trace_batched)
+
+    scalar, batched = _full_state(sys_scalar.mmu), _full_state(sys_batched.mmu)
+    assert scalar.keys() == batched.keys()
+    for key in scalar:
+        assert scalar[key] == batched[key], f"{label}: {key} diverged"
+    assert (
+        sys_scalar.mmu.counters.l2_misses == sys_batched.mmu.counters.l2_misses
+    )
+
+
+def test_interleaving_scalar_and_batched_is_safe():
+    """The engine re-snapshots, so mixing call styles stays exact."""
+    (sys_a, trace_a), (sys_b, trace_b) = _build_pair("4K+4K", TinyWorkload())
+    for va in trace_a.tolist():
+        sys_a.mmu.access(va)
+
+    engine = BatchedTranslationEngine(sys_b.mmu)
+    third = len(trace_b) // 3
+    engine.run(trace_b[:third])
+    for va in trace_b[third : 2 * third].tolist():
+        sys_b.mmu.access(va)
+    engine.run(trace_b[2 * third :])
+
+    assert _full_state(sys_a.mmu) == _full_state(sys_b.mmu)
+
+
+def test_small_block_equals_default_block():
+    """Chunking must not be observable: block=7 == block=default."""
+    (sys_a, trace_a), (sys_b, trace_b) = _build_pair("DS", TinyWorkload())
+    access_batch(sys_a.mmu, trace_a)
+    access_batch(sys_b.mmu, trace_b, block=7)
+    assert _full_state(sys_a.mmu) == _full_state(sys_b.mmu)
+
+
+def test_empty_and_invalid_blocks():
+    (system, trace) = _build_pair("4K", TinyWorkload())[0]
+    before = _full_state(system.mmu)
+    system.mmu.access_batch(np.empty(0, dtype=np.int64))
+    assert _full_state(system.mmu) == before
+    with pytest.raises(ValueError):
+        BatchedTranslationEngine(system.mmu, block=0)

@@ -1,0 +1,79 @@
+"""Trace memoization: identity sharing, key safety, bounded size."""
+
+import numpy as np
+import pytest
+
+from repro.sim import trace_cache
+from repro.sim.simulator import simulate
+from tests.conftest import TinyWorkload
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    trace_cache.clear()
+    yield
+    trace_cache.clear()
+
+
+def test_same_request_returns_same_arrays():
+    workload = TinyWorkload()
+    first = trace_cache.get_trace(workload, 1000, seed=5)
+    second = trace_cache.get_trace(workload, 1000, seed=5)
+    assert first.pages is second.pages
+    assert first.unique_pages is second.unique_pages
+    assert trace_cache.cache_size() == 1
+
+
+def test_content_matches_direct_generation():
+    workload = TinyWorkload()
+    cached = trace_cache.get_trace(workload, 1000, seed=5)
+    np.testing.assert_array_equal(cached.pages, workload.trace(1000, seed=5))
+    np.testing.assert_array_equal(
+        cached.unique_pages, np.unique(workload.trace(1000, seed=5))
+    )
+
+
+def test_distinct_lengths_and_seeds_are_distinct_entries():
+    workload = TinyWorkload()
+    trace_cache.get_trace(workload, 1000, seed=0)
+    trace_cache.get_trace(workload, 1000, seed=1)
+    trace_cache.get_trace(workload, 2000, seed=0)
+    assert trace_cache.cache_size() == 3
+
+
+def test_key_includes_footprint():
+    """TinyWorkload reuses one name across footprints; keys must not."""
+    small = TinyWorkload()
+    large = TinyWorkload(footprint_bytes=small.spec.footprint_bytes * 2)
+    assert trace_cache.trace_key(small, 1000, 0) != trace_cache.trace_key(
+        large, 1000, 0
+    )
+
+
+def test_cached_arrays_are_read_only():
+    cached = trace_cache.get_trace(TinyWorkload(), 500, seed=0)
+    with pytest.raises(ValueError):
+        cached.pages[0] = 1
+    with pytest.raises(ValueError):
+        cached.unique_pages[0] = 1
+
+
+def test_eviction_bound():
+    workload = TinyWorkload()
+    for seed in range(trace_cache.MAX_ENTRIES + 5):
+        trace_cache.get_trace(workload, 100, seed=seed)
+    assert trace_cache.cache_size() <= trace_cache.MAX_ENTRIES
+
+
+def test_simulate_populates_and_reuses_the_cache():
+    workload = TinyWorkload()
+    first = simulate("4K", workload, trace_length=1500, seed=2)
+    assert trace_cache.cache_size() == 1
+    second = simulate("DS", workload, trace_length=1500, seed=2)
+    assert trace_cache.cache_size() == 1
+    assert first.run.trace_length == second.run.trace_length
+
+
+def test_simulate_can_bypass_the_cache():
+    simulate("4K", TinyWorkload(), trace_length=800, seed=2, use_trace_cache=False)
+    assert trace_cache.cache_size() == 0
