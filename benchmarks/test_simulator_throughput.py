@@ -107,3 +107,11 @@ def test_bench_baseline_regression():
     # The batched engine must never lose to the scalar loop on its own
     # best-case stream, whatever the machine.
     assert measured >= 1.0
+    # The observability hooks' no-op-when-disabled contract: attaching a
+    # disabled MetricsRegistry must cost <2% on the hit-dominated
+    # stream.  Within-run ratio, so no baseline entry is needed.
+    obs_ratio = result.metrics["obs_disabled_ratio"]
+    assert obs_ratio >= 0.98, (
+        f"disabled-metrics hooks cost {100 * (1 - obs_ratio):.1f}% "
+        f"(>2%) on the hit-dominated stream"
+    )

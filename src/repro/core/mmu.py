@@ -150,6 +150,11 @@ class MMU:
         self.counters = MMUCounters()
         self.on_guest_fault = on_guest_fault
         self.on_nested_fault = on_nested_fault
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`.  Walk
+        #: latency/ref histograms are recorded per completed walk --
+        #: off the L1-hit path, so an unattached registry (the default)
+        #: costs one None check per walk and nothing per hit.
+        self.metrics = None
 
     # ------------------------------------------------------------------
 
@@ -270,6 +275,10 @@ class MMU:
         c.walk_raw_refs += outcome.raw_refs
         c.checks += outcome.checks
         c.walks_by_case[self._classify(outcome)] += 1
+        m = self.metrics
+        if m is not None and m.enabled:
+            m.observe("mmu.walk_latency_cycles", outcome.cycles)
+            m.observe("mmu.walk_refs", outcome.refs)
 
     def _classify(self, outcome: WalkOutcome) -> str:
         if outcome.guest_segment_used and outcome.vmm_segment_used:

@@ -4,19 +4,32 @@ Usage::
 
     python -m repro.experiments <name> [--trace-length N] [--quick]
                                        [--jobs N] [--json]
+                                       [--metrics] [--trace-out FILE]
+                                       [--manifest-out FILE] [--interval N]
+    python -m repro.experiments stats <manifest.json> [--diff OTHER] [--json]
 
 where ``<name>`` is one of: figure1, figure11, figure12, figure13,
 breakdown, table3, table4, shadow, sharing, energy, resilience, bench,
 all.  ``--jobs N`` fans independent simulation cells out over N worker
 processes (results are identical to a serial run); ``--json`` emits
 machine-readable results instead of formatted tables.
+
+``--metrics`` attaches the observability layer (:mod:`repro.obs`) to
+every simulation cell and writes a run-provenance ``manifest.json``
+(``--manifest-out`` overrides the path); ``--trace-out`` additionally
+writes a Chrome-trace JSON timeline (open in ``chrome://tracing`` or
+https://ui.perfetto.dev); ``--interval`` sets the counter-sampling
+period in measured references.  ``stats`` pretty-prints or diffs the
+manifests those runs produced.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from repro.experiments import (
     bench,
@@ -30,83 +43,109 @@ from repro.experiments import (
     resilience,
     shadow,
     sharing,
+    stats,
     table3_fragmentation,
     table4_models,
 )
+from repro.obs import (
+    DEFAULT_INTERVAL,
+    ObsOptions,
+    build_manifest,
+    chrome_trace,
+    write_manifest,
+)
 
-
-#: name -> (runner(trace_length, jobs) -> result, formatter -> str).
-#: Runners without independent cells to fan out ignore ``jobs``.
+#: name -> (runner(trace_length, jobs, obs) -> result, formatter -> str).
+#: Runners without independent cells to fan out ignore ``jobs``; runners
+#: without per-cell simulation runs ignore ``obs``.
 EXPERIMENTS = {
     "figure1": (
-        lambda length, jobs: figure01.run(
-            trace_length=length, progress=True, jobs=jobs
+        lambda length, jobs, obs: figure01.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs
         ),
         figure01.format_figure,
     ),
     "figure11": (
-        lambda length, jobs: figure11.run(
-            trace_length=length, progress=True, jobs=jobs
+        lambda length, jobs, obs: figure11.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs
         ),
         figure11.format_figure,
     ),
     "figure12": (
-        lambda length, jobs: figure12.run(
-            trace_length=length, progress=True, jobs=jobs
+        lambda length, jobs, obs: figure12.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs
         ),
         figure12.format_figure,
     ),
     "figure13": (
-        lambda length, jobs: figure13.run(
+        lambda length, jobs, obs: figure13.run(
             trace_length=min(length, 40_000), progress=True, jobs=jobs
         ),
         figure13.format_figure,
     ),
     "breakdown": (
-        lambda length, jobs: breakdown.run(
-            trace_length=length, progress=True, jobs=jobs
+        lambda length, jobs, obs: breakdown.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs
         ),
         breakdown.format_breakdown,
     ),
     "table3": (
-        lambda length, jobs: table3_fragmentation.run(progress=True),
+        lambda length, jobs, obs: table3_fragmentation.run(progress=True),
         table3_fragmentation.format_scenarios,
     ),
     "table4": (
-        lambda length, jobs: table4_models.run(
-            trace_length=length, progress=True, jobs=jobs
+        lambda length, jobs, obs: table4_models.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs
         ),
         table4_models.format_comparison,
     ),
     "shadow": (
-        lambda length, jobs: shadow.run(trace_length=length, progress=True),
+        lambda length, jobs, obs: shadow.run(trace_length=length, progress=True),
         shadow.format_comparison,
     ),
     "sharing": (
-        lambda length, jobs: sharing.run(progress=True),
+        lambda length, jobs, obs: sharing.run(progress=True),
         sharing.format_study,
     ),
     "energy": (
-        lambda length, jobs: energy.run(trace_length=length, progress=True),
+        lambda length, jobs, obs: energy.run(trace_length=length, progress=True),
         energy.format_energy,
     ),
     "resilience": (
-        lambda length, jobs: resilience.run(
-            trace_length=min(length, 40_000), progress=True
+        lambda length, jobs, obs: resilience.run(
+            trace_length=min(length, 40_000), progress=True, obs=obs
         ),
         resilience.format_resilience,
     ),
     "bench": (
-        lambda length, jobs: bench.run(
+        lambda length, jobs, obs: bench.run(
             trace_length=min(length, 40_000), jobs=jobs, progress=True
         ),
         bench.format_bench,
     ),
 }
 
+#: Experiments whose runner ignores ``obs`` (no per-cell simulation runs
+#: to observe); requesting observability for them is not an error, but
+#: the run will produce no records and no manifest.
+OBS_UNAWARE = frozenset(
+    {"figure13", "table3", "shadow", "sharing", "energy", "bench"}
+)
+
+
+def _out_path(base: Path, experiment: str, multi: bool) -> Path:
+    """Output path for one experiment (suffixed when running several)."""
+    if not multi:
+        return base
+    return base.with_name(f"{base.stem}.{experiment}{base.suffix or '.json'}")
+
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro.experiments``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "stats":
+        return stats.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -144,6 +183,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit machine-readable JSON instead of formatted tables",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach the observability layer and write a run manifest",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a Chrome-trace JSON timeline of the run (implies --metrics)",
+    )
+    parser.add_argument(
+        "--manifest-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="manifest path (default manifest.json; implies --metrics)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=int,
+        default=DEFAULT_INTERVAL,
+        metavar="N",
+        help=f"observability sampling period in measured references "
+        f"(default {DEFAULT_INTERVAL})",
+    )
     args = parser.parse_args(argv)
     length = args.trace_length
     if args.quick:
@@ -151,18 +217,61 @@ def main(argv: list[str] | None = None) -> int:
     if args.smoke:
         length = 6_000
 
+    obs = None
+    if args.metrics or args.trace_out is not None or args.manifest_out is not None:
+        obs = ObsOptions(interval=args.interval)
+    manifest_base = args.manifest_out or Path("manifest.json")
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    multi = len(names) > 1
     for name in names:
         start = time.time()
         print(f"=== {name} ===", flush=True)
         runner, formatter = EXPERIMENTS[name]
-        result = runner(length, args.jobs)
+        result = runner(length, args.jobs, obs)
+        elapsed = time.time() - start
         if args.json:
             print(report.dumps(result))
         else:
             print(formatter(result))
-        print(f"({time.time() - start:.1f}s)\n", flush=True)
+        if obs is not None:
+            _write_observability(
+                name, result, args, argv, elapsed, multi, manifest_base
+            )
+        print(f"({elapsed:.1f}s)\n", flush=True)
     return 0
+
+
+def _write_observability(
+    name: str,
+    result: object,
+    args: argparse.Namespace,
+    argv: list[str],
+    elapsed: float,
+    multi: bool,
+    manifest_base: Path,
+) -> None:
+    """Emit the manifest (and optional Chrome trace) for one experiment."""
+    records = stats.collect_observability(result)
+    if not records:
+        if name in OBS_UNAWARE:
+            print(f"(no observability: {name} has no per-cell runs)", flush=True)
+        return
+    manifest = build_manifest(
+        name,
+        records,
+        jobs=args.jobs,
+        interval=args.interval,
+        argv=argv,
+        duration_seconds=elapsed,
+    )
+    path = write_manifest(manifest, _out_path(manifest_base, name, multi))
+    print(f"wrote manifest: {path} ({len(records)} cells)", flush=True)
+    if args.trace_out is not None:
+        trace_path = _out_path(args.trace_out, name, multi)
+        trace_path.parent.mkdir(parents=True, exist_ok=True)
+        trace_path.write_text(json.dumps(chrome_trace(records, name)) + "\n")
+        print(f"wrote chrome trace: {trace_path}", flush=True)
 
 
 if __name__ == "__main__":

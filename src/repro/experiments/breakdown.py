@@ -44,6 +44,8 @@ class BreakdownResult:
     """All workloads' breakdowns plus the cross-workload means."""
 
     rows: list[WorkloadBreakdown]
+    #: Per-cell observability records (empty unless run with ``obs``).
+    obs_records: tuple = ()
 
     def mean_cv_over_cn(self, config: str) -> float:
         """Geometric-mean cycles-per-miss growth for one config."""
@@ -59,19 +61,24 @@ def run(
     seed: int = 0,
     progress: bool = False,
     jobs: int = 1,
+    obs=None,
 ) -> BreakdownResult:
     """Measure the Section IX.A quantities for each workload."""
     configs = ("4K",) + VIRT_CONFIGS + ("4K+VD", "4K+GD", "DD")
     tasks = [
-        CellTask(workload=name, config=config, trace_length=trace_length, seed=seed)
+        CellTask(
+            workload=name,
+            config=config,
+            trace_length=trace_length,
+            seed=seed,
+            obs=obs,
+        )
         for name in workloads
         for config in configs
     ]
+    results = run_cells(tasks, jobs=jobs, progress=progress)
     cells = dict(
-        zip(
-            ((t.workload, t.config) for t in tasks),
-            run_cells(tasks, jobs=jobs, progress=progress),
-        )
+        zip(((t.workload, t.config) for t in tasks), results)
     )
     rows = []
     for name in workloads:
@@ -102,7 +109,10 @@ def run(
                 ),
             )
         )
-    return BreakdownResult(rows=rows)
+    return BreakdownResult(
+        rows=rows,
+        obs_records=tuple(r.obs for r in results if r.obs is not None),
+    )
 
 
 def format_breakdown(result: BreakdownResult) -> str:

@@ -12,6 +12,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.experiments.parallel import CellTask, run_cells
+from repro.obs.tracing import ObsOptions, RunObservability
 from repro.sim.simulator import SimulationResult
 
 #: Default measured trace length for experiments (page visits).  Long
@@ -36,6 +37,13 @@ class RunGrid:
         """Bar height for one cell."""
         return self.get(workload, config).overhead_percent
 
+    def observability(self) -> list[RunObservability]:
+        """Per-cell observability records, in grid iteration order.
+
+        Empty unless the sweep ran with an :class:`ObsOptions` attached.
+        """
+        return [r.obs for r in self.results.values() if r.obs is not None]
+
 
 def run_grid(
     workloads: Iterable[str],
@@ -44,18 +52,27 @@ def run_grid(
     seed: int = 0,
     progress: bool = False,
     jobs: int = 1,
+    obs: ObsOptions | None = None,
 ) -> RunGrid:
     """Simulate every (workload, config) pair.
 
     ``jobs > 1`` fans the cells out over that many worker processes
     (:mod:`repro.experiments.parallel`); the assembled grid is identical
     to a serial run because every cell is independently seeded and
-    results are collected in task order.
+    results are collected in task order.  ``obs`` attaches a fresh
+    observer to every cell (:meth:`RunGrid.observability` collects the
+    records).
     """
     workloads = tuple(workloads)
     configs = tuple(configs)
     tasks = [
-        CellTask(workload=name, config=config, trace_length=trace_length, seed=seed)
+        CellTask(
+            workload=name,
+            config=config,
+            trace_length=trace_length,
+            seed=seed,
+            obs=obs,
+        )
         for name in workloads
         for config in configs
     ]

@@ -34,11 +34,12 @@ def run(
     seed: int = 0,
     progress: bool = False,
     jobs: int = 1,
+    obs=None,
 ) -> Figure01Result:
     """Simulate the preview bars (``jobs`` worker processes)."""
     return Figure01Result(
         grid=run_grid(workloads, PREVIEW_CONFIGS, trace_length=trace_length,
-                      seed=seed, progress=progress, jobs=jobs)
+                      seed=seed, progress=progress, jobs=jobs, obs=obs)
     )
 
 

@@ -73,11 +73,12 @@ def run(
     seed: int = 0,
     progress: bool = False,
     jobs: int = 1,
+    obs=None,
 ) -> Figure11Result:
     """Simulate every Figure 11 bar (``jobs`` worker processes)."""
     return Figure11Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
-                      progress=progress, jobs=jobs)
+                      progress=progress, jobs=jobs, obs=obs)
     )
 
 

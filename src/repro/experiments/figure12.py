@@ -54,11 +54,12 @@ def run(
     seed: int = 0,
     progress: bool = False,
     jobs: int = 1,
+    obs=None,
 ) -> Figure12Result:
     """Simulate every Figure 12 bar (``jobs`` worker processes)."""
     return Figure12Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
-                      progress=progress, jobs=jobs)
+                      progress=progress, jobs=jobs, obs=obs)
     )
 
 

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import TypeVar
 
 from repro.errors import ConfigError
+from repro.obs.tracing import ObsOptions
 from repro.sim import trace_cache
 from repro.sim.simulator import SimulationResult, simulate
 from repro.workloads.registry import create_workload
@@ -49,13 +50,21 @@ class CellTask:
     config: str
     trace_length: int | None
     seed: int
+    #: Observability request; None keeps the cell unobserved (the frozen
+    #: options are picklable, so workers build their own observers).
+    obs: ObsOptions | None = None
 
 
 def run_cell(task: CellTask) -> SimulationResult:
     """Execute one grid cell (runs in a worker process or inline)."""
     workload = create_workload(task.workload)
+    observer = task.obs.make_observer() if task.obs is not None else None
     return simulate(
-        task.config, workload, trace_length=task.trace_length, seed=task.seed
+        task.config,
+        workload,
+        trace_length=task.trace_length,
+        seed=task.seed,
+        observer=observer,
     )
 
 

@@ -65,6 +65,8 @@ class ResilienceResult:
     config: str
     trace_length: int
     points: list[ResiliencePoint]
+    #: Per-run observability records (empty unless run with ``obs``).
+    obs_records: tuple = ()
 
     def point(self, workload: str, extra: int) -> ResiliencePoint:
         """Lookup one point."""
@@ -86,6 +88,7 @@ def _run_once(
     injector: FaultInjector | None,
     sample_every: int,
     seed: int,
+    obs=None,
 ) -> tuple[SimulationResult, int]:
     """One run; returns the result and the allocator's backoff cycles."""
     workload = create_workload(workload_name)
@@ -94,6 +97,10 @@ def _run_once(
     oracle = None
     if injector is not None:
         oracle = TranslationOracle(system, sample_every=sample_every)
+    observer = None
+    if obs is not None:
+        observer = obs.make_observer()
+        observer.set_run_info(seed, trace_length)
     result = run_trace(
         system,
         trace,
@@ -102,6 +109,7 @@ def _run_once(
         refs_per_entry=workload.spec.refs_per_entry,
         fault_injector=injector,
         oracle=oracle,
+        observer=observer,
     )
     backoff = 0
     if system.hypervisor is not None:
@@ -117,10 +125,12 @@ def run(
     sample_every: int = 64,
     seed: int = 0,
     progress: bool = False,
+    obs=None,
 ) -> ResilienceResult:
     """Sweep overhead and consistency against the injected fault count."""
     measured = trace_length - int(trace_length * DEFAULT_WARMUP_FRACTION)
     points = []
+    obs_records = []
     for name in workloads:
         baseline, _ = _run_once(
             name, config_label, trace_length, None, sample_every, seed
@@ -135,8 +145,11 @@ def run(
                 measured, seed=seed * 1000 + extra, extra_hard_faults=extra
             )
             result, backoff = _run_once(
-                name, config_label, trace_length, injector, sample_every, seed
+                name, config_label, trace_length, injector, sample_every, seed,
+                obs=obs,
             )
+            if result.obs is not None:
+                obs_records.append(result.obs)
             log = result.degradation_log
             report = result.oracle_report
             assert log is not None and report is not None
@@ -161,7 +174,10 @@ def run(
                 )
             )
     return ResilienceResult(
-        config=config_label, trace_length=trace_length, points=points
+        config=config_label,
+        trace_length=trace_length,
+        points=points,
+        obs_records=tuple(obs_records),
     )
 
 

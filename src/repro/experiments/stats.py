@@ -1,0 +1,220 @@
+"""Manifest inspection: collect, pretty-print and diff run provenance.
+
+Backs the ``python -m repro.experiments stats`` subcommand.  Reads the
+``manifest.json`` documents experiment runs write (see
+:mod:`repro.obs.manifest`), renders their cell tables for humans, and
+diffs two manifests cell-by-cell so "same sweep, different checkout"
+comparisons are one command.
+
+:func:`collect_observability` is the generic bridge from experiment
+result objects to manifest input: it walks any result dataclass and
+gathers every :class:`~repro.obs.tracing.RunObservability` record it
+reaches, so the CLI needs no per-experiment knowledge of where records
+live (grids keep them on cell results, sweeps on ``obs_records``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.experiments.common import format_table
+from repro.obs.manifest import load_manifest, stable_view
+from repro.obs.tracing import RunObservability
+
+
+def collect_observability(result: object) -> list[RunObservability]:
+    """Every observability record reachable from an experiment result.
+
+    Recursively walks dataclasses, dicts, lists and tuples; each record
+    is returned once (identity-deduplicated) in discovery order, which
+    is deterministic because experiment results are built in task order.
+    """
+    found: list[RunObservability] = []
+    _walk(result, found, set())
+    unique: list[RunObservability] = []
+    seen_ids: set[int] = set()
+    for record in found:
+        if id(record) not in seen_ids:
+            seen_ids.add(id(record))
+            unique.append(record)
+    return unique
+
+
+def _walk(obj: object, out: list[RunObservability], seen: set[int]) -> None:
+    if isinstance(obj, RunObservability):
+        out.append(obj)
+        return
+    if id(obj) in seen:
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        seen.add(id(obj))
+        for field in dataclasses.fields(obj):
+            _walk(getattr(obj, field.name), out, seen)
+    elif isinstance(obj, dict):
+        seen.add(id(obj))
+        for value in obj.values():
+            _walk(value, out, seen)
+    elif isinstance(obj, (list, tuple)):
+        seen.add(id(obj))
+        for value in obj:
+            _walk(value, out, seen)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+
+
+def format_manifest(manifest: dict) -> str:
+    """Human-readable summary of one manifest."""
+    git = (manifest.get("git") or {}).get("describe") or "unknown"
+    totals = manifest["totals"]
+    lines = [
+        f"experiment: {manifest['experiment']}   "
+        f"created: {manifest['created_at']}",
+        f"code: {manifest['package_version']} ({git})   "
+        f"python: {manifest['python_version']}   "
+        f"jobs: {manifest.get('jobs', 1)}   "
+        f"interval: {manifest.get('interval')}",
+    ]
+    if manifest.get("argv"):
+        lines.append("argv: " + " ".join(manifest["argv"]))
+    rows = [
+        [
+            cell["workload"],
+            cell["config"],
+            cell["seed"],
+            f"{cell['summary'].get('overhead_percent', 0.0):.2f}",
+            cell["summary"].get("walks", 0),
+            cell["summary"].get("l1_misses", 0),
+            cell["num_samples"],
+            cell["num_degradations"],
+            f"{cell['duration_us'] / 1000:.0f}",
+        ]
+        for cell in manifest["cells"]
+    ]
+    lines.append(
+        format_table(
+            [
+                "workload",
+                "config",
+                "seed",
+                "overhead%",
+                "walks",
+                "L1 miss",
+                "samples",
+                "degr",
+                "ms",
+            ],
+            rows,
+        )
+    )
+    lines.append(
+        f"totals: {totals['cells']} cells, "
+        f"{totals['measured_refs']} measured refs, "
+        f"{totals['walks']} walks, "
+        f"{totals['translation_cycles']:.0f} translation cycles, "
+        f"{totals['degradation_events']} degradation events"
+    )
+    if manifest.get("duration_seconds") is not None:
+        lines.append(f"wall clock: {manifest['duration_seconds']:.3f}s")
+    return "\n".join(lines)
+
+
+def _cell_key(cell: dict) -> tuple:
+    return (cell["workload"], cell["config"], cell["seed"])
+
+
+def diff_manifests(old: dict, new: dict) -> str:
+    """Cell-by-cell comparison of two manifests.
+
+    Reports cells present on only one side, per-cell deltas of the
+    headline numbers, and whether the runs are equivalent up to
+    wall-clock noise (equal :func:`stable_view`).
+    """
+    lines = [
+        f"old: {old['experiment']} @ {old['created_at']} "
+        f"({(old.get('git') or {}).get('describe') or 'unknown'})",
+        f"new: {new['experiment']} @ {new['created_at']} "
+        f"({(new.get('git') or {}).get('describe') or 'unknown'})",
+    ]
+    old_cells = {_cell_key(c): c for c in old["cells"]}
+    new_cells = {_cell_key(c): c for c in new["cells"]}
+    for key in sorted(set(old_cells) - set(new_cells)):
+        lines.append(f"only in old: {key[0]}/{key[1]} seed {key[2]}")
+    for key in sorted(set(new_cells) - set(old_cells)):
+        lines.append(f"only in new: {key[0]}/{key[1]} seed {key[2]}")
+    rows = []
+    for key in sorted(set(old_cells) & set(new_cells)):
+        a, b = old_cells[key], new_cells[key]
+        da = a["summary"].get("overhead_percent", 0.0)
+        db = b["summary"].get("overhead_percent", 0.0)
+        rows.append(
+            [
+                key[0],
+                key[1],
+                key[2],
+                f"{da:.2f}",
+                f"{db:.2f}",
+                f"{db - da:+.2f}",
+                b["summary"].get("walks", 0) - a["summary"].get("walks", 0),
+                "yes" if a["config_hash"] != b["config_hash"] else "no",
+            ]
+        )
+    if rows:
+        lines.append(
+            format_table(
+                [
+                    "workload",
+                    "config",
+                    "seed",
+                    "old ovh%",
+                    "new ovh%",
+                    "delta",
+                    "walk delta",
+                    "params changed",
+                ],
+                rows,
+            )
+        )
+    if stable_view(old) == stable_view(new):
+        lines.append("verdict: equivalent (stable views match exactly)")
+    else:
+        lines.append("verdict: results differ beyond wall-clock noise")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI (``python -m repro.experiments stats``)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Pretty-print or diff manifest files."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments stats",
+        description="Inspect run-provenance manifests written with --metrics.",
+    )
+    parser.add_argument("manifest", type=Path, help="manifest.json to read")
+    parser.add_argument(
+        "--diff",
+        type=Path,
+        default=None,
+        metavar="OTHER",
+        help="second manifest: report per-cell deltas old=MANIFEST new=OTHER",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the validated stable view as JSON instead of a table",
+    )
+    args = parser.parse_args(argv)
+    manifest = load_manifest(args.manifest)
+    if args.diff is not None:
+        print(diff_manifests(manifest, load_manifest(args.diff)))
+    elif args.json:
+        print(json.dumps(stable_view(manifest), indent=2, sort_keys=True))
+    else:
+        print(format_manifest(manifest))
+    return 0

@@ -51,6 +51,8 @@ class Table4Result:
     """All comparisons."""
 
     comparisons: list[ModelComparison]
+    #: Per-cell observability records (empty unless run with ``obs``).
+    obs_records: tuple = ()
 
 
 def run(
@@ -59,18 +61,23 @@ def run(
     seed: int = 0,
     progress: bool = False,
     jobs: int = 1,
+    obs=None,
 ) -> Table4Result:
     """Apply Table IV and compare against direct simulation."""
     tasks = [
-        CellTask(workload=name, config=config, trace_length=trace_length, seed=seed)
+        CellTask(
+            workload=name,
+            config=config,
+            trace_length=trace_length,
+            seed=seed,
+            obs=obs,
+        )
         for name in workloads
         for config in _CONFIGS
     ]
+    results = run_cells(tasks, jobs=jobs, progress=progress)
     cells = dict(
-        zip(
-            ((t.workload, t.config) for t in tasks),
-            run_cells(tasks, jobs=jobs, progress=progress),
-        )
+        zip(((t.workload, t.config) for t in tasks), results)
     )
     comparisons = []
     for name in workloads:
@@ -101,7 +108,10 @@ def run(
                     simulated_cycles=simulated.run.translation_cycles,
                 )
             )
-    return Table4Result(comparisons=comparisons)
+    return Table4Result(
+        comparisons=comparisons,
+        obs_records=tuple(r.obs for r in results if r.obs is not None),
+    )
 
 
 def format_comparison(result: Table4Result) -> str:

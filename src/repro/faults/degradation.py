@@ -67,11 +67,21 @@ class DegradationEvent:
     #: PTE installs), charged on top of the steady-state translation
     #: cycles the run measures.
     cycle_cost: float = 0.0
+    #: Monotonic per-log sequence number.  ``ref_index`` alone cannot
+    #: order events: one hard fault can fire several ladder rungs at the
+    #: same reference index (and unit-test events all sit at -1), so the
+    #: log stamps each append.  -1 marks events built outside a log.
+    seq: int = -1
 
     @property
     def is_mode_transition(self) -> bool:
         """True when the VM changed translation mode."""
         return self.from_mode is not self.to_mode
+
+    @property
+    def order_key(self) -> tuple[int, int]:
+        """Total order of events: trace position, then append order."""
+        return (self.ref_index, self.seq)
 
 
 @dataclass
@@ -79,6 +89,10 @@ class DegradationLog:
     """Ordered record of every degradation a run performed."""
 
     events: list[DegradationEvent] = field(default_factory=list)
+    #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when attached
+    #: every recorded event bumps ``degradation.events.<action>`` and
+    #: feeds ``degradation.cycle_cost``.
+    metrics: object | None = None
 
     def record(
         self,
@@ -90,7 +104,7 @@ class DegradationLog:
         to_mode: TranslationMode | None = None,
         cycle_cost: float = 0.0,
     ) -> DegradationEvent:
-        """Append one event and return it."""
+        """Append one event (stamped with the next sequence number)."""
         event = DegradationEvent(
             ref_index=ref_index,
             vm_name=vm_name,
@@ -99,9 +113,25 @@ class DegradationLog:
             from_mode=from_mode,
             to_mode=to_mode,
             cycle_cost=cycle_cost,
+            seq=len(self.events),
         )
         self.events.append(event)
+        m = self.metrics
+        if m is not None and m.enabled:
+            m.inc(f"degradation.events.{action.value}")
+            m.observe("degradation.cycle_cost", cycle_cost)
+            if event.is_mode_transition:
+                m.inc("degradation.mode_transitions")
         return event
+
+    def sorted_events(self) -> list[DegradationEvent]:
+        """Events in total order (``(ref_index, seq)``, stable).
+
+        Append order usually *is* trace order, but replayed or merged
+        logs can interleave; sorting on the explicit key keeps consumers
+        (manifests, chrome traces, reports) deterministic either way.
+        """
+        return sorted(self.events, key=lambda e: e.order_key)
 
     def count(self, action: DegradationAction) -> int:
         """Number of events of one action kind."""

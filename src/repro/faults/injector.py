@@ -239,6 +239,9 @@ class FaultInjector:
         self.rng = random.Random(seed)
         #: (ref_index, event, note) per delivered event.
         self.delivered: list[tuple[int, InjectedFault, str]] = []
+        #: Optional :class:`repro.obs.metrics.MetricsRegistry`; when
+        #: attached, each delivery bumps ``faults.delivered.<kind>``.
+        self.metrics = None
 
     @property
     def pending(self) -> int:
@@ -258,6 +261,10 @@ class FaultInjector:
             note = event.deliver(system, self.rng)
             self.delivered.append((ref_index, event, note))
             notes.append(note)
+            m = self.metrics
+            if m is not None and m.enabled:
+                m.inc("faults.delivered")
+                m.inc(f"faults.delivered.{type(event).__name__}")
         if hypervisor is not None:
             hypervisor.current_ref_index = -1
         system.resync_translation_state()

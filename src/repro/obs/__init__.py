@@ -1,0 +1,65 @@
+"""repro.obs: metrics, structured tracing and run-provenance manifests.
+
+The observability layer the rest of the simulator reports into:
+
+* :mod:`repro.obs.metrics` -- counters, gauges and fixed-bucket
+  histograms behind a :class:`MetricsRegistry`, attached per run via
+  cheap no-op-when-disabled hooks;
+* :mod:`repro.obs.tracing` -- :class:`RunObserver` interval time
+  series plus Chrome-trace (``chrome://tracing`` / Perfetto) span
+  export for experiment cells;
+* :mod:`repro.obs.manifest` -- deterministic run-provenance
+  ``manifest.json`` documents with schema validation.
+
+See OBSERVABILITY.md for metric names, bucket layouts, the manifest
+schema and CLI usage (``--metrics/--trace-out/--interval`` and the
+``stats`` subcommand).
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_KIND,
+    SCHEMA_VERSION,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    stable_view,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.obs.tracing import (
+    DEFAULT_INTERVAL,
+    IntervalSample,
+    ObsOptions,
+    RunObservability,
+    RunObserver,
+    chrome_trace,
+)
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "MANIFEST_KIND",
+    "SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IntervalSample",
+    "ManifestError",
+    "MetricsRegistry",
+    "ObsOptions",
+    "RunObservability",
+    "RunObserver",
+    "build_manifest",
+    "chrome_trace",
+    "load_manifest",
+    "merge_snapshots",
+    "stable_view",
+    "validate_manifest",
+    "write_manifest",
+]

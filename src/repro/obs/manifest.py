@@ -1,0 +1,269 @@
+"""Run-provenance manifests: what ran, from which code, with what result.
+
+Every observed experiment run can answer, months later: which workload
+cells ran, under which configuration and seed, from which git revision
+and package version, how long each cell took, and what the headline
+metrics were.  A manifest is a plain JSON document:
+
+* top level -- schema version, experiment name, creation time, git
+  describe, package/python versions, host platform, CLI provenance;
+* ``cells`` -- one entry per simulation cell, each with a content hash
+  of its identifying parameters (``config_hash``), timing, the metric
+  snapshot and an end-of-run summary;
+* ``totals`` -- cell count, total measured references/walks/cycles and
+  the merged metric snapshot.
+
+The parallel sweep runner produces per-cell records in worker
+processes; :func:`build_manifest` merges them **deterministically** --
+cells are sorted by ``(workload, config, seed)``, metric merges are
+order-independent, and :func:`stable_view` strips the wall-clock /
+host-specific fields so two runs of the same sweep compare equal
+byte-for-byte regardless of ``--jobs``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import merge_snapshots
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import RunObservability
+
+#: Bump on any backward-incompatible manifest layout change.
+SCHEMA_VERSION = 1
+
+#: Manifest documents self-identify so tooling can reject foreign JSON.
+MANIFEST_KIND = "repro.obs.manifest"
+
+#: Fields whose values legitimately differ between reruns of the same
+#: sweep (wall clock, host identity, and how the run was invoked --
+#: ``--jobs 8`` must produce the same results as a serial run);
+#: :func:`stable_view` removes them for determinism comparisons.
+VOLATILE_TOP_FIELDS = (
+    "created_at",
+    "duration_seconds",
+    "host",
+    "git",
+    "jobs",
+    "argv",
+)
+VOLATILE_CELL_FIELDS = ("duration_us", "started_us", "pid")
+
+_REQUIRED_TOP_FIELDS = {
+    "kind": str,
+    "schema_version": int,
+    "experiment": str,
+    "created_at": str,
+    "package_version": str,
+    "python_version": str,
+    "cells": list,
+    "totals": dict,
+}
+
+_REQUIRED_CELL_FIELDS = {
+    "workload": str,
+    "config": str,
+    "seed": int,
+    "config_hash": str,
+    "duration_us": int,
+    "pid": int,
+    "metrics": dict,
+    "summary": dict,
+}
+
+
+class ManifestError(ValueError):
+    """A document failed manifest schema validation."""
+
+
+def config_hash(payload: dict) -> str:
+    """Short content hash of a cell's identifying parameters.
+
+    Canonical-JSON SHA-256, truncated to 16 hex chars: enough to detect
+    any drift in (workload, config, trace length, seed, interval)
+    between runs that claim to be comparable.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def git_describe(repo_root: Path | None = None) -> str | None:
+    """``git describe --always --dirty`` of the source tree, if any."""
+    root = repo_root or Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    describe = out.stdout.strip()
+    return describe or None
+
+
+def _package_version() -> str:
+    try:
+        from repro import __version__
+
+        return __version__
+    except Exception:  # pragma: no cover - defensive
+        return "unknown"
+
+
+def cell_manifest(record: "RunObservability") -> dict:
+    """One manifest cell from one run's observability record."""
+    identity = {
+        "workload": record.workload,
+        "config": record.config,
+        "seed": record.seed,
+        "trace_length": record.trace_length,
+        "interval": record.interval,
+    }
+    return {
+        "workload": record.workload,
+        "config": record.config,
+        "seed": record.seed,
+        "trace_length": record.trace_length,
+        "interval": record.interval,
+        "config_hash": config_hash(identity),
+        "started_us": record.started_us,
+        "duration_us": record.duration_us,
+        "pid": record.pid,
+        "num_samples": len(record.samples),
+        "num_degradations": len(record.degradations),
+        "metrics": record.metrics,
+        "summary": record.summary,
+    }
+
+
+def build_manifest(
+    experiment: str,
+    records: list["RunObservability"],
+    jobs: int = 1,
+    interval: int | None = None,
+    argv: list[str] | None = None,
+    duration_seconds: float | None = None,
+) -> dict:
+    """Assemble the merged manifest for one experiment invocation.
+
+    Cell order is ``(workload, config, seed)`` regardless of the order
+    workers finished in, and the totals merge is order-independent, so
+    serial and parallel runs of the same sweep produce the same
+    manifest up to the wall-clock fields (:func:`stable_view`).
+    """
+    cells = sorted(
+        (cell_manifest(record) for record in records),
+        key=lambda c: (c["workload"], c["config"], c["seed"]),
+    )
+    totals = {
+        "cells": len(cells),
+        "measured_refs": sum(c["summary"].get("measured_refs", 0) for c in cells),
+        "walks": sum(c["summary"].get("walks", 0) for c in cells),
+        "translation_cycles": sum(
+            c["summary"].get("translation_cycles", 0.0) for c in cells
+        ),
+        "degradation_events": sum(c["num_degradations"] for c in cells),
+        "metrics": merge_snapshots([c["metrics"] for c in cells]),
+    }
+    manifest = {
+        "kind": MANIFEST_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "package_version": _package_version(),
+        "python_version": platform.python_version(),
+        "host": {"platform": platform.platform(), "machine": platform.machine()},
+        "git": {"describe": git_describe()},
+        "jobs": jobs,
+        "interval": interval,
+        "argv": list(argv) if argv is not None else None,
+        "cells": cells,
+        "totals": totals,
+    }
+    if duration_seconds is not None:
+        manifest["duration_seconds"] = round(duration_seconds, 3)
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Validation / IO
+
+
+def validate_manifest(data: object) -> dict:
+    """Check a document against the manifest schema; return it typed.
+
+    Raises :class:`ManifestError` naming every violated field, so tests
+    and the ``stats`` subcommand reject malformed or foreign JSON with
+    an actionable message.
+    """
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        raise ManifestError(f"manifest must be a JSON object, got {type(data).__name__}")
+    if data.get("kind") != MANIFEST_KIND:
+        problems.append(f"kind must be {MANIFEST_KIND!r}, got {data.get('kind')!r}")
+    if data.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version must be {SCHEMA_VERSION}, got {data.get('schema_version')!r}"
+        )
+    for name, kind in _REQUIRED_TOP_FIELDS.items():
+        if name not in data:
+            problems.append(f"missing top-level field {name!r}")
+        elif not isinstance(data[name], kind):
+            problems.append(
+                f"field {name!r} must be {kind.__name__}, got "
+                f"{type(data[name]).__name__}"
+            )
+    for index, cell in enumerate(data.get("cells") or []):
+        if not isinstance(cell, dict):
+            problems.append(f"cells[{index}] must be an object")
+            continue
+        for name, kind in _REQUIRED_CELL_FIELDS.items():
+            if name not in cell:
+                problems.append(f"cells[{index}] missing field {name!r}")
+            elif not isinstance(cell[name], kind):
+                problems.append(
+                    f"cells[{index}].{name} must be {kind.__name__}, got "
+                    f"{type(cell[name]).__name__}"
+                )
+    if problems:
+        raise ManifestError("; ".join(problems))
+    return data
+
+
+def write_manifest(manifest: dict, path: Path | str) -> Path:
+    """Serialize a manifest to ``path`` (parent directories created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifest(path: Path | str) -> dict:
+    """Read and validate a manifest file."""
+    data = json.loads(Path(path).read_text())
+    return validate_manifest(data)
+
+
+def stable_view(manifest: dict) -> dict:
+    """The manifest minus wall-clock/host fields that vary across runs.
+
+    Two invocations of the same sweep (any ``--jobs``) must produce
+    equal stable views -- the determinism contract the tests assert.
+    """
+    out = {k: v for k, v in manifest.items() if k not in VOLATILE_TOP_FIELDS}
+    out["cells"] = [
+        {k: v for k, v in cell.items() if k not in VOLATILE_CELL_FIELDS}
+        for cell in manifest.get("cells", [])
+    ]
+    return out

@@ -1,0 +1,266 @@
+"""Metric primitives: counters, gauges and fixed-bucket histograms.
+
+The simulator's components (MMU, batched engine, degradation log, fault
+injector, trace cache) report into a :class:`MetricsRegistry` through
+hooks that cost one attribute load and a truthiness check when no
+registry is attached -- the registry is opt-in per run, so the default
+(unobserved) hot paths stay within noise of the uninstrumented code
+(asserted by ``python -m repro.experiments bench``).
+
+Design points:
+
+* **Name-addressed, lazily created.**  A metric exists once something
+  reports to it; components need no up-front declarations and the
+  registry never pays for metrics a configuration cannot produce.
+* **Fixed buckets.**  Histograms use fixed upper-bound bucket arrays
+  (chosen per metric family in :data:`BUCKET_FAMILIES`), so snapshots
+  from different runs/processes are always mergeable bucket-by-bucket.
+* **Deterministic snapshots.**  :meth:`MetricsRegistry.snapshot`
+  returns plain sorted dicts, safe to hash, diff and embed in
+  run-provenance manifests (:mod:`repro.obs.manifest`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+#: Histogram upper bounds per metric family (longest prefix match on the
+#: metric name); every histogram implicitly gains a final +inf bucket.
+#: Families mirror what the components report -- see OBSERVABILITY.md.
+BUCKET_FAMILIES: dict[str, tuple[float, ...]] = {
+    # Modelled page-walk latency: native walks land around tens of
+    # cycles, cold 2D walks in the hundreds (24 refs worst case).
+    "mmu.walk_latency_cycles": (0, 20, 40, 60, 90, 130, 200, 300, 450, 700, 1100),
+    # Memory references issued per walk (paper Table IV's dimensions:
+    # 0/1/4/24 refs for the flattening levels).
+    "mmu.walk_refs": (0, 1, 2, 4, 8, 16, 24),
+    # Batched-engine vectorized chunk sizes (MIN_CHUNK=256 growing 4x
+    # toward MAX_CHUNK=16384).
+    "engine.batch_chunk_refs": (64, 256, 1024, 4096, 16384),
+    # Graceful-degradation reaction costs (page fault ~ thousands of
+    # cycles, shootdown + migration far more).
+    "degradation.cycle_cost": (0, 1e3, 5e3, 2e4, 1e5, 1e6),
+    # Escape-filter occupancy (256-bit/4-hash filter saturates in the
+    # tens of pages).
+    "escape_filter.occupancy": (0, 1, 2, 4, 8, 16, 32, 64, 128),
+}
+
+#: Fallback buckets: decades, enough to sketch any unanticipated metric.
+DEFAULT_BUCKETS: tuple[float, ...] = (1, 10, 100, 1e3, 1e4, 1e5, 1e6)
+
+
+def buckets_for(name: str) -> tuple[float, ...]:
+    """The fixed bucket bounds for a metric name (longest prefix wins)."""
+    best = None
+    for prefix, bounds in BUCKET_FAMILIES.items():
+        if name.startswith(prefix) and (best is None or len(prefix) > len(best)):
+            best = prefix
+    return BUCKET_FAMILIES[best] if best is not None else DEFAULT_BUCKETS
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0 for the merge semantics to hold)."""
+        self.value += amount
+
+    def as_dict(self) -> dict:
+        """Snapshot form."""
+        return {"type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last write wins; extremes tracked)."""
+
+    value: float = 0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        self.value = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def as_dict(self) -> dict:
+        """Snapshot form (min/max omitted until the first set)."""
+        out: dict = {"type": "gauge", "value": self.value}
+        if self.min <= self.max:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram: counts of observations per upper bound.
+
+    ``bounds`` are inclusive upper bounds; an observation lands in the
+    first bucket whose bound is >= the value, or in the implicit
+    overflow bucket past the last bound (``counts`` has
+    ``len(bounds) + 1`` slots).
+    """
+
+    bounds: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observed value (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """Snapshot form (bounds listed so merges can check geometry)."""
+        return {
+            "type": "histogram",
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Name-addressed home for every metric one run produces.
+
+    Components hold an optional reference (``self.metrics``, default
+    ``None``) and guard every report with ``if m is not None and
+    m.enabled`` -- the no-op-when-disabled contract.  A disabled
+    registry (``enabled=False``) can be attached to measure the hook
+    overhead itself; it accepts and drops every report.
+    """
+
+    __slots__ = ("enabled", "_counters", "_gauges", "_histograms")
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Reporting
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Increment the counter ``name`` (created on first use)."""
+        if not self.enabled:
+            return
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        counter.inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` (created on first use)."""
+        if not self.enabled:
+            return
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        gauge.set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        if not self.enabled:
+            return
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(buckets_for(name))
+        histogram.observe(value)
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    def counter_value(self, name: str) -> float:
+        """Current value of a counter (0 when never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def gauge_value(self, name: str) -> float | None:
+        """Current value of a gauge (None when never set)."""
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else None
+
+    def histogram(self, name: str) -> Histogram | None:
+        """The histogram object for ``name`` (None when never observed)."""
+        return self._histograms.get(name)
+
+    def names(self) -> list[str]:
+        """Every metric name in the registry, sorted."""
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    def snapshot(self) -> dict[str, dict]:
+        """Deterministic plain-dict view of every metric, sorted by name."""
+        out: dict[str, dict] = {}
+        for name in self.names():
+            if name in self._counters:
+                out[name] = self._counters[name].as_dict()
+            elif name in self._gauges:
+                out[name] = self._gauges[name].as_dict()
+            else:
+                out[name] = self._histograms[name].as_dict()
+        return out
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict[str, dict]:
+    """Combine per-run metric snapshots into one aggregate.
+
+    Counters and histogram buckets sum (fixed buckets guarantee
+    bucket-wise compatibility; mismatched bounds raise ``ValueError``);
+    gauges keep the min/max envelope and the last value in input order.
+    The result is sorted by name, so merging is deterministic for a
+    deterministic input order.
+    """
+    merged: dict[str, dict] = {}
+    for snap in snapshots:
+        for name, data in snap.items():
+            kind = data.get("type")
+            have = merged.get(name)
+            if have is None:
+                merged[name] = {k: (list(v) if isinstance(v, list) else v)
+                                for k, v in data.items()}
+                continue
+            if have.get("type") != kind:
+                raise ValueError(f"metric {name!r}: kind mismatch in merge")
+            if kind == "counter":
+                have["value"] += data["value"]
+            elif kind == "gauge":
+                have["value"] = data["value"]
+                if "min" in data:
+                    have["min"] = min(have.get("min", data["min"]), data["min"])
+                    have["max"] = max(have.get("max", data["max"]), data["max"])
+            elif kind == "histogram":
+                if list(have["bounds"]) != list(data["bounds"]):
+                    raise ValueError(
+                        f"metric {name!r}: histogram bounds differ in merge"
+                    )
+                have["counts"] = [
+                    a + b for a, b in zip(have["counts"], data["counts"])
+                ]
+                have["sum"] += data["sum"]
+                have["count"] += data["count"]
+            else:
+                raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+    return dict(sorted(merged.items()))

@@ -1,0 +1,369 @@
+"""Structured run tracing: interval time series and Chrome-trace spans.
+
+End-of-run counter totals cannot show *when* TLB behaviour changed
+mid-trace.  A :class:`RunObserver` attached to a simulation run fixes
+that in two complementary forms:
+
+* **Interval samples** -- every ``interval`` measured references the
+  observer snapshots the cumulative MMU/TLB counters into an
+  :class:`IntervalSample`, giving per-phase miss rates and cycle
+  breakdowns as a time series (the batched fast path is simply driven
+  in interval-sized chunks, which its equivalence invariant makes
+  bit-identical to one big run).
+* **Chrome-trace spans** -- :func:`chrome_trace` renders a set of
+  per-cell :class:`RunObservability` records as Chrome Trace Event
+  Format JSON (load in ``chrome://tracing`` or https://ui.perfetto.dev):
+  one complete-event span per experiment cell (named
+  ``workload/config``, grouped by worker process), counter tracks from
+  the interval samples, and instant events for every graceful-
+  degradation reaction, ordered by their monotonic sequence key.
+
+Everything an observer produces is plain picklable data, so parallel
+sweep workers ship their records back to the parent inside the
+:class:`~repro.sim.simulator.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.sim.system import SimulatedSystem
+
+#: Default measured references between interval samples.
+DEFAULT_INTERVAL = 2_000
+
+
+@dataclass(frozen=True)
+class ObsOptions:
+    """Picklable observability request, carried by experiment tasks.
+
+    ``interval`` is the sampling period in measured references (None
+    disables the time series but keeps metrics and the run span).
+    """
+
+    interval: int | None = DEFAULT_INTERVAL
+
+    def __post_init__(self) -> None:
+        if self.interval is not None and self.interval <= 0:
+            raise ValueError(f"interval must be positive, got {self.interval}")
+
+    def make_observer(self) -> "RunObserver":
+        """A fresh observer (one per simulation run)."""
+        return RunObserver(MetricsRegistry(), interval=self.interval)
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Cumulative counters at one point of the measured reference stream.
+
+    Values are cumulative since the post-warm-up counter reset;
+    consumers difference consecutive samples for per-interval rates.
+    """
+
+    ref_index: int
+    accesses: int
+    l1_hits: int
+    l1_misses: int
+    l2_hits: int
+    l2_misses: int
+    walks: int
+    walk_cycles: float
+    translation_cycles: float
+    dual_direct_hits: int
+    segment_l2_parallel_hits: int
+    #: Escape-filter occupancy of the active VM/process (-1 when the
+    #: configuration has no filter).
+    escape_filter_pages: int
+
+
+@dataclass(frozen=True)
+class RunObservability:
+    """Everything one observed run produced, as plain picklable data."""
+
+    workload: str
+    config: str
+    seed: int
+    trace_length: int | None
+    interval: int | None
+    #: Wall-clock span of the whole run (build excluded), microseconds
+    #: since the epoch -- comparable across worker processes.
+    started_us: int
+    duration_us: int
+    pid: int
+    samples: tuple[IntervalSample, ...]
+    #: Deterministic metric snapshot (:meth:`MetricsRegistry.snapshot`).
+    metrics: dict
+    #: End-of-run summary (overhead %, counter totals, ...).
+    summary: dict
+    #: Graceful-degradation events as plain dicts, ordered by their
+    #: monotonic ``(ref_index, seq)`` key.
+    degradations: tuple[dict, ...] = ()
+
+
+class RunObserver:
+    """Collects metrics and interval samples for one simulation run.
+
+    The observer owns the run's :class:`MetricsRegistry`; attaching it
+    to a built system points every component hook (MMU, engine,
+    degradation log, fault injector) at that registry.  Detached
+    systems keep their default ``metrics = None`` and pay only the
+    hooks' None checks.
+    """
+
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        interval: int | None = DEFAULT_INTERVAL,
+    ) -> None:
+        if interval is not None and interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.interval = interval
+        self.samples: list[IntervalSample] = []
+        self.seed = 0
+        self.trace_length: int | None = None
+        self._started_us = 0
+        self._perf_start = 0.0
+
+    # ------------------------------------------------------------------
+
+    def set_run_info(self, seed: int, trace_length: int | None) -> None:
+        """Record provenance facts the observer cannot see itself."""
+        self.seed = seed
+        self.trace_length = trace_length
+
+    def attach(self, system: "SimulatedSystem") -> None:
+        """Point the system's component hooks at this observer's registry."""
+        system.mmu.metrics = self.metrics
+        if system.hypervisor is not None:
+            system.hypervisor.degradation_log.metrics = self.metrics
+
+    def begin(self) -> None:
+        """Mark the start of the measured portion."""
+        self._started_us = int(time.time() * 1e6)
+        self._perf_start = time.perf_counter()
+
+    def sample(self, ref_index: int, system: "SimulatedSystem") -> None:
+        """Snapshot cumulative counters after ``ref_index`` measured refs."""
+        c = system.mmu.counters
+        occupancy = -1
+        if system.vm is not None:
+            occupancy = len(system.vm.escape_filter)
+        elif getattr(system.process, "guest_escape_filter", None) is not None:
+            occupancy = len(system.process.guest_escape_filter)
+        if occupancy >= 0:
+            self.metrics.set_gauge("escape_filter.pages", occupancy)
+            self.metrics.observe("escape_filter.occupancy", occupancy)
+        self.samples.append(
+            IntervalSample(
+                ref_index=ref_index,
+                accesses=c.accesses,
+                l1_hits=c.l1_hits,
+                l1_misses=c.l1_misses,
+                l2_hits=c.l2_hits,
+                l2_misses=c.l2_misses,
+                walks=c.walks,
+                walk_cycles=c.walk_cycles,
+                translation_cycles=c.translation_cycles,
+                dual_direct_hits=c.dual_direct_hits,
+                segment_l2_parallel_hits=c.segment_l2_parallel_hits,
+                escape_filter_pages=occupancy,
+            )
+        )
+
+    def finalize(
+        self,
+        system: "SimulatedSystem",
+        workload_name: str = "",
+        overhead_percent: float = 0.0,
+        measured_refs: int = 0,
+    ) -> RunObservability:
+        """Freeze everything collected into a picklable record."""
+        duration_us = int((time.perf_counter() - self._perf_start) * 1e6)
+        c = system.mmu.counters
+        hierarchy = system.hierarchy
+        summary = {
+            "overhead_percent": overhead_percent,
+            "measured_refs": measured_refs,
+            "accesses": c.accesses,
+            "l1_hits": c.l1_hits,
+            "l1_misses": c.l1_misses,
+            "l2_hits": c.l2_hits,
+            "l2_misses": c.l2_misses,
+            "walks": c.walks,
+            "walk_cycles": c.walk_cycles,
+            "translation_cycles": c.translation_cycles,
+            "faults": c.faults,
+            "walks_by_case": dict(c.walks_by_case),
+            "tlb": hierarchy.stats_snapshot(),
+        }
+        degradations: tuple[dict, ...] = ()
+        if system.hypervisor is not None:
+            log = system.hypervisor.degradation_log
+            degradations = tuple(
+                _degradation_dict(event) for event in log.sorted_events()
+            )
+            self.metrics.set_gauge("degradation.total_events", len(log))
+        return RunObservability(
+            workload=workload_name,
+            config=system.config.label,
+            seed=self.seed,
+            trace_length=self.trace_length,
+            interval=self.interval,
+            started_us=self._started_us,
+            duration_us=max(duration_us, 1),
+            pid=os.getpid(),
+            samples=tuple(self.samples),
+            metrics=self.metrics.snapshot(),
+            summary=summary,
+            degradations=degradations,
+        )
+
+
+def _degradation_dict(event: Any) -> dict:
+    """A DegradationEvent as plain JSON-ready data (ordering key kept)."""
+    return {
+        "ref_index": event.ref_index,
+        "seq": event.seq,
+        "vm": event.vm_name,
+        "action": event.action.value,
+        "detail": event.detail,
+        "from_mode": event.from_mode.value if event.from_mode else None,
+        "to_mode": event.to_mode.value if event.to_mode else None,
+        "cycle_cost": event.cycle_cost,
+    }
+
+
+# ----------------------------------------------------------------------
+# Chrome Trace Event Format (chrome://tracing, Perfetto)
+
+
+def chrome_trace(
+    records: list[RunObservability], experiment: str = ""
+) -> dict:
+    """Render observed runs as a Chrome-trace JSON object.
+
+    Spans are laid out on their real wall-clock timeline (normalized so
+    the earliest cell starts at ts 0), one process row per worker pid --
+    a ``--jobs 4`` sweep therefore shows four lanes of overlapping
+    cells.  Interval samples become per-cell counter tracks; degradation
+    events become instant events inside their cell's span.
+    """
+    events: list[dict] = []
+    if not records:
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+    t0 = min(r.started_us for r in records)
+    for pid in sorted({r.pid for r in records}):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{experiment or 'experiment'} worker {pid}"},
+            }
+        )
+    for record in records:
+        name = f"{record.workload}/{record.config}"
+        start = record.started_us - t0
+        events.append(
+            {
+                "ph": "X",
+                "name": name,
+                "cat": "cell",
+                "ts": start,
+                "dur": record.duration_us,
+                "pid": record.pid,
+                "tid": 0,
+                "args": {
+                    "seed": record.seed,
+                    "overhead_percent": record.summary.get("overhead_percent"),
+                    "walks": record.summary.get("walks"),
+                    "l1_misses": record.summary.get("l1_misses"),
+                },
+            }
+        )
+        events.extend(_counter_events(record, name, start))
+        events.extend(_degradation_events(record, name, start))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _sample_ts(record: RunObservability, ref_index: int, start: int) -> int:
+    """Wall-clock position of a reference index, linearly interpolated."""
+    total = record.samples[-1].ref_index if record.samples else 0
+    if total <= 0:
+        return start
+    frac = min(max(ref_index, 0), total) / total
+    return start + int(frac * record.duration_us)
+
+
+def _counter_events(
+    record: RunObservability, name: str, start: int
+) -> list[dict]:
+    events = []
+    prev_refs = 0
+    prev_misses = 0
+    prev_cycles = 0.0
+    for sample in record.samples:
+        refs = sample.ref_index - prev_refs
+        if refs <= 0:
+            continue
+        misses_per_kref = 1000.0 * (sample.l1_misses - prev_misses) / refs
+        cycles_per_ref = (sample.translation_cycles - prev_cycles) / refs
+        prev_refs = sample.ref_index
+        prev_misses = sample.l1_misses
+        prev_cycles = sample.translation_cycles
+        ts = _sample_ts(record, sample.ref_index, start)
+        events.append(
+            {
+                "ph": "C",
+                "name": f"{name} L1 misses/kref",
+                "ts": ts,
+                "pid": record.pid,
+                "tid": 0,
+                "args": {"misses_per_kref": round(misses_per_kref, 3)},
+            }
+        )
+        events.append(
+            {
+                "ph": "C",
+                "name": f"{name} translation cycles/ref",
+                "ts": ts,
+                "pid": record.pid,
+                "tid": 0,
+                "args": {"cycles_per_ref": round(cycles_per_ref, 4)},
+            }
+        )
+    return events
+
+
+def _degradation_events(
+    record: RunObservability, name: str, start: int
+) -> list[dict]:
+    events = []
+    for degradation in record.degradations:
+        ts = _sample_ts(record, degradation["ref_index"], start)
+        events.append(
+            {
+                "ph": "i",
+                "name": f"{degradation['action']}: {name}",
+                "cat": "degradation",
+                "s": "p",
+                "ts": ts,
+                "pid": record.pid,
+                "tid": 0,
+                "args": {
+                    "detail": degradation["detail"],
+                    "ref_index": degradation["ref_index"],
+                    "seq": degradation["seq"],
+                    "cycle_cost": degradation["cycle_cost"],
+                },
+            }
+        )
+    return events

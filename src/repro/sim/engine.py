@@ -77,6 +77,12 @@ class BatchedTranslationEngine:
         self.mmu = mmu
         self.hierarchy = mmu.hierarchy
         self.max_chunk = block
+        # Resolved once per run: disabled/absent registries collapse to
+        # None so the per-chunk hooks stay a single identity check.
+        metrics = getattr(mmu, "metrics", None)
+        self._metrics = (
+            metrics if metrics is not None and metrics.enabled else None
+        )
         #: L1 probe order must match ``TLBHierarchy.lookup_l1`` exactly:
         #: the first size whose cache holds the page wins.
         self._sizes = list(self.hierarchy.l1)
@@ -137,6 +143,8 @@ class BatchedTranslationEngine:
 
     def _snapshot(self) -> list[np.ndarray]:
         """Resident tag arrays per L1, in probe order."""
+        if self._metrics is not None:
+            self._metrics.inc("engine.snapshots")
         residency = self.hierarchy.l1_residency()
         return [
             np.array(residency[size], dtype=np.int64)
@@ -157,6 +165,9 @@ class BatchedTranslationEngine:
         counters = self.mmu.counters
         counters.accesses += total
         counters.l1_hits += total
+        if self._metrics is not None:
+            self._metrics.observe("engine.batch_chunk_refs", total)
+            self._metrics.inc("engine.bulk_hit_refs", total)
 
         counts: dict[PageSize, int] = {}
         claimed: np.ndarray | None = None

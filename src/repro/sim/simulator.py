@@ -21,6 +21,7 @@ from repro.faults.injector import FaultInjector
 from repro.faults.oracle import OracleReport, TranslationOracle
 from repro.model.counters import MeasuredRun, measured_run
 from repro.model.overhead import OverheadResult, overhead_from_trace
+from repro.obs.tracing import RunObservability, RunObserver
 from repro.sim import trace_cache
 from repro.sim.config import SystemConfig, parse_config, validate_run_parameters
 from repro.sim.system import SimulatedSystem, build_system, populate_for_addresses
@@ -45,6 +46,10 @@ class SimulationResult:
     degradation_log: DegradationLog | None = None
     #: Consistency-check tally; None when no oracle was attached.
     oracle_report: OracleReport | None = None
+    #: Observability record (metrics snapshot, interval samples, span
+    #: timing); None unless a :class:`RunObserver` was attached.  Plain
+    #: picklable data, so parallel sweep workers ship it back intact.
+    obs: RunObservability | None = None
 
     @property
     def overhead_percent(self) -> float:
@@ -87,6 +92,7 @@ def run_trace(
     fault_injector: FaultInjector | None = None,
     oracle: TranslationOracle | None = None,
     unique_pages: np.ndarray | None = None,
+    observer: RunObserver | None = None,
 ) -> SimulationResult:
     """Drive ``trace`` through ``system`` and measure the steady state.
 
@@ -103,6 +109,13 @@ def run_trace(
     come out bit-identical to the scalar loop, only faster.  With either
     attached, the scalar per-reference loop runs instead: injected
     faults and shadow checks need reference-granular interleaving.
+
+    An ``observer`` attaches its metrics registry to the system after
+    warm-up (so histograms cover only the measured portion) and samples
+    cumulative counters every ``observer.interval`` measured references.
+    On the batched path this drives the engine in interval-sized chunks,
+    which the engine's statelessness between runs makes bit-identical to
+    one big run; the result carries the frozen record in ``.obs``.
     """
     if not 0.0 <= warmup_fraction < 1.0:
         raise ConfigError(
@@ -119,23 +132,45 @@ def run_trace(
     mmu = system.mmu
 
     split = int(len(rebased) * warmup_fraction)
+    interval = observer.interval if observer is not None else None
     if fault_injector is None and oracle is None:
         mmu.access_batch(rebased[:split])
         mmu.counters.reset()
         system.hierarchy.reset_stats()
-        mmu.access_batch(rebased[split:])
+        if observer is not None:
+            observer.attach(system)
+            observer.begin()
+        measured = rebased[split:]
+        if interval is None:
+            mmu.access_batch(measured)
+        else:
+            n = len(measured)
+            for start in range(0, n, interval):
+                stop = min(start + interval, n)
+                mmu.access_batch(measured[start:stop])
+                observer.sample(stop, system)
     else:
         access = mmu.access
         for va in map(int, rebased[:split]):
             access(va)
         mmu.counters.reset()
         system.hierarchy.reset_stats()
+        if observer is not None:
+            observer.attach(system)
+            if fault_injector is not None:
+                fault_injector.metrics = observer.metrics
+            observer.begin()
         for index, va in enumerate(map(int, rebased[split:])):
             if fault_injector is not None:
                 fault_injector.deliver_due(index, system)
             frame = access(va)
             if oracle is not None:
                 oracle.observe(index, va, frame)
+            if interval is not None and (index + 1) % interval == 0:
+                observer.sample(index + 1, system)
+        measured_tail = len(rebased) - split
+        if interval is not None and measured_tail % interval:
+            observer.sample(measured_tail, system)
 
     measured_entries = len(rebased) - split
     # Each trace entry is one page visit standing for refs_per_entry
@@ -156,6 +191,14 @@ def run_trace(
     degradation_log = None
     if fault_injector is not None and system.hypervisor is not None:
         degradation_log = system.hypervisor.degradation_log
+    obs = None
+    if observer is not None:
+        obs = observer.finalize(
+            system,
+            workload_name=workload_name,
+            overhead_percent=overhead.overhead_percent,
+            measured_refs=measured_refs,
+        )
     return SimulationResult(
         config=system.config,
         workload_name=workload_name,
@@ -165,6 +208,7 @@ def run_trace(
         l2_tlb_misses=counters.l2_misses,
         degradation_log=degradation_log,
         oracle_report=oracle.report if oracle is not None else None,
+        obs=obs,
     )
 
 
@@ -177,6 +221,7 @@ def simulate(
     fault_injector: FaultInjector | None = None,
     oracle_sample_every: int | None = None,
     use_trace_cache: bool = True,
+    observer: RunObserver | None = None,
     **build_kwargs,
 ) -> SimulationResult:
     """One-call convenience: build the system, generate a trace, run it.
@@ -205,6 +250,8 @@ def simulate(
     oracle = None
     if oracle_sample_every is not None:
         oracle = TranslationOracle(system, sample_every=oracle_sample_every)
+    if observer is not None:
+        observer.set_run_info(seed, trace_length)
     return run_trace(
         system,
         trace,
@@ -215,4 +262,5 @@ def simulate(
         fault_injector=fault_injector,
         oracle=oracle,
         unique_pages=unique_pages,
+        observer=observer,
     )

@@ -46,7 +46,54 @@ class CachedTrace:
     unique_pages: np.ndarray
 
 
+@dataclass
+class CacheStats:
+    """Lifetime hit/miss/eviction counts of the process-wide cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.requests if self.requests else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
 _CACHE: dict[TraceKey, CachedTrace] = {}
+_STATS = CacheStats()
+
+#: Optional :class:`repro.obs.metrics.MetricsRegistry` mirror.  The cache
+#: is process-wide, so attachment is explicit rather than per-run; each
+#: request bumps ``trace_cache.hits`` / ``trace_cache.misses`` there too.
+_METRICS = None
+
+
+def stats() -> CacheStats:
+    """The live counter object (read it, or ``reset()`` it in tests)."""
+    return _STATS
+
+
+def attach_metrics(registry) -> None:
+    """Mirror cache activity into a metrics registry (None detaches)."""
+    global _METRICS
+    _METRICS = registry
 
 
 def trace_key(workload: Workload, length: int | None, seed: int) -> TraceKey:
@@ -65,15 +112,26 @@ def get_trace(workload: Workload, length: int | None, seed: int) -> CachedTrace:
     """The memoized trace for a request, generating it on first use."""
     key = trace_key(workload, length, seed)
     cached = _CACHE.get(key)
-    if cached is None:
-        pages = np.ascontiguousarray(workload.trace(length, seed=seed), dtype=np.int64)
-        unique_pages = np.unique(pages)
-        pages.flags.writeable = False
-        unique_pages.flags.writeable = False
-        cached = CachedTrace(pages=pages, unique_pages=unique_pages)
-        while len(_CACHE) >= MAX_ENTRIES:
-            _CACHE.pop(next(iter(_CACHE)))
-        _CACHE[key] = cached
+    m = _METRICS
+    if cached is not None:
+        _STATS.hits += 1
+        if m is not None and m.enabled:
+            m.inc("trace_cache.hits")
+        return cached
+    _STATS.misses += 1
+    if m is not None and m.enabled:
+        m.inc("trace_cache.misses")
+    pages = np.ascontiguousarray(workload.trace(length, seed=seed), dtype=np.int64)
+    unique_pages = np.unique(pages)
+    pages.flags.writeable = False
+    unique_pages.flags.writeable = False
+    cached = CachedTrace(pages=pages, unique_pages=unique_pages)
+    while len(_CACHE) >= MAX_ENTRIES:
+        _CACHE.pop(next(iter(_CACHE)))
+        _STATS.evictions += 1
+        if m is not None and m.enabled:
+            m.inc("trace_cache.evictions")
+    _CACHE[key] = cached
     return cached
 
 

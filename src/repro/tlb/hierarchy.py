@@ -191,6 +191,24 @@ class TLBHierarchy:
         for size in (PageSize.SIZE_4K, PageSize.SIZE_2M, PageSize.SIZE_1G):
             self.l2.invalidate((_KIND_REGULAR, size, vpn >> self._shift(size)))
 
+    def stats_snapshot(self) -> dict:
+        """All hierarchy counters as plain JSON-ready data.
+
+        Used by run observability (:mod:`repro.obs.tracing`) to embed
+        TLB behaviour in manifests; values are copies, so holding a
+        snapshot across ``reset_stats`` is safe.
+        """
+        per_l1 = {
+            cache.name: {"hits": cache.stats.hits, "misses": cache.stats.misses}
+            for cache in self.l1.values()
+        }
+        return {
+            "l1": {"hits": self.l1_stats.hits, "misses": self.l1_stats.misses},
+            "l2": {"hits": self.l2_stats.hits, "misses": self.l2_stats.misses},
+            "l1_by_size": per_l1,
+            "nested_insertions": self.nested_insertions,
+        }
+
     def reset_stats(self) -> None:
         """Zero counters (after warm-up) without dropping entries."""
         self.l1_stats.reset()

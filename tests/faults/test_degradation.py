@@ -85,3 +85,90 @@ class TestDegradationLog:
         assert "escape" in text
         assert "shrink" in text
         assert "fallback" in text
+
+
+class TestEventOrdering:
+    """Regression tests: events carry a monotonic ordering key.
+
+    ``ref_index`` alone cannot order a log -- one hard fault can fire
+    several ladder rungs at the same reference index, and unit-test
+    events all sit at -1 -- so ``record()`` stamps each append with a
+    sequence number and ``sorted_events()`` gives the total order.
+    """
+
+    def test_record_stamps_monotonic_seq(self):
+        log = DegradationLog()
+        events = [
+            log.record(-1, "a", DegradationAction.ESCAPE, str(i))
+            for i in range(5)
+        ]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+
+    def test_standalone_event_is_unstamped(self):
+        event = DegradationEvent(
+            ref_index=0, vm_name="a", action=DegradationAction.REMAP, detail=""
+        )
+        assert event.seq == -1
+
+    def test_order_key_breaks_ref_index_ties_by_append_order(self):
+        log = DegradationLog()
+        first = log.record(7, "a", DegradationAction.ESCAPE, "first")
+        second = log.record(7, "a", DegradationAction.SHRINK, "second")
+        assert first.order_key < second.order_key
+
+    def test_sorted_events_total_order(self):
+        log = DegradationLog()
+        log.record(9, "a", DegradationAction.ESCAPE, "late")
+        log.record(2, "a", DegradationAction.ESCAPE, "early")
+        log.record(2, "a", DegradationAction.SHRINK, "early-second")
+        ordered = log.sorted_events()
+        assert [e.detail for e in ordered] == ["early", "early-second", "late"]
+        # Sorting is deterministic and idempotent.
+        assert log.sorted_events() == ordered
+        # The log itself is untouched (append order preserved).
+        assert [e.detail for e in log.events] == [
+            "late",
+            "early",
+            "early-second",
+        ]
+
+    def test_same_ref_index_preserves_append_order(self):
+        log = DegradationLog()
+        details = [str(i) for i in range(10)]
+        for d in details:
+            log.record(-1, "a", DegradationAction.TOLERATE, d)
+        assert [e.detail for e in log.sorted_events()] == details
+
+
+class TestLogMetrics:
+    def test_record_feeds_attached_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        log = DegradationLog()
+        log.metrics = MetricsRegistry()
+        log.record(0, "a", DegradationAction.ESCAPE, "e", cycle_cost=100.0)
+        log.record(
+            1,
+            "a",
+            DegradationAction.FALLBACK,
+            "f",
+            from_mode=TranslationMode.DUAL_DIRECT,
+            to_mode=TranslationMode.GUEST_DIRECT,
+            cycle_cost=300.0,
+        )
+        m = log.metrics
+        assert m.counter_value("degradation.events.escape") == 1
+        assert m.counter_value("degradation.events.fallback") == 1
+        assert m.counter_value("degradation.mode_transitions") == 1
+        hist = m.histogram("degradation.cycle_cost")
+        assert hist.count == 2
+        assert hist.total == pytest.approx(400.0)
+
+    def test_disabled_registry_records_nothing(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        log = DegradationLog()
+        log.metrics = MetricsRegistry(enabled=False)
+        log.record(0, "a", DegradationAction.ESCAPE, "e")
+        assert log.metrics.snapshot() == {}
+        assert len(log) == 1  # the log itself still records

@@ -1,0 +1,170 @@
+"""Manifest building, schema validation, IO and determinism."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_KIND,
+    SCHEMA_VERSION,
+    ManifestError,
+    build_manifest,
+    cell_manifest,
+    config_hash,
+    load_manifest,
+    stable_view,
+    validate_manifest,
+    write_manifest,
+)
+from repro.obs.tracing import IntervalSample, RunObservability
+
+
+def make_record(workload="tiny", config="4K", seed=0, pid=100, started=1_000):
+    return RunObservability(
+        workload=workload,
+        config=config,
+        seed=seed,
+        trace_length=2000,
+        interval=500,
+        started_us=started,
+        duration_us=5_000,
+        pid=pid,
+        samples=(
+            IntervalSample(
+                ref_index=500,
+                accesses=500,
+                l1_hits=450,
+                l1_misses=50,
+                l2_hits=30,
+                l2_misses=20,
+                walks=20,
+                walk_cycles=800.0,
+                translation_cycles=800.0,
+                dual_direct_hits=0,
+                segment_l2_parallel_hits=0,
+                escape_filter_pages=-1,
+            ),
+        ),
+        metrics={"walks": {"type": "counter", "value": 20}},
+        summary={
+            "overhead_percent": 8.0,
+            "measured_refs": 1700,
+            "walks": 20,
+            "translation_cycles": 800.0,
+        },
+    )
+
+
+class TestConfigHash:
+    def test_stable_and_order_independent(self):
+        a = config_hash({"x": 1, "y": 2})
+        b = config_hash({"y": 2, "x": 1})
+        assert a == b
+        assert len(a) == 16
+
+    def test_differs_on_any_parameter(self):
+        assert config_hash({"seed": 0}) != config_hash({"seed": 1})
+
+
+class TestBuildManifest:
+    def test_cells_sorted_regardless_of_input_order(self):
+        records = [
+            make_record(config="DD", pid=2, started=9_999),
+            make_record(config="4K", pid=1),
+            make_record(workload="gups", config="4K", pid=3),
+        ]
+        manifest = build_manifest("unit", records)
+        keys = [(c["workload"], c["config"], c["seed"]) for c in manifest["cells"]]
+        assert keys == sorted(keys)
+
+    def test_totals_aggregate(self):
+        manifest = build_manifest("unit", [make_record(), make_record(config="DD")])
+        totals = manifest["totals"]
+        assert totals["cells"] == 2
+        assert totals["measured_refs"] == 3400
+        assert totals["walks"] == 40
+        assert totals["metrics"]["walks"]["value"] == 40
+
+    def test_validates_clean(self):
+        manifest = build_manifest("unit", [make_record()])
+        assert validate_manifest(manifest) is manifest
+        assert manifest["kind"] == MANIFEST_KIND
+        assert manifest["schema_version"] == SCHEMA_VERSION
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ManifestError, match="JSON object"):
+            validate_manifest([1, 2])
+
+    def test_rejects_foreign_kind(self):
+        manifest = build_manifest("unit", [make_record()])
+        manifest["kind"] = "something.else"
+        with pytest.raises(ManifestError, match="kind"):
+            validate_manifest(manifest)
+
+    def test_rejects_wrong_schema_version(self):
+        manifest = build_manifest("unit", [make_record()])
+        manifest["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ManifestError, match="schema_version"):
+            validate_manifest(manifest)
+
+    def test_collects_all_cell_problems(self):
+        manifest = build_manifest("unit", [make_record()])
+        del manifest["cells"][0]["seed"]
+        manifest["cells"][0]["pid"] = "not-an-int"
+        with pytest.raises(ManifestError) as excinfo:
+            validate_manifest(manifest)
+        message = str(excinfo.value)
+        assert "seed" in message and "pid" in message
+
+    def test_missing_top_field(self):
+        manifest = build_manifest("unit", [make_record()])
+        del manifest["totals"]
+        with pytest.raises(ManifestError, match="totals"):
+            validate_manifest(manifest)
+
+
+class TestIO:
+    def test_write_and_load_roundtrip(self, tmp_path):
+        manifest = build_manifest("unit", [make_record()])
+        path = write_manifest(manifest, tmp_path / "deep" / "manifest.json")
+        assert path.exists()  # parents created
+        loaded = load_manifest(path)
+        assert loaded == json.loads(json.dumps(manifest))
+
+    def test_load_rejects_invalid(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"kind": "nope"}))
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+
+class TestStableView:
+    def test_strips_volatile_fields_only(self):
+        records = [make_record(pid=1, started=10), make_record(pid=1, started=20)]
+        slow = build_manifest("unit", records, jobs=1, argv=["a"])
+        fast = build_manifest(
+            "unit",
+            [make_record(pid=7, started=99), make_record(pid=8, started=5)],
+            jobs=4,
+            argv=["b"],
+            duration_seconds=1.5,
+        )
+        assert slow != fast
+        assert stable_view(slow) == stable_view(fast)
+
+    def test_result_changes_survive_stabilization(self):
+        a = build_manifest("unit", [make_record()])
+        b = build_manifest("unit", [make_record(seed=1)])
+        assert stable_view(a) != stable_view(b)
+
+
+class TestCellManifest:
+    def test_identity_hash_covers_run_parameters(self):
+        base = cell_manifest(make_record())
+        other = cell_manifest(make_record(seed=5))
+        assert base["config_hash"] != other["config_hash"]
+        # Timing does not enter the identity hash.
+        late = cell_manifest(make_record(started=999_999))
+        assert base["config_hash"] == late["config_hash"]

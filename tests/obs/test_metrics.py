@@ -1,0 +1,115 @@
+"""Unit tests for repro.obs.metrics primitives and merging."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_FAMILIES,
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    buckets_for,
+    merge_snapshots,
+)
+
+
+class TestBuckets:
+    def test_known_family_prefix_match(self):
+        assert buckets_for("mmu.walk_latency_cycles") == BUCKET_FAMILIES[
+            "mmu.walk_latency_cycles"
+        ]
+
+    def test_longest_prefix_wins(self):
+        assert buckets_for("mmu.walk_refs") == BUCKET_FAMILIES["mmu.walk_refs"]
+
+    def test_unknown_name_gets_default(self):
+        assert buckets_for("something.new") == DEFAULT_BUCKETS
+
+
+class TestHistogram:
+    def test_observation_lands_in_first_bound_at_or_above(self):
+        h = Histogram(bounds=(10, 20, 30))
+        h.observe(10)  # inclusive upper bound
+        h.observe(15)
+        h.observe(31)  # overflow bucket
+        assert h.counts == [1, 1, 0, 1]
+        assert h.count == 3
+        assert h.total == 56
+
+    def test_mean_empty_is_zero(self):
+        assert Histogram(bounds=(1,)).mean == 0.0
+
+
+class TestRegistry:
+    def test_counters_gauges_histograms(self):
+        m = MetricsRegistry()
+        m.inc("c")
+        m.inc("c", 4)
+        m.set_gauge("g", 7)
+        m.set_gauge("g", 3)
+        m.observe("h", 50)
+        assert m.counter_value("c") == 5
+        assert m.gauge_value("g") == 3
+        assert m.histogram("h").count == 1
+        assert m.names() == ["c", "g", "h"]
+
+    def test_disabled_registry_drops_everything(self):
+        m = MetricsRegistry(enabled=False)
+        m.inc("c")
+        m.set_gauge("g", 1)
+        m.observe("h", 1)
+        assert m.snapshot() == {}
+
+    def test_snapshot_is_sorted_and_plain(self):
+        m = MetricsRegistry()
+        m.inc("z")
+        m.inc("a")
+        snap = m.snapshot()
+        assert list(snap) == ["a", "z"]
+        assert snap["a"] == {"type": "counter", "value": 1}
+
+    def test_gauge_tracks_extremes(self):
+        m = MetricsRegistry()
+        for v in (5, 1, 9):
+            m.set_gauge("g", v)
+        snap = m.snapshot()["g"]
+        assert (snap["value"], snap["min"], snap["max"]) == (9, 1, 9)
+
+
+class TestMergeSnapshots:
+    def _snap(self):
+        m = MetricsRegistry()
+        m.inc("walks", 3)
+        m.set_gauge("pages", 7)
+        m.observe("mmu.walk_refs", 4)
+        return m.snapshot()
+
+    def test_counters_sum_and_histograms_add_bucketwise(self):
+        merged = merge_snapshots([self._snap(), self._snap()])
+        assert merged["walks"]["value"] == 6
+        assert merged["mmu.walk_refs"]["count"] == 2
+        assert sum(merged["mmu.walk_refs"]["counts"]) == 2
+
+    def test_merge_is_sorted_and_order_independent_for_counters(self):
+        a, b = self._snap(), self._snap()
+        b["walks"]["value"] = 10
+        ab = merge_snapshots([a, b])
+        ba = merge_snapshots([b, a])
+        assert ab["walks"]["value"] == ba["walks"]["value"] == 13
+        assert list(ab) == sorted(ab)
+
+    def test_bounds_mismatch_raises(self):
+        a = self._snap()
+        b = self._snap()
+        b["mmu.walk_refs"]["bounds"] = [1, 2]
+        b["mmu.walk_refs"]["counts"] = [0, 1, 0]
+        with pytest.raises(ValueError, match="bounds"):
+            merge_snapshots([a, b])
+
+    def test_kind_mismatch_raises(self):
+        a = self._snap()
+        b = {"walks": {"type": "gauge", "value": 1}}
+        with pytest.raises(ValueError, match="kind"):
+            merge_snapshots([a, b])
+
+    def test_empty_merge(self):
+        assert merge_snapshots([]) == {}

@@ -1,0 +1,105 @@
+"""RunObserver sampling, equivalence, and Chrome-trace rendering."""
+
+import json
+
+import pytest
+
+from repro.obs.tracing import ObsOptions, RunObserver, chrome_trace
+from repro.sim.simulator import simulate
+from tests.conftest import TinyWorkload
+
+
+def _observed_run(config="4K+4K", interval=500, length=3000, seed=1):
+    observer = ObsOptions(interval=interval).make_observer()
+    result = simulate(
+        config,
+        TinyWorkload(),
+        trace_length=length,
+        seed=seed,
+        observer=observer,
+    )
+    assert result.obs is not None
+    return result
+
+
+class TestObsOptions:
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            ObsOptions(interval=0)
+        with pytest.raises(ValueError):
+            RunObserver(interval=-5)
+
+    def test_none_interval_disables_sampling(self):
+        observer = ObsOptions(interval=None).make_observer()
+        result = simulate(
+            "4K", TinyWorkload(), trace_length=2000, seed=0, observer=observer
+        )
+        assert result.obs is not None
+        assert result.obs.samples == ()
+        assert result.obs.metrics  # metrics still collected
+
+
+class TestObservedRun:
+    def test_observer_is_bit_identical_to_unobserved(self):
+        observed = _observed_run()
+        plain = simulate("4K+4K", TinyWorkload(), trace_length=3000, seed=1)
+        assert observed.counters.__dict__ == plain.counters.__dict__
+        assert observed.overhead_percent == plain.overhead_percent
+
+    def test_samples_cover_measured_portion(self):
+        result = _observed_run(interval=500, length=3000)
+        samples = result.obs.samples
+        # 3000 refs, 15% warm-up -> 2550 measured -> ceil(2550/500) = 6.
+        assert len(samples) == 6
+        assert samples[-1].ref_index == 2550
+        assert [s.ref_index for s in samples] == sorted(
+            s.ref_index for s in samples
+        )
+        # Cumulative counters never decrease.
+        for a, b in zip(samples, samples[1:]):
+            assert b.accesses >= a.accesses
+            assert b.walks >= a.walks
+        assert samples[-1].accesses == result.counters.accesses
+
+    def test_record_carries_provenance(self):
+        result = _observed_run(config="DD", seed=9)
+        obs = result.obs
+        assert obs.workload == "tiny"
+        assert obs.config == "DD"
+        assert obs.seed == 9
+        assert obs.trace_length == 3000
+        assert obs.duration_us >= 1
+        assert obs.summary["walks"] == result.counters.walks
+        assert "tlb" in obs.summary
+
+    def test_walk_histogram_matches_counters(self):
+        result = _observed_run(config="4K+4K")
+        hist = result.obs.metrics.get("mmu.walk_latency_cycles")
+        assert hist is not None
+        assert hist["count"] == result.counters.walks
+        assert hist["sum"] == pytest.approx(result.counters.walk_cycles)
+
+
+class TestChromeTrace:
+    def test_empty_records(self):
+        doc = chrome_trace([], "x")
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_spans_counters_and_json_validity(self):
+        records = [
+            _observed_run(config=c, seed=2).obs for c in ("4K", "4K+4K")
+        ]
+        doc = chrome_trace(records, "unit")
+        text = json.dumps(doc)
+        assert json.loads(text) == doc  # valid JSON round-trip
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert "M" in phases  # process metadata
+        assert "X" in phases  # cell spans
+        assert "C" in phases  # counter tracks
+        spans = [e for e in events if e["ph"] == "X"]
+        assert {s["name"] for s in spans} == {"tiny/4K", "tiny/4K+4K"}
+        # Timeline is normalized: earliest span starts at ts 0.
+        assert min(s["ts"] for s in spans) == 0
+        for e in events:
+            assert e["ts"] >= 0 if "ts" in e else True

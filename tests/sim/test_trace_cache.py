@@ -11,8 +11,12 @@ from tests.conftest import TinyWorkload
 @pytest.fixture(autouse=True)
 def fresh_cache():
     trace_cache.clear()
+    trace_cache.stats().reset()
+    trace_cache.attach_metrics(None)
     yield
     trace_cache.clear()
+    trace_cache.stats().reset()
+    trace_cache.attach_metrics(None)
 
 
 def test_same_request_returns_same_arrays():
@@ -77,3 +81,52 @@ def test_simulate_populates_and_reuses_the_cache():
 def test_simulate_can_bypass_the_cache():
     simulate("4K", TinyWorkload(), trace_length=800, seed=2, use_trace_cache=False)
     assert trace_cache.cache_size() == 0
+
+
+class TestCacheStats:
+    def test_counts_hits_misses_and_hit_rate(self):
+        workload = TinyWorkload()
+        trace_cache.get_trace(workload, 1000, seed=0)
+        trace_cache.get_trace(workload, 1000, seed=0)
+        trace_cache.get_trace(workload, 1000, seed=1)
+        stats = trace_cache.stats()
+        assert (stats.hits, stats.misses) == (1, 2)
+        assert stats.requests == 3
+        assert stats.hit_rate == pytest.approx(1 / 3)
+        assert stats.as_dict()["hit_rate"] == pytest.approx(0.3333)
+
+    def test_counts_evictions(self):
+        workload = TinyWorkload()
+        for seed in range(trace_cache.MAX_ENTRIES + 3):
+            trace_cache.get_trace(workload, 100, seed=seed)
+        assert trace_cache.stats().evictions == 3
+
+    def test_mirrors_into_attached_registry(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        trace_cache.attach_metrics(registry)
+        workload = TinyWorkload()
+        trace_cache.get_trace(workload, 1000, seed=0)
+        trace_cache.get_trace(workload, 1000, seed=0)
+        assert registry.counter_value("trace_cache.misses") == 1
+        assert registry.counter_value("trace_cache.hits") == 1
+
+    def test_disabled_registry_is_not_written(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=False)
+        trace_cache.attach_metrics(registry)
+        trace_cache.get_trace(TinyWorkload(), 500, seed=0)
+        assert registry.snapshot() == {}
+        # The plain stats object still counts.
+        assert trace_cache.stats().misses == 1
+
+    def test_two_config_sweep_reuses_one_generation(self):
+        """A sweep of configs over one cell generates the trace once."""
+        workload = TinyWorkload()
+        for config in ("4K", "DS"):
+            simulate(config, workload, trace_length=1500, seed=7)
+        stats = trace_cache.stats()
+        assert stats.misses == 1, "trace must be generated exactly once"
+        assert stats.hits >= 1, "second config must hit the cache"

@@ -178,6 +178,68 @@ class TestNonSegmentFaults:
         assert mapped // BASE_PAGE_SIZE != frame
 
 
+class TestLadderMetrics:
+    """E2E: one fault sequence walks the full ladder and every rung is
+    mirrored into the attached :class:`MetricsRegistry` -- the emitted
+    counters must match the degradation log exactly."""
+
+    def _ladder_run(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        hv, vm = make_vm(mode=TranslationMode.VMM_DIRECT)
+        hv.degradation_log.metrics = MetricsRegistry()
+        start, end = segment_frames(vm)
+
+        hv.inject_hard_fault(start + 100)      # filter has room -> escape
+        fill_filter(vm)
+        hv.inject_hard_fault(start)            # edge, filter full -> shrink
+        hv.inject_hard_fault((start + end) // 2)  # mid, full -> fallback
+        return hv, vm
+
+    def test_ladder_actions_in_order(self):
+        hv, vm = self._ladder_run()
+        actions = [e.action for e in hv.degradation_log.sorted_events()]
+        assert actions == [
+            DegradationAction.ESCAPE,
+            DegradationAction.SHRINK,
+            DegradationAction.FALLBACK,
+        ]
+        assert vm.mode is TranslationMode.BASE_VIRTUALIZED
+        assert not vm.vmm_segment.enabled
+
+    def test_counters_match_log_counts(self):
+        hv, _ = self._ladder_run()
+        log = hv.degradation_log
+        m = log.metrics
+        for action in (
+            DegradationAction.ESCAPE,
+            DegradationAction.SHRINK,
+            DegradationAction.FALLBACK,
+        ):
+            assert m.counter_value(
+                f"degradation.events.{action.value}"
+            ) == log.count(action), action
+        # Only the fallback changed the translation mode.
+        assert m.counter_value("degradation.mode_transitions") == len(
+            log.mode_transitions
+        )
+
+    def test_cycle_cost_histogram_matches_log_totals(self):
+        hv, _ = self._ladder_run()
+        log = hv.degradation_log
+        hist = log.metrics.histogram("degradation.cycle_cost")
+        assert hist.count == len(log)
+        assert hist.total == pytest.approx(log.total_cycle_cost)
+        # Each rung charged a real (positive) reaction cost.
+        assert all(e.cycle_cost > 0 for e in log.events)
+
+    def test_events_are_totally_ordered(self):
+        hv, _ = self._ladder_run()
+        keys = [e.order_key for e in hv.degradation_log.sorted_events()]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys), "order keys must be unique"
+
+
 class TestBalloonArming:
     def test_negative_count_rejected(self):
         _, vm = make_vm()
