@@ -84,6 +84,11 @@ class EscapeFilter:
     #: instead (shrink the segment or fall back to nested paging).
     #: ``None`` means unlimited (the seed behaviour).
     capacity: int | None = None
+    #: Lifetime hardware-probe counters (instrumentation, not
+    #: architectural state: save/restore/clear leave them alone).  The
+    #: profiler reads them as deltas from an attach-time baseline.
+    probes: int = field(default=0, init=False)
+    probe_hits: int = field(default=0, init=False)
     _banks: list[int] = field(init=False, repr=False)
     _hashes: tuple[H3Hash, ...] = field(init=False, repr=False)
     _inserted: set[int] = field(init=False, repr=False)
@@ -140,10 +145,16 @@ class EscapeFilter:
         May return true for pages never inserted (false positives); never
         returns false for an inserted page.
         """
+        self.probes += 1
         for bank, h in enumerate(self._hashes):
             if not self._banks[bank] & (1 << h(page)):
                 return False
+        self.probe_hits += 1
         return True
+
+    def probe_stats(self) -> dict:
+        """Lifetime probe counts as plain data (profiler / reports)."""
+        return {"probes": self.probes, "probe_hits": self.probe_hits}
 
     def is_false_positive(self, page: int) -> bool:
         """True if the probe hits but software never escaped this page."""

@@ -155,6 +155,10 @@ class MMU:
         #: off the L1-hit path, so an unattached registry (the default)
         #: costs one None check per walk and nothing per hit.
         self.metrics = None
+        #: Optional :class:`repro.obs.profiler.WalkProfiler`.  Same
+        #: contract: hooks fire only around walks (begin per attempt,
+        #: end per accounted walk), never on the per-reference hit path.
+        self.profiler = None
 
     # ------------------------------------------------------------------
 
@@ -249,11 +253,19 @@ class MMU:
     # ------------------------------------------------------------------
 
     def _walk_with_fault_handling(self, vaddr: int) -> WalkOutcome:
+        p = self.profiler
         for _ in range(self.MAX_FAULT_RETRIES):
+            # One begin per *attempt*: a retry discards the faulted
+            # attempt's buffered charges, whose cycles never reach the
+            # counters, keeping the profiler's conservation exact.
+            if p is not None:
+                p.begin_walk(vaddr)
             try:
                 return self.walker.walk(vaddr)
             except TranslationFault as fault:
                 self.counters.faults += 1
+                if p is not None:
+                    p.fault_event(fault.dimension)
                 self._dispatch_fault(fault)
         raise TranslationFault(vaddr, "unresolvable (fault handler loop)")
 
@@ -269,16 +281,23 @@ class MMU:
 
     def _account_walk(self, outcome: WalkOutcome) -> None:
         c = self.counters
+        case = self._classify(outcome)
         c.walks += 1
         c.walk_cycles += outcome.cycles
         c.walk_refs += outcome.refs
         c.walk_raw_refs += outcome.raw_refs
         c.checks += outcome.checks
-        c.walks_by_case[self._classify(outcome)] += 1
+        c.walks_by_case[case] += 1
         m = self.metrics
         if m is not None and m.enabled:
             m.observe("mmu.walk_latency_cycles", outcome.cycles)
             m.observe("mmu.walk_refs", outcome.refs)
+        p = self.profiler
+        if p is not None:
+            # Immediately after the walk_cycles accumulation above: the
+            # profiler repeats that float add on its mirror to stay
+            # bit-identical with the counter (conservation invariant).
+            p.end_walk(outcome, case)
 
     def _classify(self, outcome: WalkOutcome) -> str:
         if outcome.guest_segment_used and outcome.vmm_segment_used:
@@ -310,11 +329,20 @@ class MMU:
     def touch(self, vaddr: int) -> int:
         """Translate without counting (warm-up / functional checks)."""
         saved = self.counters
+        saved_profiler = self.profiler
+        walker_profiler = self.walker.profiler
         self.counters = MMUCounters()
+        # The profiler mirrors the *measured* walk_cycles accumulation;
+        # an uncounted touch must not advance it (and the walker must
+        # not buffer charges for a walk that will never be accounted).
+        self.profiler = None
+        self.walker.profiler = None
         try:
             return self.access(vaddr)
         finally:
             self.counters = saved
+            self.profiler = saved_profiler
+            self.walker.profiler = walker_profiler
 
     def flush_tlbs(self) -> None:
         """Full TLB + PWC flush (context/VM switch)."""

@@ -88,6 +88,10 @@ class NativeWalker:
         self.page_table = page_table
         self.costs = costs
         self.pwc = pwc or PageWalkCache()
+        #: Optional :class:`repro.obs.profiler.WalkProfiler`.  Hooks run
+        #: only on walks (never per reference) and cost one None check
+        #: when detached.
+        self.profiler = None
 
     def walk(self, virtual: int) -> WalkOutcome:
         """Translate ``virtual``; raises :class:`TranslationFault` if unmapped."""
@@ -105,9 +109,16 @@ class NativeWalker:
             page_size=result.page_size,
             raw_refs=len(result.steps),
         )
+        p = self.profiler
+        if p is not None:
+            p.event("pwc", "native", f"skip{skip}")
         for step in result.steps[skip:]:
             outcome.refs += 1
-            outcome.cycles += self.costs.pte_access_cycles(step.level)
+            cycles = self.costs.pte_access_cycles(step.level)
+            outcome.cycles += cycles
+            if p is not None:
+                label = f"L{4 - step.level}"
+                p.charge("native", label, "pte", cycles, frame=f"native_{label}")
         self.pwc.fill(virtual, upto_level=leaf_level - 1)
         return outcome
 
@@ -182,6 +193,9 @@ class NestedWalker:
         self.guest_escape_filter = guest_escape_filter
         self.guest_pwc = guest_pwc or PageWalkCache()
         self.nested_pwc = nested_pwc or PageWalkCache()
+        #: Optional :class:`repro.obs.profiler.WalkProfiler` (same
+        #: contract as :attr:`NativeWalker.profiler`).
+        self.profiler = None
         #: Sensitivity-study hook: a dedicated gPA -> hPA structure (a
         #: :class:`repro.tlb.pwc.NestedTLB`).  The paper's testbed has
         #: none ("shares the TLB", Table VI); giving the nested
@@ -211,9 +225,13 @@ class NestedWalker:
         and finally a nested page-table walk.
         """
         cost = WalkOutcome(frame=0, page_size=PageSize.SIZE_4K)
+        p = self.profiler
         if self.vmm_segment.enabled and charge_check:
             cost.checks += 1
-            cost.cycles += self.costs.base_bound_check_cycles
+            check_cycles = self.costs.base_bound_check_cycles
+            cost.cycles += check_cycles
+            if p is not None:
+                p.charge("segment", "vmm", "check", check_cycles, frame="vmm_check")
         if self._vmm_segment_covers(gpa):
             hpa = self.vmm_segment.translate(gpa)
             return NestedResolution(
@@ -226,7 +244,11 @@ class NestedWalker:
         if self.dedicated_nested_tlb is not None:
             cached = self.dedicated_nested_tlb.lookup(gppn)
             if cached is not None:
-                cost.cycles += self.costs.l2_tlb_probe_cycles
+                probe_cycles = self.costs.l2_tlb_probe_cycles
+                cost.cycles += probe_cycles
+                if p is not None:
+                    p.charge("ntlb", "dedicated", "hit", probe_cycles,
+                             frame="ntlb_hit")
                 return NestedResolution(
                     host_frame=cached,
                     linear_extent=PageSize.SIZE_4K,
@@ -239,7 +261,11 @@ class NestedWalker:
                 if cached is not None:
                     # Served by the nested entries sharing the L2 TLB
                     # array (Table VI); the probe costs an L2 access.
-                    cost.cycles += self.costs.l2_tlb_probe_cycles
+                    probe_cycles = self.costs.l2_tlb_probe_cycles
+                    cost.cycles += probe_cycles
+                    if p is not None:
+                        p.charge("ntlb", "shared", "hit", probe_cycles,
+                                 frame="ntlb_hit")
                     base_gppn = (gppn >> (size.bits - 12)) << (size.bits - 12)
                     host_frame = cached + (gppn - base_gppn)
                     return NestedResolution(
@@ -271,9 +297,16 @@ class NestedWalker:
             page_size=result.page_size,
             raw_refs=len(result.steps),
         )
+        p = self.profiler
+        if p is not None:
+            p.event("pwc", "nested", f"skip{skip}")
         for step in result.steps[skip:]:
             outcome.refs += 1
-            outcome.cycles += self.costs.pte_access_cycles(step.level)
+            cycles = self.costs.pte_access_cycles(step.level)
+            outcome.cycles += cycles
+            if p is not None:
+                label = f"L{4 - step.level}"
+                p.charge("host", label, "pte", cycles, frame=f"host_{label}")
         self.nested_pwc.fill(gpa, upto_level=leaf_level - 1)
         if self.dedicated_nested_tlb is not None:
             offset_frames = (gpa % int(result.page_size)) // BASE_PAGE_SIZE
@@ -312,7 +345,12 @@ class NestedWalker:
     def _walk_guest_segment(self, gva: int) -> WalkOutcome:
         """Guest dimension flattened: gPA = gVA + OFFSET_G, then nested."""
         gpa = self.guest_segment.translate(gva)
+        p = self.profiler
+        if p is not None:
+            p.enter("guest_segment")
         resolution = self.resolve_gpa(gpa)
+        if p is not None:
+            p.leave()
         outcome = WalkOutcome(
             frame=resolution.host_frame,
             # Segment-mapped regions have no page-table leaf to name an
@@ -323,7 +361,11 @@ class NestedWalker:
             vmm_segment_used=resolution.by_segment,
         )
         outcome.checks += 1
-        outcome.cycles += self.costs.base_bound_check_cycles
+        check_cycles = self.costs.base_bound_check_cycles
+        outcome.cycles += check_cycles
+        if p is not None:
+            p.charge("segment", "guest", "check", check_cycles,
+                     frame="guest_check")
         outcome.merge_cost(resolution.cost)
         return outcome
 
@@ -338,12 +380,22 @@ class NestedWalker:
         skip = min(probe.skipped_levels, leaf_level)
 
         outcome = WalkOutcome(frame=0, page_size=guest_result.page_size)
+        p = self.profiler
+        if p is not None:
+            p.event("pwc", "guest", f"skip{skip}")
         if guest_checked:
             # The failed guest-segment bound check still costs one cycle.
             outcome.checks += 1
-            outcome.cycles += self.costs.base_bound_check_cycles
+            check_cycles = self.costs.base_bound_check_cycles
+            outcome.cycles += check_cycles
+            if p is not None:
+                p.charge("segment", "guest", "check_miss", check_cycles,
+                         frame="guest_check")
         all_nested_by_segment = True
         for step in guest_result.steps[skip:]:
+            label = f"L{4 - step.level}"
+            if p is not None:
+                p.enter(f"guest_{label}")
             # Resolve the guest-PTE pointer (a gPA) through dimension two.
             resolution = self.resolve_gpa(step.pte_address)
             outcome.merge_cost(resolution.cost)
@@ -351,7 +403,11 @@ class NestedWalker:
             # Then load the guest PTE itself.
             outcome.refs += 1
             outcome.raw_refs += 1
-            outcome.cycles += self.costs.pte_access_cycles(step.level)
+            cycles = self.costs.pte_access_cycles(step.level)
+            outcome.cycles += cycles
+            if p is not None:
+                p.charge("guest", label, "pte", cycles)
+                p.leave()
         self.guest_pwc.fill(gva, upto_level=leaf_level - 1)
 
         # Resolve the gPA of the *referenced* 4 KB page, not the guest
@@ -360,7 +416,11 @@ class NestedWalker:
         # defined as the referenced address's frame.
         in_page_frames = (gva % int(guest_result.page_size)) // BASE_PAGE_SIZE
         final_gpa = (guest_result.frame + in_page_frames) * BASE_PAGE_SIZE
+        if p is not None:
+            p.enter("guest_leaf")
         final = self.resolve_gpa(final_gpa)
+        if p is not None:
+            p.leave()
         outcome.merge_cost(final.cost)
         all_nested_by_segment &= final.by_segment
 

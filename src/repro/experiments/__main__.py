@@ -4,9 +4,13 @@ Usage::
 
     python -m repro.experiments <name> [--trace-length N] [--quick]
                                        [--jobs N] [--json]
-                                       [--metrics] [--trace-out FILE]
+                                       [--metrics] [--profile]
+                                       [--trace-out FILE]
                                        [--manifest-out FILE] [--interval N]
     python -m repro.experiments stats <manifest.json> [--diff OTHER] [--json]
+    python -m repro.experiments profile [--workload W] [--config LABEL]
+                                        [--top K] [--folded FILE]
+                                        [--html FILE] [--per-page]
 
 where ``<name>`` is one of: figure1, figure11, figure12, figure13,
 breakdown, table3, table4, shadow, sharing, energy, resilience, bench,
@@ -20,7 +24,15 @@ every simulation cell and writes a run-provenance ``manifest.json``
 writes a Chrome-trace JSON timeline (open in ``chrome://tracing`` or
 https://ui.perfetto.dev); ``--interval`` sets the counter-sampling
 period in measured references.  ``stats`` pretty-prints or diffs the
-manifests those runs produced.
+manifests those runs produced (``--diff`` exits nonzero when the
+manifests disagree beyond wall-clock noise).
+
+``--profile`` additionally attaches the cycle-accounting profiler
+(:mod:`repro.obs.profiler`) to every cell: per-walk cycle attribution,
+hot-page heatmaps and folded stacks land in the manifest (implies
+``--metrics``).  ``profile`` runs a single cell interactively and
+renders the report directly -- see EXPERIMENTS.md and the Profiling
+section of OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ from repro.experiments import (
     figure11,
     figure12,
     figure13,
+    profiling,
     report,
     resilience,
     shadow,
@@ -146,6 +159,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "stats":
         return stats.main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profiling.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -189,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         help="attach the observability layer and write a run manifest",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="attach the cycle-accounting walk profiler to every cell "
+        "(attribution books land in the manifest; implies --metrics)",
+    )
+    parser.add_argument(
         "--trace-out",
         type=Path,
         default=None,
@@ -218,8 +239,13 @@ def main(argv: list[str] | None = None) -> int:
         length = 6_000
 
     obs = None
-    if args.metrics or args.trace_out is not None or args.manifest_out is not None:
-        obs = ObsOptions(interval=args.interval)
+    if (
+        args.metrics
+        or args.profile
+        or args.trace_out is not None
+        or args.manifest_out is not None
+    ):
+        obs = ObsOptions(interval=args.interval, profile=args.profile)
     manifest_base = args.manifest_out or Path("manifest.json")
 
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]

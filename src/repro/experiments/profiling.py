@@ -1,0 +1,134 @@
+"""``experiments profile``: cycle-accounting profile of one cell.
+
+Runs one (workload, config) simulation cell with the
+:class:`~repro.obs.profiler.WalkProfiler` attached and renders the
+attribution books three ways:
+
+* a terminal report (attribution table, hot pages, hot 2 MB regions);
+* ``--folded FILE`` -- folded stacks for ``flamegraph.pl`` / speedscope;
+* ``--html FILE`` -- a self-contained single-file HTML report.
+
+The profiler mirrors the MMU's cycle accounting in exact fixed-point,
+so the report's per-axis cycles sum to the run's modelled translation
+cycles to the last bit, and attaching it leaves every simulation
+counter bit-identical to an unprofiled run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.obs.profiler import from_fixed, to_fixed
+from repro.obs.report import render_folded, render_html, render_text
+from repro.obs.tracing import ObsOptions
+from repro.sim.config import parse_config
+from repro.sim.simulator import simulate
+from repro.workloads.registry import create_workload, workload_names
+
+#: Trace length used by ``--smoke`` (CI sanity runs).
+SMOKE_TRACE_LENGTH = 6_000
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments profile``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments profile",
+        description="Profile one simulation cell's page-walk cycles.",
+    )
+    parser.add_argument(
+        "--workload",
+        default="gups",
+        choices=sorted(workload_names()),
+        help="workload to profile (default gups)",
+    )
+    parser.add_argument(
+        "--config",
+        default="4K+4K",
+        help="system configuration label (default 4K+4K)",
+    )
+    parser.add_argument(
+        "--trace-length",
+        type=int,
+        default=80_000,
+        help="measured page visits (default 80000)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trace seed")
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="K",
+        help="rows per ranked table in the text report (default 20)",
+    )
+    parser.add_argument(
+        "--folded",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write folded stacks (flamegraph.pl / speedscope input)",
+    )
+    parser.add_argument(
+        "--html",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write a self-contained HTML report",
+    )
+    parser.add_argument(
+        "--per-page",
+        action="store_true",
+        help="full hot-page table plus sampled walk records",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"minimal trace ({SMOKE_TRACE_LENGTH} visits) for CI checks",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw profile snapshot as JSON instead of the report",
+    )
+    args = parser.parse_args(argv)
+    try:
+        parse_config(args.config)
+    except ConfigError as exc:
+        parser.error(str(exc))
+    length = SMOKE_TRACE_LENGTH if args.smoke else args.trace_length
+
+    workload = create_workload(args.workload)
+    observer = ObsOptions(interval=None, profile=True).make_observer()
+    result = simulate(
+        args.config, workload, trace_length=length, seed=args.seed, observer=observer
+    )
+    profile = result.profile
+    assert profile is not None  # profile=True guarantees a snapshot
+
+    if args.json:
+        print(json.dumps(profile, sort_keys=True))
+    else:
+        title = f"{args.workload} under {args.config}"
+        print(f"=== profile: {title} ===")
+        print(render_text(profile, top=args.top, per_page=args.per_page))
+        attributed = from_fixed(profile["total_cycles_fp"])
+        modelled = result.counters.translation_cycles
+        exact = profile["total_cycles_fp"] == to_fixed(modelled)
+        print(
+            f"\nconservation: {attributed:,.1f} attributed == "
+            f"{modelled:,.1f} modelled "
+            f"({'exact' if exact else 'MISMATCH'})"
+        )
+    if args.folded is not None:
+        args.folded.parent.mkdir(parents=True, exist_ok=True)
+        args.folded.write_text(render_folded(profile))
+        print(f"wrote folded stacks: {args.folded}")
+    if args.html is not None:
+        args.html.parent.mkdir(parents=True, exist_ok=True)
+        args.html.write_text(
+            render_html(profile, title=f"{args.workload} under {args.config}")
+        )
+        print(f"wrote HTML report: {args.html}")
+    return 0

@@ -118,6 +118,34 @@ def format_manifest(manifest: dict) -> str:
         f"{totals['translation_cycles']:.0f} translation cycles, "
         f"{totals['degradation_events']} degradation events"
     )
+    histogram_rows = [
+        [
+            name,
+            data["count"],
+            f"{data['mean']:.1f}",
+            f"{data['p50']:.1f}",
+            f"{data['p95']:.1f}",
+            f"{data['p99']:.1f}",
+        ]
+        for name, data in sorted(totals.get("metrics", {}).items())
+        if data.get("type") == "histogram" and "p50" in data
+    ]
+    if histogram_rows:
+        lines.append("distributions (merged across cells):")
+        lines.append(
+            format_table(
+                ["metric", "count", "mean", "p50", "p95", "p99"],
+                histogram_rows,
+            )
+        )
+    profile = totals.get("profile")
+    if profile is not None:
+        lines.append(
+            f"profile: {profile['walks']} walks attributed across "
+            f"{len(profile['axes'])} (structure, level, cause) axes; "
+            f"inspect with `python -m repro.experiments profile` or the "
+            f"manifest's totals.profile"
+        )
     if manifest.get("duration_seconds") is not None:
         lines.append(f"wall clock: {manifest['duration_seconds']:.3f}s")
     return "\n".join(lines)
@@ -132,7 +160,8 @@ def diff_manifests(old: dict, new: dict) -> str:
 
     Reports cells present on only one side, per-cell deltas of the
     headline numbers, and whether the runs are equivalent up to
-    wall-clock noise (equal :func:`stable_view`).
+    wall-clock noise (equal :func:`stable_view`); :func:`main` turns
+    that verdict into its exit code.
     """
     lines = [
         f"old: {old['experiment']} @ {old['created_at']} "
@@ -191,7 +220,12 @@ def diff_manifests(old: dict, new: dict) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Pretty-print or diff manifest files."""
+    """Pretty-print or diff manifest files.
+
+    With ``--diff``, the exit code reflects the verdict: 0 when the two
+    manifests are equivalent up to wall-clock noise, 1 when they differ
+    -- so CI can gate on ``stats A --diff B`` directly.
+    """
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments stats",
         description="Inspect run-provenance manifests written with --metrics.",
@@ -212,7 +246,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     manifest = load_manifest(args.manifest)
     if args.diff is not None:
-        print(diff_manifests(manifest, load_manifest(args.diff)))
+        other = load_manifest(args.diff)
+        print(diff_manifests(manifest, other))
+        return 0 if stable_view(manifest) == stable_view(other) else 1
     elif args.json:
         print(json.dumps(stable_view(manifest), indent=2, sort_keys=True))
     else:

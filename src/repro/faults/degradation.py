@@ -93,6 +93,10 @@ class DegradationLog:
     #: every recorded event bumps ``degradation.events.<action>`` and
     #: feeds ``degradation.cycle_cost``.
     metrics: object | None = None
+    #: Optional :class:`repro.obs.profiler.WalkProfiler`; reaction
+    #: costs are attributed per action in the profiler's (separate)
+    #: degradation books, conserved against :attr:`total_cycle_cost`.
+    profiler: object | None = None
 
     def record(
         self,
@@ -122,6 +126,9 @@ class DegradationLog:
             m.observe("degradation.cycle_cost", cycle_cost)
             if event.is_mode_transition:
                 m.inc("degradation.mode_transitions")
+        p = self.profiler
+        if p is not None:
+            p.degradation_event(action.value, cycle_cost)
         return event
 
     def sorted_events(self) -> list[DegradationEvent]:

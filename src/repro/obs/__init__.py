@@ -9,11 +9,16 @@ The observability layer the rest of the simulator reports into:
   series plus Chrome-trace (``chrome://tracing`` / Perfetto) span
   export for experiment cells;
 * :mod:`repro.obs.manifest` -- deterministic run-provenance
-  ``manifest.json`` documents with schema validation.
+  ``manifest.json`` documents with schema validation;
+* :mod:`repro.obs.profiler` / :mod:`repro.obs.walklog` /
+  :mod:`repro.obs.report` -- the cycle-accounting profiler: exact
+  per-walk attribution of modelled cycles to (structure, level, cause)
+  axes, hot-page heatmaps, and text/folded-stack/HTML reports.
 
 See OBSERVABILITY.md for metric names, bucket layouts, the manifest
-schema and CLI usage (``--metrics/--trace-out/--interval`` and the
-``stats`` subcommand).
+schema, the profiler's conservation invariant, and CLI usage
+(``--metrics/--profile/--trace-out/--interval`` and the ``stats`` /
+``profile`` subcommands).
 """
 
 from repro.obs.manifest import (
@@ -33,6 +38,15 @@ from repro.obs.metrics import (
     MetricsRegistry,
     merge_snapshots,
 )
+from repro.obs.profiler import (
+    SCALE,
+    WalkProfiler,
+    from_fixed,
+    merge_profiles,
+    strip_reservoir,
+    to_fixed,
+)
+from repro.obs.report import render_folded, render_html, render_text
 from repro.obs.tracing import (
     DEFAULT_INTERVAL,
     IntervalSample,
@@ -41,10 +55,12 @@ from repro.obs.tracing import (
     RunObserver,
     chrome_trace,
 )
+from repro.obs.walklog import WalkLog, merge_walklogs
 
 __all__ = [
     "DEFAULT_INTERVAL",
     "MANIFEST_KIND",
+    "SCALE",
     "SCHEMA_VERSION",
     "Counter",
     "Gauge",
@@ -55,11 +71,21 @@ __all__ = [
     "ObsOptions",
     "RunObservability",
     "RunObserver",
+    "WalkLog",
+    "WalkProfiler",
     "build_manifest",
     "chrome_trace",
+    "from_fixed",
     "load_manifest",
+    "merge_profiles",
     "merge_snapshots",
+    "merge_walklogs",
+    "render_folded",
+    "render_html",
+    "render_text",
     "stable_view",
+    "strip_reservoir",
+    "to_fixed",
     "validate_manifest",
     "write_manifest",
 ]

@@ -32,6 +32,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.obs.metrics import merge_snapshots
+from repro.obs.profiler import merge_profiles, strip_reservoir
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.tracing import RunObservability
@@ -130,7 +131,7 @@ def cell_manifest(record: "RunObservability") -> dict:
         "trace_length": record.trace_length,
         "interval": record.interval,
     }
-    return {
+    cell = {
         "workload": record.workload,
         "config": record.config,
         "seed": record.seed,
@@ -145,6 +146,12 @@ def cell_manifest(record: "RunObservability") -> dict:
         "metrics": record.metrics,
         "summary": record.summary,
     }
+    if record.profile is not None:
+        # Attribution books and heatmaps belong in the manifest; the
+        # raw walk-record reservoir would bloat it and is reproducible
+        # from the cell's seed anyway.
+        cell["profile"] = strip_reservoir(record.profile)
+    return cell
 
 
 def build_manifest(
@@ -176,6 +183,12 @@ def build_manifest(
         "degradation_events": sum(c["num_degradations"] for c in cells),
         "metrics": merge_snapshots([c["metrics"] for c in cells]),
     }
+    profiles = [c["profile"] for c in cells if "profile" in c]
+    if profiles:
+        # One order-independent merge over every profiled cell (cells
+        # are already in canonical order, and merge_profiles sums all
+        # inputs before any top-K cut).
+        totals["profile"] = merge_profiles(profiles)
     manifest = {
         "kind": MANIFEST_KIND,
         "schema_version": SCHEMA_VERSION,

@@ -129,14 +129,55 @@ class Histogram:
         """Average observed value (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated ``q``-quantile of the observations.
+
+        Exact values are gone once bucketed, so this interpolates
+        linearly within the bucket holding the ``q``-th observation --
+        the standard Prometheus ``histogram_quantile`` estimate.  The
+        overflow bucket has no upper bound and clamps to the last
+        finite bound; an empty histogram reports 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                if index >= len(self.bounds):
+                    return float(self.bounds[-1])
+                upper = float(self.bounds[index])
+                lower = (
+                    float(self.bounds[index - 1])
+                    if index > 0
+                    else min(0.0, upper)
+                )
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return float(self.bounds[-1])  # pragma: no cover - rank <= count
+
     def as_dict(self) -> dict:
-        """Snapshot form (bounds listed so merges can check geometry)."""
+        """Snapshot form (bounds listed so merges can check geometry).
+
+        Includes the derived ``mean``/``p50``/``p95``/``p99`` summary
+        stats; :func:`merge_snapshots` recomputes them from the merged
+        buckets, so they stay consistent under aggregation.
+        """
         return {
             "type": "histogram",
             "bounds": list(self.bounds),
             "counts": list(self.counts),
             "sum": self.total,
             "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
 
@@ -263,4 +304,19 @@ def merge_snapshots(snapshots: list[dict]) -> dict[str, dict]:
                 have["count"] += data["count"]
             else:
                 raise ValueError(f"metric {name!r}: unknown kind {kind!r}")
+    for data in merged.values():
+        # Summary stats do not merge linearly (a merged p95 is not a
+        # function of per-run p95s); recompute them from the merged
+        # buckets instead.
+        if data.get("type") == "histogram":
+            histogram = Histogram(
+                bounds=tuple(data["bounds"]),
+                counts=list(data["counts"]),
+                total=data["sum"],
+                count=data["count"],
+            )
+            data["mean"] = histogram.mean
+            data["p50"] = histogram.quantile(0.50)
+            data["p95"] = histogram.quantile(0.95)
+            data["p99"] = histogram.quantile(0.99)
     return dict(sorted(merged.items()))

@@ -1,0 +1,454 @@
+"""Cycle-accounting profiler: exact per-walk attribution of modelled cycles.
+
+Aggregate counters (:mod:`repro.obs.metrics`) say *how many* cycles a
+configuration spent translating; they cannot say *where* those cycles
+went.  The :class:`WalkProfiler` answers that: every modelled cycle of
+every page walk is attributed to a ``(structure, level, cause)`` axis --
+a guest or host radix level, the segment-register check path, the nested
+TLB probe, and so on -- together with a folded call path
+(``walk;guest_L4;host_L3``) suitable for flamegraph tooling.
+
+**Conservation invariant.**  Per-axis attributions must sum *exactly*
+(integer equality) to the MMU's total modelled cycles.  Cycle costs are
+floats (cache-residency blends like 12.56 cycles per PTE), so naive
+per-charge float sums drift away from the float-accumulated
+``MMUCounters.walk_cycles``.  The profiler therefore works in fixed
+point at :data:`SCALE` = 2**52:
+
+* :func:`to_fixed` converts a float to an integer number of
+  ``1/SCALE`` cycle quanta, exactly, via ``float.as_integer_ratio``;
+* a *mirror* accumulator repeats the MMU's own ``walk_cycles +=
+  outcome.cycles`` float addition bit-for-bit, so per walk the exact
+  integer delta ``to_fixed(mirror') - to_fixed(mirror)`` telescopes to
+  ``to_fixed(counters.walk_cycles)`` over the whole run;
+* the (tiny) difference between that delta and the walk's per-charge
+  fixed-point sum is folded into the walk's largest charge, so axis
+  sums conserve by construction.
+
+The scalar and batched translation paths share every walk-side code
+path (the batched engine fast-paths only proven L1 hits, which cost
+zero cycles), so one set of walker/MMU hooks covers both engines and
+profiles are engine-invariant.
+
+Hooks follow the no-op-when-disabled pattern: components hold
+``self.profiler = None`` by default and pay one attribute load plus a
+``None`` check per *walk* (never per reference), keeping the bench
+gate's <2% disabled-overhead budget intact.  TLB hit/miss and
+fast-path event counts are derived from counter deltas at
+:meth:`WalkProfiler.finalize` instead of hot-path callbacks.
+
+Degradation reactions are charged on top of translation cycles by the
+fault layer, so they live in a separate pair of books, conserved
+against ``DegradationLog.total_cycle_cost`` by the same mirror trick.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.walker import WalkOutcome
+    from repro.sim.system import SimulatedSystem
+
+from repro.obs.walklog import WalkLog
+
+#: Fixed-point scale: one modelled cycle == 2**52 quanta.  Every cost
+#: the simulator charges is a float with at most 52 fractional mantissa
+#: bits at magnitude >= 1, so :func:`to_fixed` is exact for them.
+SCALE = 1 << 52
+
+#: Axis key for cycles no buffered charge could explain (defensive; a
+#: correctly hooked walker never produces these).
+UNATTRIBUTED = ("walk", "-", "unattributed")
+
+#: Root frame of every folded stack.
+ROOT_FRAME = "walk"
+
+
+def to_fixed(value: float) -> int:
+    """``value`` in 1/SCALE cycle quanta (exact for sane magnitudes).
+
+    Exact whenever the float's denominator divides ``SCALE`` (true for
+    every value >= 2**-52 and for 0); deterministic floor-rounding
+    otherwise, which preserves the telescoping-sum conservation because
+    the same pure function maps both sides of the invariant.
+    """
+    if value == 0.0:
+        return 0
+    numerator, denominator = float(value).as_integer_ratio()
+    if denominator <= SCALE:
+        return numerator * (SCALE // denominator)
+    return (numerator * SCALE) // denominator
+
+
+def from_fixed(quanta: int) -> float:
+    """Back to (approximate) cycles, for display only."""
+    return quanta / SCALE
+
+
+class WalkProfiler:
+    """Attributes every modelled walk cycle to a (structure, level, cause) axis.
+
+    One profiler observes one run.  The MMU calls :meth:`begin_walk` /
+    :meth:`end_walk` around each walk attempt; walkers report each cost
+    site through :meth:`charge` and shape the folded stack with
+    :meth:`enter`/:meth:`leave`.  ``begin_walk`` discards any charges
+    buffered by a previous faulted attempt (whose cycles never reached
+    the counters), so retries cannot break conservation.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        walklog: bool = True,
+        reservoir_size: int | None = None,
+        max_pages: int | None = None,
+    ) -> None:
+        self.seed = seed
+        #: (structure, level, cause) -> fixed-point cycles / event count.
+        self.axis_cycles: dict[tuple[str, str, str], int] = {}
+        self.axis_counts: dict[tuple[str, str, str], int] = {}
+        #: folded stack (tuple of frames) -> fixed-point cycles.
+        self.folded: dict[tuple[str, ...], int] = {}
+        self.walks = 0
+        #: Degradation books (separate conservation domain).
+        self.degradation_cycles: dict[str, int] = {}
+        self.degradation_counts: dict[str, int] = {}
+        # Bit-identical mirrors of the float accumulations being attributed.
+        self._mirror = 0.0
+        self._mirror_fp = 0
+        self._deg_mirror = 0.0
+        self._deg_mirror_fp = 0
+        # Per-walk state.
+        self._buffer: list[tuple[tuple[str, str, str], float, tuple[str, ...]]] = []
+        self._stack: list[str] = [ROOT_FRAME]
+        self._vaddr = 0
+        self._walk_open = False
+        # Escape-filter probe baselines captured at attach().
+        self._filter_baselines: list[tuple[str, object, int, int]] = []
+        self._nested_baseline: tuple[int, int] = (0, 0)
+        kwargs = {}
+        if reservoir_size is not None:
+            kwargs["reservoir_size"] = reservoir_size
+        if max_pages is not None:
+            kwargs["max_pages"] = max_pages
+        self.walklog: WalkLog | None = (
+            WalkLog(seed=seed, **kwargs) if walklog else None
+        )
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (called by MMU / walkers, only on walks)
+
+    def begin_walk(self, vaddr: int) -> None:
+        """Open one walk attempt; discards any prior attempt's charges."""
+        self._buffer.clear()
+        del self._stack[1:]
+        self._vaddr = vaddr
+        self._walk_open = True
+
+    def charge(
+        self,
+        structure: str,
+        level: str,
+        cause: str,
+        cycles: float,
+        frame: str | None = None,
+    ) -> None:
+        """Buffer one cycle charge at the current folded-stack position.
+
+        ``frame`` names a leaf frame appended below the current stack;
+        ``None`` charges self-time at the current path.  Zero-cycle
+        charges record pure events (counted on the axis, absent from
+        the folded output).
+        """
+        path = tuple(self._stack) if frame is None else (*self._stack, frame)
+        self._buffer.append(((structure, level, cause), cycles, path))
+
+    def event(self, structure: str, level: str, cause: str) -> None:
+        """Buffer a zero-cycle event (PWC hit/miss, probe, ...)."""
+        self._buffer.append(((structure, level, cause), 0.0, tuple(self._stack)))
+
+    def enter(self, frame: str) -> None:
+        """Push a folded-stack frame (a nested sub-resolution begins)."""
+        self._stack.append(frame)
+
+    def leave(self) -> None:
+        """Pop the innermost folded-stack frame."""
+        if len(self._stack) > 1:
+            self._stack.pop()
+
+    def fault_event(self, dimension: str) -> None:
+        """Count a translation fault (charged even when the walk retries)."""
+        key = ("fault", dimension, "raised")
+        self.axis_counts[key] = self.axis_counts.get(key, 0) + 1
+
+    def end_walk(self, outcome: "WalkOutcome", case: str) -> None:
+        """Close the walk: conserve, attribute, and log it.
+
+        Must be called immediately after the MMU performs
+        ``counters.walk_cycles += outcome.cycles``: the mirror repeats
+        that exact float operation, so the fixed-point delta between
+        the old and new mirror is this walk's exact contribution to the
+        accumulated counter, however float rounding fell.
+        """
+        new_mirror = self._mirror + outcome.cycles
+        new_fp = to_fixed(new_mirror)
+        walk_fp = new_fp - self._mirror_fp
+        self._mirror = new_mirror
+        self._mirror_fp = new_fp
+
+        charges = [
+            (key, to_fixed(cycles), path)
+            for key, cycles, path in self._buffer
+        ]
+        residual = walk_fp - sum(fp for _, fp, _ in charges)
+        if residual:
+            best = -1
+            best_fp = -1
+            for index, (_, fp, _) in enumerate(charges):
+                if fp > best_fp:
+                    best_fp = fp
+                    best = index
+            if best >= 0:
+                key, fp, path = charges[best]
+                charges[best] = (key, fp + residual, path)
+            else:
+                charges.append((UNATTRIBUTED, residual, (ROOT_FRAME,)))
+
+        axis_cycles = self.axis_cycles
+        axis_counts = self.axis_counts
+        folded = self.folded
+        pte_frames: list[str] = []
+        for key, fp, path in charges:
+            axis_cycles[key] = axis_cycles.get(key, 0) + fp
+            axis_counts[key] = axis_counts.get(key, 0) + 1
+            if fp:
+                folded[path] = folded.get(path, 0) + fp
+            if key[2] == "pte":
+                pte_frames.append(path[-1])
+        self.walks += 1
+
+        if self.walklog is not None:
+            self.walklog.record(
+                {
+                    "vpn": self._vaddr >> 12,
+                    "cycles": outcome.cycles,
+                    "cycles_fp": walk_fp,
+                    "refs": outcome.refs,
+                    "raw_refs": outcome.raw_refs,
+                    "checks": outcome.checks,
+                    "page_size": outcome.page_size.label,
+                    "case": case,
+                    "levels": tuple(pte_frames),
+                }
+            )
+        self._buffer.clear()
+        del self._stack[1:]
+        self._walk_open = False
+
+    # ------------------------------------------------------------------
+    # Degradation books (separate conservation domain)
+
+    def degradation_event(self, action: str, cycle_cost: float) -> None:
+        """Attribute one degradation reaction's modelled cost.
+
+        Mirrors ``DegradationLog.total_cycle_cost``'s float summation
+        order (append order), so the books conserve against it exactly.
+        """
+        new_mirror = self._deg_mirror + cycle_cost
+        new_fp = to_fixed(new_mirror)
+        delta = new_fp - self._deg_mirror_fp
+        self._deg_mirror = new_mirror
+        self._deg_mirror_fp = new_fp
+        self.degradation_cycles[action] = (
+            self.degradation_cycles.get(action, 0) + delta
+        )
+        self.degradation_counts[action] = (
+            self.degradation_counts.get(action, 0) + 1
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+
+    def attach(self, system: "SimulatedSystem") -> None:
+        """Point every component hook at this profiler; snap baselines."""
+        mmu = system.mmu
+        mmu.profiler = self
+        mmu.walker.profiler = self
+        if system.hypervisor is not None:
+            system.hypervisor.degradation_log.profiler = self
+        self._filter_baselines = []
+        walker = mmu.walker
+        for name, attr in (
+            ("native", "escape_filter"),
+            ("vmm", "vmm_escape_filter"),
+            ("guest", "guest_escape_filter"),
+        ):
+            escape_filter = getattr(walker, attr, None)
+            if escape_filter is not None:
+                self._filter_baselines.append(
+                    (name, escape_filter, escape_filter.probes,
+                     escape_filter.probe_hits)
+                )
+        hierarchy = system.hierarchy
+        self._nested_baseline = (
+            hierarchy.nested_lookups,
+            hierarchy.nested_hits,
+        )
+
+    def finalize(self, system: "SimulatedSystem") -> dict:
+        """Fold counter-derived events in and freeze the snapshot.
+
+        TLB probes, fast-path hits and faults cost zero modelled cycles
+        (probe latency overlaps the pipeline; the paper charges only
+        walk references and checks), so their event counts come from
+        counter deltas here rather than per-reference hot-path hooks.
+        """
+        c = system.mmu.counters
+        self._bump_count(("tlb_l1", "-", "hit"), c.l1_hits)
+        self._bump_count(("tlb_l1", "-", "miss"), c.l1_misses)
+        self._bump_count(("tlb_l2", "-", "hit"), c.l2_hits)
+        self._bump_count(("tlb_l2", "-", "miss"), c.l2_misses)
+        self._bump_count(("segment", "dual_direct", "hit"), c.dual_direct_hits)
+        self._bump_count(
+            ("segment", "ds_parallel", "hit"), c.segment_l2_parallel_hits
+        )
+        hierarchy = system.hierarchy
+        lookups0, hits0 = self._nested_baseline
+        probes = hierarchy.nested_lookups - lookups0
+        hits = hierarchy.nested_hits - hits0
+        self._bump_count(("ntlb", "shared", "probe"), probes)
+        self._bump_count(("ntlb", "shared", "probe_hit"), hits)
+        for name, escape_filter, probes0, hits0 in self._filter_baselines:
+            self._bump_count(
+                ("escape_filter", name, "probe"),
+                escape_filter.probes - probes0,
+            )
+            self._bump_count(
+                ("escape_filter", name, "probe_hit"),
+                escape_filter.probe_hits - hits0,
+            )
+        # Future-safety: fold any check_cycles the MMU accumulated
+        # outside walks (today always 0.0 -- fast-path checks overlap
+        # the L2 probe and cost nothing) so translation_cycles =
+        # walk_cycles + check_cycles stays conserved either way.
+        if c.check_cycles:
+            key = ("segment", "mmu", "check_cycles")
+            delta = to_fixed(self._mirror + c.check_cycles) - self._mirror_fp
+            self.axis_cycles[key] = self.axis_cycles.get(key, 0) + delta
+            self.axis_counts[key] = self.axis_counts.get(key, 0) + 1
+        return self.snapshot()
+
+    def _bump_count(self, key: tuple[str, str, str], amount: int) -> None:
+        if amount:
+            self.axis_counts[key] = self.axis_counts.get(key, 0) + amount
+
+    # ------------------------------------------------------------------
+    # Snapshots
+
+    def snapshot(self) -> dict:
+        """Deterministic plain-dict view (JSON-ready, picklable).
+
+        ``total_cycles_fp`` equals ``to_fixed`` of the MMU's
+        float-accumulated translation cycles -- the conservation
+        invariant tests assert as integer equality.
+        """
+        axes = {}
+        for key in sorted(set(self.axis_cycles) | set(self.axis_counts)):
+            axes["|".join(key)] = {
+                "cycles_fp": self.axis_cycles.get(key, 0),
+                "count": self.axis_counts.get(key, 0),
+            }
+        out = {
+            "scale": SCALE,
+            "walks": self.walks,
+            "axes": axes,
+            "total_cycles_fp": sum(self.axis_cycles.values()),
+            "folded": {
+                ";".join(path): fp
+                for path, fp in sorted(self.folded.items())
+            },
+            "degradation": {
+                action: {
+                    "cycles_fp": self.degradation_cycles.get(action, 0),
+                    "count": self.degradation_counts.get(action, 0),
+                }
+                for action in sorted(
+                    set(self.degradation_cycles) | set(self.degradation_counts)
+                )
+            },
+            "degradation_cycles_fp": sum(self.degradation_cycles.values()),
+        }
+        if self.walklog is not None:
+            out["walklog"] = self.walklog.snapshot()
+        return out
+
+
+# ----------------------------------------------------------------------
+# Snapshot algebra (manifests, parallel sweeps)
+
+
+def merge_profiles(snapshots: list[dict]) -> dict:
+    """Order-independent merge of profiler snapshots.
+
+    Everything sums: axis fixed-point cycles and counts, folded stacks,
+    walk counts, degradation books, page/region heat.  All inputs are
+    summed before any top-K cap is applied, so the result is identical
+    for any input order (the manifest totals contract).  Per-cell
+    reservoirs are dropped -- a cross-cell sample mixture has no single
+    seed to reproduce it from.
+    """
+    if not snapshots:
+        return WalkProfiler(walklog=False).snapshot()
+    scales = {snap["scale"] for snap in snapshots}
+    if len(scales) != 1:
+        raise ValueError(f"profile scale mismatch in merge: {sorted(scales)}")
+    axes: dict[str, dict[str, int]] = {}
+    folded: dict[str, int] = {}
+    degradation: dict[str, dict[str, int]] = {}
+    walks = 0
+    for snap in snapshots:
+        walks += snap["walks"]
+        for name, data in snap["axes"].items():
+            have = axes.setdefault(name, {"cycles_fp": 0, "count": 0})
+            have["cycles_fp"] += data["cycles_fp"]
+            have["count"] += data["count"]
+        for path, fp in snap["folded"].items():
+            folded[path] = folded.get(path, 0) + fp
+        for action, data in snap["degradation"].items():
+            have = degradation.setdefault(action, {"cycles_fp": 0, "count": 0})
+            have["cycles_fp"] += data["cycles_fp"]
+            have["count"] += data["count"]
+    out = {
+        "scale": next(iter(scales)),
+        "walks": walks,
+        "axes": dict(sorted(axes.items())),
+        "total_cycles_fp": sum(a["cycles_fp"] for a in axes.values()),
+        "folded": dict(sorted(folded.items())),
+        "degradation": dict(sorted(degradation.items())),
+        "degradation_cycles_fp": sum(
+            d["cycles_fp"] for d in degradation.values()
+        ),
+    }
+    logs = [snap["walklog"] for snap in snapshots if "walklog" in snap]
+    if logs:
+        from repro.obs.walklog import merge_walklogs
+
+        out["walklog"] = merge_walklogs(logs)
+    return out
+
+
+def strip_reservoir(snapshot: dict) -> dict:
+    """A copy of ``snapshot`` without the per-walk sample reservoir.
+
+    Cell manifests embed the attribution books and heatmaps but not the
+    raw walk records; reports that want the reservoir read it from the
+    in-memory :class:`~repro.obs.tracing.RunObservability` instead.
+    """
+    out = dict(snapshot)
+    walklog = out.get("walklog")
+    if isinstance(walklog, dict) and "reservoir" in walklog:
+        walklog = dict(walklog)
+        walklog["reservoir"] = []
+        out["walklog"] = walklog
+    return out

@@ -1,0 +1,329 @@
+"""Profiler report renderers: text, folded stacks, self-contained HTML.
+
+Consumes the plain-dict snapshots :meth:`WalkProfiler.snapshot` /
+:func:`merge_profiles` produce (also embedded in manifests under
+``cells[*].profile`` and ``totals.profile``):
+
+* :func:`render_text` -- the ``experiments profile`` terminal report:
+  per-axis attribution table with the conservation line, hot pages,
+  hot 2 MB regions, degradation books and sampled walk records;
+* :func:`render_folded` -- one ``frame;frame;... cycles`` line per
+  folded stack, the input format of Brendan Gregg's ``flamegraph.pl``
+  and of speedscope / Perfetto ("import folded stacks");
+* :func:`render_html` -- a dependency-free single-file HTML report
+  (inline CSS only) with the attribution table, a hot-page heat table
+  and the folded-stack top paths.
+
+Everything here is presentation: fixed-point quanta are divided back
+into cycles for display, while the underlying snapshot keeps the exact
+integers.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.obs.profiler import from_fixed
+
+#: Default number of rows shown per ranked table.
+DEFAULT_TOP = 20
+
+
+def _fmt_cycles(quanta: int) -> str:
+    """Fixed-point quanta as a cycle count for humans."""
+    return f"{from_fixed(quanta):,.1f}"
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    """Minimal aligned text table (obs must not import experiments)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(widths[i]) for i, c in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def _axis_rows(profile: dict, top: int | None = None) -> list[list[str]]:
+    total = profile["total_cycles_fp"] or 1
+    ranked = sorted(
+        profile["axes"].items(),
+        key=lambda item: (-item[1]["cycles_fp"], item[0]),
+    )
+    if top is not None:
+        ranked = ranked[:top]
+    rows = []
+    for name, data in ranked:
+        structure, level, cause = name.split("|")
+        count = data["count"]
+        cycles_fp = data["cycles_fp"]
+        per_event = from_fixed(cycles_fp) / count if count else 0.0
+        rows.append(
+            [
+                structure,
+                level,
+                cause,
+                _fmt_cycles(cycles_fp),
+                f"{100.0 * cycles_fp / total:.1f}%",
+                f"{count:,}",
+                f"{per_event:.2f}",
+            ]
+        )
+    return rows
+
+
+_AXIS_HEADERS = [
+    "structure", "level", "cause", "cycles", "share", "events", "cyc/event",
+]
+
+
+def render_text(
+    profile: dict, top: int = DEFAULT_TOP, per_page: bool = False
+) -> str:
+    """The terminal report for one profile snapshot."""
+    total_fp = profile["total_cycles_fp"]
+    lines = [
+        f"profiled walks: {profile['walks']:,}   "
+        f"attributed cycles: {_fmt_cycles(total_fp)}   "
+        f"(exact fixed-point sum at scale 2^52)",
+        "",
+        "cycle attribution by (structure, level, cause):",
+        _table(_AXIS_HEADERS, _axis_rows(profile)),
+    ]
+    walklog = profile.get("walklog")
+    if walklog is not None:
+        lines += ["", _render_heat_text(walklog, top, per_page)]
+    degradation = profile.get("degradation") or {}
+    if degradation:
+        rows = [
+            [action, _fmt_cycles(d["cycles_fp"]), f"{d['count']:,}"]
+            for action, d in sorted(
+                degradation.items(),
+                key=lambda item: (-item[1]["cycles_fp"], item[0]),
+            )
+        ]
+        lines += [
+            "",
+            "degradation reactions (charged outside translation cycles):",
+            _table(["action", "cycles", "events"], rows),
+        ]
+    folded = profile.get("folded") or {}
+    if folded:
+        ranked = sorted(folded.items(), key=lambda item: (-item[1], item[0]))
+        rows = [[path, _fmt_cycles(fp)] for path, fp in ranked[:top]]
+        lines += ["", "hottest folded stacks:", _table(["stack", "cycles"], rows)]
+    return "\n".join(lines)
+
+
+def _render_heat_text(walklog: dict, top: int, per_page: bool) -> str:
+    lines = [
+        f"walks logged: {walklog['walks_seen']:,}   "
+        f"pages tracked: {walklog['pages_tracked']:,}"
+        + (
+            f" (+{walklog['pages_dropped']:,} walks past the page cap)"
+            if walklog["pages_dropped"]
+            else ""
+        ),
+    ]
+    pages = walklog["pages"][: top if per_page else min(top, 10)]
+    if pages:
+        rows = [
+            [f"{vpn:#x}", f"{walks:,}", _fmt_cycles(fp)]
+            for vpn, walks, fp in pages
+        ]
+        lines += [
+            "hot pages (by walk cycles):",
+            _table(["vpn", "walks", "cycles"], rows),
+        ]
+    regions = walklog["regions"][:top]
+    if regions:
+        rows = [
+            [f"{region:#x}", f"{walks:,}"] for region, walks in regions
+        ]
+        lines += [
+            "hot 2M regions (by TLB-miss walks):",
+            _table(["region", "misses"], rows),
+        ]
+    reservoir = walklog.get("reservoir") or []
+    if reservoir and per_page:
+        rows = [
+            [
+                f"{r['vpn']:#x}",
+                r["case"],
+                r["page_size"],
+                str(r["refs"]),
+                f"{r['cycles']:.1f}",
+                ";".join(r["levels"]) or "-",
+            ]
+            for r in reservoir[:top]
+        ]
+        lines += [
+            f"sampled walk records ({len(reservoir)} in reservoir):",
+            _table(["vpn", "case", "page", "refs", "cycles", "levels"], rows),
+        ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Folded stacks (flamegraph.pl / speedscope / Perfetto)
+
+
+def render_folded(profile: dict) -> str:
+    """``frame;frame;... <cycles>`` lines, one per folded stack.
+
+    Cycle weights are rounded to integers (the format requires integer
+    sample counts); stacks whose weight rounds to zero are kept at 1 so
+    rare-but-real paths stay visible in the flame graph.
+    """
+    lines = []
+    for path, fp in sorted(profile.get("folded", {}).items()):
+        cycles = round(from_fixed(fp))
+        lines.append(f"{path} {max(cycles, 1)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Self-contained HTML
+
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 72em; color: #1a1a2e; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }
+table { border-collapse: collapse; margin: 0.7em 0; font-size: 0.92em; }
+th, td { padding: 0.25em 0.8em; text-align: left;
+         border-bottom: 1px solid #ddd; }
+th { background: #f0f0f5; } td.num { text-align: right;
+     font-variant-numeric: tabular-nums; }
+.bar { display: inline-block; height: 0.8em; background: #4361ee;
+       vertical-align: baseline; }
+.heat td.cell { text-align: right; font-variant-numeric: tabular-nums; }
+.meta { color: #555; font-size: 0.9em; }
+code { background: #f5f5fa; padding: 0 0.25em; }
+"""
+
+
+def _html_table(headers: list[str], rows: list[list[str]], cls: str = "") -> str:
+    head = "".join(f"<th>{html.escape(h)}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(cell for cell in row) + "</tr>" for row in rows
+    )
+    cls_attr = f' class="{cls}"' if cls else ""
+    return f"<table{cls_attr}><tr>{head}</tr>{body}</table>"
+
+
+def _td(text: str, numeric: bool = False, style: str = "") -> str:
+    cls = ' class="num"' if numeric else ""
+    style_attr = f' style="{style}"' if style else ""
+    return f"<td{cls}{style_attr}>{html.escape(text)}</td>"
+
+
+def render_html(profile: dict, title: str = "walk profile") -> str:
+    """One dependency-free HTML page for a profile snapshot."""
+    parts = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        f"<p class='meta'>{profile['walks']:,} walks, "
+        f"{_fmt_cycles(profile['total_cycles_fp'])} attributed cycles "
+        f"(exact fixed-point books at scale 2<sup>52</sup>; per-axis sums "
+        f"equal the MMU's modelled total by construction).</p>",
+        "<h2>Cycle attribution</h2>",
+    ]
+    axis_rows = []
+    for row in _axis_rows(profile):
+        structure, level, cause, cycles, share, events, per_event = row
+        width = max(1.0, 180.0 * float(share.rstrip("%")) / 100.0)
+        axis_rows.append(
+            [
+                _td(structure),
+                _td(level),
+                _td(cause),
+                _td(cycles, numeric=True),
+                f"<td class='num'>{html.escape(share)} "
+                f"<span class='bar' style='width:{width:.0f}px'></span></td>",
+                _td(events, numeric=True),
+                _td(per_event, numeric=True),
+            ]
+        )
+    parts.append(_html_table(_AXIS_HEADERS, axis_rows))
+
+    walklog = profile.get("walklog")
+    if walklog is not None and walklog["pages"]:
+        parts.append("<h2>Hot pages</h2>")
+        max_fp = max(fp for _, _, fp in walklog["pages"]) or 1
+        heat_rows = []
+        for vpn, walks, fp in walklog["pages"][:32]:
+            alpha = 0.08 + 0.8 * (fp / max_fp)
+            heat_rows.append(
+                [
+                    _td(f"{vpn:#x}"),
+                    _td(f"{walks:,}", numeric=True),
+                    _td(
+                        _fmt_cycles(fp),
+                        numeric=True,
+                        style=f"background: rgba(239, 71, 111, {alpha:.2f})",
+                    ),
+                ]
+            )
+        parts.append(_html_table(["vpn", "walks", "cycles"], heat_rows, "heat"))
+    if walklog is not None and walklog["regions"]:
+        parts.append("<h2>Hot 2&nbsp;MB regions (TLB-miss walks)</h2>")
+        max_walks = walklog["regions"][0][1] or 1
+        region_rows = []
+        for region, walks in walklog["regions"][:32]:
+            alpha = 0.08 + 0.8 * (walks / max_walks)
+            region_rows.append(
+                [
+                    _td(f"{region:#x}"),
+                    _td(
+                        f"{walks:,}",
+                        numeric=True,
+                        style=f"background: rgba(67, 97, 238, {alpha:.2f})",
+                    ),
+                ]
+            )
+        parts.append(_html_table(["region", "misses"], region_rows, "heat"))
+
+    folded = profile.get("folded") or {}
+    if folded:
+        parts.append("<h2>Hottest folded stacks</h2>")
+        ranked = sorted(folded.items(), key=lambda item: (-item[1], item[0]))
+        stack_rows = [
+            [f"<td><code>{html.escape(path)}</code></td>",
+             _td(_fmt_cycles(fp), numeric=True)]
+            for path, fp in ranked[:DEFAULT_TOP]
+        ]
+        parts.append(_html_table(["stack", "cycles"], stack_rows))
+        parts.append(
+            "<p class='meta'>Export the full set with "
+            "<code>experiments profile --folded walks.folded</code> and render "
+            "with flamegraph.pl or speedscope.</p>"
+        )
+
+    degradation = profile.get("degradation") or {}
+    if degradation:
+        parts.append("<h2>Degradation reactions</h2>")
+        degradation_rows = [
+            [
+                _td(action),
+                _td(_fmt_cycles(d["cycles_fp"]), numeric=True),
+                _td(f"{d['count']:,}", numeric=True),
+            ]
+            for action, d in sorted(
+                degradation.items(),
+                key=lambda item: (-item[1]["cycles_fp"], item[0]),
+            )
+        ]
+        parts.append(_html_table(["action", "cycles", "events"], degradation_rows))
+
+    parts.append("</body></html>")
+    return "".join(parts)

@@ -45,9 +45,13 @@ class ObsOptions:
 
     ``interval`` is the sampling period in measured references (None
     disables the time series but keeps metrics and the run span).
+    ``profile`` additionally attaches a cycle-accounting
+    :class:`~repro.obs.profiler.WalkProfiler` to every run (the
+    ``--profile`` flag); simulation results stay bit-identical.
     """
 
     interval: int | None = DEFAULT_INTERVAL
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.interval is not None and self.interval <= 0:
@@ -55,7 +59,9 @@ class ObsOptions:
 
     def make_observer(self) -> "RunObserver":
         """A fresh observer (one per simulation run)."""
-        return RunObserver(MetricsRegistry(), interval=self.interval)
+        return RunObserver(
+            MetricsRegistry(), interval=self.interval, profile=self.profile
+        )
 
 
 @dataclass(frozen=True)
@@ -104,6 +110,10 @@ class RunObservability:
     #: Graceful-degradation events as plain dicts, ordered by their
     #: monotonic ``(ref_index, seq)`` key.
     degradations: tuple[dict, ...] = ()
+    #: Cycle-attribution snapshot (:meth:`WalkProfiler.finalize`);
+    #: None unless the run was profiled.  Includes the full walk-record
+    #: reservoir -- manifests strip it, reports consume it.
+    profile: dict | None = None
 
 
 class RunObserver:
@@ -120,11 +130,16 @@ class RunObserver:
         self,
         metrics: MetricsRegistry | None = None,
         interval: int | None = DEFAULT_INTERVAL,
+        profile: bool = False,
     ) -> None:
         if interval is not None and interval <= 0:
             raise ValueError(f"interval must be positive, got {interval}")
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.interval = interval
+        self.profile = profile
+        #: Created lazily at :meth:`attach` so the walk-record reservoir
+        #: is seeded from the run seed (set via :meth:`set_run_info`).
+        self.profiler = None
         self.samples: list[IntervalSample] = []
         self.seed = 0
         self.trace_length: int | None = None
@@ -143,6 +158,12 @@ class RunObserver:
         system.mmu.metrics = self.metrics
         if system.hypervisor is not None:
             system.hypervisor.degradation_log.metrics = self.metrics
+        if self.profile:
+            if self.profiler is None:
+                from repro.obs.profiler import WalkProfiler
+
+                self.profiler = WalkProfiler(seed=self.seed)
+            self.profiler.attach(system)
 
     def begin(self) -> None:
         """Mark the start of the measured portion."""
@@ -210,6 +231,23 @@ class RunObserver:
                 _degradation_dict(event) for event in log.sorted_events()
             )
             self.metrics.set_gauge("degradation.total_events", len(log))
+        profile = None
+        if self.profiler is not None:
+            profile = self.profiler.finalize(system)
+            self.metrics.set_gauge("profile.walks", profile["walks"])
+            self.metrics.set_gauge("profile.axes", len(profile["axes"]))
+            self.metrics.set_gauge(
+                "profile.attributed_cycles",
+                profile["total_cycles_fp"] / profile["scale"],
+            )
+            walklog = profile.get("walklog")
+            if walklog is not None:
+                self.metrics.set_gauge(
+                    "profile.pages_tracked", walklog["pages_tracked"]
+                )
+                self.metrics.set_gauge(
+                    "profile.reservoir_samples", len(walklog["reservoir"])
+                )
         return RunObservability(
             workload=workload_name,
             config=system.config.label,
@@ -223,6 +261,7 @@ class RunObserver:
             metrics=self.metrics.snapshot(),
             summary=summary,
             degradations=degradations,
+            profile=profile,
         )
 
 

@@ -1,0 +1,158 @@
+"""Bounded per-walk records and hot-page/hot-region heat aggregation.
+
+The profiler (:mod:`repro.obs.profiler`) explains *where* walk cycles
+went by structure; this module explains *which addresses* caused them:
+
+* a **reservoir** of structured per-walk records (vpn, walk dimensions,
+  per-level outcome, cycle cost) -- bounded memory, seed-deterministic
+  (Vitter's algorithm R driven by a ``random.Random`` derived from the
+  run seed), so two runs of the same cell sample identical walks;
+* **page heat** -- per-4K-page walk counts and fixed-point cycle sums,
+  capped at :data:`DEFAULT_MAX_PAGES` distinct pages (overflow is
+  counted, never silently dropped);
+* **region heat** -- TLB-miss walks per 2 MB region (the paper's
+  large-page granularity), for spotting hot segments a direct mode
+  would flatten.
+
+Snapshots are plain JSON-ready dicts.  Top-K lists are cut
+deterministically (ties broken by ascending page number) and
+:func:`merge_walklogs` sums every input before re-cutting, so manifest
+totals are independent of worker completion order.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Per-walk records kept per run (algorithm-R reservoir).
+DEFAULT_RESERVOIR = 256
+
+#: Distinct pages tracked exactly; later new pages only bump
+#: ``pages_dropped``.
+DEFAULT_MAX_PAGES = 4096
+
+#: Entries kept in snapshot top-K lists (pages and regions).
+TOP_CAP = 256
+
+#: 4 KB pages per 2 MB region.
+REGION_SHIFT = 9
+
+#: Mixed into the run seed so the reservoir stream is decoupled from
+#: any other consumer of the same seed.
+_SEED_SALT = 0x9E3779B97F4A7C15
+
+
+class WalkLog:
+    """Seed-deterministic walk sampling plus page/region heat."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        reservoir_size: int = DEFAULT_RESERVOIR,
+        max_pages: int = DEFAULT_MAX_PAGES,
+    ) -> None:
+        if reservoir_size < 0:
+            raise ValueError(f"reservoir_size must be >= 0, got {reservoir_size}")
+        if max_pages <= 0:
+            raise ValueError(f"max_pages must be positive, got {max_pages}")
+        self.seed = seed
+        self.reservoir_size = reservoir_size
+        self.max_pages = max_pages
+        self._rng = random.Random(_SEED_SALT ^ seed)
+        self.reservoir: list[dict] = []
+        self.walks_seen = 0
+        #: vpn -> [walks, cycles_fp]
+        self.pages: dict[int, list[int]] = {}
+        self.pages_dropped = 0
+        #: 2 MB region index (vpn >> 9) -> walk (= L2 TLB miss) count.
+        self.regions: dict[int, int] = {}
+
+    def record(self, record: dict) -> None:
+        """Log one completed walk (called by the profiler's end_walk)."""
+        self.walks_seen += 1
+        if self.reservoir_size:
+            if len(self.reservoir) < self.reservoir_size:
+                self.reservoir.append(record)
+            else:
+                slot = self._rng.randrange(self.walks_seen)
+                if slot < self.reservoir_size:
+                    self.reservoir[slot] = record
+        vpn = record["vpn"]
+        entry = self.pages.get(vpn)
+        if entry is not None:
+            entry[0] += 1
+            entry[1] += record["cycles_fp"]
+        elif len(self.pages) < self.max_pages:
+            self.pages[vpn] = [1, record["cycles_fp"]]
+        else:
+            self.pages_dropped += 1
+        region = vpn >> REGION_SHIFT
+        self.regions[region] = self.regions.get(region, 0) + 1
+
+    # ------------------------------------------------------------------
+
+    def top_pages(self, k: int = TOP_CAP) -> list[list[int]]:
+        """Hottest pages as ``[vpn, walks, cycles_fp]``, most cycles first."""
+        ranked = sorted(
+            self.pages.items(), key=lambda item: (-item[1][1], item[0])
+        )
+        return [[vpn, walks, fp] for vpn, (walks, fp) in ranked[:k]]
+
+    def top_regions(self, k: int = TOP_CAP) -> list[list[int]]:
+        """Most-missed 2 MB regions as ``[region, walks]``."""
+        ranked = sorted(
+            self.regions.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [[region, walks] for region, walks in ranked[:k]]
+
+    def snapshot(self) -> dict:
+        """Deterministic JSON-ready view (top-K lists already cut)."""
+        return {
+            "walks_seen": self.walks_seen,
+            "reservoir_size": self.reservoir_size,
+            "reservoir": [dict(r, levels=list(r["levels"]))
+                          for r in self.reservoir],
+            "pages_tracked": len(self.pages),
+            "pages_dropped": self.pages_dropped,
+            "pages": self.top_pages(),
+            "regions_tracked": len(self.regions),
+            "regions": self.top_regions(),
+        }
+
+
+def merge_walklogs(snapshots: list[dict]) -> dict:
+    """Order-independent merge of walklog snapshots (sum, then cut).
+
+    Page and region heat sum by key across *all* inputs before the
+    top-K cut, so any permutation of the inputs yields the same result.
+    Reservoirs are not merged -- a mixture of per-cell samples has no
+    seed that reproduces it -- so the merged view carries an empty one.
+    """
+    pages: dict[int, list[int]] = {}
+    regions: dict[int, int] = {}
+    walks_seen = 0
+    pages_dropped = 0
+    for snap in snapshots:
+        walks_seen += snap["walks_seen"]
+        pages_dropped += snap["pages_dropped"]
+        for vpn, walks, fp in snap["pages"]:
+            have = pages.get(vpn)
+            if have is None:
+                pages[vpn] = [walks, fp]
+            else:
+                have[0] += walks
+                have[1] += fp
+        for region, walks in snap["regions"]:
+            regions[region] = regions.get(region, 0) + walks
+    ranked_pages = sorted(pages.items(), key=lambda item: (-item[1][1], item[0]))
+    ranked_regions = sorted(regions.items(), key=lambda item: (-item[1], item[0]))
+    return {
+        "walks_seen": walks_seen,
+        "reservoir_size": 0,
+        "reservoir": [],
+        "pages_tracked": len(pages),
+        "pages_dropped": pages_dropped,
+        "pages": [[vpn, walks, fp] for vpn, (walks, fp) in ranked_pages[:TOP_CAP]],
+        "regions_tracked": len(regions),
+        "regions": [[region, walks] for region, walks in ranked_regions[:TOP_CAP]],
+    }

@@ -32,6 +32,14 @@ supported configuration labels.
 The fault-injection / oracle paths never use this engine: injected
 faults mutate translation state mid-trace at reference granularity, so
 :func:`run_trace` keeps the scalar loop for them.
+
+**Profiler neutrality**: the cycle-accounting profiler
+(:mod:`repro.obs.profiler`) hooks only the walk paths, which the bulk
+fast path never enters -- references it fast-paths are proven L1 hits
+that cost zero modelled cycles and are recovered as event counts from
+counter deltas at finalize.  Every L1 miss funnels through the scalar
+:meth:`MMU.access` below, so a profiled batched run attributes exactly
+the same cycles to exactly the same axes as a profiled scalar run.
 """
 
 from __future__ import annotations

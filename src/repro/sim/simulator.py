@@ -56,6 +56,17 @@ class SimulationResult:
         """The Figure 11/12 bar height for this run."""
         return self.overhead.overhead_percent
 
+    @property
+    def profile(self) -> dict | None:
+        """Cycle-attribution snapshot of a profiled run, if any.
+
+        Populated when the attached observer was built from
+        ``ObsOptions(profile=True)`` (the ``--profile`` flag); see
+        :mod:`repro.obs.profiler`.  Attaching the profiler leaves every
+        simulation counter bit-identical -- it only mirrors them.
+        """
+        return self.obs.profile if self.obs is not None else None
+
     def describe(self) -> str:
         """One-paragraph human-readable summary of the run."""
         run = self.run

@@ -75,6 +75,10 @@ class TLBHierarchy:
         self.l2_stats = TLBStats()
         #: Nested-entry insertions into L2 (capacity-pressure accounting).
         self.nested_insertions = 0
+        #: Nested (gPA -> hPA) probes of the shared L2 array and how
+        #: many of them hit -- the profiler's NTLB event source.
+        self.nested_lookups = 0
+        self.nested_hits = 0
         #: Probe list for :meth:`lookup_l1`, precomputed because that
         #: method runs once per simulated reference.
         self._l1_probe = [
@@ -164,7 +168,11 @@ class TLBHierarchy:
         at the nested mapping's page size.
         """
         tag = (_KIND_NESTED, page_size, gppn >> self._shift(page_size))
-        return self.l2.lookup(tag)
+        value = self.l2.lookup(tag)
+        self.nested_lookups += 1
+        if value is not None:
+            self.nested_hits += 1
+        return value
 
     def insert_nested(self, gppn: int, page_size: PageSize, frame: int) -> None:
         """Install a nested translation into the shared L2 array.
@@ -207,6 +215,8 @@ class TLBHierarchy:
             "l2": {"hits": self.l2_stats.hits, "misses": self.l2_stats.misses},
             "l1_by_size": per_l1,
             "nested_insertions": self.nested_insertions,
+            "nested_lookups": self.nested_lookups,
+            "nested_hits": self.nested_hits,
         }
 
     def reset_stats(self) -> None:
@@ -214,6 +224,8 @@ class TLBHierarchy:
         self.l1_stats.reset()
         self.l2_stats.reset()
         self.nested_insertions = 0
+        self.nested_lookups = 0
+        self.nested_hits = 0
         for cache in self.l1.values():
             cache.stats.reset()
         self.l2.stats.reset()

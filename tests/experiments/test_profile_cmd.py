@@ -1,0 +1,76 @@
+"""CLI contracts: ``experiments profile`` and ``stats --diff`` exit codes."""
+
+import json
+
+import pytest
+
+from repro.experiments import profiling, stats
+from repro.obs.manifest import build_manifest, write_manifest
+
+
+class TestProfileCommand:
+    def test_smoke_run_writes_artifacts(self, tmp_path, capsys):
+        folded_path = tmp_path / "walks.folded"
+        html_path = tmp_path / "report" / "walks.html"
+        rc = profiling.main(
+            [
+                "--smoke",
+                "--config",
+                "4K+4K",
+                "--folded",
+                str(folded_path),
+                "--html",
+                str(html_path),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "conservation:" in out and "(exact)" in out
+        for line in folded_path.read_text().splitlines():
+            path, cycles = line.rsplit(" ", 1)
+            assert path.startswith("walk")
+            assert int(cycles) >= 1
+        html_text = html_path.read_text()
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "</html>" in html_text
+
+    def test_json_output_is_the_snapshot(self, capsys):
+        rc = profiling.main(["--smoke", "--json"])
+        assert rc == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["walks"] > 0
+        assert snapshot["total_cycles_fp"] == sum(
+            axis["cycles_fp"] for axis in snapshot["axes"].values()
+        )
+
+    def test_rejects_unknown_config(self, capsys):
+        with pytest.raises(SystemExit):
+            profiling.main(["--config", "no-such-config"])
+
+    def test_dispatched_from_main_entry(self, tmp_path, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["profile", "--smoke"]) == 0
+        assert "cycle attribution" in capsys.readouterr().out
+
+
+class TestStatsDiffExitCode:
+    def _manifest(self, tmp_path, filename, walks):
+        manifest = build_manifest("sweep", [], jobs=1)
+        manifest["totals"]["walks"] = walks
+        path = tmp_path / f"{filename}.json"
+        write_manifest(manifest, path)
+        return path
+
+    def test_equivalent_manifests_exit_zero(self, tmp_path, capsys):
+        a = self._manifest(tmp_path, "a", walks=10)
+        b = self._manifest(tmp_path, "b", walks=10)
+        assert stats.main([str(a), "--diff", str(b)]) == 0
+        assert "equivalent" in capsys.readouterr().out
+
+    def test_differing_manifests_exit_nonzero(self, tmp_path, capsys):
+        a = self._manifest(tmp_path, "a", walks=10)
+        b = self._manifest(tmp_path, "b", walks=11)
+        assert stats.main([str(a), "--diff", str(b)]) == 1
+        assert "differ beyond wall-clock noise" in capsys.readouterr().out

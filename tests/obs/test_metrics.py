@@ -39,6 +39,52 @@ class TestHistogram:
         assert Histogram(bounds=(1,)).mean == 0.0
 
 
+class TestQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        h = Histogram(bounds=(10, 20))
+        assert h.quantile(0.5) == 0.0
+        assert h.as_dict()["p99"] == 0.0
+
+    def test_interpolates_within_bucket(self):
+        h = Histogram(bounds=(0, 10, 20))
+        for value in (1, 2, 3, 4, 5, 6, 7, 8, 9, 10):  # all in (0, 10]
+            h.observe(value)
+        # The median observation is halfway through the (0, 10] bucket.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = Histogram(bounds=(10, 20))
+        h.observe(5)
+        h.observe(1000)  # overflow: exact value is gone
+        assert h.quantile(0.99) == 20.0
+
+    def test_first_bucket_lower_edge_is_zero_or_negative_bound(self):
+        h = Histogram(bounds=(10, 20))
+        h.observe(4)
+        assert 0.0 <= h.quantile(0.5) <= 10.0
+        negative = Histogram(bounds=(-10, 0))
+        negative.observe(-5)
+        assert -10.0 <= negative.quantile(0.5) <= 0.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram(bounds=(10,))
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_as_dict_carries_summary_stats(self):
+        h = Histogram(bounds=(10, 20, 30))
+        for value in (5, 15, 25, 25):
+            h.observe(value)
+        snap = h.as_dict()
+        assert snap["mean"] == pytest.approx(17.5)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+        monotone = [h.quantile(q / 100) for q in range(0, 101, 5)]
+        assert monotone == sorted(monotone)
+
+
 class TestRegistry:
     def test_counters_gauges_histograms(self):
         m = MetricsRegistry()
@@ -110,6 +156,42 @@ class TestMergeSnapshots:
         b = {"walks": {"type": "gauge", "value": 1}}
         with pytest.raises(ValueError, match="kind"):
             merge_snapshots([a, b])
+
+    def test_counter_histogram_collision_names_the_metric(self):
+        a = self._snap()
+        b = {"walks": {"type": "histogram", "bounds": [1], "counts": [0, 1],
+                       "sum": 2.0, "count": 1}}
+        with pytest.raises(ValueError, match="'walks'.*kind mismatch"):
+            merge_snapshots([a, b])
+
+    def test_gauge_counter_collision_raises_either_order(self):
+        gauge = {"m": {"type": "gauge", "value": 1}}
+        counter = {"m": {"type": "counter", "value": 1}}
+        with pytest.raises(ValueError, match="kind mismatch"):
+            merge_snapshots([gauge, counter])
+        with pytest.raises(ValueError, match="kind mismatch"):
+            merge_snapshots([counter, gauge])
+
+    def test_unknown_kind_raises(self):
+        a = {"m": {"type": "exotic", "value": 1}}
+        with pytest.raises(ValueError, match="unknown kind"):
+            merge_snapshots([a, a])
+
+    def test_merged_quantiles_recomputed_from_merged_buckets(self):
+        low = MetricsRegistry()
+        high = MetricsRegistry()
+        for value in (1, 2, 3):
+            low.observe("mmu.walk_latency_cycles", value)
+        for value in (600, 650, 700):
+            high.observe("mmu.walk_latency_cycles", value)
+        merged = merge_snapshots([low.snapshot(), high.snapshot()])
+        data = merged["mmu.walk_latency_cycles"]
+        # Neither input's p50 (both mid-bucket extremes) survives; the
+        # merged median sits between the two clusters.
+        assert data["count"] == 6
+        assert 3 < data["p50"] < 600
+        assert data["mean"] == pytest.approx((1 + 2 + 3 + 600 + 650 + 700) / 6)
+        assert data["p50"] <= data["p95"] <= data["p99"]
 
     def test_empty_merge(self):
         assert merge_snapshots([]) == {}

@@ -1,0 +1,175 @@
+"""The walk profiler's contract: exact conservation, zero interference.
+
+Two invariants make the profiler trustworthy:
+
+* **conservation** -- per-axis attributed cycles sum *exactly* (integer
+  equality at 2**52 fixed point) to the MMU's float-accumulated total
+  modelled translation cycles, on both the scalar and batched engines,
+  for every configuration the experiments use;
+* **neutrality** -- attaching the profiler leaves every simulation
+  counter bit-identical to an unprofiled run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.profiler import (
+    SCALE,
+    WalkProfiler,
+    merge_profiles,
+    strip_reservoir,
+    to_fixed,
+)
+from repro.obs.tracing import ObsOptions
+from repro.sim.config import parse_config
+from repro.sim.engine import access_batch
+from repro.sim.simulator import simulate
+from repro.sim.system import build_system, populate_for_addresses
+from tests.conftest import TinyWorkload
+from tests.sim.test_engine_equivalence import ALL_CONFIG_LABELS
+
+TRACE_LENGTH = 2000
+
+
+def _profiled_run(label: str, engine: str, seed: int = 7):
+    """One populated system driven through one engine with a profiler."""
+    workload = TinyWorkload()
+    system = build_system(parse_config(label), workload.spec)
+    trace = workload.trace(TRACE_LENGTH, seed=seed)
+    rebased = (trace.astype(np.int64) << 12) + system.base_va
+    populate_for_addresses(system, np.unique(rebased))
+    profiler = WalkProfiler(seed=0)
+    profiler.attach(system)
+    if engine == "scalar":
+        access = system.mmu.access
+        for va in map(int, rebased):
+            access(va)
+    else:
+        access_batch(system.mmu, rebased)
+    return system, profiler.finalize(system)
+
+
+@pytest.mark.parametrize("engine", ["scalar", "batched"])
+@pytest.mark.parametrize("label", ALL_CONFIG_LABELS)
+def test_conservation_exact(label, engine):
+    """Attributed cycles == modelled cycles, to the last fixed-point bit."""
+    system, snapshot = _profiled_run(label, engine)
+    expected = to_fixed(system.mmu.counters.translation_cycles)
+    assert snapshot["total_cycles_fp"] == expected
+    assert snapshot["total_cycles_fp"] == sum(
+        axis["cycles_fp"] for axis in snapshot["axes"].values()
+    )
+    # Folded stacks carry the same cycles as the axes (zero-cycle
+    # events are axis-only by design).
+    assert sum(snapshot["folded"].values()) == expected
+
+
+@pytest.mark.parametrize("label", ["4K", "4K+4K", "DS", "THP+VD"])
+def test_profiles_engine_invariant(label):
+    """Scalar and batched runs produce byte-identical profiles."""
+    _, scalar_snapshot = _profiled_run(label, "scalar")
+    _, batched_snapshot = _profiled_run(label, "batched")
+    assert scalar_snapshot == batched_snapshot
+
+
+def test_nothing_unattributed():
+    """A correctly hooked walker never leaks cycles to the fallback axis."""
+    for label in ("4K", "4K+4K", "DS", "DD"):
+        _, snapshot = _profiled_run(label, "batched")
+        assert "walk|-|unattributed" not in snapshot["axes"], label
+
+
+def test_profiling_leaves_counters_bit_identical(tiny_workload):
+    """The --profile acceptance criterion: observe without perturbing."""
+    plain = simulate("4K+4K", tiny_workload, trace_length=3000, seed=3)
+    observer = ObsOptions(interval=None, profile=True).make_observer()
+    profiled = simulate(
+        "4K+4K", tiny_workload, trace_length=3000, seed=3, observer=observer
+    )
+    assert profiled.counters == plain.counters
+    assert profiled.run == plain.run
+    assert profiled.overhead == plain.overhead
+    assert profiled.profile is not None
+    assert profiled.profile["total_cycles_fp"] == to_fixed(
+        plain.counters.translation_cycles
+    )
+
+
+def test_faulted_runs_conserve(tiny_workload):
+    """Faulted walk attempts' charges are discarded, not double-counted,
+    and degradation reactions conserve in their own books."""
+    from repro.faults.injector import FaultInjector
+
+    injector = FaultInjector.chaos_plan(3000, seed=1)
+    observer = ObsOptions(interval=None, profile=True).make_observer()
+    result = simulate(
+        "DD",
+        tiny_workload,
+        trace_length=3000,
+        seed=3,
+        fault_injector=injector,
+        observer=observer,
+    )
+    profile = result.profile
+    assert profile["total_cycles_fp"] == to_fixed(
+        result.counters.translation_cycles
+    )
+    log = result.degradation_log
+    assert log is not None and log.events
+    assert profile["degradation_cycles_fp"] == to_fixed(log.total_cycle_cost)
+    assert sum(d["count"] for d in profile["degradation"].values()) == len(
+        log.events
+    )
+
+
+def test_degradation_books_conserve():
+    """Degradation books mirror the log's builtin-sum accumulation."""
+    profiler = WalkProfiler(walklog=False)
+    costs = [1234.5, 0.1, 999999.25, 1 / 3, 42.42]
+    for index, cost in enumerate(costs):
+        profiler.degradation_event(f"action{index % 2}", cost)
+    total = 0.0
+    for cost in costs:  # the same left-fold float sum DegradationLog uses
+        total += cost
+    assert sum(profiler.degradation_cycles.values()) == to_fixed(total)
+    assert sum(profiler.degradation_counts.values()) == len(costs)
+
+
+def test_to_fixed_exact_for_modelled_costs():
+    """to_fixed round-trips every cost magnitude the simulator charges."""
+    from fractions import Fraction
+
+    for value in (0.0, 1.0, 7.0, 12.56, 27.0, 79.6, 545.6, 1e6 + 0.25):
+        assert Fraction(to_fixed(value), SCALE) == Fraction(value)
+    # Sanity: the scale really is 2**52.
+    assert SCALE == 1 << 52
+
+
+def test_merge_profiles_order_independent():
+    """Any permutation of inputs produces the same merged snapshot."""
+    _, a = _profiled_run("4K+4K", "batched", seed=7)
+    _, b = _profiled_run("DS", "batched", seed=8)
+    _, c = _profiled_run("4K", "scalar", seed=9)
+    snapshots = [strip_reservoir(s) for s in (a, b, c)]
+    merged = merge_profiles(snapshots)
+    assert merged == merge_profiles(snapshots[::-1])
+    assert merged["walks"] == sum(s["walks"] for s in snapshots)
+    assert merged["total_cycles_fp"] == sum(
+        s["total_cycles_fp"] for s in snapshots
+    )
+
+
+def test_merge_profiles_rejects_scale_mismatch():
+    _, a = _profiled_run("4K", "batched")
+    bad = dict(a, scale=1 << 32)
+    with pytest.raises(ValueError, match="scale mismatch"):
+        merge_profiles([a, bad])
+
+
+def test_strip_reservoir_keeps_books():
+    _, snapshot = _profiled_run("4K+4K", "batched")
+    stripped = strip_reservoir(snapshot)
+    assert stripped["walklog"]["reservoir"] == []
+    assert snapshot["walklog"]["reservoir"], "original must keep its samples"
+    assert stripped["axes"] == snapshot["axes"]
+    assert stripped["total_cycles_fp"] == snapshot["total_cycles_fp"]

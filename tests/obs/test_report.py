@@ -1,0 +1,83 @@
+"""Report renderers: text, folded stacks and HTML from one real profile."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.obs.profiler import WalkProfiler, from_fixed
+from repro.obs.report import render_folded, render_html, render_text
+from repro.sim.config import parse_config
+from repro.sim.engine import access_batch
+from repro.sim.system import build_system, populate_for_addresses
+from tests.conftest import TinyWorkload
+
+
+@pytest.fixture(scope="module")
+def profile() -> dict:
+    workload = TinyWorkload()
+    system = build_system(parse_config("4K+4K"), workload.spec)
+    trace = workload.trace(1500, seed=4)
+    rebased = (trace.astype(np.int64) << 12) + system.base_va
+    populate_for_addresses(system, np.unique(rebased))
+    profiler = WalkProfiler(seed=0)
+    profiler.attach(system)
+    access_batch(system.mmu, rebased)
+    return profiler.finalize(system)
+
+
+class TestText:
+    def test_contains_attribution_and_heat(self, profile):
+        text = render_text(profile)
+        assert "cycle attribution by (structure, level, cause)" in text
+        assert "guest" in text and "host" in text
+        assert "hot pages" in text
+        assert "hot 2M regions" in text
+        assert f"{profile['walks']:,}" in text
+
+    def test_per_page_shows_reservoir(self, profile):
+        brief = render_text(profile, per_page=False)
+        full = render_text(profile, top=50, per_page=True)
+        assert "sampled walk records" not in brief
+        assert "sampled walk records" in full
+
+    def test_merged_profile_without_walklog_renders(self, profile):
+        stripped = {k: v for k, v in profile.items() if k != "walklog"}
+        text = render_text(stripped)
+        assert "hot pages" not in text
+        assert "cycle attribution" in text
+
+
+class TestFolded:
+    def test_lines_parse_as_stack_and_integer(self, profile):
+        folded = render_folded(profile)
+        lines = folded.splitlines()
+        assert lines, "a profiled run must produce folded stacks"
+        for line in lines:
+            assert re.fullmatch(r"[\w;.-]+ \d+", line), line
+            path, _ = line.rsplit(" ", 1)
+            assert path.split(";")[0] == "walk"
+
+    def test_weights_match_books(self, profile):
+        folded = render_folded(profile)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in folded.splitlines())
+        expected = from_fixed(profile["total_cycles_fp"])
+        assert total == pytest.approx(expected, rel=0.01)
+
+    def test_empty_profile(self):
+        assert render_folded({"folded": {}}) == ""
+
+
+class TestHtml:
+    def test_self_contained_document(self, profile):
+        html_text = render_html(profile, title="tiny under 4K+4K")
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert html_text.endswith("</html>")
+        assert "tiny under 4K+4K" in html_text
+        assert "<script" not in html_text  # no external/embedded JS needed
+        assert "http" not in html_text.split("</style>")[0]  # CSS is inline
+
+    def test_escapes_title(self, profile):
+        html_text = render_html(profile, title="<b>&evil</b>")
+        assert "<b>&evil</b>" not in html_text
+        assert "&lt;b&gt;&amp;evil&lt;/b&gt;" in html_text

@@ -1,0 +1,126 @@
+"""WalkLog: deterministic sampling, bounded heat maps, order-free merge."""
+
+import pytest
+
+from repro.obs.walklog import (
+    DEFAULT_MAX_PAGES,
+    DEFAULT_RESERVOIR,
+    REGION_SHIFT,
+    TOP_CAP,
+    WalkLog,
+    merge_walklogs,
+)
+
+
+def _record(vpn: int, cycles_fp: int = 1 << 52) -> dict:
+    return {
+        "vpn": vpn,
+        "cycles": cycles_fp / (1 << 52),
+        "cycles_fp": cycles_fp,
+        "refs": 4,
+        "raw_refs": 4,
+        "checks": 0,
+        "page_size": "4K",
+        "case": "both",
+        "levels": ("guest_L1", "host_L1"),
+    }
+
+
+def _fill(log: WalkLog, vpns: list[int]) -> None:
+    for vpn in vpns:
+        log.record(_record(vpn))
+
+
+class TestReservoir:
+    def test_same_seed_same_samples(self):
+        vpns = [(i * 7919) % 5000 for i in range(2000)]
+        a, b = WalkLog(seed=5, reservoir_size=32), WalkLog(seed=5, reservoir_size=32)
+        _fill(a, vpns)
+        _fill(b, vpns)
+        assert a.snapshot() == b.snapshot()
+
+    def test_different_seed_different_samples(self):
+        vpns = [(i * 7919) % 5000 for i in range(2000)]
+        a, b = WalkLog(seed=5, reservoir_size=32), WalkLog(seed=6, reservoir_size=32)
+        _fill(a, vpns)
+        _fill(b, vpns)
+        assert a.snapshot()["reservoir"] != b.snapshot()["reservoir"]
+        # ... but heat is sampling-independent.
+        assert a.snapshot()["pages"] == b.snapshot()["pages"]
+
+    def test_reservoir_bounded(self):
+        log = WalkLog(reservoir_size=16)
+        _fill(log, list(range(500)))
+        assert len(log.reservoir) == 16
+        assert log.walks_seen == 500
+
+    def test_zero_reservoir_disables_sampling(self):
+        log = WalkLog(reservoir_size=0)
+        _fill(log, [1, 2, 3])
+        assert log.reservoir == []
+        assert log.walks_seen == 3
+
+    def test_defaults(self):
+        log = WalkLog()
+        assert log.reservoir_size == DEFAULT_RESERVOIR
+        assert log.max_pages == DEFAULT_MAX_PAGES
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            WalkLog(reservoir_size=-1)
+        with pytest.raises(ValueError):
+            WalkLog(max_pages=0)
+
+
+class TestHeat:
+    def test_page_cap_counts_overflow(self):
+        log = WalkLog(max_pages=4)
+        _fill(log, [10, 11, 12, 13, 14, 15, 10])
+        assert len(log.pages) == 4
+        assert log.pages_dropped == 2  # vpns 14, 15 arrived past the cap
+        assert log.pages[10][0] == 2  # tracked pages still accumulate
+
+    def test_top_pages_ranked_by_cycles_with_deterministic_ties(self):
+        log = WalkLog()
+        log.record(_record(3, cycles_fp=100))
+        log.record(_record(1, cycles_fp=300))
+        log.record(_record(2, cycles_fp=100))
+        assert log.top_pages() == [[1, 1, 300], [2, 1, 100], [3, 1, 100]]
+
+    def test_regions_group_by_2m(self):
+        log = WalkLog()
+        _fill(log, [0, 1, (1 << REGION_SHIFT) - 1, 1 << REGION_SHIFT])
+        assert log.regions == {0: 3, 1: 1}
+        assert log.top_regions() == [[0, 3], [1, 1]]
+
+    def test_snapshot_lists_are_capped(self):
+        log = WalkLog(max_pages=TOP_CAP + 100)
+        _fill(log, list(range(TOP_CAP + 50)))
+        snapshot = log.snapshot()
+        assert len(snapshot["pages"]) == TOP_CAP
+        assert snapshot["pages_tracked"] == TOP_CAP + 50
+
+
+class TestMerge:
+    def test_merge_sums_then_cuts(self):
+        a, b = WalkLog(seed=1), WalkLog(seed=2)
+        _fill(a, [1, 2, 2])
+        _fill(b, [2, 3])
+        merged = merge_walklogs([a.snapshot(), b.snapshot()])
+        assert merged["walks_seen"] == 5
+        assert merged["pages"][0] == [2, 3, 3 << 52]  # page 2: 3 walks total
+        assert merged["reservoir"] == []
+        assert merged["reservoir_size"] == 0
+
+    def test_merge_order_independent(self):
+        a, b, c = WalkLog(seed=1), WalkLog(seed=2), WalkLog(seed=3)
+        _fill(a, [(i * 31) % 400 for i in range(300)])
+        _fill(b, [(i * 17) % 400 for i in range(300)])
+        _fill(c, [(i * 13) % 400 for i in range(300)])
+        snaps = [a.snapshot(), b.snapshot(), c.snapshot()]
+        assert merge_walklogs(snaps) == merge_walklogs(snaps[::-1])
+
+    def test_merge_empty(self):
+        merged = merge_walklogs([])
+        assert merged["walks_seen"] == 0
+        assert merged["pages"] == []
