@@ -1,0 +1,90 @@
+"""Bench gate: a warm (100% store-hit) sweep must crush a cold one.
+
+The content-addressed store's whole value proposition is that re-running
+a sweep whose cells are already durable costs file reads, not
+simulation.  This gate runs the figure11 ``--smoke`` grid cold into a
+fresh store, re-runs it warm, asserts byte-identical reports, and gates
+warm wall-clock at >= 5x faster than cold (in practice the gap is
+orders of magnitude; 5x keeps the gate robust on slow CI disks).
+
+Artifacts land as ``BENCH_store_sweep.json`` when
+``REPRO_BENCH_ARTIFACTS_DIR`` is set (CI uploads them for trend
+tracking).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import figure11, report
+from repro.sched import Sweep
+from repro.store import ResultStore
+
+#: The figure11 --smoke grid (see __main__.py: --smoke sets 6000).
+SMOKE_TRACE_LENGTH = 6_000
+
+#: Minimum warm-over-cold wall-clock speedup the store must deliver.
+MIN_WARM_SPEEDUP = 5.0
+
+
+@pytest.mark.skip(reason="non-benchmark assertion (un-skipped under --benchmark-only)")
+def test_store_warm_sweep_speedup(tmp_path):
+    """Warm figure11 smoke sweep: byte-identical and >= 5x faster."""
+    store_root = tmp_path / "store"
+
+    cold_store = ResultStore(store_root)
+    cold_sweep = Sweep("figure11", cold_store, resume=False)
+    start = time.perf_counter()
+    cold = figure11.run(trace_length=SMOKE_TRACE_LENGTH, sweep=cold_sweep)
+    cold_seconds = time.perf_counter() - start
+    assert cold_sweep.report.hits == 0
+    assert cold_sweep.report.computed == cold_sweep.report.total > 0
+
+    warm_store = ResultStore(store_root)
+    warm_sweep = Sweep("figure11", warm_store, resume=False)
+    start = time.perf_counter()
+    warm = figure11.run(trace_length=SMOKE_TRACE_LENGTH, sweep=warm_sweep)
+    warm_seconds = time.perf_counter() - start
+    assert warm_sweep.report.all_hits
+    assert warm_sweep.report.computed == 0
+
+    # Byte-identity first: a fast wrong answer is worthless.
+    assert report.dumps(warm) == report.dumps(cold)
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"\nstore warm-sweep speedup: cold {cold_seconds:.2f}s, "
+        f"warm {warm_seconds:.2f}s ({speedup:.1f}x)"
+    )
+    _write_artifact(cold_seconds, warm_seconds, speedup, cold_sweep.report.total)
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm sweep only {speedup:.1f}x faster than cold "
+        f"(cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s); "
+        f"the store gate requires >= {MIN_WARM_SPEEDUP}x"
+    )
+
+
+def _write_artifact(
+    cold_seconds: float, warm_seconds: float, speedup: float, cells: int
+) -> None:
+    directory = os.environ.get("REPRO_BENCH_ARTIFACTS_DIR")
+    if not directory:
+        return
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "kind": "repro.bench.store_sweep",
+        "experiment": "figure11",
+        "trace_length": SMOKE_TRACE_LENGTH,
+        "cells": cells,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_speedup": round(speedup, 2),
+        "min_required_speedup": MIN_WARM_SPEEDUP,
+    }
+    (out_dir / "BENCH_store_sweep.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -136,6 +136,38 @@ class BalloonError(ReproError):
 
 
 # ----------------------------------------------------------------------
+# Experiment store / incremental scheduling
+
+
+class StoreError(ReproError):
+    """Base for failures of the content-addressed experiment store.
+
+    Like every other :class:`ReproError`, store failures are either
+    degradable or terminal.  Corruption is *always* degradable: the
+    store quarantines the damaged entry, records the event, and reports
+    a cache miss so the scheduler recomputes the cell -- a damaged store
+    can cost time, never correctness.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """A store entry failed integrity checks (truncated file, checksum
+    mismatch, undecodable payload).
+
+    Raised internally by the entry codec; :class:`repro.store.ResultStore`
+    catches it on the read path, moves the entry to quarantine, and
+    degrades to a miss.  It only escapes to callers through
+    ``store verify``-style inspection APIs that report corruption
+    explicitly.
+    """
+
+
+class SchedulerError(ReproError):
+    """The sweep scheduler was given an unrunnable cell graph
+    (duplicate keys with conflicting tasks, unknown or cyclic deps)."""
+
+
+# ----------------------------------------------------------------------
 # Fault injection and the translation oracle
 
 

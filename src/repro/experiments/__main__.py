@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments profile [--workload W] [--config LABEL]
                                         [--top K] [--folded FILE]
                                         [--html FILE] [--per-page]
+    python -m repro.experiments store {ls,verify,gc,export} [...]
 
 where ``<name>`` is one of: figure1, figure11, figure12, figure13,
 breakdown, table3, table4, shadow, sharing, energy, resilience, bench,
@@ -33,12 +34,24 @@ hot-page heatmaps and folded stacks land in the manifest (implies
 ``--metrics``).  ``profile`` runs a single cell interactively and
 renders the report directly -- see EXPERIMENTS.md and the Profiling
 section of OBSERVABILITY.md.
+
+``--store DIR`` (or ``$REPRO_STORE``) backs the sweep with the
+content-addressed result store (:mod:`repro.store`): cells whose results
+are already stored are served without simulation, and every freshly
+computed cell is persisted the moment it completes.  ``--resume``
+implies the store (at its default path when none is given) and
+continues an interrupted sweep from the last durable cell;
+``--no-store`` disables the store even when ``$REPRO_STORE`` is set.
+Warm runs produce byte-identical reports and manifests to cold runs.
+The ``store`` subcommand inspects and maintains a store directory --
+see STORAGE.md.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -67,71 +80,80 @@ from repro.obs import (
     chrome_trace,
     write_manifest,
 )
+from repro.sched import Sweep
+from repro.store import DEFAULT_STORE_PATH, ResultStore
 
-#: name -> (runner(trace_length, jobs, obs) -> result, formatter -> str).
-#: Runners without independent cells to fan out ignore ``jobs``; runners
-#: without per-cell simulation runs ignore ``obs``.
+#: name -> (runner(trace_length, jobs, obs, sweep) -> result,
+#: formatter -> str).  Runners without independent cells to fan out
+#: ignore ``jobs``; runners without per-cell simulation runs ignore
+#: ``obs``; runners without store-addressable cells ignore ``sweep``.
 EXPERIMENTS = {
     "figure1": (
-        lambda length, jobs, obs: figure01.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs
+        lambda length, jobs, obs, sweep: figure01.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
         ),
         figure01.format_figure,
     ),
     "figure11": (
-        lambda length, jobs, obs: figure11.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs
+        lambda length, jobs, obs, sweep: figure11.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
         ),
         figure11.format_figure,
     ),
     "figure12": (
-        lambda length, jobs, obs: figure12.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs
+        lambda length, jobs, obs, sweep: figure12.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
         ),
         figure12.format_figure,
     ),
     "figure13": (
-        lambda length, jobs, obs: figure13.run(
-            trace_length=min(length, 40_000), progress=True, jobs=jobs
+        lambda length, jobs, obs, sweep: figure13.run(
+            trace_length=min(length, 40_000), progress=True, jobs=jobs,
+            sweep=sweep,
         ),
         figure13.format_figure,
     ),
     "breakdown": (
-        lambda length, jobs, obs: breakdown.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs
+        lambda length, jobs, obs, sweep: breakdown.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
         ),
         breakdown.format_breakdown,
     ),
     "table3": (
-        lambda length, jobs, obs: table3_fragmentation.run(progress=True),
+        lambda length, jobs, obs, sweep: table3_fragmentation.run(progress=True),
         table3_fragmentation.format_scenarios,
     ),
     "table4": (
-        lambda length, jobs, obs: table4_models.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs
+        lambda length, jobs, obs, sweep: table4_models.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
         ),
         table4_models.format_comparison,
     ),
     "shadow": (
-        lambda length, jobs, obs: shadow.run(trace_length=length, progress=True),
+        lambda length, jobs, obs, sweep: shadow.run(
+            trace_length=length, progress=True
+        ),
         shadow.format_comparison,
     ),
     "sharing": (
-        lambda length, jobs, obs: sharing.run(progress=True),
+        lambda length, jobs, obs, sweep: sharing.run(progress=True),
         sharing.format_study,
     ),
     "energy": (
-        lambda length, jobs, obs: energy.run(trace_length=length, progress=True),
+        lambda length, jobs, obs, sweep: energy.run(
+            trace_length=length, progress=True
+        ),
         energy.format_energy,
     ),
     "resilience": (
-        lambda length, jobs, obs: resilience.run(
-            trace_length=min(length, 40_000), progress=True, obs=obs
+        lambda length, jobs, obs, sweep: resilience.run(
+            trace_length=min(length, 40_000), progress=True, obs=obs,
+            sweep=sweep,
         ),
         resilience.format_resilience,
     ),
     "bench": (
-        lambda length, jobs, obs: bench.run(
+        lambda length, jobs, obs, sweep: bench.run(
             trace_length=min(length, 40_000), jobs=jobs, progress=True
         ),
         bench.format_bench,
@@ -144,6 +166,10 @@ EXPERIMENTS = {
 OBS_UNAWARE = frozenset(
     {"figure13", "table3", "shadow", "sharing", "energy", "bench"}
 )
+
+#: Experiments with no store-addressable simulation cells (analytic
+#: studies, or the bench whose whole point is measuring compute).
+STORE_UNAWARE = frozenset({"table3", "shadow", "sharing", "energy", "bench"})
 
 
 def _out_path(base: Path, experiment: str, multi: bool) -> Path:
@@ -161,6 +187,10 @@ def main(argv: list[str] | None = None) -> int:
         return stats.main(argv[1:])
     if argv and argv[0] == "profile":
         return profiling.main(argv[1:])
+    if argv and argv[0] == "store":
+        from repro.store import cli as store_cli
+
+        return store_cli.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -231,7 +261,28 @@ def main(argv: list[str] | None = None) -> int:
         help=f"observability sampling period in measured references "
         f"(default {DEFAULT_INTERVAL})",
     )
+    parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="back the sweep with a content-addressed result store at DIR "
+        "(default $REPRO_STORE when set); stored cells skip simulation",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted sweep from the last durable cell "
+        f"(implies --store, default path {DEFAULT_STORE_PATH})",
+    )
+    parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="never touch a result store, even when $REPRO_STORE is set",
+    )
     args = parser.parse_args(argv)
+    if args.no_store and (args.store is not None or args.resume):
+        parser.error("--no-store conflicts with --store/--resume")
     length = args.trace_length
     if args.quick:
         length = 20_000
@@ -248,13 +299,26 @@ def main(argv: list[str] | None = None) -> int:
         obs = ObsOptions(interval=args.interval, profile=args.profile)
     manifest_base = args.manifest_out or Path("manifest.json")
 
+    store = None
+    if not args.no_store:
+        store_path = args.store
+        if store_path is None and os.environ.get("REPRO_STORE"):
+            store_path = Path(os.environ["REPRO_STORE"])
+        if store_path is None and args.resume:
+            store_path = Path(DEFAULT_STORE_PATH)
+        if store_path is not None:
+            store = ResultStore(store_path)
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     multi = len(names) > 1
     for name in names:
         start = time.time()
         print(f"=== {name} ===", flush=True)
         runner, formatter = EXPERIMENTS[name]
-        result = runner(length, args.jobs, obs)
+        sweep = None
+        if store is not None and name not in STORE_UNAWARE:
+            sweep = Sweep(name, store, resume=args.resume)
+        result = runner(length, args.jobs, obs, sweep)
         elapsed = time.time() - start
         if args.json:
             print(report.dumps(result))
@@ -264,6 +328,10 @@ def main(argv: list[str] | None = None) -> int:
             _write_observability(
                 name, result, args, argv, elapsed, multi, manifest_base
             )
+        if sweep is not None and sweep.reports:
+            print(f"(store: {sweep.report.describe()})", flush=True)
+        elif store is not None and name in STORE_UNAWARE:
+            print(f"(no store support: {name} has no cacheable cells)", flush=True)
         print(f"({elapsed:.1f}s)\n", flush=True)
     return 0
 

@@ -241,7 +241,37 @@ def run(
         if progress:
             print(f"  baseline refreshed at {path}", flush=True)
     result.baseline = load_baseline()
+    artifact = write_artifact(result)
+    if artifact is not None and progress:
+        print(f"  bench artifact recorded at {artifact}", flush=True)
     return result
+
+
+def write_artifact(
+    result: BenchResult, directory: Path | str | None = None
+) -> Path | None:
+    """Record this run's numbers as a ``BENCH_throughput.json`` artifact.
+
+    CI sets ``REPRO_BENCH_ARTIFACTS_DIR`` and uploads whatever lands
+    there; locally the variable is unset and nothing is written.  Unlike
+    the committed baseline, artifacts capture absolute refs/sec per run
+    for trend tracking, so they are never read back or gated on.
+    """
+    directory = directory or os.environ.get("REPRO_BENCH_ARTIFACTS_DIR")
+    if not directory:
+        return None
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_throughput.json"
+    payload = {
+        "kind": "repro.bench.throughput",
+        "trace_length": result.trace_length,
+        "jobs": result.jobs,
+        "metrics": {k: round(v, 4) for k, v in result.metrics.items()},
+        "baseline": {k: round(v, 4) for k, v in result.baseline.items()},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def format_bench(result: BenchResult) -> str:

@@ -62,6 +62,7 @@ def run(
     progress: bool = False,
     jobs: int = 1,
     obs=None,
+    sweep=None,
 ) -> BreakdownResult:
     """Measure the Section IX.A quantities for each workload."""
     configs = ("4K",) + VIRT_CONFIGS + ("4K+VD", "4K+GD", "DD")
@@ -76,7 +77,10 @@ def run(
         for name in workloads
         for config in configs
     ]
-    results = run_cells(tasks, jobs=jobs, progress=progress)
+    if sweep is not None:
+        results = sweep.run_cells(tasks, jobs=jobs, progress=progress)
+    else:
+        results = run_cells(tasks, jobs=jobs, progress=progress)
     cells = dict(
         zip(((t.workload, t.config) for t in tasks), results)
     )

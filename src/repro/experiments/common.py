@@ -10,10 +10,14 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.experiments.parallel import CellTask, run_cells
 from repro.obs.tracing import ObsOptions, RunObservability
 from repro.sim.simulator import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.sched import Sweep
 
 #: Default measured trace length for experiments (page visits).  Long
 #: enough for steady-state TLB statistics at every page size, short
@@ -53,6 +57,7 @@ def run_grid(
     progress: bool = False,
     jobs: int = 1,
     obs: ObsOptions | None = None,
+    sweep: Sweep | None = None,
 ) -> RunGrid:
     """Simulate every (workload, config) pair.
 
@@ -61,7 +66,10 @@ def run_grid(
     to a serial run because every cell is independently seeded and
     results are collected in task order.  ``obs`` attaches a fresh
     observer to every cell (:meth:`RunGrid.observability` collects the
-    records).
+    records).  ``sweep`` routes the cells through the store-consulting
+    scheduler (:mod:`repro.sched`) instead -- hits skip simulation,
+    misses are persisted -- with the identical assembled grid either
+    way.
     """
     workloads = tuple(workloads)
     configs = tuple(configs)
@@ -76,7 +84,10 @@ def run_grid(
         for name in workloads
         for config in configs
     ]
-    results = run_cells(tasks, jobs=jobs, progress=progress)
+    if sweep is not None:
+        results = sweep.run_cells(tasks, jobs=jobs, progress=progress)
+    else:
+        results = run_cells(tasks, jobs=jobs, progress=progress)
     grid = RunGrid(workloads=workloads, configs=configs)
     for task, result in zip(tasks, results):
         grid.results[(task.workload, task.config)] = result

@@ -35,11 +35,13 @@ def run(
     progress: bool = False,
     jobs: int = 1,
     obs=None,
+    sweep=None,
 ) -> Figure01Result:
     """Simulate the preview bars (``jobs`` worker processes)."""
     return Figure01Result(
         grid=run_grid(workloads, PREVIEW_CONFIGS, trace_length=trace_length,
-                      seed=seed, progress=progress, jobs=jobs, obs=obs)
+                      seed=seed, progress=progress, jobs=jobs, obs=obs,
+                      sweep=sweep)
     )
 
 

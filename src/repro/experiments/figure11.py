@@ -74,11 +74,12 @@ def run(
     progress: bool = False,
     jobs: int = 1,
     obs=None,
+    sweep=None,
 ) -> Figure11Result:
     """Simulate every Figure 11 bar (``jobs`` worker processes)."""
     return Figure11Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
-                      progress=progress, jobs=jobs, obs=obs)
+                      progress=progress, jobs=jobs, obs=obs, sweep=sweep)
     )
 
 

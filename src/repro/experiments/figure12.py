@@ -55,11 +55,12 @@ def run(
     progress: bool = False,
     jobs: int = 1,
     obs=None,
+    sweep=None,
 ) -> Figure12Result:
     """Simulate every Figure 12 bar (``jobs`` worker processes)."""
     return Figure12Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
-                      progress=progress, jobs=jobs, obs=obs)
+                      progress=progress, jobs=jobs, obs=obs, sweep=sweep)
     )
 
 

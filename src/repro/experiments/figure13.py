@@ -122,6 +122,36 @@ def _trial_cycles(task: _TrialTask) -> float:
     return _dd_execution_cycles(task.workload, task.trace_length, bad, seed=0)
 
 
+def _trial_ingredients(task: _TrialTask) -> dict:
+    """Store-key ingredients for one trial cell (see repro.store.keys)."""
+    from repro.store.keys import (
+        config_params,
+        trace_key_params,
+        workload_params,
+    )
+
+    workload = create_workload(task.workload)
+    return {
+        "kind": "figure13-trial",
+        "workload": task.workload,
+        "workload_params": workload_params(workload),
+        "config": config_params("DD"),
+        "trace_length": task.trace_length,
+        "num_bad": task.num_bad,
+        "trial": task.trial,
+        "bad_seed": task.num_bad * 1000 + task.trial if task.num_bad else None,
+        "seed": 0,
+        "trace_key": trace_key_params(workload, task.trace_length, 0),
+    }
+
+
+def _trial_deps(task: _TrialTask) -> tuple[_TrialTask, ...]:
+    """A faulted trial normalizes against its workload's baseline cell."""
+    if task.num_bad == 0:
+        return ()
+    return (_TrialTask(task.workload, task.trace_length, num_bad=0, trial=0),)
+
+
 def run(
     trace_length: int = 40_000,
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
@@ -129,12 +159,15 @@ def run(
     trials: int = 10,
     progress: bool = False,
     jobs: int = 1,
+    sweep=None,
 ) -> Figure13Result:
     """Measure the figure; ``trials=30`` matches the paper exactly.
 
     Every (baseline + trial) run is independent, so with ``jobs > 1``
     they all fan out over one worker pool; results are assembled in
-    task order and match a serial run exactly.
+    task order and match a serial run exactly.  ``sweep`` routes the
+    trials through the store-consulting scheduler: each workload's
+    fault-free baseline is a dependency wave ahead of its trials.
     """
     tasks = []
     for name in workloads:
@@ -144,7 +177,19 @@ def run(
                 print(f"  {name}: {num_bad} bad pages x {trials} trials", flush=True)
             for trial in range(trials):
                 tasks.append(_TrialTask(name, trace_length, num_bad, trial))
-    cycles = dict(zip(tasks, parallel_map(_trial_cycles, tasks, jobs=jobs)))
+    if sweep is not None:
+        samples = sweep.run_tasks(
+            tasks,
+            _trial_cycles,
+            _trial_ingredients,
+            deps_for=_trial_deps,
+            label_for=lambda t: f"{t.workload} +{t.num_bad} bad #{t.trial}",
+            jobs=jobs,
+            progress=progress,
+        )
+    else:
+        samples = parallel_map(_trial_cycles, tasks, jobs=jobs)
+    cycles = dict(zip(tasks, samples))
 
     points = []
     for name in workloads:

@@ -68,7 +68,7 @@ def run_cell(task: CellTask) -> SimulationResult:
     )
 
 
-def _prewarm_traces(tasks: Sequence[CellTask]) -> None:
+def prewarm_traces(tasks: Sequence[CellTask]) -> None:
     """Generate each distinct trace once in the parent process."""
     seen: set[tuple[str, int | None, int]] = set()
     for task in tasks:
@@ -102,7 +102,7 @@ def run_cells(
             f"  dispatching {len(tasks)} cells across {jobs} workers ...",
             flush=True,
         )
-    return parallel_map(run_cell, tasks, jobs=jobs, prewarm=lambda: _prewarm_traces(tasks))
+    return parallel_map(run_cell, tasks, jobs=jobs, prewarm=lambda: prewarm_traces(tasks))
 
 
 def parallel_map(

@@ -117,6 +117,87 @@ def _run_once(
     return result, backoff
 
 
+@dataclass(frozen=True)
+class _ResilienceTask:
+    """One resilience run, fully described by picklable values.
+
+    ``extra is None`` is the workload's fault-free baseline (always
+    unobserved, matching the store-less path); otherwise the chaos plan
+    is rebuilt deterministically from the seed and fault count.
+    """
+
+    workload: str
+    config: str
+    trace_length: int
+    sample_every: int
+    seed: int
+    extra: int | None
+    obs: object = None
+
+
+def _resilience_cell(task: _ResilienceTask):
+    """Run one resilience cell (module-level: scheduler-callable)."""
+    injector = None
+    if task.extra is not None:
+        measured = task.trace_length - int(
+            task.trace_length * DEFAULT_WARMUP_FRACTION
+        )
+        injector = FaultInjector.chaos_plan(
+            measured,
+            seed=task.seed * 1000 + task.extra,
+            extra_hard_faults=task.extra,
+        )
+    return _run_once(
+        task.workload,
+        task.config,
+        task.trace_length,
+        injector,
+        task.sample_every,
+        task.seed,
+        obs=task.obs,
+    )
+
+
+def _resilience_ingredients(task: _ResilienceTask) -> dict:
+    """Store-key ingredients for one cell (see repro.store.keys)."""
+    from repro.store.keys import (
+        config_params,
+        obs_params,
+        trace_key_params,
+        workload_params,
+    )
+
+    workload = create_workload(task.workload)
+    return {
+        "kind": "resilience-cell",
+        "workload": task.workload,
+        "workload_params": workload_params(workload),
+        "config": config_params(task.config),
+        "trace_length": task.trace_length,
+        "sample_every": task.sample_every,
+        "seed": task.seed,
+        "extra_hard_faults": task.extra,
+        "obs": obs_params(task.obs),
+        "trace_key": trace_key_params(workload, task.trace_length, task.seed),
+    }
+
+
+def _resilience_deps(task: _ResilienceTask) -> tuple[_ResilienceTask, ...]:
+    """Faulted runs normalize against the workload's fault-free cell."""
+    if task.extra is None:
+        return ()
+    return (
+        _ResilienceTask(
+            task.workload,
+            task.config,
+            task.trace_length,
+            task.sample_every,
+            task.seed,
+            extra=None,
+        ),
+    )
+
+
 def run(
     trace_length: int = 40_000,
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
@@ -126,28 +207,71 @@ def run(
     seed: int = 0,
     progress: bool = False,
     obs=None,
+    sweep=None,
 ) -> ResilienceResult:
-    """Sweep overhead and consistency against the injected fault count."""
-    measured = trace_length - int(trace_length * DEFAULT_WARMUP_FRACTION)
+    """Sweep overhead and consistency against the injected fault count.
+
+    ``sweep`` routes the runs through the store-consulting scheduler
+    (:mod:`repro.sched`): each workload's fault-free baseline is a
+    dependency wave ahead of its faulted runs, and every completed run
+    is persisted immediately.
+    """
+    tasks = []
+    for name in workloads:
+        tasks.append(
+            _ResilienceTask(
+                name, config_label, trace_length, sample_every, seed,
+                extra=None,
+            )
+        )
+        for extra in extra_fault_counts:
+            tasks.append(
+                _ResilienceTask(
+                    name, config_label, trace_length, sample_every, seed,
+                    extra=extra, obs=obs,
+                )
+            )
+    if sweep is not None:
+        outputs = sweep.run_tasks(
+            tasks,
+            _resilience_cell,
+            _resilience_ingredients,
+            deps_for=_resilience_deps,
+            label_for=lambda t: (
+                f"{t.workload} baseline"
+                if t.extra is None
+                else f"{t.workload} +{t.extra} hard faults"
+            ),
+            progress=progress,
+        )
+    else:
+        outputs = []
+        for task in tasks:
+            if progress and task.extra is not None:
+                print(
+                    f"  {task.workload}: chaos plan +{task.extra} hard faults",
+                    flush=True,
+                )
+            outputs.append(_resilience_cell(task))
+    by_task = dict(zip(tasks, outputs))
+
     points = []
     obs_records = []
     for name in workloads:
-        baseline, _ = _run_once(
-            name, config_label, trace_length, None, sample_every, seed
-        )
+        baseline, _ = by_task[
+            _ResilienceTask(
+                name, config_label, trace_length, sample_every, seed,
+                extra=None,
+            )
+        ]
         baseline_cycles = baseline.overhead.execution_cycles
         for extra in extra_fault_counts:
-            if progress:
-                print(
-                    f"  {name}: chaos plan +{extra} hard faults", flush=True
+            result, backoff = by_task[
+                _ResilienceTask(
+                    name, config_label, trace_length, sample_every, seed,
+                    extra=extra, obs=obs,
                 )
-            injector = FaultInjector.chaos_plan(
-                measured, seed=seed * 1000 + extra, extra_hard_faults=extra
-            )
-            result, backoff = _run_once(
-                name, config_label, trace_length, injector, sample_every, seed,
-                obs=obs,
-            )
+            ]
             if result.obs is not None:
                 obs_records.append(result.obs)
             log = result.degradation_log

@@ -62,6 +62,7 @@ def run(
     progress: bool = False,
     jobs: int = 1,
     obs=None,
+    sweep=None,
 ) -> Table4Result:
     """Apply Table IV and compare against direct simulation."""
     tasks = [
@@ -75,7 +76,10 @@ def run(
         for name in workloads
         for config in _CONFIGS
     ]
-    results = run_cells(tasks, jobs=jobs, progress=progress)
+    if sweep is not None:
+        results = sweep.run_cells(tasks, jobs=jobs, progress=progress)
+    else:
+        results = run_cells(tasks, jobs=jobs, progress=progress)
     cells = dict(
         zip(((t.workload, t.config) for t in tasks), results)
     )

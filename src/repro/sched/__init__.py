@@ -1,0 +1,21 @@
+"""repro.sched: incremental sweep scheduling over the result store.
+
+Decomposes every experiment sweep into a DAG of content-addressed cells
+(:mod:`repro.sched.cells`), consults :class:`repro.store.ResultStore`
+before dispatching anything, runs misses through the existing
+serial/parallel runners, and persists + journals each completion the
+moment it lands -- so interrupted sweeps resume with ``--resume`` from
+the last durable cell, and warm sweeps reproduce cold sweeps
+byte-for-byte.
+"""
+
+from repro.sched.cells import Cell, toposort_waves
+from repro.sched.scheduler import Sweep, SweepReport, SweepScheduler
+
+__all__ = [
+    "Cell",
+    "Sweep",
+    "SweepReport",
+    "SweepScheduler",
+    "toposort_waves",
+]

@@ -1,0 +1,359 @@
+"""Incremental, crash-resumable sweep scheduling over the result store.
+
+The scheduler sits between the experiments and the existing
+serial/parallel runners: every sweep is decomposed into a cell DAG
+(:mod:`repro.sched.cells`), each cell's store entry is consulted before
+any work is dispatched, misses run through the same worker-pool
+machinery as before (results land in input order, so sweeps stay
+byte-identical to store-less runs), and **every completed cell is
+persisted immediately** -- a sweep killed at any point resumes from the
+last durable cell, recomputing nothing that already finished.
+
+Completion is double-journalled:
+
+* the **store's write-ahead journal** makes each entry durable and
+  crash-consistent (that is the source of truth for ``--resume``);
+* a per-sweep **completion journal** under ``<store>/sweeps/`` records
+  which cells of *this* sweep finished, so a resumed invocation can
+  report "N of M cells were already durable" and tests can assert
+  exactly what was recomputed.
+
+Results must never be ``None`` (no experiment result is): ``None`` is
+the store's miss sentinel.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SchedulerError
+from repro.experiments.parallel import CellTask, prewarm_traces, run_cell
+from repro.sched.cells import Cell, toposort_waves
+from repro.store.keys import cell_key, digest, grid_cell_ingredients
+from repro.store.store import ResultStore
+
+
+@dataclass
+class SweepReport:
+    """How one scheduled sweep was satisfied."""
+
+    experiment: str
+    total: int = 0
+    #: Cells served from the store without recomputation.
+    hits: int = 0
+    #: Cells computed (and persisted) by this invocation.
+    computed: int = 0
+    #: Cells the completion journal already recorded when a ``--resume``
+    #: invocation opened it (0 for fresh sweeps).
+    resumed: int = 0
+
+    @property
+    def all_hits(self) -> bool:
+        return self.total > 0 and self.hits == self.total
+
+    def describe(self) -> str:
+        parts = [f"{self.hits}/{self.total} cells from store"]
+        if self.computed:
+            parts.append(f"{self.computed} computed")
+        if self.resumed:
+            parts.append(f"resumed past {self.resumed} journalled cells")
+        return ", ".join(parts)
+
+
+def _indexed_call(item: tuple[int, Callable, Any]) -> tuple[int, Any]:
+    """Worker shim: run one cell, tagged with its wave index."""
+    index, execute, task = item
+    return index, execute(task)
+
+
+class SweepScheduler:
+    """Schedules one experiment's cell DAG against a result store."""
+
+    def __init__(
+        self, experiment: str, store: ResultStore, resume: bool = False
+    ) -> None:
+        self.experiment = experiment
+        self.store = store
+        self.resume = resume
+        self.report: SweepReport | None = None
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        cells: Sequence[Cell],
+        jobs: int = 1,
+        progress: bool = False,
+    ) -> dict[str, Any]:
+        """Execute the DAG; returns ``{cell key: result}`` for all cells.
+
+        Store hits skip execution entirely; misses run wave by wave
+        (dependencies first) and are persisted the moment they complete,
+        with a completion record appended to the sweep journal.
+        """
+        waves = toposort_waves(cells)
+        ordered = [cell for wave in waves for cell in wave]
+        report = SweepReport(experiment=self.experiment, total=len(ordered))
+        journal = self._journal_path(ordered)
+        report.resumed = self._open_journal(journal, len(ordered), progress)
+
+        results: dict[str, Any] = {}
+        for cell in ordered:
+            value = self.store.get(cell.key)
+            if value is not None:
+                results[cell.key] = value
+                report.hits += 1
+        if progress and ordered:
+            print(
+                f"  store: {report.hits}/{len(ordered)} cells warm, "
+                f"computing {len(ordered) - report.hits}",
+                flush=True,
+            )
+
+        def on_done(cell: Cell, value: Any) -> None:
+            if value is None:
+                raise SchedulerError(
+                    f"cell {cell.label or cell.key[:12]} produced None "
+                    f"(reserved as the store's miss sentinel)"
+                )
+            self.store.put(cell.key, value, cell.ingredients)
+            _append_line(journal, {"op": "cell-done", "key": cell.key})
+            results[cell.key] = value
+            report.computed += 1
+
+        for wave in waves:
+            pending = [c for c in wave if c.key not in results]
+            self._execute_wave(pending, jobs, progress, on_done)
+        _append_line(journal, {"op": "sweep-done"})
+        self.report = report
+        return results
+
+    # ------------------------------------------------------------------
+
+    def _journal_path(self, cells: Sequence[Cell]) -> Path:
+        sweep_id = digest(
+            {
+                "experiment": self.experiment,
+                "keys": sorted({c.key for c in cells}),
+            }
+        )[:16]
+        return self.store.sweeps_dir / f"{self.experiment}-{sweep_id}.jsonl"
+
+    def _open_journal(
+        self, journal: Path, total: int, progress: bool
+    ) -> int:
+        """Start or resume the sweep's completion journal.
+
+        Returns the number of cells an interrupted prior invocation had
+        already journalled (only honoured under ``resume``; otherwise
+        the journal restarts, while store entries still serve as hits).
+        """
+        prior_done = 0
+        if journal.exists() and self.resume:
+            done = False
+            seen: set[str] = set()
+            for record in _read_lines(journal):
+                if record.get("op") == "cell-done" and "key" in record:
+                    seen.add(record["key"])
+                elif record.get("op") == "sweep-done":
+                    done = True
+            if not done:
+                prior_done = len(seen)
+                _append_line(journal, {"op": "sweep-resume"})
+                if progress:
+                    print(
+                        f"  resuming interrupted sweep "
+                        f"{journal.stem}: {prior_done}/{total} cells "
+                        f"already journalled durable",
+                        flush=True,
+                    )
+                return prior_done
+        journal.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "op": "sweep-begin",
+            "experiment": self.experiment,
+            "cells": total,
+        }
+        journal.write_text(
+            json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        return prior_done
+
+    def _execute_wave(
+        self,
+        pending: Sequence[Cell],
+        jobs: int,
+        progress: bool,
+        on_done: Callable[[Cell, Any], None],
+    ) -> None:
+        """Run one wave's misses; ``on_done`` fires per completion.
+
+        Serial path mirrors :func:`repro.experiments.parallel.run_cells`
+        exactly; the parallel path uses ``imap_unordered`` so results
+        are persisted -- and therefore resumable -- as workers finish,
+        not when the whole wave does.
+        """
+        if not pending:
+            return
+        if jobs <= 1 or len(pending) == 1:
+            for cell in pending:
+                if progress:
+                    print(
+                        f"  running {cell.label or cell.key[:12]} ...",
+                        flush=True,
+                    )
+                on_done(cell, cell.execute(cell.task))
+            return
+        if progress:
+            print(
+                f"  dispatching {len(pending)} cells across "
+                f"{min(jobs, len(pending))} workers ...",
+                flush=True,
+            )
+        grid_tasks = [c.task for c in pending if isinstance(c.task, CellTask)]
+        if grid_tasks:
+            prewarm_traces(grid_tasks)
+        items = [(i, cell.execute, cell.task) for i, cell in enumerate(pending)]
+        workers = min(jobs, len(items))
+        with multiprocessing.get_context().Pool(processes=workers) as pool:
+            for index, value in pool.imap_unordered(
+                _indexed_call, items, chunksize=1
+            ):
+                on_done(pending[index], value)
+
+
+class Sweep:
+    """Front door for store-backed experiments.
+
+    One instance per (experiment entry point, invocation); experiments
+    thread it through to their dispatch sites.  ``run_cells`` covers
+    grid sweeps (:class:`CellTask`); ``run_tasks`` covers any
+    experiment-specific picklable task type with a module-level
+    executor.  Both return results in input task order -- exactly what
+    the store-less runners produce -- so warm, cold, serial and parallel
+    sweeps all assemble identical experiment results.
+    """
+
+    def __init__(
+        self, experiment: str, store: ResultStore, resume: bool = False
+    ) -> None:
+        self.experiment = experiment
+        self.store = store
+        self.resume = resume
+        self.reports: list[SweepReport] = []
+
+    @property
+    def report(self) -> SweepReport:
+        """Aggregate over every dispatch this sweep served."""
+        total = SweepReport(experiment=self.experiment)
+        for r in self.reports:
+            total.total += r.total
+            total.hits += r.hits
+            total.computed += r.computed
+            total.resumed += r.resumed
+        return total
+
+    def run_cells(
+        self,
+        tasks: Iterable[CellTask],
+        jobs: int = 1,
+        progress: bool = False,
+    ) -> list[Any]:
+        """Store-backed drop-in for :func:`parallel.run_cells`."""
+        return self.run_tasks(
+            tasks,
+            run_cell,
+            grid_cell_ingredients,
+            label_for=lambda t: f"{t.workload} / {t.config}",
+            jobs=jobs,
+            progress=progress,
+        )
+
+    def run_tasks(
+        self,
+        tasks: Iterable[Any],
+        execute: Callable[[Any], Any],
+        ingredients_for: Callable[[Any], dict],
+        deps_for: Callable[[Any], Iterable[Any]] | None = None,
+        label_for: Callable[[Any], str] | None = None,
+        jobs: int = 1,
+        progress: bool = False,
+    ) -> list[Any]:
+        """Run arbitrary cells through the store-consulting scheduler.
+
+        ``tasks`` must be hashable picklable descriptors; ``execute`` a
+        module-level callable; ``ingredients_for`` maps a task to its
+        key ingredients; ``deps_for`` optionally maps a task to the
+        *tasks* it depends on (which must appear in ``tasks`` too).
+        """
+        tasks = list(tasks)
+        key_by_task: dict[Any, str] = {}
+        ing_by_task: dict[Any, dict] = {}
+        for task in tasks:
+            if task in key_by_task:
+                continue
+            ingredients = ingredients_for(task)
+            ing_by_task[task] = ingredients
+            key_by_task[task] = cell_key(ingredients)
+        cells = []
+        for task in tasks:
+            deps: tuple[str, ...] = ()
+            if deps_for is not None:
+                try:
+                    deps = tuple(key_by_task[d] for d in deps_for(task))
+                except KeyError as exc:
+                    raise SchedulerError(
+                        f"dependency {exc.args[0]!r} of task {task!r} is "
+                        f"not part of this sweep"
+                    ) from None
+            cells.append(
+                Cell(
+                    key=key_by_task[task],
+                    ingredients=ing_by_task[task],
+                    task=task,
+                    execute=execute,
+                    deps=deps,
+                    label=label_for(task) if label_for is not None else "",
+                )
+            )
+        scheduler = SweepScheduler(
+            self.experiment, self.store, resume=self.resume
+        )
+        results = scheduler.run(cells, jobs=jobs, progress=progress)
+        assert scheduler.report is not None
+        self.reports.append(scheduler.report)
+        return [results[key_by_task[task]] for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# Journal plumbing
+
+
+def _append_line(path: Path, record: dict) -> None:
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n")
+        fh.flush()
+
+
+def _read_lines(path: Path) -> list[dict]:
+    records = []
+    try:
+        text = path.read_text()
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            break  # torn tail from a mid-append crash
+        if isinstance(record, dict):
+            records.append(record)
+    return records

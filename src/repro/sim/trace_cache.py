@@ -17,6 +17,12 @@ regenerate lazily -- slower, still correct.
 Keys include the workload class, name and footprint because test
 workloads (e.g. ``TinyWorkload``) reuse one name across different
 footprints, and the footprint changes the generated trace.
+
+Residency is bounded two ways -- by entry count (:data:`MAX_ENTRIES`)
+and by total array bytes (:data:`MAX_BYTES`) -- with least-recently-used
+eviction: a hit refreshes its entry, inserts evict from the cold end
+until both bounds hold.  The most recent entry is never evicted, even
+when it alone exceeds the byte bound (the caller needs it regardless).
 """
 
 from __future__ import annotations
@@ -27,10 +33,15 @@ import numpy as np
 
 from repro.workloads.base import Workload
 
-#: Cached traces before the oldest entries are discarded.  A full figure
-#: sweep needs one entry per workload; the bound only matters for
-#: long-lived processes sweeping many lengths/seeds.
+#: Cached traces before the least-recently-used entries are discarded.
+#: A full figure sweep needs one entry per workload; the bound only
+#: matters for long-lived processes sweeping many lengths/seeds.
 MAX_ENTRIES = 32
+
+#: Total bytes of cached trace arrays before LRU eviction kicks in.
+#: 256 MiB holds every default-length trace of a full figure sweep with
+#: room to spare while keeping a long-lived sweep process bounded.
+MAX_BYTES = 256 * 1024 * 1024
 
 #: (class qualname, workload name, footprint, requested length, seed).
 TraceKey = tuple[str, str, int, int | None, int]
@@ -45,6 +56,11 @@ class CachedTrace:
     #: Sorted unique page indices (read-only; feeds prepopulation).
     unique_pages: np.ndarray
 
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes this entry pins (both arrays)."""
+        return int(self.pages.nbytes) + int(self.unique_pages.nbytes)
+
 
 @dataclass
 class CacheStats:
@@ -53,6 +69,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Total bytes released by evictions (lifetime).
+    evicted_bytes: int = 0
 
     @property
     def requests(self) -> int:
@@ -66,12 +84,14 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.evicted_bytes = 0
 
     def as_dict(self) -> dict:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -109,7 +129,12 @@ def trace_key(workload: Workload, length: int | None, seed: int) -> TraceKey:
 
 
 def get_trace(workload: Workload, length: int | None, seed: int) -> CachedTrace:
-    """The memoized trace for a request, generating it on first use."""
+    """The memoized trace for a request, generating it on first use.
+
+    Hits refresh the entry's recency (dict insertion order doubles as
+    the LRU list); misses insert at the hot end and evict from the cold
+    end until both :data:`MAX_ENTRIES` and :data:`MAX_BYTES` hold.
+    """
     key = trace_key(workload, length, seed)
     cached = _CACHE.get(key)
     m = _METRICS
@@ -117,6 +142,7 @@ def get_trace(workload: Workload, length: int | None, seed: int) -> CachedTrace:
         _STATS.hits += 1
         if m is not None and m.enabled:
             m.inc("trace_cache.hits")
+        _CACHE[key] = _CACHE.pop(key)  # move to the hot (most-recent) end
         return cached
     _STATS.misses += 1
     if m is not None and m.enabled:
@@ -126,13 +152,22 @@ def get_trace(workload: Workload, length: int | None, seed: int) -> CachedTrace:
     pages.flags.writeable = False
     unique_pages.flags.writeable = False
     cached = CachedTrace(pages=pages, unique_pages=unique_pages)
-    while len(_CACHE) >= MAX_ENTRIES:
-        _CACHE.pop(next(iter(_CACHE)))
+    _CACHE[key] = cached
+    _evict(m)
+    return cached
+
+
+def _evict(m) -> None:
+    """Drop least-recently-used entries until both bounds hold."""
+    while len(_CACHE) > 1 and (
+        len(_CACHE) > MAX_ENTRIES or cache_bytes() > MAX_BYTES
+    ):
+        victim = _CACHE.pop(next(iter(_CACHE)))
         _STATS.evictions += 1
+        _STATS.evicted_bytes += victim.nbytes
         if m is not None and m.enabled:
             m.inc("trace_cache.evictions")
-    _CACHE[key] = cached
-    return cached
+            m.inc("trace_cache.evicted_bytes", victim.nbytes)
 
 
 def clear() -> None:
@@ -143,3 +178,8 @@ def clear() -> None:
 def cache_size() -> int:
     """Number of traces currently cached."""
     return len(_CACHE)
+
+
+def cache_bytes() -> int:
+    """Total resident bytes of every cached trace."""
+    return sum(entry.nbytes for entry in _CACHE.values())

@@ -1,0 +1,55 @@
+"""repro.store: the content-addressed, on-disk experiment result store.
+
+One entry per simulation cell, keyed by a digest of workload spec +
+parsed config + seed + trace-cache key + model-parameter fingerprint +
+code fingerprint (:mod:`repro.store.keys`); durable via atomic writes
+plus a write-ahead journal, with corrupted entries quarantined instead
+of trusted (:mod:`repro.store.store`); maintained through the ``store``
+CLI (:mod:`repro.store.cli`).  The incremental sweep scheduler
+(:mod:`repro.sched`) consults this store before dispatching cells.
+
+See STORAGE.md for the entry format, keying scheme, invalidation rules
+and GC policy.
+"""
+
+from repro.store.keys import (
+    cell_key,
+    code_fingerprint,
+    config_params,
+    digest,
+    grid_cell_ingredients,
+    model_fingerprint,
+    obs_params,
+    trace_key_params,
+    workload_params,
+)
+from repro.store.store import (
+    DEFAULT_STORE_PATH,
+    ENTRY_KIND,
+    SCHEMA_VERSION,
+    RecoveryReport,
+    ResultStore,
+    StoreStats,
+    VerifyIssue,
+    VerifyReport,
+)
+
+__all__ = [
+    "DEFAULT_STORE_PATH",
+    "ENTRY_KIND",
+    "SCHEMA_VERSION",
+    "RecoveryReport",
+    "ResultStore",
+    "StoreStats",
+    "VerifyIssue",
+    "VerifyReport",
+    "cell_key",
+    "code_fingerprint",
+    "config_params",
+    "digest",
+    "grid_cell_ingredients",
+    "model_fingerprint",
+    "obs_params",
+    "trace_key_params",
+    "workload_params",
+]

@@ -1,0 +1,240 @@
+"""``store`` subcommand: inspect and maintain an experiment store.
+
+Reached as ``python -m repro.experiments store <op>`` (or
+``python -m repro.store <op>``)::
+
+    store ls       [--store DIR] [--json]
+    store verify   [--store DIR] [--json]
+    store gc       [--store DIR] [--max-age-days N] [--quarantine]
+                   [--dry-run]
+    store export   [--store DIR] --out FILE [KEY_PREFIX ...]
+
+``--store`` defaults to ``$REPRO_STORE`` or ``.repro-store``.  ``verify``
+exits nonzero when any entry fails integrity checks, a journal record
+dangles, or quarantined files are present -- so CI can gate on a
+restored cache before trusting it.  ``export`` bundles entries (whole
+envelopes, payload included) into one portable JSON document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.errors import StoreError
+from repro.store.store import DEFAULT_STORE_PATH, ResultStore
+
+EXPORT_KIND = "repro.store.export"
+
+
+def _resolve_store_path(arg: str | None) -> Path:
+    return Path(arg or os.environ.get("REPRO_STORE") or DEFAULT_STORE_PATH)
+
+
+def _open(args: argparse.Namespace) -> ResultStore:
+    path = _resolve_store_path(args.store)
+    if not (path / "STORE.json").exists():
+        raise StoreError(
+            f"no store at {path} (run a sweep with --store {path}, or pass "
+            f"--store/--resume; see STORAGE.md)"
+        )
+    return ResultStore(path)
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    store = _open(args)
+    entries = list(store.entries())
+    if args.json:
+        slim = [{k: v for k, v in e.items() if k != "ingredients"} for e in entries]
+        print(json.dumps(slim, indent=2, sort_keys=True))
+        return 0
+    from repro.experiments.common import format_table
+
+    rows = []
+    for entry in entries:
+        if "corrupt" in entry:
+            rows.append([entry["key"][:12], "CORRUPT", "-", "-", "-", "-", "-"])
+            continue
+        summary = entry.get("summary", {})
+        rows.append(
+            [
+                entry["key"][:12],
+                summary.get("kind", "?"),
+                summary.get("workload", "-"),
+                summary.get("config", "-"),
+                summary.get("seed", "-"),
+                summary.get("trace_length", "-"),
+                entry.get("created_at", "-"),
+            ]
+        )
+    print(
+        format_table(
+            ["key", "kind", "workload", "config", "seed", "length", "created"],
+            rows,
+            title=f"store {store.root}: {len(entries)} entries",
+        )
+    )
+    recovery = store.recovery
+    if recovery.actions:
+        print(
+            f"(recovery on open: {len(recovery.completed)} completed, "
+            f"{len(recovery.quarantined)} quarantined, "
+            f"{len(recovery.cleared)} cleared)"
+        )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    store = _open(args)
+    recovery = store.recovery
+    report = store.verify()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "store": str(store.root),
+                    "checked": report.checked,
+                    "ok": report.ok,
+                    "issues": [
+                        {"key": i.key, "problem": i.problem, "path": i.path}
+                        for i in report.issues
+                    ],
+                    "quarantined_files": report.quarantined_files,
+                    "recovery": {
+                        "completed": recovery.completed,
+                        "quarantined": recovery.quarantined,
+                        "cleared": recovery.cleared,
+                    },
+                    "clean": report.clean,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"store {store.root}: {report.checked} entries checked, {report.ok} ok")
+        if recovery.actions:
+            print(
+                f"recovery on open: {len(recovery.completed)} dangling "
+                f"commits completed, {len(recovery.quarantined)} entries "
+                f"quarantined, {len(recovery.cleared)} journal records cleared"
+            )
+        for issue in report.issues:
+            print(f"  PROBLEM {issue.key[:16]}: {issue.problem}")
+        if report.quarantined_files:
+            print(
+                f"  {report.quarantined_files} quarantined file(s) in "
+                f"{store.quarantine_dir} (inspect, then `store gc --quarantine`)"
+            )
+        print("verdict: clean" if report.clean else "verdict: PROBLEMS FOUND")
+    return 0 if report.clean else 1
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = _open(args)
+    removed = store.gc(
+        max_age_days=args.max_age_days,
+        clear_quarantine=args.quarantine,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"store {store.root}: {verb} {len(removed)} entr(y/ies)")
+    for key in removed:
+        print(f"  {key[:16]}")
+    if args.quarantine and not args.dry_run:
+        print("quarantine cleared")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    store = _open(args)
+    prefixes = tuple(args.keys)
+    entries = []
+    for path in sorted(store.objects_dir.glob("*/*.json")):
+        key = path.stem
+        if prefixes and not any(key.startswith(p) for p in prefixes):
+            continue
+        entries.append(json.loads(path.read_text()))
+    bundle = {
+        "kind": EXPORT_KIND,
+        "schema_version": 1,
+        "store": str(store.root),
+        "entries": entries,
+    }
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(bundle, indent=1, sort_keys=True) + "\n")
+    print(f"exported {len(entries)} entr(y/ies) to {out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the ``store`` subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments store",
+        description="Inspect and maintain a content-addressed experiment store.",
+    )
+    sub = parser.add_subparsers(dest="op", required=True)
+
+    def add_store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--store",
+            default=None,
+            metavar="DIR",
+            help=f"store directory (default $REPRO_STORE or {DEFAULT_STORE_PATH})",
+        )
+
+    ls = sub.add_parser("ls", help="list stored entries")
+    add_store_arg(ls)
+    ls.add_argument("--json", action="store_true", help="machine-readable output")
+    ls.set_defaults(func=_cmd_ls)
+
+    verify = sub.add_parser("verify", help="full integrity scan (exit 1 on problems)")
+    add_store_arg(verify)
+    verify.add_argument("--json", action="store_true", help="machine-readable output")
+    verify.set_defaults(func=_cmd_verify)
+
+    gc = sub.add_parser("gc", help="remove old entries / clear quarantine")
+    add_store_arg(gc)
+    gc.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="N",
+        help="remove entries created more than N days ago",
+    )
+    gc.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="also empty the quarantine directory",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true", help="report without deleting"
+    )
+    gc.set_defaults(func=_cmd_gc)
+
+    export = sub.add_parser("export", help="bundle entries into one JSON file")
+    add_store_arg(export)
+    export.add_argument("--out", required=True, metavar="FILE", help="bundle path")
+    export.add_argument(
+        "keys", nargs="*", help="optional key prefixes to select entries"
+    )
+    export.set_defaults(func=_cmd_export)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output truncated by a closed pager/head pipe; not an error.
+        sys.stderr.close()
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

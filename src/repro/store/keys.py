@@ -1,0 +1,218 @@
+"""Cell keying: content digests and invalidation fingerprints.
+
+A store entry is addressed by a digest over *everything that determines
+the cell's result*:
+
+* the experiment-specific **ingredients** dict -- workload name and full
+  :class:`~repro.workloads.base.WorkloadSpec` parameters, the parsed
+  :class:`~repro.sim.config.SystemConfig` fields (not just the label),
+  trace length, seed, the trace-cache key
+  (:func:`repro.sim.trace_cache.trace_key`), the observability request,
+  and any experiment-private knobs (fault counts, sampling rates, ...);
+* the **model-parameter fingerprint** -- the default
+  :class:`~repro.core.costs.CostModel` latencies and
+  :class:`~repro.tlb.hierarchy.TLBGeometry`, so retuning any cost or
+  TLB constant invalidates every cached cell; and
+* the **code fingerprint** -- a hash over the ``repro`` package sources
+  (excluding :mod:`repro.store` and :mod:`repro.sched` themselves, which
+  cannot change simulated results), so any code change invalidates the
+  store wholesale.
+
+Digests are canonical-JSON SHA-256: two processes computing a key for
+the same cell always agree, and any ingredient drift -- however small --
+produces a different key (a *miss*, never a wrong hit).  See STORAGE.md
+for the full invalidation contract.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Any
+
+from repro.core.costs import CostModel
+from repro.sim import trace_cache
+from repro.sim.config import parse_config
+from repro.tlb.hierarchy import TLBGeometry
+from repro.workloads.base import Workload
+from repro.workloads.registry import create_workload
+
+#: Hex chars kept from the SHA-256 digest.  40 (160 bits) keeps
+#: collisions out of reach while staying filename-friendly.
+DIGEST_CHARS = 40
+
+#: Bump when the key layout itself changes (orthogonal to the store's
+#: on-disk schema version): old keys simply stop matching.
+KEY_SCHEMA = 1
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def digest(payload: Any) -> str:
+    """Canonical-JSON SHA-256 of ``payload``, truncated to 160 bits."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()[
+        :DIGEST_CHARS
+    ]
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+
+
+def hash_tree(root: Path, exclude: tuple[str, ...] = ()) -> str:
+    """Digest of every ``*.py`` file under ``root`` (path + content).
+
+    ``exclude`` names path prefixes relative to ``root`` (POSIX form)
+    whose files are skipped.  Deterministic: files are visited in
+    sorted relative-path order and both the path and the bytes feed the
+    hash, so renames count as changes.
+    """
+    h = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if any(rel == p or rel.startswith(p + "/") for p in exclude):
+            continue
+        h.update(rel.encode())
+        h.update(b"\0")
+        h.update(path.read_bytes())
+        h.update(b"\0")
+    return h.hexdigest()[:DIGEST_CHARS]
+
+
+#: Sub-packages whose sources do NOT feed the code fingerprint: the
+#: persistence layer itself never changes what a cell computes, so
+#: store/scheduler development must not invalidate existing stores.
+CODE_FINGERPRINT_EXCLUDES = ("store", "sched")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Digest of the installed ``repro`` package sources.
+
+    Cached per process (sources cannot change under a running sweep);
+    tests monkeypatch this function to prove key sensitivity without
+    editing files.
+    """
+    import repro
+
+    return hash_tree(
+        Path(repro.__file__).resolve().parent, exclude=CODE_FINGERPRINT_EXCLUDES
+    )
+
+
+@lru_cache(maxsize=1)
+def model_fingerprint() -> str:
+    """Digest of the default cost-model and TLB-geometry parameters.
+
+    Covers every latency in :class:`CostModel` (including the nested
+    :class:`~repro.core.costs.CacheLatencies` residency blend) and every
+    size/associativity in :class:`TLBGeometry`.  Redundant with the code
+    fingerprint for constants defined in source -- but it keys the
+    *values*, so experiments that will later inject alternative models
+    get invalidation for free.
+    """
+    return digest(
+        {
+            "cost_model": dataclasses.asdict(CostModel()),
+            "tlb_geometry": dataclasses.asdict(TLBGeometry()),
+        }
+    )
+
+
+def workload_params(workload: Workload) -> dict:
+    """The full spec of a workload instance as JSON-ready data.
+
+    Includes the generator class (two classes can share a spec name but
+    produce different traces) alongside every :class:`WorkloadSpec`
+    field, so changing any workload parameter -- footprint, locality
+    constants live in code (code fingerprint), but spec-level knobs like
+    ``refs_per_entry`` or ``ideal_cycles_per_ref`` -- changes the key.
+    """
+    return {
+        "class": type(workload).__qualname__,
+        "spec": dataclasses.asdict(workload.spec),
+    }
+
+
+def config_params(label: str) -> dict:
+    """The parsed :class:`SystemConfig` fields for a bar label.
+
+    Keyed on the parse *result*, not the raw string, so label aliases
+    that parse identically share entries while any grammar change that
+    alters the parsed fields invalidates them.
+    """
+    config = parse_config(label)
+    return {
+        "label": config.label,
+        "mode": config.mode.value,
+        "guest_page": config.guest_page.name,
+        "nested_page": config.nested_page.name if config.nested_page else None,
+        "thp": config.thp,
+    }
+
+
+def obs_params(obs: Any) -> dict | None:
+    """The observability request as key material (None when unobserved).
+
+    An observed and an unobserved run of the same cell produce different
+    :class:`SimulationResult` objects (``.obs`` present or not), so they
+    must not share a store entry.
+    """
+    if obs is None:
+        return None
+    return {"interval": obs.interval, "profile": obs.profile}
+
+
+# ----------------------------------------------------------------------
+# Cell keys
+
+
+def cell_key(ingredients: dict) -> str:
+    """The store key for one cell: ingredients + both fingerprints."""
+    return digest(
+        {
+            "key_schema": KEY_SCHEMA,
+            "ingredients": ingredients,
+            "code": code_fingerprint(),
+            "model": model_fingerprint(),
+        }
+    )
+
+
+def trace_key_params(
+    workload: Workload, trace_length: int | None, seed: int
+) -> list:
+    """The trace-cache key as JSON-ready key material.
+
+    Ties an entry to the exact trace the simulator would fetch: the
+    generator class, name, footprint, resolved length and seed.
+    """
+    return list(trace_cache.trace_key(workload, trace_length, seed))
+
+
+def grid_cell_ingredients(task: Any) -> dict:
+    """Key ingredients for one grid cell (:class:`CellTask`-shaped).
+
+    ``task`` needs ``workload``/``config``/``trace_length``/``seed``/
+    ``obs`` attributes; the workload is re-instantiated from the
+    registry so the key reflects the *current* spec parameters, and the
+    trace-cache key ties the entry to the exact trace the simulator
+    would fetch.
+    """
+    workload = create_workload(task.workload)
+    return {
+        "kind": "grid-cell",
+        "workload": task.workload,
+        "workload_params": workload_params(workload),
+        "config": config_params(task.config),
+        "trace_length": task.trace_length,
+        "seed": task.seed,
+        "trace_key": trace_key_params(workload, task.trace_length, task.seed),
+        "obs": obs_params(task.obs),
+    }

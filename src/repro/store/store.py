@@ -1,0 +1,593 @@
+"""The content-addressed, on-disk experiment result store.
+
+One entry per simulation cell, addressed by the digest of everything
+that determines its result (:mod:`repro.store.keys`).  Layout::
+
+    <root>/
+        STORE.json            # format marker: kind + schema version
+        journal.jsonl         # write-ahead journal (begin/commit pairs)
+        objects/<k[:2]>/<key>.json    # one JSON envelope per entry
+        quarantine/           # corrupted envelopes, moved aside
+        sweeps/               # sweep completion journals (repro.sched)
+
+Durability and correctness contract:
+
+* **Atomic writes** -- an entry is staged to a temp file in the same
+  directory, fsynced, then ``os.replace``\\ d into place; readers never
+  see a half-written object under its final name.
+* **Write-ahead journal** -- every put appends a ``begin`` record
+  before staging and a ``commit`` record after the rename.  On open,
+  recovery replays the journal: a dangling ``begin`` whose object file
+  verifies is completed (the crash hit between rename and commit);
+  one whose object is damaged or missing is quarantined/cleared.
+* **Quarantine, never trust** -- any read-path integrity failure
+  (unparsable envelope, checksum mismatch, undecodable payload) moves
+  the file into ``quarantine/`` and degrades to a miss
+  (:class:`~repro.errors.StoreCorruptionError` is caught internally,
+  per the degradable-failure contract of :mod:`repro.errors`).  A
+  damaged store costs recomputation, never wrong results.
+
+Payloads are pickled (every experiment result is picklable -- the
+parallel sweep runner already ships them across process boundaries),
+zlib-compressed and base64-embedded in a JSON envelope beside a SHA-256
+checksum and the full ingredients dict, so ``store ls``/``verify`` can
+inspect entries without unpickling.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import StoreCorruptionError, StoreError
+
+#: On-disk schema version; bump on any incompatible envelope change.
+SCHEMA_VERSION = 1
+
+STORE_KIND = "repro.store"
+ENTRY_KIND = "repro.store.entry"
+
+#: Default store location (relative to the invoking cwd); override with
+#: ``--store DIR`` or the ``REPRO_STORE`` environment variable.
+DEFAULT_STORE_PATH = ".repro-store"
+
+_PAYLOAD_CODEC = "pickle+zlib+b64"
+
+
+@dataclass
+class StoreStats:
+    """Lifetime operation counts of one store handle."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    quarantined: int = 0
+    #: Dangling journal records completed or cleared during recovery.
+    recovered: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "quarantined": self.quarantined,
+            "recovered": self.recovered,
+        }
+
+
+@dataclass(frozen=True)
+class VerifyIssue:
+    """One problem ``verify`` found (or recovery handled)."""
+
+    key: str
+    problem: str
+    path: str = ""
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full store integrity scan."""
+
+    checked: int = 0
+    ok: int = 0
+    issues: list[VerifyIssue] = field(default_factory=list)
+    quarantined_files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.issues and not self.quarantined_files
+
+
+@dataclass
+class RecoveryReport:
+    """What journal replay did when the store was opened."""
+
+    #: Dangling begins whose object verified: commit was re-appended.
+    completed: list[str] = field(default_factory=list)
+    #: Dangling begins whose object was damaged: moved to quarantine.
+    quarantined: list[str] = field(default_factory=list)
+    #: Dangling begins with no object file at all (crash before staging).
+    cleared: list[str] = field(default_factory=list)
+
+    @property
+    def actions(self) -> int:
+        return len(self.completed) + len(self.quarantined) + len(self.cleared)
+
+
+def _fsync_dir(path: Path) -> None:
+    """Flush a directory entry (rename durability on POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync unsupported on dirs
+        pass
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + replace)."""
+    tmp = path.with_name(path.name + f".tmp.{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def encode_payload(value: Any) -> tuple[str, str, int]:
+    """(base64 text, sha256 of compressed bytes, raw pickle size)."""
+    raw = pickle.dumps(value, protocol=4)
+    compressed = zlib.compress(raw, level=6)
+    return (
+        base64.b64encode(compressed).decode("ascii"),
+        hashlib.sha256(compressed).hexdigest(),
+        len(raw),
+    )
+
+
+def decode_payload(envelope: dict) -> Any:
+    """Inverse of :func:`encode_payload`; integrity-checked.
+
+    Raises :class:`StoreCorruptionError` on any mismatch -- the caller
+    (the store's read path) quarantines and degrades to a miss.
+    """
+    codec = envelope.get("payload_codec")
+    if codec != _PAYLOAD_CODEC:
+        raise StoreCorruptionError(f"unknown payload codec {codec!r}")
+    try:
+        compressed = base64.b64decode(envelope["payload"], validate=True)
+    except (KeyError, ValueError, TypeError) as exc:
+        raise StoreCorruptionError(f"payload not decodable: {exc}") from exc
+    checksum = hashlib.sha256(compressed).hexdigest()
+    if checksum != envelope.get("payload_sha256"):
+        raise StoreCorruptionError(
+            f"payload checksum mismatch: stored "
+            f"{envelope.get('payload_sha256')!r}, computed {checksum!r}"
+        )
+    try:
+        return pickle.loads(zlib.decompress(compressed))
+    except Exception as exc:
+        raise StoreCorruptionError(f"payload not unpicklable: {exc}") from exc
+
+
+class ResultStore:
+    """Content-addressed store of experiment cell results.
+
+    ``metrics`` optionally mirrors operation counts into a
+    :class:`repro.obs.metrics.MetricsRegistry` under ``store.*``
+    (hits/misses/puts/quarantined), matching the trace-cache pattern.
+    """
+
+    def __init__(
+        self,
+        root: Path | str,
+        metrics: Any = None,
+        recover: bool = True,
+    ) -> None:
+        self.root = Path(root)
+        self.metrics = metrics
+        self.stats = StoreStats()
+        self._init_layout()
+        self.recovery = self._recover() if recover else RecoveryReport()
+
+    # -- layout ---------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    @property
+    def sweeps_dir(self) -> Path:
+        return self.root / "sweeps"
+
+    @property
+    def journal_path(self) -> Path:
+        return self.root / "journal.jsonl"
+
+    @property
+    def marker_path(self) -> Path:
+        return self.root / "STORE.json"
+
+    def _init_layout(self) -> None:
+        if self.root.exists() and not self.root.is_dir():
+            raise StoreError(f"store path {self.root} is not a directory")
+        if self.root.is_dir() and not self.marker_path.exists():
+            # Refuse to adopt an arbitrary populated directory: gc and
+            # quarantine move/delete files under root.
+            if any(self.root.iterdir()):
+                raise StoreError(
+                    f"{self.root} exists, is not empty, and has no "
+                    f"STORE.json marker; refusing to use it as a store"
+                )
+        self.root.mkdir(parents=True, exist_ok=True)
+        for sub in (self.objects_dir, self.quarantine_dir, self.sweeps_dir):
+            sub.mkdir(exist_ok=True)
+        if not self.marker_path.exists():
+            _atomic_write_text(
+                self.marker_path,
+                json.dumps(
+                    {
+                        "kind": STORE_KIND,
+                        "schema_version": SCHEMA_VERSION,
+                        "created_at": _now_iso(),
+                    },
+                    indent=2,
+                    sort_keys=True,
+                )
+                + "\n",
+            )
+        else:
+            try:
+                marker = json.loads(self.marker_path.read_text())
+            except (OSError, ValueError) as exc:
+                raise StoreError(f"unreadable store marker: {exc}") from exc
+            if marker.get("kind") != STORE_KIND:
+                raise StoreError(
+                    f"{self.marker_path} is not a {STORE_KIND} marker"
+                )
+            if marker.get("schema_version") != SCHEMA_VERSION:
+                raise StoreError(
+                    f"store schema {marker.get('schema_version')!r} != "
+                    f"supported {SCHEMA_VERSION}; delete or migrate {self.root}"
+                )
+
+    def object_path(self, key: str) -> Path:
+        _check_key(key)
+        return self.objects_dir / key[:2] / f"{key}.json"
+
+    # -- journal --------------------------------------------------------
+
+    def _append_journal(self, record: dict) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with open(self.journal_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _read_journal(self) -> list[dict]:
+        """Journal records, tolerating a torn trailing line (crash
+        mid-append leaves a partial last line; everything before it is
+        intact because records are appended with fsync)."""
+        if not self.journal_path.exists():
+            return []
+        records = []
+        for line in self.journal_path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                break  # torn tail: nothing after it was durable
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def _compact_journal(self) -> None:
+        """Rewrite the journal to empty: every live entry is committed
+        on disk (the objects themselves are the durable state), so after
+        recovery the journal only needs to cover future writes."""
+        _atomic_write_text(self.journal_path, "")
+
+    def _recover(self) -> RecoveryReport:
+        report = RecoveryReport()
+        records = self._read_journal()
+        if not records:
+            return report
+        committed = {r["key"] for r in records if r.get("op") == "commit" and "key" in r}
+        dangling = [
+            r["key"]
+            for r in records
+            if r.get("op") == "begin"
+            and "key" in r
+            and r["key"] not in committed
+        ]
+        for key in dict.fromkeys(dangling):  # preserve order, dedup
+            try:
+                path = self.object_path(key)
+            except StoreError:
+                report.cleared.append(key)
+                continue
+            if not path.exists():
+                # Crashed before the staged file was renamed in; the
+                # temp file (if any) is unreachable garbage.
+                report.cleared.append(key)
+                self.stats.recovered += 1
+                continue
+            try:
+                envelope = self._load_envelope(path, key)
+                decode_payload(envelope)
+            except StoreCorruptionError as exc:
+                self._quarantine(path, key, str(exc))
+                report.quarantined.append(key)
+                continue
+            report.completed.append(key)
+            self.stats.recovered += 1
+        self._compact_journal()
+        return report
+
+    # -- read/write -----------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        """Entry present (no integrity check -- ``get`` does that)."""
+        return self.object_path(key).exists()
+
+    def get(self, key: str) -> Any | None:
+        """The stored value, or None on miss *or* quarantined corruption."""
+        path = self.object_path(key)
+        if not path.exists():
+            self._count("misses")
+            return None
+        try:
+            envelope = self._load_envelope(path, key)
+            value = decode_payload(envelope)
+        except StoreCorruptionError as exc:
+            self._quarantine(path, key, str(exc))
+            self._count("misses")
+            return None
+        self._count("hits")
+        return value
+
+    def put(self, key: str, value: Any, ingredients: dict) -> bool:
+        """Persist one entry; returns False when it already existed.
+
+        Content addressing makes puts idempotent: an existing entry for
+        ``key`` is by construction the same result, so it is left
+        untouched (and not re-journaled).
+        """
+        path = self.object_path(key)
+        if path.exists():
+            return False
+        payload, checksum, raw_size = encode_payload(value)
+        envelope = {
+            "kind": ENTRY_KIND,
+            "schema_version": SCHEMA_VERSION,
+            "key": key,
+            "created_at": _now_iso(),
+            "ingredients": ingredients,
+            "summary": _entry_summary(ingredients, raw_size),
+            "payload_codec": _PAYLOAD_CODEC,
+            "payload_sha256": checksum,
+            "payload": payload,
+        }
+        self._append_journal({"op": "begin", "key": key, "ts": _now_iso()})
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_text(
+            path, json.dumps(envelope, indent=1, sort_keys=True) + "\n"
+        )
+        self._append_journal({"op": "commit", "key": key})
+        self._count("puts")
+        return True
+
+    def _load_envelope(self, path: Path, key: str | None = None) -> dict:
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StoreCorruptionError(f"unparsable envelope: {exc}") from exc
+        if not isinstance(envelope, dict) or envelope.get("kind") != ENTRY_KIND:
+            raise StoreCorruptionError(
+                f"not a {ENTRY_KIND} document: {path.name}"
+            )
+        if envelope.get("schema_version") != SCHEMA_VERSION:
+            raise StoreCorruptionError(
+                f"entry schema {envelope.get('schema_version')!r} != "
+                f"{SCHEMA_VERSION}"
+            )
+        if key is not None and envelope.get("key") != key:
+            raise StoreCorruptionError(
+                f"envelope key {envelope.get('key')!r} does not match "
+                f"file name {key!r}"
+            )
+        return envelope
+
+    def _quarantine(self, path: Path, key: str, reason: str) -> None:
+        self.quarantine_dir.mkdir(exist_ok=True)
+        target = self.quarantine_dir / f"{key}.{int(time.time() * 1e6)}.json"
+        try:
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - already gone
+            pass
+        note = target.with_suffix(".reason")
+        try:
+            note.write_text(reason + "\n")
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self.stats.quarantined += 1
+        self._count("quarantined", bump_stats=False)
+
+    # -- inspection -----------------------------------------------------
+
+    def keys(self) -> list[str]:
+        """Every stored key, sorted."""
+        return sorted(p.stem for p in self.objects_dir.glob("*/*.json"))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.objects_dir.glob("*/*.json"))
+
+    def entries(self) -> Iterator[dict]:
+        """Envelopes without their payload text (for ls/verify views).
+
+        Unparsable files yield a stub with a ``corrupt`` marker instead
+        of raising, so inspection always covers the whole store.
+        """
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            try:
+                envelope = self._load_envelope(path, path.stem)
+            except StoreCorruptionError as exc:
+                yield {
+                    "key": path.stem,
+                    "corrupt": str(exc),
+                    "path": str(path),
+                }
+                continue
+            out = {k: v for k, v in envelope.items() if k != "payload"}
+            out["path"] = str(path)
+            out["file_bytes"] = path.stat().st_size
+            yield out
+
+    def verify(self) -> VerifyReport:
+        """Full integrity scan: every envelope parsed, checksummed and
+        unpickled; dangling journal begins reported.  Read-only -- no
+        quarantining -- so CI can gate on the report without mutating
+        the cache it just restored."""
+        report = VerifyReport()
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            report.checked += 1
+            key = path.stem
+            try:
+                envelope = self._load_envelope(path, key)
+                decode_payload(envelope)
+            except StoreCorruptionError as exc:
+                report.issues.append(
+                    VerifyIssue(key=key, problem=str(exc), path=str(path))
+                )
+                continue
+            report.ok += 1
+        committed = set()
+        begins = []
+        for record in self._read_journal():
+            if record.get("op") == "commit":
+                committed.add(record.get("key"))
+            elif record.get("op") == "begin":
+                begins.append(record.get("key"))
+        for key in begins:
+            if key not in committed:
+                report.issues.append(
+                    VerifyIssue(
+                        key=str(key),
+                        problem="dangling journal begin (no commit record)",
+                    )
+                )
+        report.quarantined_files = sum(
+            1 for _ in self.quarantine_dir.glob("*.json")
+        )
+        return report
+
+    # -- garbage collection --------------------------------------------
+
+    def gc(
+        self,
+        max_age_days: float | None = None,
+        keep: set[str] | None = None,
+        clear_quarantine: bool = False,
+        dry_run: bool = False,
+    ) -> list[str]:
+        """Remove entries by age and/or keep-set; returns removed keys.
+
+        Policy (STORAGE.md): an entry is removed when it is older than
+        ``max_age_days`` (by ``created_at``) *and* not in ``keep``; with
+        no ``max_age_days``, only entries outside an explicit ``keep``
+        set are removed (``keep=None`` keeps everything).  Completed
+        sweep journals older than the age limit are dropped too, and
+        ``clear_quarantine`` empties the quarantine directory.
+        """
+        removed: list[str] = []
+        cutoff = None
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+        for path in sorted(self.objects_dir.glob("*/*.json")):
+            key = path.stem
+            if keep is not None and key in keep:
+                continue
+            if cutoff is not None:
+                created = _entry_timestamp(path)
+                if created is None or created >= cutoff:
+                    continue
+            elif keep is None:
+                continue  # no policy given: remove nothing
+            removed.append(key)
+            if not dry_run:
+                path.unlink(missing_ok=True)
+        if not dry_run:
+            if cutoff is not None:
+                for sweep in self.sweeps_dir.glob("*.jsonl"):
+                    if sweep.stat().st_mtime < cutoff:
+                        sweep.unlink(missing_ok=True)
+            if clear_quarantine:
+                for path in self.quarantine_dir.iterdir():
+                    path.unlink(missing_ok=True)
+            self._compact_journal()
+        return removed
+
+    # -- plumbing -------------------------------------------------------
+
+    def _count(self, name: str, bump_stats: bool = True) -> None:
+        if bump_stats:
+            setattr(self.stats, name, getattr(self.stats, name) + 1)
+        m = self.metrics
+        if m is not None and getattr(m, "enabled", False):
+            m.inc(f"store.{name}")
+
+
+def _check_key(key: str) -> None:
+    if (
+        not isinstance(key, str)
+        or len(key) < 8
+        or any(c not in "0123456789abcdef" for c in key)
+    ):
+        raise StoreError(f"malformed store key {key!r}")
+
+
+def _now_iso() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+
+def _entry_summary(ingredients: dict, raw_size: int) -> dict:
+    """Small human-readable facts for ``store ls`` (best effort)."""
+    summary = {"payload_bytes": raw_size}
+    for name in ("kind", "workload", "trace_length", "seed"):
+        if name in ingredients:
+            summary[name] = ingredients[name]
+    config = ingredients.get("config")
+    if isinstance(config, dict) and "label" in config:
+        summary["config"] = config["label"]
+    elif isinstance(config, str):
+        summary["config"] = config
+    return summary
+
+
+def _entry_timestamp(path: Path) -> float | None:
+    """The entry's created_at as epoch seconds (None if unreadable)."""
+    try:
+        envelope = json.loads(path.read_text())
+        created = envelope.get("created_at", "")
+        return time.mktime(time.strptime(created[:19], "%Y-%m-%dT%H:%M:%S"))
+    except (OSError, ValueError, TypeError):
+        return None

@@ -1,0 +1,157 @@
+"""Warm == cold: store-served sweeps are byte-identical to computed ones.
+
+The store's correctness contract (STORAGE.md): a warm sweep -- every
+cell served from disk -- must produce *byte-identical* experiment
+reports to the cold sweep that populated it, serially and with a worker
+pool, for every store-aware experiment.  These tests run each
+experiment's smallest meaningful grid cold into a fresh store, re-run
+it warm, and compare serialized reports; a final test proves that
+changing key material (the code fingerprint) turns the same sweep into
+a full miss instead of serving stale entries.
+"""
+
+import pytest
+
+from repro.experiments import figure01, figure13, report, resilience
+from repro.obs.tracing import ObsOptions
+from repro.sched import Sweep
+from repro.store.store import ResultStore
+
+SMOKE_LENGTH = 2_000
+
+
+def _sweep(tmp_path, experiment, resume=False):
+    return Sweep(experiment, ResultStore(tmp_path / "store"), resume=resume)
+
+
+def _cold_then_warm(tmp_path, experiment, run, jobs=1):
+    """Run cold into a fresh store, then warm; return both results."""
+    cold_sweep = _sweep(tmp_path, experiment)
+    cold = run(cold_sweep, 1)
+    assert cold_sweep.report.hits == 0
+    assert cold_sweep.report.computed == cold_sweep.report.total > 0
+
+    warm_sweep = _sweep(tmp_path, experiment)
+    warm = run(warm_sweep, jobs)
+    assert warm_sweep.report.all_hits
+    assert warm_sweep.report.computed == 0
+    return cold, warm
+
+
+class TestFigure01:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_warm_equals_cold(self, tmp_path, jobs):
+        cold, warm = _cold_then_warm(
+            tmp_path,
+            "figure1",
+            lambda sweep, j: figure01.run(
+                trace_length=SMOKE_LENGTH,
+                workloads=("gups",),
+                jobs=j,
+                sweep=sweep,
+            ),
+            jobs=jobs,
+        )
+        assert report.dumps(warm) == report.dumps(cold)
+
+    def test_storeless_run_is_identical_too(self, tmp_path):
+        """The sweep machinery must not perturb results at all."""
+        plain = figure01.run(trace_length=SMOKE_LENGTH, workloads=("gups",))
+        stored = figure01.run(
+            trace_length=SMOKE_LENGTH,
+            workloads=("gups",),
+            sweep=_sweep(tmp_path, "figure1"),
+        )
+        assert report.dumps(stored) == report.dumps(plain)
+
+
+class TestFigure13:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_warm_equals_cold(self, tmp_path, jobs):
+        cold, warm = _cold_then_warm(
+            tmp_path,
+            "figure13",
+            lambda sweep, j: figure13.run(
+                trace_length=SMOKE_LENGTH,
+                workloads=("gups",),
+                bad_counts=(1, 2),
+                trials=2,
+                jobs=j,
+                sweep=sweep,
+            ),
+            jobs=jobs,
+        )
+        assert report.dumps(warm) == report.dumps(cold)
+
+    def test_baseline_is_shared_across_trials(self, tmp_path):
+        """One baseline cell serves every faulted trial (DAG dedup)."""
+        sweep = _sweep(tmp_path, "figure13")
+        figure13.run(
+            trace_length=SMOKE_LENGTH,
+            workloads=("gups",),
+            bad_counts=(1, 2),
+            trials=2,
+            sweep=sweep,
+        )
+        # 1 baseline + 2 bad-counts x 2 trials = 5 cells, not 6.
+        assert sweep.report.total == 5
+
+
+class TestResilience:
+    def test_warm_equals_cold(self, tmp_path):
+        cold, warm = _cold_then_warm(
+            tmp_path,
+            "resilience",
+            lambda sweep, j: resilience.run(
+                trace_length=SMOKE_LENGTH,
+                workloads=("gups",),
+                extra_fault_counts=(0, 2),
+                sweep=sweep,
+            ),
+        )
+        assert report.dumps(warm) == report.dumps(cold)
+        assert warm.all_consistent
+
+    def test_observed_and_unobserved_cells_do_not_share(self, tmp_path):
+        """obs is key material: an observed sweep must miss a store
+        populated by an unobserved one (the results differ)."""
+        store = ResultStore(tmp_path / "store")
+        resilience.run(
+            trace_length=SMOKE_LENGTH,
+            workloads=("gups",),
+            extra_fault_counts=(0,),
+            sweep=Sweep("resilience", store),
+        )
+        observed = Sweep("resilience", store)
+        result = resilience.run(
+            trace_length=SMOKE_LENGTH,
+            workloads=("gups",),
+            extra_fault_counts=(0,),
+            obs=ObsOptions(interval=500),
+            sweep=observed,
+        )
+        # The unobserved baseline cell hits; the observed faulted cell
+        # must not be served the unobserved entry.
+        assert observed.report.hits == 1
+        assert observed.report.computed == 1
+        assert result.obs_records, "observed run must carry obs records"
+
+
+class TestInvalidation:
+    def test_code_fingerprint_change_turns_hits_into_misses(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store import keys
+
+        run = lambda sweep: figure01.run(  # noqa: E731
+            trace_length=SMOKE_LENGTH, workloads=("gups",), sweep=sweep
+        )
+        cold_sweep = _sweep(tmp_path, "figure1")
+        run(cold_sweep)
+        assert cold_sweep.report.computed == cold_sweep.report.total
+
+        monkeypatch.setattr(keys, "code_fingerprint", lambda: "0" * 40)
+        invalidated = _sweep(tmp_path, "figure1")
+        run(invalidated)
+        assert invalidated.report.hits == 0
+        assert invalidated.report.computed == invalidated.report.total

@@ -69,6 +69,52 @@ def test_eviction_bound():
     assert trace_cache.cache_size() <= trace_cache.MAX_ENTRIES
 
 
+class TestLRUEviction:
+    def test_hit_refreshes_recency(self):
+        """A recently-hit entry survives eviction; the cold one goes."""
+        workload = TinyWorkload()
+        for seed in range(trace_cache.MAX_ENTRIES):
+            trace_cache.get_trace(workload, 100, seed=seed)
+        # Touch the oldest entry, making seed=1 the LRU victim.
+        trace_cache.get_trace(workload, 100, seed=0)
+        trace_cache.get_trace(workload, 100, seed=trace_cache.MAX_ENTRIES)
+        keys = set(trace_cache._CACHE)
+        assert trace_cache.trace_key(workload, 100, 0) in keys
+        assert trace_cache.trace_key(workload, 100, 1) not in keys
+
+    def test_byte_bound_evicts_lru(self, monkeypatch):
+        """Total resident bytes stay under MAX_BYTES via LRU eviction."""
+        workload = TinyWorkload()
+        one = trace_cache.get_trace(workload, 400, seed=0).nbytes
+        monkeypatch.setattr(trace_cache, "MAX_BYTES", int(one * 2.5))
+        for seed in range(1, 6):
+            trace_cache.get_trace(workload, 400, seed=seed)
+        assert trace_cache.cache_bytes() <= trace_cache.MAX_BYTES
+        assert trace_cache.stats().evictions > 0
+        assert trace_cache.stats().evicted_bytes > 0
+        # Most-recent entry always survives.
+        assert trace_cache.trace_key(workload, 400, 5) in trace_cache._CACHE
+
+    def test_single_oversized_entry_is_retained(self, monkeypatch):
+        """The entry just generated is never evicted, whatever its size."""
+        monkeypatch.setattr(trace_cache, "MAX_BYTES", 1)
+        cached = trace_cache.get_trace(TinyWorkload(), 500, seed=0)
+        assert trace_cache.cache_size() == 1
+        assert cached.nbytes > 1
+
+    def test_eviction_metrics_mirrored(self, monkeypatch):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        trace_cache.attach_metrics(registry)
+        workload = TinyWorkload()
+        one = trace_cache.get_trace(workload, 400, seed=0).nbytes
+        monkeypatch.setattr(trace_cache, "MAX_BYTES", int(one * 1.5))
+        trace_cache.get_trace(workload, 400, seed=1)
+        assert registry.counter_value("trace_cache.evictions") >= 1
+        assert registry.counter_value("trace_cache.evicted_bytes") >= one
+
+
 def test_simulate_populates_and_reuses_the_cache():
     workload = TinyWorkload()
     first = simulate("4K", workload, trace_length=1500, seed=2)

@@ -1,0 +1,176 @@
+"""Crash recovery: journal replay, quarantine, torn writes.
+
+Every scenario hand-crafts the on-disk aftermath of a crash (a dangling
+``begin`` record, a truncated object, a torn journal line) and asserts
+the recovery contract from STORAGE.md: wrong results never come out --
+every damage mode degrades to a miss, with corrupted files moved to
+quarantine and reported by ``store verify``.
+"""
+
+import json
+
+from repro.store import cli
+from repro.store.store import ResultStore
+
+KEY = "c" * 40
+
+
+def _ingredients() -> dict:
+    return {"kind": "test-cell", "workload": "gups", "seed": 0}
+
+
+def _journal_begin(root, key=KEY):
+    with open(root / "journal.jsonl", "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"op": "begin", "key": key}) + "\n")
+
+
+class TestJournalReplay:
+    def test_dangling_begin_with_valid_object_is_completed(self, tmp_path):
+        """Crash between rename and commit: the entry is durable."""
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        # Simulate the crash: journal says begin, never commit.
+        (root / "journal.jsonl").write_text("")
+        _journal_begin(root)
+
+        reopened = ResultStore(root)
+        assert reopened.recovery.completed == [KEY]
+        assert reopened.recovery.quarantined == []
+        assert reopened.get(KEY) == {"v": 1}
+
+    def test_dangling_begin_with_truncated_object_is_quarantined(self, tmp_path):
+        """Crash mid-write through a non-atomic path: quarantine, miss."""
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        path = store.object_path(KEY)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        (root / "journal.jsonl").write_text("")
+        _journal_begin(root)
+
+        reopened = ResultStore(root)
+        assert reopened.recovery.quarantined == [KEY]
+        assert not path.exists()
+        assert list((root / "quarantine").glob(f"{KEY}.*.json"))
+        assert reopened.get(KEY) is None
+
+    def test_dangling_begin_with_no_object_is_cleared(self, tmp_path):
+        """Crash before the staged file was renamed in: nothing landed."""
+        root = tmp_path / "st"
+        ResultStore(root)
+        _journal_begin(root)
+
+        reopened = ResultStore(root)
+        assert reopened.recovery.cleared == [KEY]
+        assert reopened.get(KEY) is None
+        # The journal was compacted: a third open recovers nothing.
+        assert ResultStore(root).recovery.actions == 0
+
+    def test_torn_journal_tail_is_tolerated(self, tmp_path):
+        """A partial last line (crash mid-append) must not break replay."""
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        with open(root / "journal.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"op": "begin", "key": "dddd')  # no newline, torn
+
+        reopened = ResultStore(root)
+        assert reopened.get(KEY) == {"v": 1}
+        assert reopened.verify().clean
+
+
+class TestReadPathQuarantine:
+    def test_corrupt_payload_degrades_to_miss(self, tmp_path):
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        path = store.object_path(KEY)
+        envelope = json.loads(path.read_text())
+        envelope["payload_sha256"] = "0" * 64
+        path.write_text(json.dumps(envelope))
+
+        assert store.get(KEY) is None
+        assert store.stats.quarantined == 1
+        assert not path.exists()
+        reason = next((root / "quarantine").glob(f"{KEY}.*.reason"))
+        assert "checksum" in reason.read_text()
+
+    def test_unparsable_envelope_degrades_to_miss(self, tmp_path):
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        store.object_path(KEY).write_text("not json {")
+        assert store.get(KEY) is None
+        assert store.stats.quarantined == 1
+
+    def test_key_filename_mismatch_degrades_to_miss(self, tmp_path):
+        """An entry renamed to the wrong key must not satisfy it."""
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        other = "d" * 40
+        target = store.object_path(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        store.object_path(KEY).rename(target)
+        assert store.get(other) is None
+        assert store.stats.quarantined == 1
+
+
+class TestVerifyReportsDamage:
+    def test_verify_reports_corruption_without_mutating(self, tmp_path):
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        path = store.object_path(KEY)
+        envelope = json.loads(path.read_text())
+        envelope["payload_sha256"] = "0" * 64
+        path.write_text(json.dumps(envelope))
+
+        report = store.verify()
+        assert not report.clean
+        assert [i.key for i in report.issues] == [KEY]
+        assert "checksum" in report.issues[0].problem
+        assert path.exists(), "verify is read-only; nothing quarantined"
+
+    def test_verify_reports_dangling_journal_begin(self, tmp_path):
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        _journal_begin(root)
+        report = store.verify()
+        assert not report.clean
+        assert any("dangling" in i.problem for i in report.issues)
+
+    def test_verify_counts_quarantined_files(self, tmp_path):
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        store.object_path(KEY).write_text("garbage")
+        assert store.get(KEY) is None  # quarantines
+        report = store.verify()
+        assert report.quarantined_files == 1
+        assert not report.clean
+
+    def test_cli_verify_exits_nonzero_on_damage(self, tmp_path, capsys):
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        path = store.object_path(KEY)
+        envelope = json.loads(path.read_text())
+        envelope["payload_sha256"] = "0" * 64
+        path.write_text(json.dumps(envelope))
+
+        assert cli.main(["verify", "--store", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "PROBLEM" in out
+        assert "PROBLEMS FOUND" in out
+
+    def test_gc_quarantine_empties_the_directory(self, tmp_path):
+        root = tmp_path / "st"
+        store = ResultStore(root)
+        store.put(KEY, {"v": 1}, _ingredients())
+        store.object_path(KEY).write_text("garbage")
+        store.get(KEY)
+        assert store.verify().quarantined_files == 1
+        store.gc(clear_quarantine=True)
+        assert store.verify().clean

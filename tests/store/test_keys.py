@@ -1,0 +1,114 @@
+"""Cell keying: determinism, sensitivity, fingerprint invalidation."""
+
+import pytest
+
+from repro.core.costs import CostModel
+from repro.experiments.parallel import CellTask
+from repro.obs.tracing import ObsOptions
+from repro.store import keys
+from repro.workloads.registry import create_workload
+
+
+def _task(**overrides) -> CellTask:
+    base = dict(workload="gups", config="4K", trace_length=2000, seed=0, obs=None)
+    base.update(overrides)
+    return CellTask(**base)
+
+
+def _key(task: CellTask) -> str:
+    return keys.cell_key(keys.grid_cell_ingredients(task))
+
+
+class TestDigest:
+    def test_deterministic(self):
+        payload = {"b": 2, "a": [1, 2, 3]}
+        assert keys.digest(payload) == keys.digest(payload)
+
+    def test_key_order_insensitive(self):
+        assert keys.digest({"a": 1, "b": 2}) == keys.digest({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert keys.digest({"a": 1}) != keys.digest({"a": 2})
+
+    def test_length_and_alphabet(self):
+        d = keys.digest({"x": 1})
+        assert len(d) == keys.DIGEST_CHARS
+        assert set(d) <= set("0123456789abcdef")
+
+
+class TestCellKeySensitivity:
+    def test_same_task_same_key(self):
+        assert _key(_task()) == _key(_task())
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 1},
+            {"trace_length": 4000},
+            {"config": "DS"},
+            {"workload": "graph500"},
+            {"obs": ObsOptions(interval=1000)},
+        ],
+    )
+    def test_any_ingredient_change_changes_the_key(self, change):
+        assert _key(_task()) != _key(_task(**change))
+
+    def test_config_keyed_on_parse_result(self):
+        """Labels that parse identically share a key; that is by design."""
+        assert keys.config_params("4K")["label"] == "4K"
+        assert _key(_task(config="4K")) == _key(_task(config="4K"))
+
+    def test_ingredients_carry_the_trace_key(self):
+        ing = keys.grid_cell_ingredients(_task())
+        assert ing["kind"] == "grid-cell"
+        assert ing["trace_key"] == keys.trace_key_params(
+            create_workload("gups"), 2000, 0
+        )
+
+
+class TestFingerprintInvalidation:
+    def test_code_fingerprint_change_misses(self, monkeypatch):
+        before = _key(_task())
+        monkeypatch.setattr(keys, "code_fingerprint", lambda: "0" * 40)
+        assert _key(_task()) != before
+
+    def test_model_fingerprint_change_misses(self, monkeypatch):
+        before = _key(_task())
+        monkeypatch.setattr(keys, "model_fingerprint", lambda: "f" * 40)
+        assert _key(_task()) != before
+
+    def test_key_schema_bump_misses(self, monkeypatch):
+        before = _key(_task())
+        monkeypatch.setattr(keys, "KEY_SCHEMA", keys.KEY_SCHEMA + 1)
+        assert _key(_task()) != before
+
+    def test_code_fingerprint_excludes_the_persistence_layer(self, tmp_path):
+        """Editing store/sched sources must not flush existing stores."""
+        pkg = tmp_path / "pkg"
+        (pkg / "store").mkdir(parents=True)
+        (pkg / "sched").mkdir()
+        (pkg / "sim.py").write_text("CONST = 1\n")
+        (pkg / "store" / "store.py").write_text("A = 1\n")
+        (pkg / "sched" / "scheduler.py").write_text("B = 1\n")
+        before = keys.hash_tree(pkg, exclude=keys.CODE_FINGERPRINT_EXCLUDES)
+        (pkg / "store" / "store.py").write_text("A = 2\n")
+        (pkg / "sched" / "scheduler.py").write_text("B = 2\n")
+        assert (
+            keys.hash_tree(pkg, exclude=keys.CODE_FINGERPRINT_EXCLUDES) == before
+        )
+        (pkg / "sim.py").write_text("CONST = 2\n")
+        assert (
+            keys.hash_tree(pkg, exclude=keys.CODE_FINGERPRINT_EXCLUDES) != before
+        )
+
+    def test_model_fingerprint_reflects_cost_model(self, monkeypatch):
+        """Retuning any latency constant invalidates every cached cell."""
+        before = keys.model_fingerprint()
+        keys.model_fingerprint.cache_clear()
+        monkeypatch.setattr(
+            keys, "CostModel", lambda: CostModel(vm_exit_cycles=4001)
+        )
+        try:
+            assert keys.model_fingerprint() != before
+        finally:
+            keys.model_fingerprint.cache_clear()
