@@ -1,0 +1,108 @@
+"""Bench gate: fabric dispatch must not tax warm sweeps.
+
+The fabric's contract is that distribution changes *where* cells run,
+never what they cost when no work is needed: a warm sweep dispatched
+through a coordinator (every cell already durable in the shared store)
+is answered from store probes and batch bookkeeping alone -- no leases,
+no workers, no simulation.  This gate runs the figure11 ``--smoke``
+grid cold through a coordinator with two lease-driven workers, asserts
+the report is byte-identical to the serial run, re-runs it warm through
+the same coordinator, and gates warm wall-clock at >= 3x faster than
+the distributed cold run (kept below the local store gate's 5x because
+the warm fabric path still pays per-wave coordinator round trips).
+
+Artifacts land as ``BENCH_fabric_dispatch.json`` when
+``REPRO_BENCH_ARTIFACTS_DIR`` is set.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import figure11, report
+from repro.sched import Sweep
+from repro.store import ResultStore
+
+#: The figure11 --smoke grid (see __main__.py: --smoke sets 6000).
+SMOKE_TRACE_LENGTH = 6_000
+
+#: Minimum warm-over-cold wall-clock speedup through the fabric.
+MIN_WARM_SPEEDUP = 3.0
+
+#: Workers pulling leases during the cold run.
+WORKERS = 2
+
+
+@pytest.mark.skip(reason="non-benchmark assertion (un-skipped under --benchmark-only)")
+def test_fabric_dispatch_overhead(tmp_path):
+    """Fabric figure11 smoke: byte-identical to serial, warm >= 3x cold."""
+    from repro.fabric import CoordinatorThread, FabricCoordinator, FabricWorker
+
+    serial_sweep = Sweep("figure11", ResultStore(tmp_path / "serial"))
+    serial = figure11.run(trace_length=SMOKE_TRACE_LENGTH, sweep=serial_sweep)
+
+    store = ResultStore(tmp_path / "fabric")
+    thread = CoordinatorThread(FabricCoordinator(store=store)).start()
+    address = f"127.0.0.1:{thread.port}"
+    try:
+        for _ in range(WORKERS):
+            worker = FabricWorker(address, store, max_cells=2)
+            threading.Thread(target=worker.run, daemon=True).start()
+
+        cold_sweep = Sweep("figure11", store, fabric=address)
+        start = time.perf_counter()
+        cold = figure11.run(trace_length=SMOKE_TRACE_LENGTH, sweep=cold_sweep)
+        cold_seconds = time.perf_counter() - start
+        assert cold_sweep.report.hits == 0
+        assert cold_sweep.report.computed == cold_sweep.report.total > 0
+        assert report.dumps(cold) == report.dumps(serial)
+
+        warm_sweep = Sweep("figure11", store, fabric=address)
+        start = time.perf_counter()
+        warm = figure11.run(trace_length=SMOKE_TRACE_LENGTH, sweep=warm_sweep)
+        warm_seconds = time.perf_counter() - start
+        assert warm_sweep.report.all_hits
+        assert warm_sweep.report.computed == 0
+        assert report.dumps(warm) == report.dumps(serial)
+    finally:
+        thread.stop()
+
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    print(
+        f"\nfabric dispatch: cold {cold_seconds:.2f}s ({WORKERS} workers), "
+        f"warm {warm_seconds:.2f}s ({speedup:.1f}x)"
+    )
+    _write_artifact(cold_seconds, warm_seconds, speedup, cold_sweep.report.total)
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm fabric sweep only {speedup:.1f}x faster than cold "
+        f"(cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s); "
+        f"the fabric gate requires >= {MIN_WARM_SPEEDUP}x"
+    )
+
+
+def _write_artifact(
+    cold_seconds: float, warm_seconds: float, speedup: float, cells: int
+) -> None:
+    directory = os.environ.get("REPRO_BENCH_ARTIFACTS_DIR")
+    if not directory:
+        return
+    out_dir = Path(directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "kind": "repro.bench.fabric_dispatch",
+        "experiment": "figure11",
+        "trace_length": SMOKE_TRACE_LENGTH,
+        "cells": cells,
+        "workers": WORKERS,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "warm_speedup": round(speedup, 2),
+        "min_required_speedup": MIN_WARM_SPEEDUP,
+    }
+    (out_dir / "BENCH_fabric_dispatch.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )

@@ -168,6 +168,27 @@ class SchedulerError(ReproError):
 
 
 # ----------------------------------------------------------------------
+# Distributed sweep fabric
+
+
+class FabricError(ReproError):
+    """Base for failures of the distributed sweep fabric
+    (:mod:`repro.fabric`): coordinator, workers, wire protocol."""
+
+
+class FabricProtocolError(FabricError):
+    """A malformed or out-of-contract message crossed the fabric wire
+    (bad frame, oversized payload, unknown op, undecodable task blob)."""
+
+
+class FabricJobError(FabricError):
+    """A fabric job failed permanently: every one of its bounded retry
+    attempts raised (or its submitter was told so by the coordinator).
+    Transient losses -- a killed worker, an expired lease -- are *not*
+    this error; they requeue silently within the retry budget."""
+
+
+# ----------------------------------------------------------------------
 # Fault injection and the translation oracle
 
 

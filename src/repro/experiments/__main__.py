@@ -12,6 +12,7 @@ Usage::
                                         [--top K] [--folded FILE]
                                         [--html FILE] [--per-page]
     python -m repro.experiments store {ls,verify,gc,export} [...]
+    python -m repro.experiments fabric {serve,work,status} [...]
 
 where ``<name>`` is one of: figure1, figure11, figure12, figure13,
 breakdown, table3, table4, shadow, sharing, energy, resilience, bench,
@@ -45,6 +46,19 @@ continues an interrupted sweep from the last durable cell;
 Warm runs produce byte-identical reports and manifests to cold runs.
 The ``store`` subcommand inspects and maintains a store directory --
 see STORAGE.md.
+
+``--fabric HOST:PORT`` dispatches the sweep's cell waves to a running
+fabric coordinator (:mod:`repro.fabric`) instead of the in-process
+worker pool; the coordinator leases cells to worker processes
+(``fabric work``) that commit results into the *shared* store, so
+``--fabric`` requires ``--store``/``$REPRO_STORE`` pointing at the same
+directory the coordinator and workers use.  Distributed sweeps produce
+byte-identical reports to serial ones.  ``--out FILE`` writes the
+machine-readable result JSON to a file (exactly what ``--json`` prints,
+without the surrounding progress text -- CI diffs these);
+``--trace-cache-bytes N`` bounds the in-process trace cache (also
+``$REPRO_TRACE_CACHE_BYTES``).  The ``fabric`` subcommand runs the
+coordinator, workers and HTTP front end -- see EXPERIMENTS.md.
 """
 
 from __future__ import annotations
@@ -191,6 +205,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.store import cli as store_cli
 
         return store_cli.main(argv[1:])
+    if argv and argv[0] == "fabric":
+        from repro.fabric import cli as fabric_cli
+
+        return fabric_cli.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
@@ -280,9 +298,43 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="never touch a result store, even when $REPRO_STORE is set",
     )
+    parser.add_argument(
+        "--fabric",
+        default=None,
+        metavar="HOST:PORT",
+        help="dispatch cell waves to a running fabric coordinator "
+        "(requires a store shared with its workers; results stay "
+        "byte-identical to a local run)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the machine-readable result JSON to FILE "
+        "(what --json prints, free of progress text)",
+    )
+    parser.add_argument(
+        "--trace-cache-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="byte bound of the in-process trace cache "
+        "(default $REPRO_TRACE_CACHE_BYTES or 256 MiB)",
+    )
     args = parser.parse_args(argv)
     if args.no_store and (args.store is not None or args.resume):
         parser.error("--no-store conflicts with --store/--resume")
+    if args.fabric is not None and args.no_store:
+        parser.error("--fabric needs the shared store (conflicts with --no-store)")
+    if args.trace_cache_bytes is not None:
+        from repro.errors import ConfigError
+        from repro.sim import trace_cache
+
+        try:
+            trace_cache.set_max_bytes(args.trace_cache_bytes)
+        except ConfigError as exc:
+            parser.error(str(exc))
     length = args.trace_length
     if args.quick:
         length = 20_000
@@ -306,6 +358,8 @@ def main(argv: list[str] | None = None) -> int:
             store_path = Path(os.environ["REPRO_STORE"])
         if store_path is None and args.resume:
             store_path = Path(DEFAULT_STORE_PATH)
+        if store_path is None and args.fabric is not None:
+            store_path = Path(DEFAULT_STORE_PATH)
         if store_path is not None:
             store = ResultStore(store_path)
 
@@ -317,16 +371,27 @@ def main(argv: list[str] | None = None) -> int:
         runner, formatter = EXPERIMENTS[name]
         sweep = None
         if store is not None and name not in STORE_UNAWARE:
-            sweep = Sweep(name, store, resume=args.resume)
+            sweep = Sweep(name, store, resume=args.resume, fabric=args.fabric)
+        elif args.fabric is not None:
+            print(
+                f"(fabric ignored: {name} has no store-addressable cells)",
+                flush=True,
+            )
         result = runner(length, args.jobs, obs, sweep)
         elapsed = time.time() - start
         if args.json:
             print(report.dumps(result))
         else:
             print(formatter(result))
+        if args.out is not None:
+            out_path = _out_path(args.out, name, multi)
+            out_path.parent.mkdir(parents=True, exist_ok=True)
+            out_path.write_text(report.dumps(result) + "\n")
+            print(f"wrote result: {out_path}", flush=True)
         if obs is not None:
             _write_observability(
-                name, result, args, argv, elapsed, multi, manifest_base
+                name, result, args, argv, elapsed, multi, manifest_base,
+                sweep=sweep,
             )
         if sweep is not None and sweep.reports:
             print(f"(store: {sweep.report.describe()})", flush=True)
@@ -344,6 +409,7 @@ def _write_observability(
     elapsed: float,
     multi: bool,
     manifest_base: Path,
+    sweep: object = None,
 ) -> None:
     """Emit the manifest (and optional Chrome trace) for one experiment."""
     records = stats.collect_observability(result)
@@ -351,6 +417,12 @@ def _write_observability(
         if name in OBS_UNAWARE:
             print(f"(no observability: {name} has no per-cell runs)", flush=True)
         return
+    fabric = None
+    if args.fabric is not None and sweep is not None:
+        fabric = {
+            "coordinator": args.fabric,
+            "events": list(getattr(sweep, "fabric_events", ())),
+        }
     manifest = build_manifest(
         name,
         records,
@@ -358,6 +430,7 @@ def _write_observability(
         interval=args.interval,
         argv=argv,
         duration_seconds=elapsed,
+        fabric=fabric,
     )
     path = write_manifest(manifest, _out_path(manifest_base, name, multi))
     print(f"wrote manifest: {path} ({len(records)} cells)", flush=True)

@@ -1,0 +1,173 @@
+"""Blocking submitter client: ship cell waves to a coordinator.
+
+The experiments process stays synchronous; this client wraps one TCP
+connection to a :class:`~repro.fabric.coordinator.FabricCoordinator`
+and exposes exactly what the sweep scheduler needs:
+
+* :meth:`run_wave` -- submit one dependency wave of
+  :class:`~repro.sched.cells.Cell`\\ s as a batch, stream completion
+  events (invoking a callback per finished cell so the scheduler can
+  journal progressively, same as the worker-pool path), and return once
+  the coordinator reports the batch done.  Permanently failed cells
+  raise :class:`~repro.errors.FabricJobError` with every error listed.
+* :meth:`status` -- the coordinator's status document (``fabric
+  status`` CLI, tests).
+
+Results never travel this connection: workers commit them to the shared
+store and the scheduler reads them back by key, so the fabric wire
+carries only descriptors and keys regardless of result size.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
+
+from repro.errors import FabricError, FabricJobError, FabricProtocolError
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    pack_obj,
+    recv_msg,
+    send_msg,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.cells import Cell
+
+
+def parse_address(spec: str) -> tuple[str, int]:
+    """``HOST:PORT`` (or bare ``PORT``, implying localhost) parsed."""
+    host, _, port = spec.rpartition(":")
+    try:
+        return (host or "127.0.0.1"), int(port)
+    except ValueError:
+        raise FabricError(
+            f"malformed fabric address {spec!r} (expected HOST:PORT)"
+        ) from None
+
+
+class FabricClient:
+    """One submitter connection to a running coordinator."""
+
+    def __init__(self, address: str, timeout: float = 600.0) -> None:
+        self.address = address
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._batches = 0
+        #: Lease lifecycle events from every completed batch, in order
+        #: (feeds the run manifest's ``fabric`` section).
+        self.events: list[dict] = []
+
+    # -- connection -----------------------------------------------------
+
+    def connect(self) -> "FabricClient":
+        host, port = parse_address(self.address)
+        try:
+            sock = socket.create_connection((host, port), timeout=self.timeout)
+        except OSError as exc:
+            raise FabricError(
+                f"cannot reach fabric coordinator at {self.address}: {exc}"
+            ) from exc
+        self._sock = sock
+        send_msg(sock, {"op": "hello", "role": "client", "version": PROTOCOL_VERSION})
+        reply = recv_msg(sock)
+        if reply is None or reply.get("op") != "hello-ok":
+            error = (reply or {}).get("error", "connection closed")
+            self.close()
+            raise FabricError(f"fabric handshake failed: {error}")
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "FabricClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_sock(self) -> socket.socket:
+        if self._sock is None:
+            raise FabricError("fabric client is not connected")
+        return self._sock
+
+    # -- operations -----------------------------------------------------
+
+    def run_wave(
+        self,
+        cells: Sequence["Cell"],
+        on_done: Callable[[str], None],
+    ) -> dict:
+        """Execute one wave of cells through the fabric.
+
+        ``on_done`` fires with each cell *key* as the coordinator reports
+        it complete (results are read from the store by the caller).
+        Returns the ``batch-done`` document; raises
+        :class:`FabricJobError` when any cell failed permanently.
+        """
+        sock = self._require_sock()
+        self._batches += 1
+        batch_id = f"client-{id(self) & 0xFFFF:x}-{self._batches}"
+        send_msg(
+            sock,
+            {
+                "op": "submit",
+                "batch": batch_id,
+                "jobs": [
+                    {
+                        "key": cell.key,
+                        "task": pack_obj((cell.execute, cell.task)),
+                        "ingredients": cell.ingredients,
+                        "label": cell.label,
+                    }
+                    for cell in cells
+                ],
+            },
+        )
+        while True:
+            message = recv_msg(sock)
+            if message is None:
+                raise FabricError(
+                    "coordinator connection closed mid-batch "
+                    f"({batch_id}: results may still land in the store)"
+                )
+            op = message.get("op")
+            if message.get("batch") != batch_id:
+                continue  # stale frame from an aborted prior batch
+            if op == "cell-done":
+                on_done(str(message.get("key", "")))
+            elif op == "cell-failed":
+                continue  # accounted in batch-done.failed below
+            elif op == "batch-done":
+                failed = message.get("failed") or {}
+                self.events.extend(message.get("events") or [])
+                if failed:
+                    details = "; ".join(
+                        f"{key[:12]}: {error}"
+                        for key, error in sorted(failed.items())
+                    )
+                    raise FabricJobError(
+                        f"{len(failed)} fabric cell(s) failed permanently: "
+                        f"{details}"
+                    )
+                return message
+            else:
+                raise FabricProtocolError(
+                    f"unexpected op {op!r} while awaiting batch {batch_id}"
+                )
+
+    def status(self) -> dict:
+        """The coordinator's status document."""
+        sock = self._require_sock()
+        send_msg(sock, {"op": "status"})
+        reply = recv_msg(sock)
+        if reply is None or reply.get("op") != "status-reply":
+            raise FabricProtocolError(
+                f"expected status-reply, got {(reply or {}).get('op')!r}"
+            )
+        return reply

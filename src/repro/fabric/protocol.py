@@ -1,0 +1,158 @@
+"""Length-prefixed JSON wire protocol of the sweep fabric.
+
+Every fabric message -- worker lease traffic, client sweep submissions,
+status probes -- is one *frame*: a 4-byte big-endian length followed by
+that many bytes of UTF-8 canonical JSON encoding a single object with an
+``op`` field.  The framing is deliberately trivial: it works identically
+over blocking sockets (workers, clients -- :func:`send_msg` /
+:func:`recv_msg`) and asyncio streams (the coordinator --
+:func:`write_msg` / :func:`read_msg`), and a torn frame is always
+detected by the length prefix rather than corrupting the next message.
+
+Cell payloads (the ``execute`` callable + task descriptor a worker
+needs, exactly what the multiprocessing pool already ships) do not fit
+JSON, so they ride inside frames as ``pickle+zlib+b64`` blobs
+(:func:`pack_obj` / :func:`unpack_obj`) -- the same codec the store uses
+for result envelopes.  The fabric is a *trusted* deployment surface
+(your own coordinator, your own workers, one shared store); the blobs
+are integrity-checked but deliberately not treated as hostile input.
+
+Frames are capped at :data:`MAX_FRAME_BYTES` so a corrupt length prefix
+degrades into a clean :class:`~repro.errors.FabricProtocolError` instead
+of an attempted multi-gigabyte read.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import socket
+import struct
+import zlib
+from typing import Any
+
+from repro.errors import FabricProtocolError
+
+#: Wire protocol revision; both ends refuse to talk across a mismatch.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame.  Task blobs are tiny descriptors (not
+#: results -- those travel through the store), so 64 MiB is generous.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One message as ``length || canonical-JSON`` bytes."""
+    body = json.dumps(message, sort_keys=True, separators=(",", ":")).encode()
+    if len(body) > MAX_FRAME_BYTES:
+        raise FabricProtocolError(
+            f"frame of {len(body)} bytes exceeds cap {MAX_FRAME_BYTES}"
+        )
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    """The JSON object inside one frame body (op field required)."""
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise FabricProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict) or "op" not in message:
+        raise FabricProtocolError("frame body is not an object with an 'op'")
+    return message
+
+
+def _check_length(length: int) -> None:
+    if length > MAX_FRAME_BYTES:
+        raise FabricProtocolError(
+            f"frame length {length} exceeds cap {MAX_FRAME_BYTES} "
+            f"(corrupt length prefix?)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Blocking-socket framing (workers, submitter clients, status probes)
+
+
+def send_msg(sock: socket.socket, message: dict) -> None:
+    """Write one frame to a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_msg(sock: socket.socket) -> dict | None:
+    """Read one frame from a blocking socket (None on clean EOF)."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    _check_length(length)
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise FabricProtocolError("connection closed mid-frame")
+    return decode_body(body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Exactly ``count`` bytes, None on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise FabricProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Asyncio framing (the coordinator)
+
+
+async def read_msg(reader) -> dict | None:
+    """Read one frame from an asyncio stream (None on clean EOF)."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FabricProtocolError("connection closed mid-frame") from exc
+    (length,) = _LEN.unpack(header)
+    _check_length(length)
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FabricProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_msg(writer, message: dict) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Task blobs
+
+
+def pack_obj(value: Any) -> str:
+    """A picklable object as a compact base64 string (wire-embeddable)."""
+    return base64.b64encode(
+        zlib.compress(pickle.dumps(value, protocol=4), level=6)
+    ).decode("ascii")
+
+
+def unpack_obj(blob: str) -> Any:
+    """Inverse of :func:`pack_obj`."""
+    try:
+        return pickle.loads(zlib.decompress(base64.b64decode(blob, validate=True)))
+    except Exception as exc:
+        raise FabricProtocolError(f"undecodable task blob: {exc}") from exc

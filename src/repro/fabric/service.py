@@ -1,0 +1,220 @@
+"""HTTP front end: serve cached cells instantly, enqueue misses.
+
+The deployment shape a high-traffic experiment service sits behind:
+clients address results by store key (the same content digest
+:mod:`repro.store.keys` computes), hits are answered straight off disk
+with the stored envelope -- no unpickling, no simulation, no
+coordinator round-trip -- and misses become fabric jobs for the worker
+pool to fill in.  Stdlib only (``http.server``); the handler threads
+touch coordinator state exclusively through its event loop
+(:meth:`~repro.fabric.coordinator.CoordinatorThread.call`), so the
+asyncio side stays single-threaded.
+
+Endpoints::
+
+    GET  /healthz        -> {"ok": true}
+    GET  /status         -> coordinator status + store entry count
+    GET  /metrics        -> fabric.* + http.* metric snapshots (JSON)
+    GET  /cells/<key>    -> 200 stored envelope | 202 pending | 404 unknown
+    POST /cells          -> 200 hit | 202 enqueued | 503 no coordinator
+
+``POST /cells`` takes the same job document the submit protocol uses
+(``{"key": ..., "task": <blob>, "ingredients": {...}, "label": ...}``);
+clients then poll ``GET /cells/<key>`` until the workers commit it.
+Envelope integrity is the *client's* to verify (the payload checksum is
+in the envelope) -- the service serves bytes, it does not unpickle.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import MetricsRegistry
+from repro.store.store import ResultStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.coordinator import CoordinatorThread
+
+#: Cap on POST bodies (job descriptors, not results).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class FabricHTTPService:
+    """Threaded HTTP server over one store and an optional coordinator."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        coordinator: "CoordinatorThread | None" = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        quiet: bool = True,
+    ) -> None:
+        self.store = store
+        self.coordinator = coordinator
+        self.metrics = MetricsRegistry()
+        service = self
+
+        class Handler(BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, format: str, *args) -> None:  # noqa: A002
+                if not quiet:  # pragma: no cover - debug aid
+                    super().log_message(format, *args)
+
+            def do_GET(self) -> None:  # noqa: N802 - stdlib contract
+                service._get(self)
+
+            def do_POST(self) -> None:  # noqa: N802 - stdlib contract
+                service._post(self)
+
+        self.server = ThreadingHTTPServer((host, port), Handler)
+        self.host, self.port = self.server.server_address[:2]
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self) -> "FabricHTTPService":
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, name="fabric-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self.server.shutdown()
+        self.server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- request handling ----------------------------------------------
+
+    def _reply(self, handler, code: int, payload: dict | bytes) -> None:
+        body = (
+            payload
+            if isinstance(payload, bytes)
+            else (json.dumps(payload, sort_keys=True) + "\n").encode()
+        )
+        handler.send_response(code)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        try:
+            handler.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):  # pragma: no cover
+            pass
+
+    def _job_state(self, key: str) -> str | None:
+        """The coordinator's view of a key (None when unknown/absent)."""
+        if self.coordinator is None:
+            return None
+
+        async def probe():
+            job = self.coordinator.coordinator.jobs.get(key)
+            return job.state if job is not None else None
+
+        return self.coordinator.call(probe())
+
+    def _get(self, handler) -> None:
+        self.metrics.inc("http.requests")
+        path = handler.path.rstrip("/") or "/"
+        if path in ("/", "/healthz"):
+            self._reply(handler, 200, {"ok": True, "service": "repro.fabric"})
+            return
+        if path == "/status":
+            status: dict = {"store": str(self.store.root), "entries": len(self.store)}
+            if self.coordinator is not None:
+
+                async def probe():
+                    return self.coordinator.coordinator.status()
+
+                status["coordinator"] = self.coordinator.call(probe())
+            self._reply(handler, 200, status)
+            return
+        if path == "/metrics":
+            snapshot = {"http": self.metrics.snapshot()}
+            if self.coordinator is not None:
+
+                async def probe():
+                    return self.coordinator.coordinator.metrics.snapshot()
+
+                snapshot["fabric"] = self.coordinator.call(probe())
+            self._reply(handler, 200, snapshot)
+            return
+        if path.startswith("/cells/"):
+            self._get_cell(handler, path[len("/cells/"):])
+            return
+        self._reply(handler, 404, {"error": f"no route {path!r}"})
+
+    def _get_cell(self, handler, key: str) -> None:
+        try:
+            object_path = self.store.object_path(key)
+        except Exception:
+            self._reply(handler, 400, {"error": f"malformed key {key!r}"})
+            return
+        try:
+            body = object_path.read_bytes()
+        except OSError:
+            state = self._job_state(key)
+            if state in ("queued", "leased"):
+                self.metrics.inc("http.pending")
+                self._reply(handler, 202, {"key": key, "status": state})
+            elif state == "failed":
+                self.metrics.inc("http.failed")
+                self._reply(handler, 500, {"key": key, "status": "failed"})
+            else:
+                self.metrics.inc("http.misses")
+                self._reply(handler, 404, {"key": key, "status": "unknown"})
+            return
+        self.metrics.inc("http.hits")
+        self._reply(handler, 200, body)
+
+    def _post(self, handler) -> None:
+        self.metrics.inc("http.requests")
+        if handler.path.rstrip("/") != "/cells":
+            self._reply(handler, 404, {"error": f"no route {handler.path!r}"})
+            return
+        try:
+            length = int(handler.headers.get("Content-Length", 0))
+        except ValueError:
+            length = -1
+        if not 0 < length <= MAX_BODY_BYTES:
+            self._reply(handler, 400, {"error": "bad Content-Length"})
+            return
+        try:
+            spec = json.loads(handler.rfile.read(length).decode())
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._reply(handler, 400, {"error": f"bad JSON body: {exc}"})
+            return
+        key = str(spec.get("key", ""))
+        if not key:
+            self._reply(handler, 400, {"error": "job document needs a 'key'"})
+            return
+        if self.store.contains(key):
+            self.metrics.inc("http.hits")
+            self._reply(handler, 200, {"key": key, "status": "hit"})
+            return
+        if self.coordinator is None:
+            self._reply(
+                handler,
+                503,
+                {"key": key, "status": "miss",
+                 "error": "no coordinator attached; cannot enqueue"},
+            )
+            return
+
+        async def enqueue():
+            return self.coordinator.coordinator.enqueue_jobs([spec])
+
+        (state,) = self.coordinator.call(enqueue())
+        self.metrics.inc("http.enqueued")
+        self._reply(handler, 202 if state != "done" else 200,
+                    {"key": key, "status": state})

@@ -1,0 +1,210 @@
+"""The fabric worker: lease cells, execute, commit to the shared store.
+
+A worker is one process holding one TCP connection to the coordinator
+and one handle on the shared content-addressed store.  Its loop is
+deliberately dumb -- all scheduling intelligence lives coordinator-side:
+
+1. request a lease (up to ``max_cells`` jobs);
+2. for each job: probe the store first (another worker may already have
+   committed the key -- content addressing makes that a free skip),
+   otherwise unpack the ``(execute, task)`` blob, run it through the
+   exact same executor the in-process worker pool uses, and commit the
+   result through the store's write-ahead journal
+   (:meth:`~repro.store.store.ResultStore.put`, which retries transient
+   ``OSError`` contention with backoff);
+3. report each ``cell-done``/``cell-failed``, then ``lease-complete``,
+   and go back to 1.
+
+While executing, a daemon thread heartbeats the lease so long cells
+outlive the coordinator's deadline; a worker that dies mid-lease simply
+stops heartbeating (and its socket closes), which is the coordinator's
+cue to requeue.  Execution results the worker manages to commit before
+dying are *kept*: the coordinator probes the store before re-leasing.
+
+Results never cross the wire; only keys do.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import threading
+import time
+import traceback
+from typing import Any
+
+from repro.errors import FabricError
+from repro.fabric.protocol import (
+    PROTOCOL_VERSION,
+    recv_msg,
+    send_msg,
+    unpack_obj,
+)
+from repro.store.store import ResultStore
+
+
+def worker_host() -> str:
+    """This worker's host label (``REPRO_FABRIC_HOST`` overrides the
+    real node name, which tests use to exercise per-host trace lanes)."""
+    return os.environ.get("REPRO_FABRIC_HOST") or platform.node() or "localhost"
+
+
+class FabricWorker:
+    """One lease-driven executor process."""
+
+    def __init__(
+        self,
+        address: str,
+        store: ResultStore,
+        worker_id: str | None = None,
+        max_cells: int = 1,
+        heartbeat_interval: float | None = None,
+        progress: bool = False,
+    ) -> None:
+        self.address = address
+        self.store = store
+        self.host = worker_host()
+        self.worker_id = worker_id or f"{self.host}:{os.getpid()}"
+        self.max_cells = max(1, max_cells)
+        self.heartbeat_interval = heartbeat_interval
+        self.progress = progress
+        self.cells_done = 0
+        self.cells_failed = 0
+        self._sock: socket.socket | None = None
+        self._send_lock = threading.Lock()
+
+    # -- wiring ---------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        assert self._sock is not None
+        with self._send_lock:
+            send_msg(self._sock, message)
+
+    def connect(self) -> None:
+        from repro.fabric.client import parse_address
+
+        host, port = parse_address(self.address)
+        try:
+            self._sock = socket.create_connection((host, port))
+        except OSError as exc:
+            raise FabricError(
+                f"cannot reach fabric coordinator at {self.address}: {exc}"
+            ) from exc
+        self._send(
+            {
+                "op": "hello",
+                "role": "worker",
+                "version": PROTOCOL_VERSION,
+                "worker": self.worker_id,
+                "host": self.host,
+                "pid": os.getpid(),
+            }
+        )
+        reply = recv_msg(self._sock)
+        if reply is None or reply.get("op") != "hello-ok":
+            error = (reply or {}).get("error", "connection closed")
+            raise FabricError(f"fabric handshake failed: {error}")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self, max_leases: int | None = None) -> int:
+        """Poll for leases until the coordinator goes away.
+
+        ``max_leases`` bounds the loop for tests; None runs until the
+        connection closes (coordinator shutdown, or this process being
+        killed).  Returns the number of cells completed.
+        """
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        leases = 0
+        while max_leases is None or leases < max_leases:
+            self._send({"op": "lease-request", "worker": self.worker_id,
+                        "max_cells": self.max_cells})
+            try:
+                message = recv_msg(self._sock)
+            except FabricError:
+                break
+            if message is None or message.get("op") == "shutdown":
+                break
+            op = message.get("op")
+            if op == "idle":
+                time.sleep(float(message.get("retry_after", 0.2)))
+                continue
+            if op != "lease":
+                continue  # tolerate unknown traffic from newer coordinators
+            leases += 1
+            self._work_lease(message)
+        self.close()
+        return self.cells_done
+
+    def _work_lease(self, lease: dict) -> None:
+        lease_id = str(lease.get("lease", ""))
+        timeout = float(lease.get("timeout", 30.0))
+        interval = self.heartbeat_interval or max(0.05, timeout / 3.0)
+        stop = threading.Event()
+        beats = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease_id, interval, stop),
+            daemon=True,
+        )
+        beats.start()
+        try:
+            for job in lease.get("jobs") or []:
+                self._work_job(lease_id, job)
+        finally:
+            stop.set()
+            beats.join(timeout=interval * 2)
+        self._send({"op": "lease-complete", "lease": lease_id})
+
+    def _heartbeat_loop(
+        self, lease_id: str, interval: float, stop: threading.Event
+    ) -> None:
+        while not stop.wait(interval):
+            try:
+                self._send({"op": "heartbeat", "lease": lease_id})
+            except OSError:  # pragma: no cover - socket died mid-lease
+                return
+
+    def _work_job(self, lease_id: str, job: dict) -> None:
+        key = str(job.get("key", ""))
+        label = job.get("label") or key[:12]
+        try:
+            if not self.store.contains(key):
+                if self.progress:
+                    print(f"[{self.worker_id}] running {label} ...", flush=True)
+                execute, task = unpack_obj(str(job.get("task", "")))
+                value = self._execute(execute, task)
+                self.store.put(key, value, job.get("ingredients") or {})
+            elif self.progress:
+                print(f"[{self.worker_id}] {label}: already in store", flush=True)
+        except Exception as exc:
+            self.cells_failed += 1
+            self._send(
+                {
+                    "op": "cell-failed",
+                    "lease": lease_id,
+                    "key": key,
+                    "error": f"{type(exc).__name__}: {exc}\n"
+                    + traceback.format_exc(limit=8),
+                }
+            )
+            return
+        self.cells_done += 1
+        self._send({"op": "cell-done", "lease": lease_id, "key": key})
+
+    def _execute(self, execute: Any, task: Any) -> Any:
+        value = execute(task)
+        if value is None:
+            raise FabricError(
+                "cell produced None (reserved as the store's miss sentinel)"
+            )
+        return value

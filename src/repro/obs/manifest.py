@@ -54,8 +54,9 @@ VOLATILE_TOP_FIELDS = (
     "git",
     "jobs",
     "argv",
+    "fabric",
 )
-VOLATILE_CELL_FIELDS = ("duration_us", "started_us", "pid")
+VOLATILE_CELL_FIELDS = ("duration_us", "started_us", "pid", "host")
 
 _REQUIRED_TOP_FIELDS = {
     "kind": str,
@@ -141,6 +142,7 @@ def cell_manifest(record: "RunObservability") -> dict:
         "started_us": record.started_us,
         "duration_us": record.duration_us,
         "pid": record.pid,
+        "host": record.host,
         "num_samples": len(record.samples),
         "num_degradations": len(record.degradations),
         "metrics": record.metrics,
@@ -161,6 +163,7 @@ def build_manifest(
     interval: int | None = None,
     argv: list[str] | None = None,
     duration_seconds: float | None = None,
+    fabric: dict | None = None,
 ) -> dict:
     """Assemble the merged manifest for one experiment invocation.
 
@@ -168,6 +171,13 @@ def build_manifest(
     workers finished in, and the totals merge is order-independent, so
     serial and parallel runs of the same sweep produce the same
     manifest up to the wall-clock fields (:func:`stable_view`).
+
+    ``fabric`` optionally records a distributed run's provenance: the
+    coordinator address and the lease lifecycle events (granted /
+    heartbeat / expired / completed, per worker) the coordinator
+    reported for this sweep's batches.  It is volatile by definition
+    (which worker ran which cell differs run to run), so
+    :func:`stable_view` strips it.
     """
     cells = sorted(
         (cell_manifest(record) for record in records),
@@ -206,6 +216,8 @@ def build_manifest(
     }
     if duration_seconds is not None:
         manifest["duration_seconds"] = round(duration_seconds, 3)
+    if fabric is not None:
+        manifest["fabric"] = fabric
     return manifest
 
 

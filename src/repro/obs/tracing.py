@@ -26,6 +26,7 @@ sweep workers ship their records back to the parent inside the
 from __future__ import annotations
 
 import os
+import platform
 import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
@@ -37,6 +38,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
 
 #: Default measured references between interval samples.
 DEFAULT_INTERVAL = 2_000
+
+
+def run_host() -> str:
+    """The host label stamped on observability records.
+
+    Matches :func:`repro.fabric.worker.worker_host` (fabric workers and
+    local runs label lanes the same way); ``REPRO_FABRIC_HOST`` in the
+    environment overrides the real node name, which tests use to
+    exercise multi-host trace layouts on one machine.
+    """
+    return os.environ.get("REPRO_FABRIC_HOST") or platform.node() or "localhost"
 
 
 @dataclass(frozen=True)
@@ -107,6 +119,9 @@ class RunObservability:
     metrics: dict
     #: End-of-run summary (overhead %, counter totals, ...).
     summary: dict
+    #: Host the run executed on (fabric workers span machines; local
+    #: runs record the node name).  ``REPRO_FABRIC_HOST`` overrides.
+    host: str = ""
     #: Graceful-degradation events as plain dicts, ordered by their
     #: monotonic ``(ref_index, seq)`` key.
     degradations: tuple[dict, ...] = ()
@@ -257,6 +272,7 @@ class RunObserver:
             started_us=self._started_us,
             duration_us=max(duration_us, 1),
             pid=os.getpid(),
+            host=run_host(),
             samples=tuple(self.samples),
             metrics=self.metrics.snapshot(),
             summary=summary,
@@ -289,28 +305,44 @@ def chrome_trace(
     """Render observed runs as a Chrome-trace JSON object.
 
     Spans are laid out on their real wall-clock timeline (normalized so
-    the earliest cell starts at ts 0), one process row per worker pid --
+    the earliest cell starts at ts 0), one process row per worker --
     a ``--jobs 4`` sweep therefore shows four lanes of overlapping
-    cells.  Interval samples become per-cell counter tracks; degradation
-    events become instant events inside their cell's span.
+    cells.  Single-host runs keep the raw worker pid as the lane id;
+    records spanning several hosts (a fabric sweep) get one lane per
+    ``(host, pid)`` pair with the host in the lane name, so two workers
+    that happen to share a pid on different machines never collapse
+    into one row.  Interval samples become per-cell counter tracks;
+    degradation events become instant events inside their cell's span.
     """
     events: list[dict] = []
     if not records:
         return {"traceEvents": events, "displayTimeUnit": "ms"}
     t0 = min(r.started_us for r in records)
-    for pid in sorted({r.pid for r in records}):
+    multi_host = len({r.host for r in records}) > 1
+    lanes: dict[tuple[str, int], int] = {}
+    for index, (host, pid) in enumerate(
+        sorted({(r.host, r.pid) for r in records}), start=1
+    ):
+        lane = index if multi_host else pid
+        lanes[(host, pid)] = lane
+        label = (
+            f"{experiment or 'experiment'} {host or '?'} worker {pid}"
+            if multi_host
+            else f"{experiment or 'experiment'} worker {pid}"
+        )
         events.append(
             {
                 "ph": "M",
                 "name": "process_name",
-                "pid": pid,
+                "pid": lane,
                 "tid": 0,
-                "args": {"name": f"{experiment or 'experiment'} worker {pid}"},
+                "args": {"name": label},
             }
         )
     for record in records:
         name = f"{record.workload}/{record.config}"
         start = record.started_us - t0
+        lane = lanes[(record.host, record.pid)]
         events.append(
             {
                 "ph": "X",
@@ -318,18 +350,20 @@ def chrome_trace(
                 "cat": "cell",
                 "ts": start,
                 "dur": record.duration_us,
-                "pid": record.pid,
+                "pid": lane,
                 "tid": 0,
                 "args": {
                     "seed": record.seed,
+                    "host": record.host,
+                    "worker_pid": record.pid,
                     "overhead_percent": record.summary.get("overhead_percent"),
                     "walks": record.summary.get("walks"),
                     "l1_misses": record.summary.get("l1_misses"),
                 },
             }
         )
-        events.extend(_counter_events(record, name, start))
-        events.extend(_degradation_events(record, name, start))
+        events.extend(_counter_events(record, name, start, lane))
+        events.extend(_degradation_events(record, name, start, lane))
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -343,7 +377,7 @@ def _sample_ts(record: RunObservability, ref_index: int, start: int) -> int:
 
 
 def _counter_events(
-    record: RunObservability, name: str, start: int
+    record: RunObservability, name: str, start: int, lane: int
 ) -> list[dict]:
     events = []
     prev_refs = 0
@@ -364,7 +398,7 @@ def _counter_events(
                 "ph": "C",
                 "name": f"{name} L1 misses/kref",
                 "ts": ts,
-                "pid": record.pid,
+                "pid": lane,
                 "tid": 0,
                 "args": {"misses_per_kref": round(misses_per_kref, 3)},
             }
@@ -374,7 +408,7 @@ def _counter_events(
                 "ph": "C",
                 "name": f"{name} translation cycles/ref",
                 "ts": ts,
-                "pid": record.pid,
+                "pid": lane,
                 "tid": 0,
                 "args": {"cycles_per_ref": round(cycles_per_ref, 4)},
             }
@@ -383,7 +417,7 @@ def _counter_events(
 
 
 def _degradation_events(
-    record: RunObservability, name: str, start: int
+    record: RunObservability, name: str, start: int, lane: int
 ) -> list[dict]:
     events = []
     for degradation in record.degradations:
@@ -395,7 +429,7 @@ def _degradation_events(
                 "cat": "degradation",
                 "s": "p",
                 "ts": ts,
-                "pid": record.pid,
+                "pid": lane,
                 "tid": 0,
                 "args": {
                     "detail": degradation["detail"],

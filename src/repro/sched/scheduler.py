@@ -72,15 +72,32 @@ def _indexed_call(item: tuple[int, Callable, Any]) -> tuple[int, Any]:
 
 
 class SweepScheduler:
-    """Schedules one experiment's cell DAG against a result store."""
+    """Schedules one experiment's cell DAG against a result store.
+
+    ``fabric`` optionally routes each wave's misses through a running
+    fabric coordinator (:mod:`repro.fabric`) instead of the in-process
+    worker pool: pass a ``HOST:PORT`` address (a connection is opened
+    per :meth:`run`) or an already-connected
+    :class:`~repro.fabric.client.FabricClient`.  Hits, journalling and
+    result ordering are identical either way, so fabric sweeps stay
+    byte-identical to serial ones.
+    """
 
     def __init__(
-        self, experiment: str, store: ResultStore, resume: bool = False
+        self,
+        experiment: str,
+        store: ResultStore,
+        resume: bool = False,
+        fabric: Any = None,
     ) -> None:
         self.experiment = experiment
         self.store = store
         self.resume = resume
+        self.fabric = fabric
         self.report: SweepReport | None = None
+        #: Lease lifecycle events the coordinator reported for this
+        #: sweep's batches (empty for non-fabric runs); feeds manifests.
+        self.fabric_events: list[dict] = []
 
     # ------------------------------------------------------------------
 
@@ -126,9 +143,19 @@ class SweepScheduler:
             results[cell.key] = value
             report.computed += 1
 
-        for wave in waves:
-            pending = [c for c in wave if c.key not in results]
-            self._execute_wave(pending, jobs, progress, on_done)
+        client, owns_client = self._fabric_client()
+        try:
+            for wave in waves:
+                pending = [c for c in wave if c.key not in results]
+                if client is not None:
+                    self._execute_wave_fabric(pending, client, progress, on_done)
+                else:
+                    self._execute_wave(pending, jobs, progress, on_done)
+        finally:
+            if client is not None:
+                self.fabric_events.extend(client.events)
+                if owns_client:
+                    client.close()
         _append_line(journal, {"op": "sweep-done"})
         self.report = report
         return results
@@ -183,6 +210,63 @@ class SweepScheduler:
             json.dumps(header, sort_keys=True, separators=(",", ":")) + "\n"
         )
         return prior_done
+
+    def _fabric_client(self) -> tuple[Any, bool]:
+        """Resolve ``self.fabric`` to a connected client (or ``(None, False)``).
+
+        An address string opens a connection this run owns and closes;
+        an object exposing ``run_wave`` is used as-is (caller-owned).
+        """
+        if self.fabric is None:
+            return None, False
+        if hasattr(self.fabric, "run_wave"):
+            return self.fabric, False
+        from repro.fabric.client import FabricClient
+
+        client = FabricClient(str(self.fabric))
+        client.connect()
+        return client, True
+
+    def _execute_wave_fabric(
+        self,
+        pending: Sequence[Cell],
+        client: Any,
+        progress: bool,
+        on_done: Callable[[Cell, Any], None],
+    ) -> None:
+        """Run one wave's misses through the fabric coordinator.
+
+        The wave is submitted as one batch; workers commit each result
+        to the shared store and the coordinator streams per-cell
+        completions back, at which point the value is read *from the
+        store* (results never cross the wire) and handed to the same
+        ``on_done`` the local paths use -- its ``store.put`` is an
+        idempotent no-op on an already-durable key, so journalling and
+        report accounting stay identical to a local run.
+        """
+        if not pending:
+            return
+        if progress:
+            print(
+                f"  dispatching {len(pending)} cells to fabric at "
+                f"{client.address} ...",
+                flush=True,
+            )
+        by_key = {cell.key: cell for cell in pending}
+
+        def fabric_done(key: str) -> None:
+            cell = by_key.get(key)
+            if cell is None:  # completion for some other batch's key
+                return
+            value = self.store.get(key)
+            if value is None:
+                raise SchedulerError(
+                    f"fabric reported cell {cell.label or key[:12]} done "
+                    f"but the store has no readable entry for it"
+                )
+            on_done(cell, value)
+
+        client.run_wave(pending, fabric_done)
 
     def _execute_wave(
         self,
@@ -240,12 +324,21 @@ class Sweep:
     """
 
     def __init__(
-        self, experiment: str, store: ResultStore, resume: bool = False
+        self,
+        experiment: str,
+        store: ResultStore,
+        resume: bool = False,
+        fabric: Any = None,
     ) -> None:
         self.experiment = experiment
         self.store = store
         self.resume = resume
+        self.fabric = fabric
         self.reports: list[SweepReport] = []
+        #: Lease lifecycle events across every fabric dispatch (empty
+        #: for local sweeps); :func:`repro.obs.manifest.build_manifest`
+        #: records them per run.
+        self.fabric_events: list[dict] = []
 
     @property
     def report(self) -> SweepReport:
@@ -322,11 +415,12 @@ class Sweep:
                 )
             )
         scheduler = SweepScheduler(
-            self.experiment, self.store, resume=self.resume
+            self.experiment, self.store, resume=self.resume, fabric=self.fabric
         )
         results = scheduler.run(cells, jobs=jobs, progress=progress)
         assert scheduler.report is not None
         self.reports.append(scheduler.report)
+        self.fabric_events.extend(scheduler.fabric_events)
         return [results[key_by_task[task]] for task in tasks]
 
 

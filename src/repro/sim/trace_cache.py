@@ -27,10 +27,12 @@ when it alone exceeds the byte bound (the caller needs it regardless).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.workloads.base import Workload
 
 #: Cached traces before the least-recently-used entries are discarded.
@@ -38,10 +40,48 @@ from repro.workloads.base import Workload
 #: matters for long-lived processes sweeping many lengths/seeds.
 MAX_ENTRIES = 32
 
-#: Total bytes of cached trace arrays before LRU eviction kicks in.
-#: 256 MiB holds every default-length trace of a full figure sweep with
-#: room to spare while keeping a long-lived sweep process bounded.
-MAX_BYTES = 256 * 1024 * 1024
+#: Built-in byte bound: 256 MiB holds every default-length trace of a
+#: full figure sweep with room to spare while keeping a long-lived
+#: sweep process bounded.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Environment override for the byte bound (fabric workers co-located
+#: on one host shrink it; a beefy sweep box can raise it).
+MAX_BYTES_ENV = "REPRO_TRACE_CACHE_BYTES"
+
+
+def _max_bytes_from_env() -> int:
+    raw = os.environ.get(MAX_BYTES_ENV)
+    if not raw:
+        return DEFAULT_MAX_BYTES
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{MAX_BYTES_ENV}={raw!r} is not an integer byte count"
+        ) from None
+    if value <= 0:
+        raise ConfigError(f"{MAX_BYTES_ENV} must be positive, got {value}")
+    return value
+
+
+#: Total bytes of cached trace arrays before LRU eviction kicks in
+#: (``REPRO_TRACE_CACHE_BYTES`` in the environment, the
+#: ``--trace-cache-bytes`` CLI flag via :func:`set_max_bytes`, or
+#: :data:`DEFAULT_MAX_BYTES`).  Read at every eviction, so tests may
+#: monkeypatch it directly.
+MAX_BYTES = _max_bytes_from_env()
+
+
+def set_max_bytes(value: int) -> None:
+    """Rebind the byte bound and evict immediately if it shrank."""
+    global MAX_BYTES
+    if value <= 0:
+        raise ConfigError(
+            f"trace-cache byte bound must be positive, got {value}"
+        )
+    MAX_BYTES = value
+    _evict(_METRICS)
 
 #: (class qualname, workload name, footprint, requested length, seed).
 TraceKey = tuple[str, str, int, int | None, int]

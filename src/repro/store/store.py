@@ -61,6 +61,13 @@ DEFAULT_STORE_PATH = ".repro-store"
 
 _PAYLOAD_CODEC = "pickle+zlib+b64"
 
+#: Transient-``OSError`` retry budget for one commit (journal append or
+#: object rename); mirrors the frame allocator's bounded exponential
+#: backoff (``MAX_ALLOC_RETRIES``/``BACKOFF_BASE_CYCLES``), but in wall
+#: time: 2 ms doubling per attempt, ~½ s total before giving up.
+MAX_COMMIT_RETRIES = 8
+COMMIT_BACKOFF_BASE_S = 0.002
+
 
 @dataclass
 class StoreStats:
@@ -72,6 +79,10 @@ class StoreStats:
     quarantined: int = 0
     #: Dangling journal records completed or cleared during recovery.
     recovered: int = 0
+    #: Transient commit failures retried with backoff (multi-writer
+    #: journal/rename contention); each retry that eventually succeeds
+    #: still counts.
+    commit_retries: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -80,6 +91,7 @@ class StoreStats:
             "puts": self.puts,
             "quarantined": self.quarantined,
             "recovered": self.recovered,
+            "commit_retries": self.commit_retries,
         }
 
 
@@ -387,14 +399,46 @@ class ResultStore:
             "payload_sha256": checksum,
             "payload": payload,
         }
-        self._append_journal({"op": "begin", "key": key, "ts": _now_iso()})
-        path.parent.mkdir(parents=True, exist_ok=True)
-        _atomic_write_text(
-            path, json.dumps(envelope, indent=1, sort_keys=True) + "\n"
+        self._retry_transient(
+            lambda: self._append_journal(
+                {"op": "begin", "key": key, "ts": _now_iso()}
+            ),
+            f"journal begin for {key[:12]}",
         )
-        self._append_journal({"op": "commit", "key": key})
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(envelope, indent=1, sort_keys=True) + "\n"
+        self._retry_transient(
+            lambda: _atomic_write_text(path, text),
+            f"object write for {key[:12]}",
+        )
+        self._retry_transient(
+            lambda: self._append_journal({"op": "commit", "key": key}),
+            f"journal commit for {key[:12]}",
+        )
         self._count("puts")
         return True
+
+    def _retry_transient(self, operation: Any, what: str) -> None:
+        """Run one commit step, retrying transient ``OSError`` with
+        bounded exponential backoff (multi-writer contention: advisory
+        locks, NFS-ish rename hiccups, EAGAIN on the journal append).
+        Exhausting the budget raises :class:`StoreError` -- the entry is
+        simply not durable, never half-written (every step is atomic).
+        """
+        delay = COMMIT_BACKOFF_BASE_S
+        for attempt in range(MAX_COMMIT_RETRIES + 1):
+            try:
+                operation()
+                return
+            except OSError as exc:
+                if attempt == MAX_COMMIT_RETRIES:
+                    raise StoreError(
+                        f"{what} failed after {MAX_COMMIT_RETRIES} "
+                        f"retries: {exc}"
+                    ) from exc
+                self._count("commit_retries")
+                time.sleep(delay)
+                delay *= 2
 
     def _load_envelope(self, path: Path, key: str | None = None) -> dict:
         try:

@@ -1,0 +1,21 @@
+"""Tiny importable executors for fabric subprocess-worker tests.
+
+Subprocess workers unpickle ``(execute, task)`` blobs by reference, so
+the executors must live in a module a bare ``python -m
+repro.experiments fabric work`` process can import without dragging in
+the whole test suite.
+"""
+
+import time
+
+
+def execute_slow(task):
+    """Sleep long enough for a test to SIGKILL the worker mid-cell."""
+    delay, value = task
+    time.sleep(delay)
+    return value * 3
+
+
+def slow_ingredients(task):
+    delay, value = task
+    return {"kind": "slowcell", "delay": delay, "value": value}

@@ -1,0 +1,310 @@
+"""Coordinator correctness: leases, expiry, requeue, bounded retry.
+
+Every test stands up a real coordinator (its own event loop in a
+daemon thread), talks to it over real sockets, and runs real workers --
+the same code paths a multi-host deployment exercises, just on
+loopback.
+"""
+
+import hashlib
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import FabricJobError
+from repro.fabric.client import FabricClient
+from repro.fabric.coordinator import CoordinatorThread, FabricCoordinator
+from repro.fabric.protocol import PROTOCOL_VERSION, recv_msg, send_msg
+from repro.fabric.worker import FabricWorker
+from repro.sched.cells import Cell
+from repro.store.store import ResultStore
+
+
+def _key(label):
+    return hashlib.sha256(label.encode()).hexdigest()
+
+
+def _cell(label, execute, task):
+    return Cell(
+        key=_key(label),
+        ingredients={"label": label},
+        task=task,
+        execute=execute,
+        label=label,
+    )
+
+
+def execute_double(task):
+    return task * 2
+
+
+def execute_boom(task):
+    raise RuntimeError(f"boom on {task!r}")
+
+
+@pytest.fixture
+def fabric(tmp_path):
+    """(coordinator thread, store) with fast test timings; torn down."""
+    store = ResultStore(tmp_path / "store")
+    coordinator = FabricCoordinator(
+        store=store, lease_timeout=0.5, max_attempts=2, poll_interval=0.02
+    )
+    thread = CoordinatorThread(coordinator).start()
+    yield thread, store
+    thread.stop()
+
+
+def _run_worker(thread, store, max_leases=None, **kwargs):
+    worker = FabricWorker(f"127.0.0.1:{thread.port}", store, **kwargs)
+    runner = threading.Thread(
+        target=worker.run, kwargs={"max_leases": max_leases}, daemon=True
+    )
+    runner.start()
+    return worker, runner
+
+
+def _submit(thread, cells, done):
+    """run_wave in a background thread; returns (client, thread, box)."""
+    client = FabricClient(f"127.0.0.1:{thread.port}").connect()
+    box = {}
+
+    def go():
+        try:
+            box["reply"] = client.run_wave(cells, done.append)
+        except Exception as exc:  # noqa: BLE001 - surfaced by the test
+            box["error"] = exc
+
+    runner = threading.Thread(target=go, daemon=True)
+    runner.start()
+    return client, runner, box
+
+
+class TestHappyPath:
+    def test_wave_executes_and_commits_to_store(self, fabric):
+        thread, store = fabric
+        cells = [_cell(f"c{i}", execute_double, i) for i in range(4)]
+        done = []
+        client, runner, box = _submit(thread, cells, done)
+        _run_worker(thread, store, max_leases=10, max_cells=2)
+        runner.join(timeout=20)
+        assert "error" not in box
+        assert sorted(done) == sorted(c.key for c in cells)
+        for cell in cells:
+            assert store.get(cell.key) == cell.task * 2
+        assert box["reply"]["completed"] == 4
+        events = {e["event"] for e in box["reply"]["events"]}
+        assert "lease-grant" in events
+        assert "cell-done" in events
+        client.close()
+
+    def test_resubmitted_wave_is_served_without_work(self, fabric):
+        """Done jobs (and store-resident keys) dedup: no worker needed."""
+        thread, store = fabric
+        cells = [_cell(f"d{i}", execute_double, i) for i in range(2)]
+        done = []
+        client, runner, box = _submit(thread, cells, done)
+        _run_worker(thread, store, max_leases=5)
+        runner.join(timeout=20)
+        assert "error" not in box
+
+        again = []
+        reply = client.run_wave(cells, again.append)
+        assert sorted(again) == sorted(c.key for c in cells)
+        assert reply["completed"] == 2
+        client.close()
+
+    def test_store_resident_key_is_done_on_arrival(self, fabric):
+        thread, store = fabric
+        cell = _cell("warm", execute_double, 21)
+        store.put(cell.key, 42, cell.ingredients)
+        done = []
+        with FabricClient(f"127.0.0.1:{thread.port}") as client:
+            reply = client.run_wave([cell], done.append)
+        assert done == [cell.key]
+        assert reply["completed"] == 1
+
+        async def probe():
+            return thread.coordinator.metrics.snapshot()
+
+        snapshot = thread.call(probe())
+        assert snapshot["fabric.cells_deduped"]["value"] >= 1
+
+
+class TestFailure:
+    def test_poisoned_cell_fails_after_bounded_retries(self, fabric):
+        thread, store = fabric
+        cells = [_cell("bad", execute_boom, 7)]
+        done = []
+        client, runner, box = _submit(thread, cells, done)
+        _run_worker(thread, store, max_leases=8)
+        runner.join(timeout=20)
+        assert done == []
+        assert isinstance(box.get("error"), FabricJobError)
+        assert "boom" in str(box["error"])
+
+        async def probe():
+            c = thread.coordinator
+            return c.jobs[cells[0].key].attempts, c.metrics.snapshot()
+
+        attempts, snapshot = thread.call(probe())
+        assert attempts == 2  # max_attempts, not infinite cycling
+        assert snapshot["fabric.cells_failed"]["value"] == 1
+        client.close()
+
+    def test_mixed_wave_completes_good_cells_and_reports_bad(self, fabric):
+        thread, store = fabric
+        good = _cell("good", execute_double, 5)
+        bad = _cell("alsobad", execute_boom, 5)
+        done = []
+        client, runner, box = _submit(thread, [good, bad], done)
+        _run_worker(thread, store, max_leases=8)
+        runner.join(timeout=20)
+        assert done == [good.key]
+        assert store.get(good.key) == 10
+        assert isinstance(box.get("error"), FabricJobError)
+        client.close()
+
+
+class TestLeaseRecovery:
+    def _dead_worker_takes_lease(self, thread):
+        """Hello as a worker, grab one lease, then vanish (SIGKILL-like:
+        no cell-done, no lease-complete, TCP close is all the
+        coordinator observes)."""
+        sock = socket.create_connection(("127.0.0.1", thread.port))
+        send_msg(sock, {"op": "hello", "role": "worker",
+                        "version": PROTOCOL_VERSION, "worker": "doomed",
+                        "host": "ghost", "pid": 1})
+        assert recv_msg(sock)["op"] == "hello-ok"
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            send_msg(sock, {"op": "lease-request", "worker": "doomed",
+                            "max_cells": 1})
+            reply = recv_msg(sock)
+            if reply["op"] == "lease":
+                sock.close()
+                return reply
+            time.sleep(0.02)
+        raise AssertionError("dead worker never got a lease")
+
+    def test_worker_death_requeues_and_another_worker_finishes(self, fabric):
+        thread, store = fabric
+        cells = [_cell("survivor", execute_double, 9)]
+        done = []
+        client, runner, box = _submit(thread, cells, done)
+        lease = self._dead_worker_takes_lease(thread)
+        assert lease["jobs"][0]["key"] == cells[0].key
+        # The job is not lost: the disconnect requeues it and a healthy
+        # worker completes it.
+        _run_worker(thread, store, max_leases=5)
+        runner.join(timeout=20)
+        assert "error" not in box, box.get("error")
+        assert done == [cells[0].key]
+        assert store.get(cells[0].key) == 18
+
+        async def probe():
+            return thread.coordinator.metrics.snapshot()
+
+        snapshot = thread.call(probe())
+        assert snapshot["fabric.leases_expired"]["value"] >= 1
+        assert snapshot["fabric.cells_requeued"]["value"] >= 1
+        client.close()
+
+    def test_unheartbeated_lease_expires_by_deadline(self, fabric):
+        """A worker that stays connected but never heartbeats loses its
+        lease to the reaper once the deadline passes."""
+        thread, store = fabric
+        cells = [_cell("stalled", execute_double, 3)]
+        done = []
+        client, runner, box = _submit(thread, cells, done)
+        sock = socket.create_connection(("127.0.0.1", thread.port))
+        send_msg(sock, {"op": "hello", "role": "worker",
+                        "version": PROTOCOL_VERSION, "worker": "stuck",
+                        "host": "ghost", "pid": 2})
+        assert recv_msg(sock)["op"] == "hello-ok"
+        deadline = time.monotonic() + 10
+        lease = None
+        while lease is None and time.monotonic() < deadline:
+            send_msg(sock, {"op": "lease-request", "worker": "stuck",
+                            "max_cells": 1})
+            reply = recv_msg(sock)
+            if reply["op"] == "lease":
+                lease = reply
+            else:
+                time.sleep(0.02)
+        assert lease is not None
+        # Keep the socket open (no disconnect fast path) but go silent;
+        # the 0.5 s lease deadline hands the cell to a live worker.
+        _run_worker(thread, store, max_leases=20)
+        runner.join(timeout=20)
+        assert "error" not in box, box.get("error")
+        assert done == [cells[0].key]
+        sock.close()
+        client.close()
+
+    def test_committed_result_is_adopted_on_expiry(self, fabric):
+        """A worker that commits to the store and *then* dies does not
+        cause recomputation: expiry probes the store first."""
+        thread, store = fabric
+        cells = [_cell("halfdead", execute_double, 50)]
+        done = []
+        client, runner, box = _submit(thread, cells, done)
+        sock = socket.create_connection(("127.0.0.1", thread.port))
+        send_msg(sock, {"op": "hello", "role": "worker",
+                        "version": PROTOCOL_VERSION, "worker": "halfway",
+                        "host": "ghost", "pid": 3})
+        assert recv_msg(sock)["op"] == "hello-ok"
+        deadline = time.monotonic() + 10
+        lease = None
+        while lease is None and time.monotonic() < deadline:
+            send_msg(sock, {"op": "lease-request", "worker": "halfway",
+                            "max_cells": 1})
+            reply = recv_msg(sock)
+            if reply["op"] == "lease":
+                lease = reply
+            else:
+                time.sleep(0.02)
+        assert lease is not None
+        # The worker's final act before dying: the store commit landed,
+        # the cell-done report never did.
+        store.put(cells[0].key, 100, cells[0].ingredients)
+        sock.close()
+        runner.join(timeout=20)
+        assert "error" not in box, box.get("error")
+        assert done == [cells[0].key]
+
+        async def probe():
+            return thread.coordinator.jobs[cells[0].key].attempts
+
+        # Adopted, not re-leased: one grant was enough.
+        assert thread.call(probe()) == 1
+        client.close()
+
+
+class TestProtocolPolicing:
+    def test_version_mismatch_is_rejected(self, fabric):
+        thread, _ = fabric
+        sock = socket.create_connection(("127.0.0.1", thread.port))
+        send_msg(sock, {"op": "hello", "role": "worker", "version": 999})
+        reply = recv_msg(sock)
+        assert reply["op"] == "error"
+        assert "version" in reply["error"]
+        assert recv_msg(sock) is None  # coordinator hung up
+        sock.close()
+
+    def test_status_document(self, fabric):
+        thread, store = fabric
+        worker, _ = _run_worker(thread, store)
+        deadline = time.monotonic() + 5
+        status = {}
+        with FabricClient(f"127.0.0.1:{thread.port}") as client:
+            while time.monotonic() < deadline:
+                status = client.status()
+                if status["workers"]:
+                    break
+                time.sleep(0.02)
+        assert status["op"] == "status-reply"
+        assert status["lease_timeout"] == 0.5
+        assert status["max_attempts"] == 2
+        assert any(w["worker"] == worker.worker_id for w in status["workers"])

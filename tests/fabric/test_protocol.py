@@ -1,0 +1,141 @@
+"""Wire framing: blocking + asyncio paths, caps, task blobs."""
+
+import asyncio
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.errors import FabricError, FabricProtocolError
+from repro.fabric.client import parse_address
+from repro.fabric.protocol import (
+    MAX_FRAME_BYTES,
+    decode_body,
+    encode_frame,
+    pack_obj,
+    read_msg,
+    recv_msg,
+    send_msg,
+    unpack_obj,
+    write_msg,
+)
+
+
+class TestFraming:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            message = {"op": "hello", "nested": {"x": [1, 2, 3]}, "s": "ü"}
+            send_msg(a, message)
+            assert recv_msg(b) == message
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_in_order(self):
+        a, b = socket.socketpair()
+        try:
+            for i in range(20):
+                send_msg(a, {"op": "n", "i": i})
+            for i in range(20):
+                assert recv_msg(b) == {"op": "n", "i": i}
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_msg(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        try:
+            frame = encode_frame({"op": "x"})
+            a.sendall(frame[: len(frame) - 2])
+            a.close()
+            with pytest.raises(FabricProtocolError, match="mid-frame"):
+                recv_msg(b)
+        finally:
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+            with pytest.raises(FabricProtocolError, match="exceeds cap"):
+                recv_msg(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_body_must_be_object_with_op(self):
+        with pytest.raises(FabricProtocolError):
+            decode_body(b"[1,2]")
+        with pytest.raises(FabricProtocolError):
+            decode_body(b'{"no_op": 1}')
+        with pytest.raises(FabricProtocolError):
+            decode_body(b"\xff\xfe")
+
+    def test_asyncio_framing_matches_blocking(self):
+        """A frame written by the blocking side parses on the asyncio
+        side and vice versa (the coordinator talks to both)."""
+
+        async def scenario():
+            server_got = []
+
+            async def handle(reader, writer):
+                server_got.append(await read_msg(reader))
+                await write_msg(writer, {"op": "pong"})
+                assert await read_msg(reader) is None  # clean EOF
+                writer.close()
+
+            server = await asyncio.start_server(handle, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            reply = {}
+
+            def client():
+                sock = socket.create_connection(("127.0.0.1", port))
+                send_msg(sock, {"op": "ping", "payload": pack_obj((1, "a"))})
+                reply.update(recv_msg(sock))
+                sock.close()
+
+            thread = threading.Thread(target=client)
+            thread.start()
+            while not reply:
+                await asyncio.sleep(0.01)
+            thread.join()
+            server.close()
+            await server.wait_closed()
+            return server_got, reply
+
+        got, reply = asyncio.run(scenario())
+        assert reply == {"op": "pong"}
+        assert got[0]["op"] == "ping"
+        assert unpack_obj(got[0]["payload"]) == (1, "a")
+
+
+class TestTaskBlobs:
+    def test_round_trip(self):
+        value = {"tuple": (1, 2), "fn": len}
+        assert unpack_obj(pack_obj(value)) == value
+
+    def test_garbage_blob_raises(self):
+        with pytest.raises(FabricProtocolError, match="task blob"):
+            unpack_obj("not base64!!")
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("example:7463") == ("example", 7463)
+
+    def test_bare_port_implies_localhost(self):
+        assert parse_address("7463") == ("127.0.0.1", 7463)
+
+    def test_malformed(self):
+        with pytest.raises(FabricError, match="malformed"):
+            parse_address("example:notaport")

@@ -1,0 +1,164 @@
+"""HTTP front end: instant cache hits, miss enqueueing, status."""
+
+import hashlib
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.fabric.coordinator import CoordinatorThread, FabricCoordinator
+from repro.fabric.protocol import pack_obj
+from repro.fabric.service import FabricHTTPService
+from repro.fabric.worker import FabricWorker
+from repro.store.store import ResultStore
+
+from tests.fabric.test_coordinator import execute_double
+
+
+def _key(label):
+    return hashlib.sha256(label.encode()).hexdigest()
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def _post(url, doc):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def service(store):
+    svc = FabricHTTPService(store).start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture
+def full_stack(store):
+    """Coordinator + HTTP front end + one background worker."""
+    thread = CoordinatorThread(
+        FabricCoordinator(store=store, lease_timeout=1.0, poll_interval=0.02)
+    ).start()
+    svc = FabricHTTPService(store, coordinator=thread).start()
+    worker = FabricWorker(f"127.0.0.1:{thread.port}", store)
+    runner = threading.Thread(target=worker.run, daemon=True)
+    runner.start()
+    yield svc, store
+    svc.stop()
+    thread.stop()
+
+
+class TestStoreOnly:
+    def test_healthz(self, service):
+        status, body = _get(service.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["ok"] is True
+
+    def test_cached_cell_served_as_raw_envelope(self, service, store):
+        key = _key("served")
+        store.put(key, {"answer": 42}, {"label": "served"})
+        status, body = _get(f"{service.url}/cells/{key}")
+        assert status == 200
+        envelope = json.loads(body)
+        assert envelope["key"] == key
+        assert envelope["payload_sha256"]
+        # Byte-for-byte what the store holds: clients verify the
+        # checksum themselves.
+        assert body == store.object_path(key).read_bytes()
+
+    def test_unknown_cell_404(self, service):
+        status, body = _get(f"{service.url}/cells/{_key('nope')}")
+        assert status == 404
+        assert json.loads(body)["status"] == "unknown"
+
+    def test_malformed_key_400(self, service):
+        status, _ = _get(service.url + "/cells/NOT-A-KEY")
+        assert status == 400
+
+    def test_unknown_route_404(self, service):
+        status, _ = _get(service.url + "/nothing/here")
+        assert status == 404
+
+    def test_post_without_coordinator_503_on_miss(self, service):
+        status, body = _post(
+            service.url + "/cells", {"key": _key("uncached")}
+        )
+        assert status == 503
+        assert body["status"] == "miss"
+
+    def test_post_hit_needs_no_coordinator(self, service, store):
+        key = _key("already")
+        store.put(key, 1, {})
+        status, body = _post(service.url + "/cells", {"key": key})
+        assert status == 200
+        assert body["status"] == "hit"
+
+    def test_status_and_metrics(self, service, store):
+        store.put(_key("one"), 1, {})
+        status, body = _get(service.url + "/status")
+        assert status == 200
+        assert json.loads(body)["entries"] == 1
+        status, body = _get(service.url + "/metrics")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["http"]["http.requests"]["value"] >= 1
+
+
+class TestFullStack:
+    def test_miss_is_enqueued_and_becomes_a_hit(self, full_stack):
+        svc, store = full_stack
+        key = _key("computed-via-http")
+        doc = {
+            "key": key,
+            "task": pack_obj((execute_double, 33)),
+            "ingredients": {"label": "via-http"},
+            "label": "via-http",
+        }
+        status, body = _post(svc.url + "/cells", doc)
+        assert status == 202
+        assert body["status"] == "queued"
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline:
+            status, payload = _get(f"{svc.url}/cells/{key}")
+            if status == 200:
+                break
+            assert status == 202, payload
+            time.sleep(0.05)
+        assert status == 200
+        assert store.get(key) == 66
+
+    def test_status_includes_coordinator(self, full_stack):
+        svc, _ = full_stack
+        status, body = _get(svc.url + "/status")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["coordinator"]["op"] == "status-reply"
+
+    def test_metrics_include_fabric(self, full_stack):
+        svc, _ = full_stack
+        status, body = _get(svc.url + "/metrics")
+        assert status == 200
+        assert "fabric" in json.loads(body)

@@ -1,0 +1,146 @@
+"""Per-host trace lanes and fabric provenance in manifests."""
+
+from repro.obs.manifest import (
+    VOLATILE_CELL_FIELDS,
+    VOLATILE_TOP_FIELDS,
+    build_manifest,
+    cell_manifest,
+    stable_view,
+    validate_manifest,
+)
+from repro.obs.tracing import RunObservability, chrome_trace, run_host
+
+
+def make_record(workload="tiny", config="4K", seed=0, pid=100, host=""):
+    return RunObservability(
+        workload=workload,
+        config=config,
+        seed=seed,
+        trace_length=2000,
+        interval=None,
+        started_us=1_000,
+        duration_us=5_000,
+        pid=pid,
+        host=host,
+        samples=(),
+        metrics={},
+        summary={"overhead_percent": 1.0, "measured_refs": 100, "walks": 3,
+                 "translation_cycles": 10.0},
+    )
+
+
+def _lane_names(trace):
+    return {
+        e["pid"]: e["args"]["name"]
+        for e in trace["traceEvents"]
+        if e.get("name") == "process_name"
+    }
+
+
+def _span_lanes(trace):
+    return [
+        e["pid"] for e in trace["traceEvents"] if e.get("cat") == "cell"
+    ]
+
+
+class TestRunHost:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_HOST", "lab-node-7")
+        assert run_host() == "lab-node-7"
+
+    def test_matches_worker_host_helper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FABRIC_HOST", "lab-node-8")
+        from repro.fabric.worker import worker_host
+
+        assert run_host() == worker_host()
+
+
+class TestChromeTraceLanes:
+    def test_single_host_keeps_pid_lanes(self):
+        """Backward compatible: one host -> lanes named exactly as the
+        pre-fabric emitter named them, keyed by real pid."""
+        records = [
+            make_record(pid=100, host="alpha"),
+            make_record(config="DD", pid=200, host="alpha"),
+        ]
+        names = _lane_names(chrome_trace(records, "figure11"))
+        assert names == {
+            100: "figure11 worker 100",
+            200: "figure11 worker 200",
+        }
+
+    def test_multi_host_gets_one_lane_per_host_pid_pair(self):
+        records = [
+            make_record(pid=100, host="alpha"),
+            make_record(config="DD", pid=100, host="beta"),
+            make_record(config="4K+VD", pid=200, host="beta"),
+        ]
+        trace = chrome_trace(records, "figure11")
+        names = _lane_names(trace)
+        # Three lanes even though two records share pid 100.
+        assert sorted(names.values()) == [
+            "figure11 alpha worker 100",
+            "figure11 beta worker 100",
+            "figure11 beta worker 200",
+        ]
+        assert len(set(_span_lanes(trace))) == 3
+
+    def test_spans_carry_host_and_real_pid_in_args(self):
+        records = [
+            make_record(pid=100, host="alpha"),
+            make_record(config="DD", pid=100, host="beta"),
+        ]
+        spans = [
+            e for e in chrome_trace(records)["traceEvents"]
+            if e.get("cat") == "cell"
+        ]
+        assert {(s["args"]["host"], s["args"]["worker_pid"]) for s in spans} == {
+            ("alpha", 100),
+            ("beta", 100),
+        }
+
+
+class TestManifestHost:
+    def test_cell_records_host_and_stable_view_strips_it(self):
+        cell = cell_manifest(make_record(host="gamma"))
+        assert cell["host"] == "gamma"
+        assert "host" in VOLATILE_CELL_FIELDS
+
+        manifest = build_manifest("figure11", [make_record(host="gamma")])
+        view = stable_view(manifest)
+        assert all("host" not in c for c in view["cells"])
+
+    def test_host_does_not_break_stable_comparison(self):
+        """The same sweep run on different hosts compares equal."""
+        a = build_manifest("figure11", [make_record(host="alpha", pid=1)])
+        b = build_manifest("figure11", [make_record(host="beta", pid=2)])
+        assert stable_view(a) == stable_view(b)
+
+
+class TestManifestFabric:
+    EVENTS = [
+        {"seq": 1, "ts": 0.0, "event": "lease-grant", "worker": "w1"},
+        {"seq": 2, "ts": 0.1, "event": "cell-done", "worker": "w1"},
+    ]
+
+    def test_fabric_section_recorded_and_volatile(self):
+        manifest = build_manifest(
+            "figure11",
+            [make_record()],
+            fabric={"coordinator": "127.0.0.1:7463", "events": self.EVENTS},
+        )
+        assert manifest["fabric"]["coordinator"] == "127.0.0.1:7463"
+        assert len(manifest["fabric"]["events"]) == 2
+        assert "fabric" in VOLATILE_TOP_FIELDS
+        assert "fabric" not in stable_view(manifest)
+        validate_manifest(manifest)
+
+    def test_local_manifest_has_no_fabric_section(self):
+        manifest = build_manifest("figure11", [make_record()])
+        assert "fabric" not in manifest
+        # Fabric and local manifests of the same sweep compare equal.
+        fabric = build_manifest(
+            "figure11", [make_record()],
+            fabric={"coordinator": "x:1", "events": []},
+        )
+        assert stable_view(fabric) == stable_view(manifest)

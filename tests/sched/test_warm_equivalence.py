@@ -8,7 +8,14 @@ experiment's smallest meaningful grid cold into a fresh store, re-run
 it warm, and compare serialized reports; a final test proves that
 changing key material (the code fingerprint) turns the same sweep into
 a full miss instead of serving stale entries.
+
+``TestFabric`` extends the contract to the distributed case: the same
+experiment dispatched through a fabric coordinator to two lease-driven
+workers must produce byte-identical reports to the serial run, cold
+*and* warm (DESIGN.md, "Distributed sweep fabric").
 """
+
+import threading
 
 import pytest
 
@@ -135,6 +142,55 @@ class TestResilience:
         assert observed.report.hits == 1
         assert observed.report.computed == 1
         assert result.obs_records, "observed run must carry obs records"
+
+
+class TestFabric:
+    """Distributed sweeps are byte-identical to serial ones."""
+
+    def _run_figure01(self, sweep):
+        return figure01.run(
+            trace_length=SMOKE_LENGTH, workloads=("gups",), sweep=sweep
+        )
+
+    def test_fabric_cold_and_warm_equal_serial(self, tmp_path):
+        from repro.fabric import (
+            CoordinatorThread,
+            FabricCoordinator,
+            FabricWorker,
+        )
+
+        serial = self._run_figure01(_sweep(tmp_path / "serial", "figure1"))
+
+        store = ResultStore(tmp_path / "fabric" / "store")
+        thread = CoordinatorThread(
+            FabricCoordinator(store=store, lease_timeout=10.0,
+                              poll_interval=0.02)
+        ).start()
+        workers = []
+        try:
+            for _ in range(2):
+                worker = FabricWorker(f"127.0.0.1:{thread.port}", store)
+                runner = threading.Thread(target=worker.run, daemon=True)
+                runner.start()
+                workers.append(worker)
+            cold_sweep = Sweep(
+                "figure1", store, fabric=f"127.0.0.1:{thread.port}"
+            )
+            cold = self._run_figure01(cold_sweep)
+            assert cold_sweep.report.hits == 0
+            assert cold_sweep.report.computed == cold_sweep.report.total > 0
+            assert cold_sweep.fabric_events
+
+            # Warm through the fabric too: all hits, no worker leases.
+            warm_sweep = Sweep(
+                "figure1", store, fabric=f"127.0.0.1:{thread.port}"
+            )
+            warm = self._run_figure01(warm_sweep)
+            assert warm_sweep.report.all_hits
+        finally:
+            thread.stop()
+        assert report.dumps(cold) == report.dumps(serial)
+        assert report.dumps(warm) == report.dumps(serial)
 
 
 class TestInvalidation:

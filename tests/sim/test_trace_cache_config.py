@@ -1,0 +1,82 @@
+"""Configurable trace-cache byte bound: env, CLI setter, eviction."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim import trace_cache
+from tests.conftest import TinyWorkload
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    trace_cache.clear()
+    trace_cache.stats().reset()
+    yield
+    trace_cache.clear()
+    trace_cache.stats().reset()
+    trace_cache.MAX_BYTES = trace_cache.DEFAULT_MAX_BYTES
+
+
+class TestDefaults:
+    def test_default_is_unchanged(self):
+        assert trace_cache.DEFAULT_MAX_BYTES == 256 * 1024 * 1024
+
+    def test_env_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(trace_cache.MAX_BYTES_ENV, raising=False)
+        assert trace_cache._max_bytes_from_env() == trace_cache.DEFAULT_MAX_BYTES
+
+
+class TestEnvOverride:
+    def test_env_value_parses(self, monkeypatch):
+        monkeypatch.setenv(trace_cache.MAX_BYTES_ENV, "1048576")
+        assert trace_cache._max_bytes_from_env() == 1048576
+
+    @pytest.mark.parametrize("bad", ["notanumber", "-1", "0", "1.5"])
+    def test_bad_env_value_raises(self, monkeypatch, bad):
+        monkeypatch.setenv(trace_cache.MAX_BYTES_ENV, bad)
+        with pytest.raises(ConfigError):
+            trace_cache._max_bytes_from_env()
+
+
+class TestSetMaxBytes:
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            trace_cache.set_max_bytes(0)
+        with pytest.raises(ConfigError):
+            trace_cache.set_max_bytes(-5)
+
+    def test_shrinking_evicts_immediately_with_exact_stats(self):
+        workload = TinyWorkload()
+        for seed in range(3):
+            trace_cache.get_trace(workload, 2000, seed)
+        assert trace_cache.cache_size() == 3
+        resident = trace_cache.cache_bytes()
+        per_entry = resident // 3
+
+        trace_cache.set_max_bytes(per_entry + 1)
+        # LRU eviction down to the bound; the most-recent entry is kept
+        # even if it alone exceeds it (the caller needs it regardless).
+        assert trace_cache.cache_size() == 1
+        stats = trace_cache.stats()
+        assert stats.evictions == 2
+        assert stats.evicted_bytes == resident - trace_cache.cache_bytes()
+        # The survivor is the hottest entry (seed 2 was inserted last).
+        assert trace_cache.get_trace(workload, 2000, 2) is not None
+        assert stats.hits == 1
+
+    def test_growing_the_bound_stops_eviction(self):
+        workload = TinyWorkload()
+        trace_cache.get_trace(workload, 2000, 0)
+        trace_cache.set_max_bytes(trace_cache.DEFAULT_MAX_BYTES)
+        trace_cache.get_trace(workload, 2000, 1)
+        assert trace_cache.cache_size() == 2
+        assert trace_cache.stats().evictions == 0
+
+    def test_monkeypatched_module_attribute_still_honoured(self, monkeypatch):
+        """Existing tests patch ``trace_cache.MAX_BYTES`` directly; the
+        eviction path must keep reading it live."""
+        workload = TinyWorkload()
+        trace_cache.get_trace(workload, 2000, 0)
+        monkeypatch.setattr(trace_cache, "MAX_BYTES", 1)
+        trace_cache.get_trace(workload, 2000, 1)
+        assert trace_cache.cache_size() == 1

@@ -1,0 +1,126 @@
+"""Multi-writer safety: N processes, overlapping keys, one clean store.
+
+The fabric's workers all commit into one store directory, so the store
+must tolerate concurrent writers racing on the *same* content-addressed
+keys: per-key atomic renames mean the last rename wins with identical
+content, journal appends are single-write lines, and ``verify`` over
+the quiesced store must come back clean with every key readable.
+
+Writers open the store with ``recover=False`` -- recovery's journal
+compaction is a single-owner operation (the coordinator/opening process
+runs it while no puts are in flight), not something N concurrent
+writers may each trigger mid-race.
+"""
+
+import hashlib
+import multiprocessing
+
+import pytest
+
+from repro.store.store import MAX_COMMIT_RETRIES, ResultStore, StoreStats
+from repro.errors import StoreError
+
+WRITERS = 4
+KEYS_PER_WRITER = 12
+#: Writers deliberately overlap: every writer covers keys [0, 8) plus a
+#: private tail, so most keys are raced by all four processes.
+SHARED_KEYS = 8
+
+
+def _key(index):
+    return hashlib.sha256(f"multiwriter-{index}".encode()).hexdigest()
+
+
+def _value(index):
+    return {"index": index, "payload": list(range(index, index + 5))}
+
+
+def _writer(root, writer_id):
+    store = ResultStore(root, recover=False)
+    written = 0
+    for offset in range(KEYS_PER_WRITER):
+        if offset < SHARED_KEYS:
+            index = offset  # contended with every other writer
+        else:
+            index = 100 + writer_id * KEYS_PER_WRITER + offset
+        if store.put(_key(index), _value(index), {"index": index}):
+            written += 1
+    return written
+
+
+class TestMultiWriter:
+    def test_concurrent_overlapping_writers_leave_a_clean_store(
+        self, tmp_path
+    ):
+        root = tmp_path / "store"
+        ResultStore(root)  # lay out once, as the coordinator would
+        with multiprocessing.get_context().Pool(WRITERS) as pool:
+            written = pool.starmap(
+                _writer, [(root, writer_id) for writer_id in range(WRITERS)]
+            )
+        expected = set(range(SHARED_KEYS)) | {
+            100 + writer_id * KEYS_PER_WRITER + offset
+            for writer_id in range(WRITERS)
+            for offset in range(SHARED_KEYS, KEYS_PER_WRITER)
+        }
+        # Raced keys may be written by several processes (idempotent),
+        # but at least every distinct key landed once.
+        assert sum(written) >= len(expected)
+
+        store = ResultStore(root)  # quiesced: recovery + compaction OK
+        assert len(store) == len(expected)
+        report = store.verify()
+        assert report.clean, [i.problem for i in report.issues]
+        for index in sorted(expected):
+            assert store.get(_key(index)) == _value(index)
+
+    def test_duplicate_put_is_idempotent_not_rejournaled(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = _key(0)
+        assert store.put(key, _value(0), {}) is True
+        assert store.put(key, _value(0), {}) is False
+        assert store.stats.puts == 1
+
+
+class TestCommitRetry:
+    def test_transient_oserror_is_retried_with_backoff(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store import store as store_module
+
+        store = ResultStore(tmp_path / "store")
+        failures = {"left": 3}
+        original = store_module._atomic_write_text
+
+        def flaky(path, text):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("transient contention")
+            original(path, text)
+
+        monkeypatch.setattr(store_module, "_atomic_write_text", flaky)
+        monkeypatch.setattr(store_module, "COMMIT_BACKOFF_BASE_S", 0.0001)
+        assert store.put(_key(1), _value(1), {}) is True
+        assert store.stats.commit_retries == 3
+        assert store.get(_key(1)) == _value(1)
+        assert store.verify().clean
+
+    def test_persistent_oserror_exhausts_budget_and_raises(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store import store as store_module
+
+        store = ResultStore(tmp_path / "store")
+
+        def always_broken(path, text):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(store_module, "_atomic_write_text", always_broken)
+        monkeypatch.setattr(store_module, "COMMIT_BACKOFF_BASE_S", 0.0001)
+        with pytest.raises(StoreError, match="retries"):
+            store.put(_key(2), _value(2), {})
+        assert store.stats.commit_retries == MAX_COMMIT_RETRIES
+
+    def test_retries_surface_in_stats_dict(self):
+        stats = StoreStats(commit_retries=5)
+        assert stats.as_dict()["commit_retries"] == 5
