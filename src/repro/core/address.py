@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import enum
 
+from repro.errors import ConfigError
+
 #: Number of meaningful bits in an x86-64 virtual address (256 TB space).
 ADDRESS_BITS = 48
 
@@ -154,7 +156,7 @@ def radix_index(address: int, level: int) -> int:
     the PT entry.
     """
     if not 0 <= level <= 3:
-        raise ValueError(f"page-table level must be 0..3, got {level}")
+        raise ConfigError(f"page-table level must be 0..3, got {level}")
     shift = BASE_PAGE_BITS + RADIX_BITS * (3 - level)
     return (address >> shift) & ((1 << RADIX_BITS) - 1)
 

@@ -90,6 +90,24 @@ class CostModel:
         """Expected cost of one page-table memory reference at ``depth``."""
         return self._pte_cycles[depth]
 
+    def pte_cycles_for(self, total_levels: int) -> tuple[float, ...]:
+        """Per-level PTE costs for a table of ``total_levels`` levels.
+
+        The residency blend is leaf-anchored: the leaf's working set is
+        what scales with the footprint, so levels align by distance from
+        the leaf.  A 4-level table reproduces :meth:`pte_access_cycles`
+        exactly; a 3-level table (sv39) drops the cheapest root blend; a
+        5-level table (sv57) reuses the root blend for its extra level
+        (upper levels are effectively always cached regardless of count).
+        """
+        if total_levels <= 0:
+            raise ValueError(f"page table needs at least one level, got {total_levels}")
+        base = self._pte_cycles
+        return tuple(
+            base[max(0, len(base) - total_levels + level)]
+            for level in range(total_levels)
+        )
+
 
 #: Shared default cost model; experiments may construct their own.
 DEFAULT_COSTS = CostModel()

@@ -11,8 +11,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.address import PageSize
+
+if TYPE_CHECKING:  # pragma: no cover - hints only (avoids an import cycle)
+    from repro.isa.geometry import TranslationGeometry
 
 
 class TranslationMode(enum.Enum):
@@ -141,6 +145,7 @@ def walk_references(
     mode: TranslationMode,
     guest_page: PageSize = PageSize.SIZE_4K,
     nested_page: PageSize = PageSize.SIZE_4K,
+    geometry: "TranslationGeometry | None" = None,
 ) -> int:
     """Page-table memory references for a full walk in ``mode``.
 
@@ -149,9 +154,17 @@ def walk_references(
     is a gPA needing an ``n``-step nested walk plus the guest PTE load
     itself, and the final gPA needs one more nested walk.  With 4 levels at
     both dimensions this is the paper's 5*4+4 = 24 references.
+
+    ``geometry`` generalizes the level counts beyond x86's 4-level radix
+    (``None`` keeps the paper's defaults): the guest dimension walks the
+    geometry itself, the nested dimension its G-stage composition.
     """
-    g = guest_page.levels
-    n = nested_page.levels
+    if geometry is None:
+        g = guest_page.levels
+        n = nested_page.levels
+    else:
+        g = geometry.walk_levels(guest_page)
+        n = geometry.gstage().walk_levels(nested_page)
     if mode in (TranslationMode.NATIVE, TranslationMode.NATIVE_DIRECT_SEGMENT):
         return g
     if mode is TranslationMode.BASE_VIRTUALIZED:
@@ -168,16 +181,21 @@ def walk_references(
 
 
 def base_bound_checks(
-    mode: TranslationMode, guest_page: PageSize = PageSize.SIZE_4K
+    mode: TranslationMode,
+    guest_page: PageSize = PageSize.SIZE_4K,
+    geometry: "TranslationGeometry | None" = None,
 ) -> int:
     """Base-bound checks during a walk (generalizes Table II row 3).
 
     VMM Direct checks each of the ``g`` guest-PTE pointers plus the final
     gPA (``g + 1``, i.e. 5 for 4 KB guests -- the paper's Delta_VD); Dual
     Direct and Guest Direct need a single check (Delta_GD = 1).
+    ``geometry`` generalizes ``g`` beyond x86's 4-level radix.
     """
     if mode is TranslationMode.VMM_DIRECT:
-        return guest_page.levels + 1
+        if geometry is None:
+            return guest_page.levels + 1
+        return geometry.walk_levels(guest_page) + 1
     if mode in (
         TranslationMode.DUAL_DIRECT,
         TranslationMode.GUEST_DIRECT,
@@ -185,3 +203,35 @@ def base_bound_checks(
     ):
         return 1
     return 0
+
+
+def capability_matrix(
+    geometry: "TranslationGeometry",
+) -> dict[TranslationMode, ModeProperties]:
+    """Table II re-derived for one ISA geometry.
+
+    Direct segments are an ISA-neutral hardware proposal (three registers
+    and an adder per dimension), so every registered geometry supports
+    all four virtualized modes; what changes per ISA are the walk-cost
+    columns: the 2D reference count ``g*(n+1)+n`` and VMM Direct's
+    ``g+1`` checks follow the level counts (RISC-V's G-stage composition
+    includes the widened root, which adds gPA bits but no extra level).
+    The software-flexibility rows are mode properties, not ISA
+    properties, and carry over from the paper's matrix verbatim.
+    """
+    matrix: dict[TranslationMode, ModeProperties] = {}
+    for mode, props in MODE_PROPERTIES.items():
+        matrix[mode] = ModeProperties(
+            mode=mode,
+            walk_dimensions=props.walk_dimensions,
+            walk_memory_accesses=walk_references(mode, geometry=geometry),
+            base_bound_checks=base_bound_checks(mode, geometry=geometry),
+            guest_os_modifications=props.guest_os_modifications,
+            vmm_modifications=props.vmm_modifications,
+            application_category=props.application_category,
+            page_sharing=props.page_sharing,
+            ballooning=props.ballooning,
+            guest_swapping=props.guest_swapping,
+            vmm_swapping=props.vmm_swapping,
+        )
+    return matrix

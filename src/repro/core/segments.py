@@ -103,6 +103,39 @@ class SegmentRegisters:
         """
         return address + self.offset
 
+    def validate_for_geometry(self, geometry, output_geometry=None) -> None:
+        """Check the register values fit one ISA's address spaces.
+
+        ``geometry`` bounds the input (covered) range; ``output_geometry``
+        bounds the translated range (defaults to the input geometry --
+        pass the G-stage composition for a guest segment whose output is
+        a wider guest-physical space).  Raises
+        :class:`repro.errors.ConfigError` on a violation; disabled
+        segments always pass.  Duck-typed on
+        :class:`repro.isa.TranslationGeometry` to keep this module free
+        of ISA imports.
+        """
+        if not self.enabled:
+            return
+        from repro.errors import ConfigError
+
+        out = output_geometry or geometry
+        if not geometry.is_canonical(self.base) or not geometry.is_canonical(
+            self.limit - 1
+        ):
+            raise ConfigError(
+                f"segment [{self.base:#x}, {self.limit:#x}) outside "
+                f"{geometry.name}'s {geometry.address_bits}-bit space"
+            )
+        if not out.is_canonical(self.base + self.offset) or not out.is_canonical(
+            self.limit - 1 + self.offset
+        ):
+            raise ConfigError(
+                f"segment output [{self.base + self.offset:#x}, "
+                f"{self.limit + self.offset:#x}) outside "
+                f"{out.name}'s {out.address_bits}-bit space"
+            )
+
 
 class SegmentFault(Exception):
     """Raised when an address outside a segment is given to its datapath."""

@@ -87,7 +87,12 @@ class NativeWalker:
     ) -> None:
         self.page_table = page_table
         self.costs = costs
-        self.pwc = pwc or PageWalkCache()
+        self.pwc = pwc or PageWalkCache(geometry=page_table.geometry)
+        # Geometry-derived walk shape, flattened off the hot path.  The
+        # level count is a property of the system (context switches swap
+        # tables of the same geometry), so caching it here is safe.
+        self._levels = page_table.geometry.levels
+        self._pte_cycles = costs.pte_cycles_for(self._levels)
         #: Optional :class:`repro.obs.profiler.WalkProfiler`.  Hooks run
         #: only on walks (never per reference) and cost one None check
         #: when detached.
@@ -114,10 +119,10 @@ class NativeWalker:
             p.event("pwc", "native", f"skip{skip}")
         for step in result.steps[skip:]:
             outcome.refs += 1
-            cycles = self.costs.pte_access_cycles(step.level)
+            cycles = self._pte_cycles[step.level]
             outcome.cycles += cycles
             if p is not None:
-                label = f"L{4 - step.level}"
+                label = f"L{self._levels - step.level}"
                 p.charge("native", label, "pte", cycles, frame=f"native_{label}")
         self.pwc.fill(virtual, upto_level=leaf_level - 1)
         return outcome
@@ -191,8 +196,14 @@ class NestedWalker:
         self.vmm_segment = vmm_segment or SegmentRegisters.disabled()
         self.vmm_escape_filter = vmm_escape_filter
         self.guest_escape_filter = guest_escape_filter
-        self.guest_pwc = guest_pwc or PageWalkCache()
-        self.nested_pwc = nested_pwc or PageWalkCache()
+        self.guest_pwc = guest_pwc or PageWalkCache(geometry=guest_table.geometry)
+        self.nested_pwc = nested_pwc or PageWalkCache(geometry=nested_table.geometry)
+        # Per-dimension walk shapes; the nested (G-stage) dimension may
+        # have a different level count than the guest dimension.
+        self._guest_levels = guest_table.geometry.levels
+        self._nested_levels = nested_table.geometry.levels
+        self._guest_pte_cycles = costs.pte_cycles_for(self._guest_levels)
+        self._nested_pte_cycles = costs.pte_cycles_for(self._nested_levels)
         #: Optional :class:`repro.obs.profiler.WalkProfiler` (same
         #: contract as :attr:`NativeWalker.profiler`).
         self.profiler = None
@@ -302,10 +313,10 @@ class NestedWalker:
             p.event("pwc", "nested", f"skip{skip}")
         for step in result.steps[skip:]:
             outcome.refs += 1
-            cycles = self.costs.pte_access_cycles(step.level)
+            cycles = self._nested_pte_cycles[step.level]
             outcome.cycles += cycles
             if p is not None:
-                label = f"L{4 - step.level}"
+                label = f"L{self._nested_levels - step.level}"
                 p.charge("host", label, "pte", cycles, frame=f"host_{label}")
         self.nested_pwc.fill(gpa, upto_level=leaf_level - 1)
         if self.dedicated_nested_tlb is not None:
@@ -393,7 +404,7 @@ class NestedWalker:
                          frame="guest_check")
         all_nested_by_segment = True
         for step in guest_result.steps[skip:]:
-            label = f"L{4 - step.level}"
+            label = f"L{self._guest_levels - step.level}"
             if p is not None:
                 p.enter(f"guest_{label}")
             # Resolve the guest-PTE pointer (a gPA) through dimension two.
@@ -403,7 +414,7 @@ class NestedWalker:
             # Then load the guest PTE itself.
             outcome.refs += 1
             outcome.raw_refs += 1
-            cycles = self.costs.pte_access_cycles(step.level)
+            cycles = self._guest_pte_cycles[step.level]
             outcome.cycles += cycles
             if p is not None:
                 p.charge("guest", label, "pte", cycles)

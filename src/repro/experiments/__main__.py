@@ -97,77 +97,86 @@ from repro.obs import (
 from repro.sched import Sweep
 from repro.store import DEFAULT_STORE_PATH, ResultStore
 
-#: name -> (runner(trace_length, jobs, obs, sweep) -> result,
+#: name -> (runner(trace_length, jobs, obs, sweep, isa) -> result,
 #: formatter -> str).  Runners without independent cells to fan out
 #: ignore ``jobs``; runners without per-cell simulation runs ignore
-#: ``obs``; runners without store-addressable cells ignore ``sweep``.
+#: ``obs``; runners without store-addressable cells ignore ``sweep``;
+#: runners pinned to the paper's x86 testbed ignore ``isa``
+#: (:data:`ISA_UNAWARE`).
 EXPERIMENTS = {
     "figure1": (
-        lambda length, jobs, obs, sweep: figure01.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
+        lambda length, jobs, obs, sweep, isa: figure01.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep,
+            isa=isa,
         ),
         figure01.format_figure,
     ),
     "figure11": (
-        lambda length, jobs, obs, sweep: figure11.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
+        lambda length, jobs, obs, sweep, isa: figure11.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep,
+            isa=isa,
         ),
         figure11.format_figure,
     ),
     "figure12": (
-        lambda length, jobs, obs, sweep: figure12.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
+        lambda length, jobs, obs, sweep, isa: figure12.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep,
+            isa=isa,
         ),
         figure12.format_figure,
     ),
     "figure13": (
-        lambda length, jobs, obs, sweep: figure13.run(
+        lambda length, jobs, obs, sweep, isa: figure13.run(
             trace_length=min(length, 40_000), progress=True, jobs=jobs,
-            sweep=sweep,
+            sweep=sweep, isa=isa,
         ),
         figure13.format_figure,
     ),
     "breakdown": (
-        lambda length, jobs, obs, sweep: breakdown.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
+        lambda length, jobs, obs, sweep, isa: breakdown.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep,
+            isa=isa,
         ),
         breakdown.format_breakdown,
     ),
     "table3": (
-        lambda length, jobs, obs, sweep: table3_fragmentation.run(progress=True),
+        lambda length, jobs, obs, sweep, isa: table3_fragmentation.run(
+            progress=True
+        ),
         table3_fragmentation.format_scenarios,
     ),
     "table4": (
-        lambda length, jobs, obs, sweep: table4_models.run(
-            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep
+        lambda length, jobs, obs, sweep, isa: table4_models.run(
+            trace_length=length, progress=True, jobs=jobs, obs=obs, sweep=sweep,
+            isa=isa,
         ),
         table4_models.format_comparison,
     ),
     "shadow": (
-        lambda length, jobs, obs, sweep: shadow.run(
+        lambda length, jobs, obs, sweep, isa: shadow.run(
             trace_length=length, progress=True
         ),
         shadow.format_comparison,
     ),
     "sharing": (
-        lambda length, jobs, obs, sweep: sharing.run(progress=True),
+        lambda length, jobs, obs, sweep, isa: sharing.run(progress=True),
         sharing.format_study,
     ),
     "energy": (
-        lambda length, jobs, obs, sweep: energy.run(
+        lambda length, jobs, obs, sweep, isa: energy.run(
             trace_length=length, progress=True
         ),
         energy.format_energy,
     ),
     "resilience": (
-        lambda length, jobs, obs, sweep: resilience.run(
+        lambda length, jobs, obs, sweep, isa: resilience.run(
             trace_length=min(length, 40_000), progress=True, obs=obs,
             sweep=sweep,
         ),
         resilience.format_resilience,
     ),
     "bench": (
-        lambda length, jobs, obs, sweep: bench.run(
+        lambda length, jobs, obs, sweep, isa: bench.run(
             trace_length=min(length, 40_000), jobs=jobs, progress=True
         ),
         bench.format_bench,
@@ -184,6 +193,14 @@ OBS_UNAWARE = frozenset(
 #: Experiments with no store-addressable simulation cells (analytic
 #: studies, or the bench whose whole point is measuring compute).
 STORE_UNAWARE = frozenset({"table3", "shadow", "sharing", "energy", "bench"})
+
+#: Experiments pinned to the paper's x86 testbed: analytic studies with
+#: no simulated walks, the compute bench, and studies whose modelled
+#: mechanism (shadow paging, page sharing, resilience waves) has no
+#: ISA-dependent geometry yet.  ``--isa`` is ignored with a note.
+ISA_UNAWARE = frozenset(
+    {"table3", "shadow", "sharing", "energy", "bench", "resilience"}
+)
 
 
 def _out_path(base: Path, experiment: str, multi: bool) -> Path:
@@ -322,7 +339,21 @@ def main(argv: list[str] | None = None) -> int:
         help="byte bound of the in-process trace cache "
         "(default $REPRO_TRACE_CACHE_BYTES or 256 MiB)",
     )
+    parser.add_argument(
+        "--isa",
+        default="x86_64",
+        metavar="NAME",
+        help="translation geometry to sweep (x86_64, sv39, sv48, sv57; "
+        "default x86_64 keeps the paper's testbed and its exact output)",
+    )
     args = parser.parse_args(argv)
+    from repro.errors import ConfigError as _ConfigError
+    from repro.isa.geometry import get_geometry
+
+    try:
+        isa = get_geometry(args.isa).name
+    except _ConfigError as exc:
+        parser.error(str(exc))
     if args.no_store and (args.store is not None or args.resume):
         parser.error("--no-store conflicts with --store/--resume")
     if args.fabric is not None and args.no_store:
@@ -377,7 +408,9 @@ def main(argv: list[str] | None = None) -> int:
                 f"(fabric ignored: {name} has no store-addressable cells)",
                 flush=True,
             )
-        result = runner(length, args.jobs, obs, sweep)
+        if isa != "x86_64" and name in ISA_UNAWARE:
+            print(f"(--isa ignored: {name} is pinned to the x86 testbed)", flush=True)
+        result = runner(length, args.jobs, obs, sweep, isa)
         elapsed = time.time() - start
         if args.json:
             print(report.dumps(result))

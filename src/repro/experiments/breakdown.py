@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from repro.experiments.common import (
     DEFAULT_TRACE_LENGTH,
     format_table,
+    isa_configs,
 )
 from repro.experiments.parallel import CellTask, run_cells
 from repro.model.overhead import geometric_mean
@@ -63,9 +64,12 @@ def run(
     jobs: int = 1,
     obs=None,
     sweep=None,
+    isa: str = "x86_64",
 ) -> BreakdownResult:
     """Measure the Section IX.A quantities for each workload."""
-    configs = ("4K",) + VIRT_CONFIGS + ("4K+VD", "4K+GD", "DD")
+    bare = ("4K",) + VIRT_CONFIGS + ("4K+VD", "4K+GD", "DD")
+    configs = isa_configs(bare, isa)
+    label = dict(zip(bare, configs))
     tasks = [
         CellTask(
             workload=name,
@@ -86,11 +90,11 @@ def run(
     )
     rows = []
     for name in workloads:
-        native = cells[(name, "4K")]
-        virt = {cfg: cells[(name, cfg)] for cfg in VIRT_CONFIGS}
-        vd = cells[(name, "4K+VD")]
-        gd = cells[(name, "4K+GD")]
-        dd = cells[(name, "DD")]
+        native = cells[(name, label["4K"])]
+        virt = {cfg: cells[(name, label[cfg])] for cfg in VIRT_CONFIGS}
+        vd = cells[(name, label["4K+VD"])]
+        gd = cells[(name, label["4K+GD"])]
+        dd = cells[(name, label["DD"])]
 
         cn = native.run.cycles_per_walk
         base_l2_misses = virt["4K+4K"].l2_tlb_misses

@@ -25,6 +25,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
 DEFAULT_TRACE_LENGTH = 80_000
 
 
+def isa_configs(configs: Iterable[str], isa: str) -> tuple[str, ...]:
+    """Prefix every bar label with an ISA, normalizing the default away.
+
+    ``isa_configs(FIGURE11_CONFIGS, "sv48")`` yields ``sv48/4K``,
+    ``sv48/DD``, ...; the default x86-64 geometry returns the labels
+    untouched (bar names, reports and store keys stay exactly as before
+    the ISA axis existed).  Unknown ISA names raise
+    :class:`repro.errors.ConfigError` before any cell runs.
+    """
+    from repro.isa.geometry import DEFAULT_ISA, get_geometry
+
+    geometry = get_geometry(isa)
+    if geometry.name == DEFAULT_ISA:
+        return tuple(configs)
+    return tuple(f"{geometry.name}/{config}" for config in configs)
+
+
 @dataclass
 class RunGrid:
     """Results of a (workload x configuration) sweep."""

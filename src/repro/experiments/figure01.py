@@ -14,6 +14,7 @@ from repro.experiments.common import (
     DEFAULT_TRACE_LENGTH,
     RunGrid,
     format_table,
+    isa_configs,
     run_grid,
 )
 
@@ -36,10 +37,12 @@ def run(
     jobs: int = 1,
     obs=None,
     sweep=None,
+    isa: str = "x86_64",
 ) -> Figure01Result:
     """Simulate the preview bars (``jobs`` worker processes)."""
     return Figure01Result(
-        grid=run_grid(workloads, PREVIEW_CONFIGS, trace_length=trace_length,
+        grid=run_grid(workloads, isa_configs(PREVIEW_CONFIGS, isa),
+                      trace_length=trace_length,
                       seed=seed, progress=progress, jobs=jobs, obs=obs,
                       sweep=sweep)
     )

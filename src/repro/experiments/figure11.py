@@ -17,6 +17,7 @@ from repro.experiments.common import (
     DEFAULT_TRACE_LENGTH,
     RunGrid,
     format_table,
+    isa_configs,
     run_grid,
 )
 from repro.workloads.registry import BIG_MEMORY_WORKLOADS
@@ -75,8 +76,14 @@ def run(
     jobs: int = 1,
     obs=None,
     sweep=None,
+    isa: str = "x86_64",
 ) -> Figure11Result:
-    """Simulate every Figure 11 bar (``jobs`` worker processes)."""
+    """Simulate every Figure 11 bar (``jobs`` worker processes).
+
+    ``isa`` re-runs the whole grid over another translation geometry
+    (``sv39``/``sv48``/``sv57``); bar labels gain the ISA prefix.
+    """
+    configs = isa_configs(configs, isa)
     return Figure11Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
                       progress=progress, jobs=jobs, obs=obs, sweep=sweep)

@@ -15,6 +15,7 @@ from repro.experiments.common import (
     DEFAULT_TRACE_LENGTH,
     RunGrid,
     format_table,
+    isa_configs,
     run_grid,
 )
 from repro.workloads.registry import COMPUTE_WORKLOADS
@@ -56,8 +57,10 @@ def run(
     jobs: int = 1,
     obs=None,
     sweep=None,
+    isa: str = "x86_64",
 ) -> Figure12Result:
     """Simulate every Figure 12 bar (``jobs`` worker processes)."""
+    configs = isa_configs(configs, isa)
     return Figure12Result(
         grid=run_grid(workloads, configs, trace_length=trace_length, seed=seed,
                       progress=progress, jobs=jobs, obs=obs, sweep=sweep)

@@ -15,7 +15,7 @@ import math
 from dataclasses import dataclass
 
 from repro.core.address import BASE_PAGE_SIZE
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, isa_configs
 from repro.experiments.parallel import parallel_map
 from repro.mem.badpages import BadPageList
 from repro.sim.config import parse_config
@@ -66,10 +66,15 @@ class Figure13Result:
         raise KeyError((workload, num_bad))
 
 
-def _segment_host_frames(workload_name: str) -> range:
+def _dd_label(isa: str) -> str:
+    """The Dual Direct bar label under one ISA ('DD', 'sv48/DD', ...)."""
+    return isa_configs(("DD",), isa)[0]
+
+
+def _segment_host_frames(workload_name: str, isa: str = "x86_64") -> range:
     """Host frame range the VMM segment occupies (deterministic)."""
     workload = create_workload(workload_name)
-    system = build_system(parse_config("DD"), workload.spec)
+    system = build_system(parse_config(_dd_label(isa)), workload.spec)
     segment = system.vm.vmm_segment  # type: ignore[union-attr]
     start = (segment.base + segment.offset) // BASE_PAGE_SIZE
     return range(start, start + segment.size // BASE_PAGE_SIZE)
@@ -80,10 +85,11 @@ def _dd_execution_cycles(
     trace_length: int,
     bad_pages: BadPageList | None,
     seed: int,
+    isa: str = "x86_64",
 ) -> float:
     workload = create_workload(workload_name)
     system = build_system(
-        parse_config("DD"), workload.spec, bad_pages=bad_pages
+        parse_config(_dd_label(isa)), workload.spec, bad_pages=bad_pages
     )
     trace = workload.trace(trace_length, seed=seed)
     result = run_trace(
@@ -109,17 +115,20 @@ class _TrialTask:
     trace_length: int
     num_bad: int
     trial: int
+    isa: str = "x86_64"
 
 
 def _trial_cycles(task: _TrialTask) -> float:
     """Execution cycles for one trial (module-level: pool-callable)."""
     bad = None
     if task.num_bad:
-        frames = _segment_host_frames(task.workload)
+        frames = _segment_host_frames(task.workload, task.isa)
         bad = BadPageList.random(
             task.num_bad, frames, seed=task.num_bad * 1000 + task.trial
         )
-    return _dd_execution_cycles(task.workload, task.trace_length, bad, seed=0)
+    return _dd_execution_cycles(
+        task.workload, task.trace_length, bad, seed=0, isa=task.isa
+    )
 
 
 def _trial_ingredients(task: _TrialTask) -> dict:
@@ -135,13 +144,13 @@ def _trial_ingredients(task: _TrialTask) -> dict:
         "kind": "figure13-trial",
         "workload": task.workload,
         "workload_params": workload_params(workload),
-        "config": config_params("DD"),
+        "config": config_params(_dd_label(task.isa)),
         "trace_length": task.trace_length,
         "num_bad": task.num_bad,
         "trial": task.trial,
         "bad_seed": task.num_bad * 1000 + task.trial if task.num_bad else None,
         "seed": 0,
-        "trace_key": trace_key_params(workload, task.trace_length, 0),
+        "trace_key": trace_key_params(workload, task.trace_length, 0, task.isa),
     }
 
 
@@ -149,7 +158,11 @@ def _trial_deps(task: _TrialTask) -> tuple[_TrialTask, ...]:
     """A faulted trial normalizes against its workload's baseline cell."""
     if task.num_bad == 0:
         return ()
-    return (_TrialTask(task.workload, task.trace_length, num_bad=0, trial=0),)
+    return (
+        _TrialTask(
+            task.workload, task.trace_length, num_bad=0, trial=0, isa=task.isa
+        ),
+    )
 
 
 def run(
@@ -160,6 +173,7 @@ def run(
     progress: bool = False,
     jobs: int = 1,
     sweep=None,
+    isa: str = "x86_64",
 ) -> Figure13Result:
     """Measure the figure; ``trials=30`` matches the paper exactly.
 
@@ -169,14 +183,17 @@ def run(
     trials through the store-consulting scheduler: each workload's
     fault-free baseline is a dependency wave ahead of its trials.
     """
+    from repro.isa.geometry import get_geometry
+
+    isa = get_geometry(isa).name
     tasks = []
     for name in workloads:
-        tasks.append(_TrialTask(name, trace_length, num_bad=0, trial=0))
+        tasks.append(_TrialTask(name, trace_length, num_bad=0, trial=0, isa=isa))
         for num_bad in bad_counts:
             if progress:
                 print(f"  {name}: {num_bad} bad pages x {trials} trials", flush=True)
             for trial in range(trials):
-                tasks.append(_TrialTask(name, trace_length, num_bad, trial))
+                tasks.append(_TrialTask(name, trace_length, num_bad, trial, isa=isa))
     if sweep is not None:
         samples = sweep.run_tasks(
             tasks,
@@ -193,10 +210,13 @@ def run(
 
     points = []
     for name in workloads:
-        baseline = cycles[_TrialTask(name, trace_length, num_bad=0, trial=0)]
+        baseline = cycles[
+            _TrialTask(name, trace_length, num_bad=0, trial=0, isa=isa)
+        ]
         for num_bad in bad_counts:
             samples = [
-                cycles[_TrialTask(name, trace_length, num_bad, trial)] / baseline
+                cycles[_TrialTask(name, trace_length, num_bad, trial, isa=isa)]
+                / baseline
                 for trial in range(trials)
             ]
             points.append(

@@ -30,6 +30,7 @@ from typing import TypeVar
 from repro.errors import ConfigError
 from repro.obs.tracing import ObsOptions
 from repro.sim import trace_cache
+from repro.sim.config import parse_config
 from repro.sim.simulator import SimulationResult, simulate
 from repro.workloads.registry import create_workload
 
@@ -70,13 +71,16 @@ def run_cell(task: CellTask) -> SimulationResult:
 
 def prewarm_traces(tasks: Sequence[CellTask]) -> None:
     """Generate each distinct trace once in the parent process."""
-    seen: set[tuple[str, int | None, int]] = set()
+    seen: set[tuple[str, int | None, int, str]] = set()
     for task in tasks:
-        key = (task.workload, task.trace_length, task.seed)
+        isa = parse_config(task.config).isa_name()
+        key = (task.workload, task.trace_length, task.seed, isa)
         if key in seen:
             continue
         seen.add(key)
-        trace_cache.get_trace(create_workload(task.workload), task.trace_length, task.seed)
+        trace_cache.get_trace(
+            create_workload(task.workload), task.trace_length, task.seed, isa=isa
+        )
 
 
 def run_cells(

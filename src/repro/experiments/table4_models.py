@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.experiments.common import DEFAULT_TRACE_LENGTH, format_table
+from repro.experiments.common import DEFAULT_TRACE_LENGTH, format_table, isa_configs
 from repro.experiments.parallel import CellTask, run_cells
 from repro.model.counters import model_inputs
 from repro.model.linear_model import (
@@ -63,8 +63,11 @@ def run(
     jobs: int = 1,
     obs=None,
     sweep=None,
+    isa: str = "x86_64",
 ) -> Table4Result:
     """Apply Table IV and compare against direct simulation."""
+    configs = isa_configs(_CONFIGS, isa)
+    label = dict(zip(_CONFIGS, configs))
     tasks = [
         CellTask(
             workload=name,
@@ -74,7 +77,7 @@ def run(
             obs=obs,
         )
         for name in workloads
-        for config in _CONFIGS
+        for config in configs
     ]
     if sweep is not None:
         results = sweep.run_cells(tasks, jobs=jobs, progress=progress)
@@ -85,12 +88,12 @@ def run(
     )
     comparisons = []
     for name in workloads:
-        native = cells[(name, "4K")]
-        virt = cells[(name, "4K+4K")]
-        dd = cells[(name, "DD")]
-        vd = cells[(name, "4K+VD")]
-        gd = cells[(name, "4K+GD")]
-        ds = cells[(name, "DS")]
+        native = cells[(name, label["4K"])]
+        virt = cells[(name, label["4K+4K"])]
+        dd = cells[(name, label["DD"])]
+        vd = cells[(name, label["4K+VD"])]
+        gd = cells[(name, label["4K+GD"])]
+        ds = cells[(name, label["DS"])]
 
         inputs = model_inputs(native.run, virt.run, dd.run)
         designs = [

@@ -74,9 +74,14 @@ class GuestOS:
         config: GuestOSConfig | None = None,
         pt_pool_hint: AddressRange | None = None,
         seed: int = 0,
+        geometry=None,
     ) -> None:
+        from repro.isa.geometry import X86_64
+
         self.layout = layout
         self.config = config or GuestOSConfig()
+        #: Translation geometry process page tables are built with.
+        self.geometry = geometry or X86_64
         self.allocator = FrameAllocator(layout.regions)
         self._rng = random.Random(seed)
         self._next_pid = 1
@@ -121,7 +126,7 @@ class GuestOS:
         self._next_pid += 1
         process = GuestProcess(pid=pid, page_size=page_size)
         self.processes[pid] = process
-        self.page_tables[pid] = PageTable(self._alloc_pt_frame)
+        self.page_tables[pid] = PageTable(self._alloc_pt_frame, geometry=self.geometry)
         return process
 
     def page_table_of(self, process: GuestProcess) -> PageTable:

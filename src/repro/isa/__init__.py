@@ -1,0 +1,41 @@
+"""ISA-generic translation geometry and symbolic walk plans.
+
+The public contract: :class:`TranslationGeometry` describes one paging
+scheme (address width, radix ladder, page sizes, canonicality, G-stage
+composition); :func:`get_geometry` resolves registered names
+(``x86_64``, ``sv39``, ``sv48``, ``sv57``); :mod:`repro.isa.walkplan`
+enumerates walk reference sequences symbolically for mode arithmetic
+and property tests.
+"""
+
+from repro.isa.geometry import (
+    DEFAULT_ISA,
+    GEOMETRIES,
+    SV39,
+    SV48,
+    SV57,
+    X86_64,
+    TranslationGeometry,
+    get_geometry,
+)
+from repro.isa.walkplan import (
+    PlannedStep,
+    expected_2d_references,
+    walk_plan_1d,
+    walk_plan_2d,
+)
+
+__all__ = [
+    "DEFAULT_ISA",
+    "GEOMETRIES",
+    "SV39",
+    "SV48",
+    "SV57",
+    "X86_64",
+    "TranslationGeometry",
+    "get_geometry",
+    "PlannedStep",
+    "expected_2d_references",
+    "walk_plan_1d",
+    "walk_plan_2d",
+]

@@ -1,0 +1,320 @@
+"""ISA-generic translation geometry: the contract behind the walkers.
+
+Nothing in the paper's dimensionality argument is x86-specific: a nested
+walk over ``n`` guest levels and ``m`` nested levels costs
+``(n+1)(m+1)-1`` references whatever the radix widths are.  This module
+captures everything the rest of the simulator needs to know about one
+paging scheme in a single frozen value:
+
+* address width and the canonicality rule derived from it,
+* bits per radix level (root first -- levels may differ, e.g. RISC-V's
+  widened G-stage root),
+* the base-page size, the PTE size, and the page-size ladder each
+  geometry supports,
+* how the second-stage (nested / G-stage) variant of the geometry is
+  derived for two-dimensional walks.
+
+Registered instances:
+
+=============  ======  ===============  ====================================
+name           VA bits radix (root..)   notes
+=============  ======  ===============  ====================================
+``x86_64``     48      9,9,9,9          the paper's testbed; bit-identical
+                                        to the previously hard-coded values
+``sv39``       39      9,9,9            RISC-V 3-level (512 GiB)
+``sv48``       48      9,9,9,9          RISC-V 4-level
+``sv57``       57      9,9,9,9,9        RISC-V 5-level
+=============  ======  ===============  ====================================
+
+For RISC-V the G-stage (``hgatp``) geometry widens the root by two bits
+(Sv39x4/Sv48x4/Sv57x4): guest-physical addresses carry two extra bits and
+the root table holds 2048 entries in 16 KiB.  :meth:`TranslationGeometry.
+gstage` derives that variant; for x86 the nested dimension (EPT) reuses
+the same 4-level geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.address import PageSize
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TranslationGeometry:
+    """One paging scheme: address width, radix ladder, page sizes.
+
+    ``radix_bits`` is root-first and may be ragged (the widened G-stage
+    root).  All derived per-level tables are precomputed once because
+    they sit on the walker's per-miss path.
+    """
+
+    name: str
+    #: Meaningful bits of a virtual (or input) address.
+    address_bits: int
+    #: Index bits consumed per radix level, root first.
+    radix_bits: tuple[int, ...]
+    #: Offset bits of the base page (4 KiB everywhere we model).
+    base_page_bits: int = 12
+    #: Architectural names of the levels, root first (for reports/docs).
+    level_names: tuple[str, ...] = ()
+    #: Bytes per page-table entry.
+    pte_bytes: int = 8
+    #: Extra root index bits of the second-stage variant (RISC-V's
+    #: Sv39x4-style widened G-stage root; 0 for x86's EPT).
+    gstage_root_extra_bits: int = 0
+
+    # Precomputed per-level tables (derived, excluded from comparisons).
+    _level_shifts: tuple[int, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+    _level_masks: tuple[int, ...] = field(
+        init=False, repr=False, compare=False, default=()
+    )
+
+    def __post_init__(self) -> None:
+        if not self.radix_bits:
+            raise ConfigError(f"{self.name}: geometry needs at least one level")
+        if any(bits <= 0 for bits in self.radix_bits):
+            raise ConfigError(
+                f"{self.name}: radix widths must be positive, got {self.radix_bits}"
+            )
+        total = self.base_page_bits + sum(self.radix_bits)
+        if total != self.address_bits:
+            raise ConfigError(
+                f"{self.name}: base page bits + radix bits = {total} "
+                f"!= address bits {self.address_bits}"
+            )
+        if self.level_names and len(self.level_names) != len(self.radix_bits):
+            raise ConfigError(
+                f"{self.name}: {len(self.level_names)} level names for "
+                f"{len(self.radix_bits)} levels"
+            )
+        shifts = []
+        acc = self.base_page_bits
+        for bits in reversed(self.radix_bits):
+            shifts.append(acc)
+            acc += bits
+        object.__setattr__(self, "_level_shifts", tuple(reversed(shifts)))
+        object.__setattr__(
+            self,
+            "_level_masks",
+            tuple((1 << bits) - 1 for bits in self.radix_bits),
+        )
+
+    # ------------------------------------------------------------------
+    # Shape
+
+    @property
+    def levels(self) -> int:
+        """Number of radix levels (root counted)."""
+        return len(self.radix_bits)
+
+    @property
+    def address_space_size(self) -> int:
+        """Bytes of the full (lower-half) address space."""
+        return 1 << self.address_bits
+
+    def level_shift(self, level: int) -> int:
+        """Bit position of the index ``level`` selects (root = 0).
+
+        Equivalently: the offset width covered by one entry at this
+        level, so a leaf terminating here maps ``1 << level_shift(level)``
+        bytes.
+        """
+        self._check_level(level)
+        return self._level_shifts[level]
+
+    def radix_mask(self, level: int) -> int:
+        """Mask selecting one index at ``level``."""
+        self._check_level(level)
+        return self._level_masks[level]
+
+    def radix_index(self, address: int, level: int) -> int:
+        """Radix index of ``address`` at page-table ``level`` (0 = root)."""
+        self._check_level(level)
+        return (address >> self._level_shifts[level]) & self._level_masks[level]
+
+    def radix_indices(self, address: int) -> tuple[int, ...]:
+        """All radix indices of ``address``, root first."""
+        return tuple(
+            (address >> shift) & mask
+            for shift, mask in zip(self._level_shifts, self._level_masks)
+        )
+
+    def _check_level(self, level: int) -> None:
+        if not 0 <= level < len(self.radix_bits):
+            raise ConfigError(
+                f"{self.name}: page-table level must be "
+                f"0..{len(self.radix_bits) - 1}, got {level}"
+            )
+
+    def level_label(self, level: int) -> str:
+        """Architectural name of ``level`` (root = 0)."""
+        self._check_level(level)
+        if self.level_names:
+            return self.level_names[level]
+        return f"L{self.levels - level}"
+
+    # ------------------------------------------------------------------
+    # Page-size ladder
+
+    def supports_page(self, page_size: PageSize) -> bool:
+        """True if a leaf of ``page_size`` exists in this geometry."""
+        return page_size.bits in self._level_shifts
+
+    def leaf_level(self, page_size: PageSize) -> int:
+        """Level at which a leaf of ``page_size`` terminates (root = 0)."""
+        try:
+            return self._level_shifts.index(page_size.bits)
+        except ValueError:
+            raise ConfigError(
+                f"{self.name}: no level maps {page_size.label} pages "
+                f"(level extents: "
+                f"{[1 << s for s in self._level_shifts]} bytes)"
+            ) from None
+
+    def walk_levels(self, page_size: PageSize) -> int:
+        """Levels walked to reach a leaf of ``page_size`` (the paper's n)."""
+        return self.leaf_level(page_size) + 1
+
+    def page_sizes(self) -> tuple[PageSize, ...]:
+        """Supported page sizes, smallest first."""
+        return tuple(ps for ps in PageSize if self.supports_page(ps))
+
+    # ------------------------------------------------------------------
+    # Canonicality
+
+    def is_canonical(self, address: int) -> bool:
+        """True if ``address`` fits the (lower-half) address space."""
+        return 0 <= address < (1 << self.address_bits)
+
+    def check_canonical(self, address: int) -> int:
+        """Validate an address, returning it unchanged; raise on violation."""
+        if not self.is_canonical(address):
+            raise ConfigError(
+                f"address {address:#x} outside {self.name}'s "
+                f"{self.address_bits}-bit space"
+            )
+        return address
+
+    # ------------------------------------------------------------------
+    # Walk-cache shape
+
+    def skippable_levels(self) -> tuple[int, ...]:
+        """Levels a paging-structure cache may skip (every non-leaf one).
+
+        The leaf PTE is always loaded; prefix caches cover the levels
+        above it.  x86: PML4E/PDPTE/PDE (0, 1, 2).
+        """
+        return tuple(range(self.levels - 1))
+
+    def pwc_shifts(self) -> dict[int, int]:
+        """Prefix shift per skippable level (x86: {0: 39, 1: 30, 2: 21})."""
+        return {level: self._level_shifts[level] for level in self.skippable_levels()}
+
+    # ------------------------------------------------------------------
+    # Two-stage composition
+
+    def gstage(self) -> "TranslationGeometry":
+        """The second-stage (nested) geometry for this ISA.
+
+        RISC-V widens the G-stage root by two bits (Sv39x4 et al.): the
+        guest-physical space gains two bits and the root table grows to
+        2048 entries.  x86's EPT reuses the same geometry unchanged.
+        """
+        extra = self.gstage_root_extra_bits
+        if extra == 0:
+            return self
+        widened = (self.radix_bits[0] + extra,) + self.radix_bits[1:]
+        return TranslationGeometry(
+            name=f"{self.name}x{1 << extra}",
+            address_bits=self.address_bits + extra,
+            radix_bits=widened,
+            base_page_bits=self.base_page_bits,
+            level_names=self.level_names,
+            pte_bytes=self.pte_bytes,
+            gstage_root_extra_bits=0,
+        )
+
+    # ------------------------------------------------------------------
+    # Identity
+
+    def fingerprint(self) -> dict:
+        """JSON-ready identity of this geometry (store/cache key material)."""
+        return {
+            "name": self.name,
+            "address_bits": self.address_bits,
+            "radix_bits": list(self.radix_bits),
+            "base_page_bits": self.base_page_bits,
+            "pte_bytes": self.pte_bytes,
+            "gstage_root_extra_bits": self.gstage_root_extra_bits,
+        }
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+#: The paper's testbed geometry; every derived number (shifts, leaf
+#: levels, PWC prefixes) is bit-identical to the previously hard-coded
+#: x86 constants -- tests/isa/test_geometry.py proves it.
+X86_64 = TranslationGeometry(
+    name="x86_64",
+    address_bits=48,
+    radix_bits=(9, 9, 9, 9),
+    level_names=("PML4", "PDPT", "PD", "PT"),
+    gstage_root_extra_bits=0,
+)
+
+SV39 = TranslationGeometry(
+    name="sv39",
+    address_bits=39,
+    radix_bits=(9, 9, 9),
+    level_names=("VPN2", "VPN1", "VPN0"),
+    gstage_root_extra_bits=2,
+)
+
+SV48 = TranslationGeometry(
+    name="sv48",
+    address_bits=48,
+    radix_bits=(9, 9, 9, 9),
+    level_names=("VPN3", "VPN2", "VPN1", "VPN0"),
+    gstage_root_extra_bits=2,
+)
+
+SV57 = TranslationGeometry(
+    name="sv57",
+    address_bits=57,
+    radix_bits=(9, 9, 9, 9, 9),
+    level_names=("VPN4", "VPN3", "VPN2", "VPN1", "VPN0"),
+    gstage_root_extra_bits=2,
+)
+
+#: Default ISA when a configuration names none (the paper's testbed).
+DEFAULT_ISA = "x86_64"
+
+#: Registered geometries by canonical name.
+GEOMETRIES: dict[str, TranslationGeometry] = {
+    g.name: g for g in (X86_64, SV39, SV48, SV57)
+}
+
+#: Accepted aliases (case-insensitive) -> canonical name.
+_ALIASES = {
+    "x86": "x86_64",
+    "x86_64_4level": "x86_64",
+    "x86-64": "x86_64",
+}
+
+
+def get_geometry(name: str) -> TranslationGeometry:
+    """Look up a registered geometry by (case-insensitive) name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return GEOMETRIES[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown ISA {name!r}: expected one of "
+            f"{', '.join(sorted(GEOMETRIES))}"
+        ) from None

@@ -1,0 +1,102 @@
+"""Symbolic 2D walk enumeration: the paper's Figure 2 for any geometry.
+
+The walkers in :mod:`repro.core.walker` execute walks against real page
+tables; this module enumerates the *reference sequence* of a walk purely
+from the geometry pair, so mode arithmetic and property tests can state
+the closed forms -- ``(n+1)(m+1)-1`` steps for a full 2D walk, and the
+exact reductions large-page leaves and paging-structure-cache hits buy
+-- and cross-check them against what the walkers actually do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.address import PageSize
+from repro.errors import ConfigError
+from repro.isa.geometry import TranslationGeometry
+
+
+@dataclass(frozen=True)
+class PlannedStep:
+    """One memory reference of a (possibly nested) walk.
+
+    ``dimension`` is ``"guest"`` for first-dimension PTE loads and
+    ``"nested"`` for second-dimension loads; native 1D walks use
+    ``"guest"`` throughout.  ``guest_level`` names the guest level being
+    resolved (None for the final-gPA nested sub-walk); ``nested_level``
+    is set for nested references only.
+    """
+
+    dimension: str
+    guest_level: int | None = None
+    nested_level: int | None = None
+
+
+def walk_plan_1d(
+    geometry: TranslationGeometry,
+    page_size: PageSize = PageSize.SIZE_4K,
+    skip_levels: int = 0,
+) -> list[PlannedStep]:
+    """References of a native walk to a ``page_size`` leaf.
+
+    ``skip_levels`` models a paging-structure-cache hit covering that
+    many upper levels; the leaf PTE is always loaded.
+    """
+    leaf = geometry.leaf_level(page_size)
+    if not 0 <= skip_levels <= leaf:
+        raise ConfigError(
+            f"{geometry.name}: cannot skip {skip_levels} of "
+            f"{leaf} skippable levels"
+        )
+    return [
+        PlannedStep(dimension="guest", guest_level=level)
+        for level in range(skip_levels, leaf + 1)
+    ]
+
+
+def walk_plan_2d(
+    guest_geometry: TranslationGeometry,
+    nested_geometry: TranslationGeometry | None = None,
+    guest_page: PageSize = PageSize.SIZE_4K,
+    nested_page: PageSize = PageSize.SIZE_4K,
+    guest_skip_levels: int = 0,
+) -> list[PlannedStep]:
+    """References of a full 2D walk (Figure 2), generated from (n, m).
+
+    Every guest PTE pointer is a guest-physical address needing an
+    ``m``-step nested sub-walk before the guest PTE itself loads; the
+    final gPA needs one more nested sub-walk.  With ``n`` guest and
+    ``m`` nested levels this is ``n*(m+1) + m == (n+1)*(m+1) - 1``
+    references -- the paper's 24 at four levels in both dimensions.
+
+    ``nested_geometry`` defaults to the guest geometry's G-stage
+    composition (:meth:`TranslationGeometry.gstage`).  ``guest_skip_levels``
+    models a guest-dimension PWC hit: each skipped guest level removes
+    ``m + 1`` references (its nested sub-walk plus the guest PTE load).
+    """
+    if nested_geometry is None:
+        nested_geometry = guest_geometry.gstage()
+    nested_leaf = nested_geometry.leaf_level(nested_page)
+    steps: list[PlannedStep] = []
+
+    def nested_sub_walk(guest_level: int | None) -> None:
+        for nested_level in range(nested_leaf + 1):
+            steps.append(
+                PlannedStep(
+                    dimension="nested",
+                    guest_level=guest_level,
+                    nested_level=nested_level,
+                )
+            )
+
+    for planned in walk_plan_1d(guest_geometry, guest_page, guest_skip_levels):
+        nested_sub_walk(planned.guest_level)
+        steps.append(planned)
+    nested_sub_walk(None)  # the final gPA's own translation
+    return steps
+
+
+def expected_2d_references(n: int, m: int) -> int:
+    """The closed form: ``(n+1)(m+1) - 1`` references for an (n, m) walk."""
+    return (n + 1) * (m + 1) - 1

@@ -1,4 +1,4 @@
-"""Four-level x86-64 radix page table with physically-placed nodes.
+"""Radix page table with physically-placed nodes, generic over geometry.
 
 Both dimensions of nested translation use the same structure: the guest
 page table (gPT) maps gVA -> gPA and the nested page table (nPT) maps
@@ -7,8 +7,11 @@ allocator because the 2D walk must translate the *addresses of the guest
 page-table entries themselves* through the nested dimension (Figure 2) --
 so each PTE access has a well-defined physical address.
 
-Leaves may be 4 KB (PT level), 2 MB (PD level) or 1 GB (PDPT level),
-matching x86-64 large-page support.
+The level count, per-level index widths and leaf ladder come from a
+:class:`repro.isa.TranslationGeometry`; the default is the paper's
+x86-64 4-level radix (leaves at the PT, PD or PDPT level).  RISC-V
+G-stage tables use the widened-root variant (Sv39x4 et al.), whose root
+node spans multiple frames.
 """
 
 from __future__ import annotations
@@ -17,21 +20,21 @@ from collections.abc import Callable, Iterator
 from dataclasses import dataclass
 
 from repro.core.address import (
-    BASE_PAGE_BITS,
     BASE_PAGE_SIZE,
     RADIX_BITS,
     PageSize,
     page_offset,
-    radix_index,
 )
+from repro.isa.geometry import X86_64, TranslationGeometry
 
-#: Bytes per page-table entry (x86-64).
+#: Bytes per page-table entry (x86-64 and RISC-V Sv39+ alike).
 PTE_SIZE = 8
 
-#: Mask selecting one radix index (512-entry nodes).
+#: Mask selecting one radix index (512-entry nodes; x86 default).
 RADIX_MASK = (1 << RADIX_BITS) - 1
 
-#: Page-table level at which each page size terminates (root = 0).
+#: Page-table level at which each page size terminates (root = 0) in the
+#: default x86-64 geometry; other geometries via ``geometry.leaf_level``.
 LEAF_LEVEL = {PageSize.SIZE_4K: 3, PageSize.SIZE_2M: 2, PageSize.SIZE_1G: 1}
 
 
@@ -59,7 +62,11 @@ class PageTableEntry:
 
 
 class PageTableNode:
-    """A 512-entry radix node occupying one physical frame."""
+    """A radix node occupying one or more physical frames.
+
+    512 entries in one frame everywhere except a widened G-stage root
+    (RISC-V Sv39x4 et al.), which spans consecutive frames.
+    """
 
     __slots__ = ("frame", "level", "entries")
 
@@ -97,16 +104,33 @@ class WalkResult:
 
 
 class PageTable:
-    """A 4-level page table whose nodes are allocated physical frames.
+    """A radix page table whose nodes are allocated physical frames.
 
     ``alloc_frame`` supplies frames for new nodes; it is the hook through
     which the guest OS places its page tables inside the VMM direct
     segment (Section III.B: "the guest OS must allocate page tables within
-    the VMM direct segment").
+    the VMM direct segment").  ``geometry`` selects the radix ladder
+    (default: x86-64 4-level).
     """
 
-    def __init__(self, alloc_frame: Callable[[], int]) -> None:
+    def __init__(
+        self,
+        alloc_frame: Callable[[], int],
+        geometry: TranslationGeometry | None = None,
+    ) -> None:
         self._alloc_frame = alloc_frame
+        self.geometry = geometry or X86_64
+        # Per-level walk tables, flattened out of the geometry because
+        # the walk loop runs once per simulated TLB miss.
+        self._shifts = tuple(
+            self.geometry.level_shift(level)
+            for level in range(self.geometry.levels)
+        )
+        self._masks = tuple(
+            self.geometry.radix_mask(level)
+            for level in range(self.geometry.levels)
+        )
+        self._levels = self.geometry.levels
         self._nodes: dict[int, PageTableNode] = {}  # pointer frame -> node
         self.root = self._new_node(level=0)
         #: Monotonic count of PTE writes; shadow paging keys off this.
@@ -114,6 +138,12 @@ class PageTable:
 
     def _new_node(self, level: int) -> PageTableNode:
         node = PageTableNode(self._alloc_frame(), level)
+        # A widened root (RISC-V G-stage) holds more entries than one
+        # frame; reserve the spill frames so its entry addresses refer
+        # to table-owned memory.
+        node_bytes = (self._masks[level] + 1) * PTE_SIZE
+        for _ in range(node_bytes // BASE_PAGE_SIZE - 1):
+            self._alloc_frame()
         self._nodes[node.frame] = node
         return node
 
@@ -148,10 +178,11 @@ class PageTable:
             raise ValueError(
                 f"map of {virtual:#x} -> {physical:#x} not {page_size.label}-aligned"
             )
-        leaf_level = LEAF_LEVEL[page_size]
+        leaf_level = self.geometry.leaf_level(page_size)
+        shifts, masks = self._shifts, self._masks
         node = self.root
         for level in range(leaf_level):
-            index = radix_index(virtual, level)
+            index = (virtual >> shifts[level]) & masks[level]
             entry = node.entries.get(index)
             if entry is None:
                 child = self._new_node(level + 1)
@@ -165,7 +196,7 @@ class PageTable:
                 )
             else:
                 node = self._nodes[entry.frame]
-        index = radix_index(virtual, leaf_level)
+        index = (virtual >> shifts[leaf_level]) & masks[leaf_level]
         existing = node.entries.get(index)
         if existing is not None and not existing.leaf:
             raise ValueError(
@@ -186,9 +217,10 @@ class PageTable:
         Intermediate nodes are retained (as Linux does for non-huge
         teardown paths); they are reclaimed only by :meth:`clear`.
         """
+        shifts, masks = self._shifts, self._masks
         node = self.root
-        for level in range(4):
-            index = radix_index(virtual, level)
+        for level in range(self._levels):
+            index = (virtual >> shifts[level]) & masks[level]
             entry = node.entries.get(index)
             if entry is None:
                 raise PageFault(virtual, level)
@@ -197,7 +229,7 @@ class PageTable:
                 self.update_count += 1
                 return entry
             node = self._nodes[entry.frame]
-        raise AssertionError("walk exceeded 4 levels")
+        raise AssertionError(f"walk exceeded {self._levels} levels")
 
     def clear(self, free_frame: Callable[[int], None] | None = None) -> None:
         """Drop every mapping and node except a fresh root."""
@@ -219,14 +251,15 @@ class PageTable:
         at which the walk failed (the fault handler needs it).
         """
         # This loop runs once per simulated TLB miss (several times per
-        # miss in the nested case), so the radix arithmetic is inlined
-        # rather than calling radix_index with its per-call validation.
+        # miss in the nested case), so the radix arithmetic uses the
+        # pre-flattened shift/mask tuples rather than calling
+        # geometry.radix_index with its per-call validation.
         steps: list[WalkStep] = []
         node = self.root
         nodes = self._nodes
-        shift = BASE_PAGE_BITS + 3 * RADIX_BITS
-        for level in range(4):
-            index = (virtual >> shift) & RADIX_MASK
+        shifts, masks = self._shifts, self._masks
+        for level in range(self._levels):
+            index = (virtual >> shifts[level]) & masks[level]
             entry = node.entries.get(index)
             if entry is None:
                 raise PageFault(virtual, level)
@@ -237,8 +270,7 @@ class PageTable:
                 assert entry.page_size is not None
                 return WalkResult(steps, entry.frame, entry.page_size)
             node = nodes[entry.frame]
-            shift -= RADIX_BITS
-        raise AssertionError("walk exceeded 4 levels without a leaf")
+        raise AssertionError(f"walk exceeded {self._levels} levels without a leaf")
 
     def lookup(self, virtual: int) -> WalkResult | None:
         """Like :meth:`walk` but returns None instead of faulting."""
@@ -265,7 +297,7 @@ class PageTable:
     def _iter_leaves(
         self, node: PageTableNode, virtual_prefix: int
     ) -> Iterator[tuple[int, PageTableEntry]]:
-        shift = 12 + 9 * (3 - node.level)
+        shift = self._shifts[node.level]
         for index, entry in node.entries.items():
             virtual = virtual_prefix | (index << shift)
             if entry.leaf:

@@ -6,15 +6,23 @@ over a VMM using 2 MB nested pages, ``DS`` is the unvirtualized direct
 segment, ``DD`` is Dual Direct, ``4K+VD`` is VMM Direct under a 4 KB
 guest, ``4K+GD`` is Guest Direct, and ``THP`` enables transparent huge
 pages in the (native or guest) OS.
+
+A label may carry an ISA prefix selecting the translation geometry:
+``sv48/4K+2M`` runs the same configuration over RISC-V Sv48 paging with
+Sv48x4 G-stage nesting.  Bare labels mean the paper's x86-64 testbed --
+their parse, their reports and their store keys are identical to the
+pre-ISA-axis behaviour.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.address import PageSize
 from repro.core.modes import TranslationMode
 from repro.errors import ConfigError
+from repro.isa.geometry import DEFAULT_ISA, TranslationGeometry, get_geometry
 
 
 @dataclass(frozen=True)
@@ -29,6 +37,10 @@ class SystemConfig:
     nested_page: PageSize | None
     #: Transparent huge pages in the guest (guest_page must be 4K).
     thp: bool = False
+    #: Translation geometry name (underscore-prefixed: the ISA rides in
+    #: the label, and report serialization skips private fields so bare
+    #: x86 labels keep byte-identical reports).
+    _isa: str = DEFAULT_ISA
 
     def __post_init__(self) -> None:
         if self.mode.virtualized and self.nested_page is None:
@@ -37,11 +49,39 @@ class SystemConfig:
             raise ConfigError(f"{self.label}: native config cannot have a nested page size")
         if self.thp and self.guest_page is not PageSize.SIZE_4K:
             raise ConfigError(f"{self.label}: THP only applies to 4K guests")
+        geometry = get_geometry(self._isa)  # unknown ISA -> ConfigError
+        if not geometry.supports_page(self.guest_page):
+            raise ConfigError(
+                f"{self.label}: {geometry.name} has no "
+                f"{self.guest_page.label} leaf level"
+            )
+        if self.nested_page is not None and not geometry.gstage().supports_page(
+            self.nested_page
+        ):
+            raise ConfigError(
+                f"{self.label}: {geometry.gstage().name} has no "
+                f"{self.nested_page.label} leaf level"
+            )
 
     @property
     def virtualized(self) -> bool:
         """True for VM configurations."""
         return self.mode.virtualized
+
+    # Plain methods, not properties: result serialization walks every
+    # public property, and the ISA axis must not drift x86 reports.
+
+    def isa_name(self) -> str:
+        """Canonical name of the configured ISA geometry."""
+        return self._isa
+
+    def translation_geometry(self) -> TranslationGeometry:
+        """The first-dimension (guest/native) geometry."""
+        return get_geometry(self._isa)
+
+    def nested_geometry(self) -> TranslationGeometry:
+        """The second-dimension (G-stage/EPT) geometry."""
+        return self.translation_geometry().gstage()
 
 
 _MODE_SUFFIXES = {
@@ -55,12 +95,34 @@ def parse_config(label: str) -> SystemConfig:
 
     Grammar::
 
+        config:       [<isa>/]<bars>       e.g. sv48/4K+2M, sv39/DD
         native:       4K | 2M | 1G | THP | DS
         virtualized:  <guest>+<nested>     e.g. 4K+4K, 2M+1G, THP+2M
                       <guest>+VD | <guest>+GD   e.g. 4K+VD, THP+GD
                       DD
+
+    An explicit default-ISA prefix (``x86_64/4K``) normalizes to the
+    bare label so one configuration never has two spellings (and two
+    store keys).
     """
-    text = label.strip().upper()
+    stripped = label.strip()
+    if "/" in stripped:
+        prefix, _, rest = stripped.partition("/")
+        geometry = get_geometry(prefix)  # unknown ISA -> ConfigError
+        if "/" in rest:
+            raise ConfigError(
+                f"malformed configuration label {label!r}: "
+                f"at most one ISA prefix is allowed"
+            )
+        parsed = parse_config(rest)
+        if geometry.name == DEFAULT_ISA:
+            return parsed
+        return dataclasses.replace(
+            parsed,
+            label=f"{geometry.name}/{parsed.label}",
+            _isa=geometry.name,
+        )
+    text = stripped.upper()
     if not text:
         raise ConfigError(
             "empty configuration label; expected one of e.g. "

@@ -253,7 +253,9 @@ def simulate(
     )
     system = build_system(config, workload.spec, **build_kwargs)
     if use_trace_cache:
-        cached = trace_cache.get_trace(workload, trace_length, seed)
+        cached = trace_cache.get_trace(
+            workload, trace_length, seed, isa=config.isa_name()
+        )
         trace, unique_pages = cached.pages, cached.unique_pages
     else:
         trace = workload.trace(trace_length, seed=seed)

@@ -137,6 +137,7 @@ def build_system(
     validate_run_parameters(spec.footprint_bytes)
     if geometry is not None:
         validate_geometry(geometry)
+    _check_address_space_fit(config, spec)
     if config.virtualized:
         return _build_virtualized(
             config, spec, costs, geometry, bad_pages, emulate_segments
@@ -181,6 +182,32 @@ def populate_for_addresses(system: SimulatedSystem, addresses) -> None:
     system.vm.populate_nested(targets)
 
 
+def _check_address_space_fit(config: SystemConfig, spec: WorkloadSpec) -> None:
+    """Reject workloads whose arena overflows the ISA's virtual space.
+
+    The arena starts at :data:`DEFAULT_PRIMARY_REGION_BASE`; its last
+    byte must be canonical in the configured geometry (sv39 only has a
+    512 GB space) and the (guest-)physical footprint must be addressable
+    by the nested dimension.
+    """
+    from repro.errors import ConfigError
+    from repro.guest.process import DEFAULT_PRIMARY_REGION_BASE
+
+    isa = config.translation_geometry()
+    arena_end = DEFAULT_PRIMARY_REGION_BASE + spec.footprint_bytes - 1
+    if not isa.is_canonical(arena_end):
+        raise ConfigError(
+            f"{config.label}: workload arena ends at {arena_end:#x}, "
+            f"outside {isa.name}'s {isa.address_bits}-bit virtual space"
+        )
+    physical_end = spec.footprint_bytes + GUEST_MEMORY_SLACK + HOST_MEMORY_SLACK - 1
+    if physical_end >= config.nested_geometry().address_space_size:
+        raise ConfigError(
+            f"{config.label}: physical footprint {physical_end + 1:#x} exceeds "
+            f"{config.nested_geometry().name}'s output space"
+        )
+
+
 # ----------------------------------------------------------------------
 # Native systems
 
@@ -195,7 +222,7 @@ def _build_native(
     memory = spec.footprint_bytes + GUEST_MEMORY_SLACK + HOST_MEMORY_SLACK
     layout = PhysicalLayout(memory)
     os_config = GuestOSConfig(thp=config.thp)
-    native_os = GuestOS(layout, os_config)
+    native_os = GuestOS(layout, os_config, geometry=config.translation_geometry())
     process = native_os.spawn(page_size=config.guest_page)
     process.mmap(spec.footprint_bytes, is_primary_region=True)
     table = native_os.page_table_of(process)
@@ -260,6 +287,7 @@ def _build_virtualized(
         memory_bytes=guest_memory,
         nested_page_size=config.nested_page,
         emulate_segments=emulate_segments,
+        nested_geometry=config.nested_geometry(),
     )
 
     uses_vmm_segment = config.mode.uses_vmm_segment
@@ -270,6 +298,7 @@ def _build_virtualized(
         vm.guest_layout,
         GuestOSConfig(thp=config.thp, emulate_segments=emulate_segments),
         pt_pool_hint=pt_hint,
+        geometry=config.translation_geometry(),
     )
     process = guest_os.spawn(page_size=config.guest_page)
     process.mmap(spec.footprint_bytes, is_primary_region=True)

@@ -83,8 +83,9 @@ def set_max_bytes(value: int) -> None:
     MAX_BYTES = value
     _evict(_METRICS)
 
-#: (class qualname, workload name, footprint, requested length, seed).
-TraceKey = tuple[str, str, int, int | None, int]
+#: (class qualname, workload name, footprint, requested length, seed,
+#: ISA geometry name).
+TraceKey = tuple[str, str, int, int | None, int, str]
 
 
 @dataclass(frozen=True)
@@ -156,8 +157,16 @@ def attach_metrics(registry) -> None:
     _METRICS = registry
 
 
-def trace_key(workload: Workload, length: int | None, seed: int) -> TraceKey:
-    """Cache key for one (workload, length, seed) trace request."""
+def trace_key(
+    workload: Workload, length: int | None, seed: int, isa: str = "x86_64"
+) -> TraceKey:
+    """Cache key for one (workload, length, seed, isa) trace request.
+
+    Traces are page indices relative to the arena, so today they do not
+    vary with the ISA -- but the key carries the geometry name anyway so
+    an x86 cell and an Sv48 cell can never alias, even once a geometry
+    influences generation (e.g. canonicality-clamped generators).
+    """
     spec = workload.spec
     return (
         type(workload).__qualname__,
@@ -165,17 +174,20 @@ def trace_key(workload: Workload, length: int | None, seed: int) -> TraceKey:
         spec.footprint_bytes,
         length,
         seed,
+        isa,
     )
 
 
-def get_trace(workload: Workload, length: int | None, seed: int) -> CachedTrace:
+def get_trace(
+    workload: Workload, length: int | None, seed: int, isa: str = "x86_64"
+) -> CachedTrace:
     """The memoized trace for a request, generating it on first use.
 
     Hits refresh the entry's recency (dict insertion order doubles as
     the LRU list); misses insert at the hot end and evict from the cold
     end until both :data:`MAX_ENTRIES` and :data:`MAX_BYTES` hold.
     """
-    key = trace_key(workload, length, seed)
+    key = trace_key(workload, length, seed, isa)
     cached = _CACHE.get(key)
     m = _METRICS
     if cached is not None:

@@ -154,6 +154,8 @@ def config_params(label: str) -> dict:
         "guest_page": config.guest_page.name,
         "nested_page": config.nested_page.name if config.nested_page else None,
         "thp": config.thp,
+        "isa": config.isa_name(),
+        "geometry": config.translation_geometry().fingerprint(),
     }
 
 
@@ -186,14 +188,14 @@ def cell_key(ingredients: dict) -> str:
 
 
 def trace_key_params(
-    workload: Workload, trace_length: int | None, seed: int
+    workload: Workload, trace_length: int | None, seed: int, isa: str = "x86_64"
 ) -> list:
     """The trace-cache key as JSON-ready key material.
 
     Ties an entry to the exact trace the simulator would fetch: the
-    generator class, name, footprint, resolved length and seed.
+    generator class, name, footprint, resolved length, seed and ISA.
     """
-    return list(trace_cache.trace_key(workload, trace_length, seed))
+    return list(trace_cache.trace_key(workload, trace_length, seed, isa))
 
 
 def grid_cell_ingredients(task: Any) -> dict:
@@ -206,6 +208,7 @@ def grid_cell_ingredients(task: Any) -> dict:
     would fetch.
     """
     workload = create_workload(task.workload)
+    isa = parse_config(task.config).isa_name()
     return {
         "kind": "grid-cell",
         "workload": task.workload,
@@ -213,6 +216,6 @@ def grid_cell_ingredients(task: Any) -> dict:
         "config": config_params(task.config),
         "trace_length": task.trace_length,
         "seed": task.seed,
-        "trace_key": trace_key_params(workload, task.trace_length, task.seed),
+        "trace_key": trace_key_params(workload, task.trace_length, task.seed, isa),
         "obs": obs_params(task.obs),
     }

@@ -23,14 +23,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.isa.geometry import TranslationGeometry
 from repro.tlb.tlb import SetAssociativeCache
 
 #: Default entries per paging-structure cache level (Intel-like).
 DEFAULT_PWC_ENTRIES = 32
 DEFAULT_PWC_WAYS = 4
 
-#: Prefix shift for each skippable level: a PML4E entry covers 512 GB
-#: (bits 47..39), a PDPTE 1 GB (47..30), a PDE 2 MB (47..21).
+#: Prefix shift for each skippable level of the default x86-64 geometry:
+#: a PML4E entry covers 512 GB (bits 47..39), a PDPTE 1 GB (47..30), a
+#: PDE 2 MB (47..21).  Other geometries derive their ladder from
+#: :meth:`repro.isa.TranslationGeometry.pwc_shifts`.
 _LEVEL_SHIFT = {0: 39, 1: 30, 2: 21}
 
 
@@ -50,21 +53,30 @@ class PWCProbe:
 
 
 class PageWalkCache:
-    """Prefix caches for levels PML4 (0), PDPT (1) and PD (2)."""
+    """Prefix caches over every skippable (non-leaf) level.
+
+    x86-64: PML4E (0), PDPTE (1), PDE (2).  The ladder follows the
+    geometry: sv39 has two skippable levels, sv57 four, and a widened
+    G-stage root keeps the same prefix shifts as its base levels.
+    """
 
     def __init__(
         self,
         entries: int = DEFAULT_PWC_ENTRIES,
         ways: int = DEFAULT_PWC_WAYS,
+        geometry: TranslationGeometry | None = None,
     ) -> None:
+        shifts = _LEVEL_SHIFT if geometry is None else geometry.pwc_shifts()
         self._caches = {
             level: SetAssociativeCache(entries, ways, f"PWC-L{level}")
-            for level in _LEVEL_SHIFT
+            for level in shifts
         }
         # probe/fill run on every simulated walk; precompute the
         # (level, cache, shift) orders instead of indexing dicts per call.
+        # Probing goes deepest-first (longest prefix match).
         self._probe_order = [
-            (level, self._caches[level], _LEVEL_SHIFT[level]) for level in (2, 1, 0)
+            (level, self._caches[level], shifts[level])
+            for level in sorted(shifts, reverse=True)
         ]
         self._fill_order = list(reversed(self._probe_order))
 

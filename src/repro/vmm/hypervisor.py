@@ -75,6 +75,7 @@ class VirtualMachine:
         nested_page_size: PageSize = PageSize.SIZE_4K,
         reserve_bytes: int = 0,
         emulate_segments: bool = False,
+        nested_geometry=None,
     ) -> None:
         from repro.vmm.memory_slots import MemorySlots  # local to avoid cycle
 
@@ -85,7 +86,11 @@ class VirtualMachine:
         self.emulate_segments = emulate_segments
         self.guest_layout = PhysicalLayout(memory_bytes)
         self.slots = MemorySlots(self.guest_layout, reserve_bytes=reserve_bytes)
-        self.nested_table = PageTable(hypervisor.alloc_pt_frame)
+        #: ``nested_geometry`` is the G-stage geometry (e.g. Sv48x4 with
+        #: its widened root); None keeps the x86-64 EPT default.
+        self.nested_table = PageTable(
+            hypervisor.alloc_pt_frame, geometry=nested_geometry
+        )
         self.vmm_segment = SegmentRegisters.disabled()
         self.escape_filter = EscapeFilter()
         self.mode = TranslationMode.BASE_VIRTUALIZED
@@ -748,6 +753,7 @@ class Hypervisor:
         nested_page_size: PageSize = PageSize.SIZE_4K,
         reserve_bytes: int = 0,
         emulate_segments: bool = False,
+        nested_geometry=None,
     ) -> VirtualMachine:
         """Register a new VM (its memory is demand-allocated, not eager)."""
         if name in self.vms:
@@ -759,6 +765,7 @@ class Hypervisor:
             nested_page_size=nested_page_size,
             reserve_bytes=reserve_bytes,
             emulate_segments=emulate_segments,
+            nested_geometry=nested_geometry,
         )
         self.vms[name] = vm
         return vm

@@ -1,0 +1,193 @@
+"""The TranslationGeometry contract and its x86 bit-identity guarantee."""
+
+import pytest
+
+from repro.core import address
+from repro.core.address import PageSize
+from repro.errors import ConfigError
+from repro.isa.geometry import (
+    GEOMETRIES,
+    SV39,
+    SV48,
+    SV57,
+    X86_64,
+    TranslationGeometry,
+    get_geometry,
+)
+from repro.tlb.pwc import _LEVEL_SHIFT
+
+ALL = list(GEOMETRIES.values())
+
+
+# ----------------------------------------------------------------------
+# Registry
+
+
+def test_registry_names():
+    assert set(GEOMETRIES) == {"x86_64", "sv39", "sv48", "sv57"}
+    for name, geometry in GEOMETRIES.items():
+        assert geometry.name == name
+
+
+def test_lookup_is_case_insensitive_and_aliased():
+    assert get_geometry("SV48") is SV48
+    assert get_geometry("x86") is X86_64
+    assert get_geometry("x86_64_4level") is X86_64
+    assert get_geometry(" x86-64 ") is X86_64
+
+
+def test_unknown_isa_raises_config_error():
+    with pytest.raises(ConfigError, match="unknown ISA"):
+        get_geometry("sv64")
+
+
+def test_malformed_geometry_rejected():
+    with pytest.raises(ConfigError, match="!= address bits"):
+        TranslationGeometry(name="bad", address_bits=48, radix_bits=(9, 9, 9))
+    with pytest.raises(ConfigError, match="level names"):
+        TranslationGeometry(
+            name="bad", address_bits=30, radix_bits=(9, 9), level_names=("A",)
+        )
+
+
+# ----------------------------------------------------------------------
+# x86 equivalence: the geometry reproduces every hard-coded constant.
+
+
+def test_x86_matches_core_address_constants():
+    assert X86_64.address_bits == address.ADDRESS_BITS
+    assert X86_64.levels == 4
+    assert X86_64.base_page_bits == address.BASE_PAGE_BITS
+    va = 0x0000_7F1E_2D3C_4B5A
+    for level in range(4):
+        assert X86_64.radix_index(va, level) == address.radix_index(va, level)
+
+
+def test_x86_matches_pwc_shifts():
+    assert X86_64.pwc_shifts() == _LEVEL_SHIFT
+    assert X86_64.skippable_levels() == (0, 1, 2)
+
+
+def test_x86_matches_page_size_levels():
+    # PageSize.levels is the x86 walk depth; the geometry must agree.
+    for page_size in PageSize:
+        assert X86_64.walk_levels(page_size) == page_size.levels
+
+
+def test_x86_level_labels():
+    assert [X86_64.level_label(i) for i in range(4)] == [
+        "PML4",
+        "PDPT",
+        "PD",
+        "PT",
+    ]
+    assert X86_64.gstage() is X86_64  # EPT reuses the same geometry
+
+
+# ----------------------------------------------------------------------
+# RISC-V shapes
+
+
+@pytest.mark.parametrize(
+    "geometry,levels,bits",
+    [(SV39, 3, 39), (SV48, 4, 48), (SV57, 5, 57)],
+)
+def test_riscv_shapes(geometry, levels, bits):
+    assert geometry.levels == levels
+    assert geometry.address_bits == bits
+    # All RISC-V modes share x86's 4K/2M/1G ladder names at the bottom.
+    assert geometry.supports_page(PageSize.SIZE_4K)
+    assert geometry.supports_page(PageSize.SIZE_2M)
+    assert geometry.supports_page(PageSize.SIZE_1G)
+    assert geometry.walk_levels(PageSize.SIZE_4K) == levels
+
+
+@pytest.mark.parametrize("geometry", [SV39, SV48, SV57])
+def test_gstage_widens_root_by_two_bits(geometry):
+    gstage = geometry.gstage()
+    assert gstage.address_bits == geometry.address_bits + 2
+    assert gstage.radix_bits[0] == geometry.radix_bits[0] + 2
+    assert gstage.radix_bits[1:] == geometry.radix_bits[1:]
+    assert gstage.levels == geometry.levels  # wider root, not deeper
+    assert gstage.name == f"{geometry.name}x4"
+    # The widened root holds 2048 entries (16 KiB of PTEs).
+    assert gstage.radix_mask(0) == 2047
+    assert gstage.gstage() is gstage  # composition is idempotent
+    # Prefix shifts below the root are unchanged, so PWC prefixes match.
+    for level in range(1, geometry.levels):
+        assert gstage.level_shift(level) == geometry.level_shift(level)
+
+
+# ----------------------------------------------------------------------
+# Contract properties over every registered geometry
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_shifts_and_masks_tile_the_address(geometry):
+    va = (1 << geometry.address_bits) - 1  # all-ones canonical address
+    indices = geometry.radix_indices(va)
+    assert len(indices) == geometry.levels
+    for level, index in enumerate(indices):
+        assert index == geometry.radix_mask(level)
+    # Reassembling indices + page offset reproduces the address.
+    rebuilt = va & ((1 << geometry.base_page_bits) - 1)
+    for level, index in enumerate(indices):
+        rebuilt |= index << geometry.level_shift(level)
+    assert rebuilt == va
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_canonicality(geometry):
+    top = 1 << geometry.address_bits
+    assert geometry.is_canonical(0)
+    assert geometry.is_canonical(top - 1)
+    assert not geometry.is_canonical(top)
+    assert not geometry.is_canonical(-1)
+    assert geometry.check_canonical(top - 1) == top - 1
+    with pytest.raises(ConfigError, match="outside"):
+        geometry.check_canonical(top)
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_level_bounds_raise_config_error(geometry):
+    with pytest.raises(ConfigError):
+        geometry.radix_index(0, geometry.levels)
+    with pytest.raises(ConfigError):
+        geometry.radix_index(0, -1)
+    with pytest.raises(ConfigError):
+        geometry.level_label(geometry.levels)
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_unsupported_page_size_raises(geometry):
+    class FakeSize:
+        bits = 13
+        label = "8K"
+
+    assert not geometry.supports_page(FakeSize())
+    with pytest.raises(ConfigError, match="no level maps"):
+        geometry.leaf_level(FakeSize())
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_fingerprint_identifies_geometry(geometry):
+    fp = geometry.fingerprint()
+    assert fp["name"] == geometry.name
+    assert fp["radix_bits"] == list(geometry.radix_bits)
+    others = [g.fingerprint() for g in ALL if g is not geometry]
+    assert fp not in others
+
+
+# ----------------------------------------------------------------------
+# Satellite: core.address.radix_index raises ConfigError, not bare
+# ValueError (ConfigError subclasses ValueError for compatibility).
+
+
+def test_address_radix_index_out_of_range_is_config_error():
+    with pytest.raises(ConfigError):
+        address.radix_index(0, 4)
+    with pytest.raises(ConfigError):
+        address.radix_index(0, -1)
+    # Still a ValueError for callers catching the historical type.
+    with pytest.raises(ValueError):
+        address.radix_index(0, 4)

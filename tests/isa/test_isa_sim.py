@@ -1,0 +1,155 @@
+"""ISA axis end-to-end: label grammar, key non-aliasing, RISC-V sweeps."""
+
+import pytest
+
+from repro.core.modes import TranslationMode, capability_matrix
+from repro.errors import ConfigError
+from repro.experiments.common import isa_configs
+from repro.experiments.parallel import CellTask
+from repro.isa.geometry import SV48, X86_64
+from repro.sim import trace_cache
+from repro.sim.config import parse_config
+from repro.sim.simulator import simulate
+from repro.store.keys import cell_key, config_params, grid_cell_ingredients
+from tests.conftest import TinyWorkload
+
+TRACE_LENGTH = 1500
+
+
+# ----------------------------------------------------------------------
+# Label grammar
+
+
+def test_bare_labels_stay_x86():
+    config = parse_config("4K+2M")
+    assert config.label == "4K+2M"
+    assert config.isa_name() == "x86_64"
+    assert config.translation_geometry() is X86_64
+    assert config.nested_geometry() is X86_64
+
+
+def test_isa_prefix_parses_and_canonicalizes():
+    config = parse_config("sv48/4k+2m")
+    assert config.label == "sv48/4K+2M"
+    assert config.isa_name() == "sv48"
+    assert config.translation_geometry() is SV48
+    assert config.nested_geometry().name == "sv48x4"
+
+
+def test_explicit_default_prefix_normalizes_to_bare_label():
+    assert parse_config("x86_64/4K") == parse_config("4K")
+    assert parse_config("x86/DD") == parse_config("DD")
+
+
+def test_unknown_isa_prefix_rejected():
+    with pytest.raises(ConfigError, match="unknown ISA"):
+        parse_config("sv64/4K")
+
+
+def test_double_isa_prefix_rejected():
+    with pytest.raises(ConfigError, match="one ISA prefix"):
+        parse_config("x86_64/x86_64/4K")
+    with pytest.raises(ConfigError, match="one ISA prefix"):
+        parse_config("sv48/sv39/4K")
+
+
+def test_sv39_has_no_512g_but_all_modelled_sizes():
+    # All modelled page sizes exist on sv39 (9-bit levels, 12-bit base).
+    for label in ("sv39/4K", "sv39/2M", "sv39/1G", "sv39/1G+1G"):
+        parse_config(label)
+
+
+def test_isa_configs_helper():
+    assert isa_configs(("4K", "DD"), "x86_64") == ("4K", "DD")
+    assert isa_configs(("4K", "DD"), "sv48") == ("sv48/4K", "sv48/DD")
+    with pytest.raises(ConfigError, match="unknown ISA"):
+        isa_configs(("4K",), "sv64")
+
+
+# ----------------------------------------------------------------------
+# Satellite: store keys and trace-cache keys never alias across ISAs
+
+
+def test_config_params_carry_geometry_fingerprint():
+    x86 = config_params("4K+4K")
+    sv48 = config_params("sv48/4K+4K")
+    assert x86["isa"] == "x86_64"
+    assert sv48["isa"] == "sv48"
+    assert x86["geometry"] != sv48["geometry"]
+
+
+def test_store_cell_keys_never_alias_across_isas():
+    def key(config):
+        task = CellTask(
+            workload="gups", config=config, trace_length=1000, seed=0, obs=None
+        )
+        return cell_key(grid_cell_ingredients(task))
+
+    keys = {key(c) for c in ("4K+4K", "sv39/4K+4K", "sv48/4K+4K", "sv57/4K+4K")}
+    assert len(keys) == 4
+
+
+def test_trace_cache_keys_never_alias_across_isas():
+    workload = TinyWorkload()
+    x86 = trace_cache.trace_key(workload, 1000, 0)
+    sv48 = trace_cache.trace_key(workload, 1000, 0, isa="sv48")
+    assert x86 != sv48
+    assert x86[-1] == "x86_64"
+    assert sv48[-1] == "sv48"
+
+
+# ----------------------------------------------------------------------
+# Capability matrix per ISA
+
+
+@pytest.mark.parametrize("isa", ["sv39", "sv48", "sv57"])
+def test_capability_matrix_follows_level_counts(isa):
+    from repro.isa.geometry import get_geometry
+
+    geometry = get_geometry(isa)
+    matrix = capability_matrix(geometry)
+    g = geometry.levels
+    m = geometry.gstage().levels
+    base = matrix[TranslationMode.BASE_VIRTUALIZED]
+    assert base.walk_memory_accesses == (g + 1) * (m + 1) - 1
+    assert matrix[TranslationMode.DUAL_DIRECT].walk_memory_accesses == 0
+    assert matrix[TranslationMode.VMM_DIRECT].walk_memory_accesses == g
+    assert matrix[TranslationMode.VMM_DIRECT].base_bound_checks == g + 1
+    assert matrix[TranslationMode.GUEST_DIRECT].walk_memory_accesses == m
+
+
+def test_x86_capability_matrix_reproduces_table2():
+    from repro.core.modes import MODE_PROPERTIES
+
+    assert capability_matrix(X86_64) == MODE_PROPERTIES
+
+
+# ----------------------------------------------------------------------
+# End-to-end: the paper's shape holds on RISC-V
+
+
+@pytest.mark.parametrize("isa", ["sv39", "sv48", "sv57"])
+def test_dual_direct_collapses_walk_on_riscv(isa):
+    """A figure11-style mode comparison per RISC-V geometry: nested
+    paging pays a 2D walk, Dual Direct collapses it to O(1)."""
+    workload = TinyWorkload()
+    native = simulate(f"{isa}/4K", workload, trace_length=TRACE_LENGTH, seed=2)
+    virt = simulate(f"{isa}/4K+4K", workload, trace_length=TRACE_LENGTH, seed=2)
+    dd = simulate(f"{isa}/DD", workload, trace_length=TRACE_LENGTH, seed=2)
+
+    # Virtualization inflates translation cost; Dual Direct removes
+    # nearly all of it (same ordering the paper shows on x86).
+    assert virt.overhead_percent > native.overhead_percent
+    assert dd.overhead_percent < virt.overhead_percent
+    assert dd.overhead_percent < native.overhead_percent
+    assert dd.run.translation_cycles < 0.05 * virt.run.translation_cycles
+
+
+def test_deeper_geometry_walks_cost_more():
+    """sv57's 5-level 2D walk is at least as costly as sv39's 3-level."""
+    workload = TinyWorkload()
+    shallow = simulate(
+        "sv39/4K+4K", workload, trace_length=TRACE_LENGTH, seed=2
+    )
+    deep = simulate("sv57/4K+4K", workload, trace_length=TRACE_LENGTH, seed=2)
+    assert deep.run.translation_cycles >= shallow.run.translation_cycles

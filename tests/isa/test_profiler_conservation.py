@@ -1,0 +1,92 @@
+"""Satellite: profiler conservation at 3 and 5 radix levels.
+
+The cycle-accounting profiler's books are label-driven, so variable
+level counts must fall out for free: per-(structure, level, cause)
+fixed-point sums must equal the MMU's ``translation_cycles`` by integer
+equality for sv39 (3 levels) and sv57 (5 levels, widened G-stage root),
+on both the scalar and batched engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.profiler import WalkProfiler, to_fixed
+from repro.sim.config import parse_config
+from repro.sim.engine import access_batch
+from repro.sim.system import build_system, populate_for_addresses
+from tests.conftest import TinyWorkload
+
+TRACE_LENGTH = 2000
+
+#: 3-level and 5-level grids: native, full 2D, and the flattened modes.
+ISA_LABELS = [
+    "sv39/4K",
+    "sv39/4K+4K",
+    "sv39/DD",
+    "sv39/4K+VD",
+    "sv57/4K",
+    "sv57/4K+4K",
+    "sv57/DD",
+    "sv57/4K+GD",
+]
+
+
+def _profiled_run(label: str, engine: str, seed: int = 7):
+    """One populated system driven through one engine with a profiler."""
+    workload = TinyWorkload()
+    system = build_system(parse_config(label), workload.spec)
+    trace = workload.trace(TRACE_LENGTH, seed=seed)
+    rebased = (trace.astype(np.int64) << 12) + system.base_va
+    populate_for_addresses(system, np.unique(rebased))
+    profiler = WalkProfiler(seed=0)
+    profiler.attach(system)
+    if engine == "scalar":
+        access = system.mmu.access
+        for va in map(int, rebased):
+            access(va)
+    else:
+        access_batch(system.mmu, rebased)
+    return system, profiler.finalize(system)
+
+
+@pytest.mark.parametrize("engine", ["scalar", "batched"])
+@pytest.mark.parametrize("label", ISA_LABELS)
+def test_conservation_exact_at_3_and_5_levels(label, engine):
+    """Attributed cycles == modelled cycles, to the last fixed-point bit."""
+    system, snapshot = _profiled_run(label, engine)
+    expected = to_fixed(system.mmu.counters.translation_cycles)
+    assert snapshot["total_cycles_fp"] == expected
+    assert snapshot["total_cycles_fp"] == sum(
+        axis["cycles_fp"] for axis in snapshot["axes"].values()
+    )
+    assert sum(snapshot["folded"].values()) == expected
+    assert "walk|-|unattributed" not in snapshot["axes"]
+
+
+@pytest.mark.parametrize("label", ["sv39/4K+4K", "sv57/4K+4K"])
+def test_isa_profiles_engine_invariant(label):
+    """Scalar and batched runs produce byte-identical profiles."""
+    _, scalar_snapshot = _profiled_run(label, "scalar")
+    _, batched_snapshot = _profiled_run(label, "batched")
+    assert scalar_snapshot == batched_snapshot
+
+
+@pytest.mark.parametrize(
+    "label,levels", [("sv39/4K+4K", 3), ("sv57/4K+4K", 5)]
+)
+def test_level_axes_follow_geometry(label, levels):
+    """The per-level attribution rows track the ISA's level count."""
+    _, snapshot = _profiled_run(label, "batched")
+    guest_levels = {
+        key.split("|")[1]
+        for key in snapshot["axes"]
+        if key.startswith("guest|L")
+    }
+    host_levels = {
+        key.split("|")[1]
+        for key in snapshot["axes"]
+        if key.startswith("host|L")
+    }
+    assert guest_levels == {f"L{i}" for i in range(1, levels + 1)}
+    # The G-stage has the same level count (wider root, not deeper).
+    assert host_levels == {f"L{i}" for i in range(1, levels + 1)}

@@ -1,0 +1,161 @@
+"""Satellite property test: 2D walk enumeration vs the closed forms.
+
+For every registered geometry the planned walk must have exactly
+``(n+1)(m+1)-1`` references at 4K leaves, drop by the closed-form
+amounts for large-page leaves and PWC skip depths, and agree with the
+step traces the real page tables and walkers produce.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core.address import GIB, PageSize
+from repro.core.costs import DEFAULT_COSTS
+from repro.core.walker import NativeWalker, NestedWalker
+from repro.errors import ConfigError
+from repro.isa.geometry import GEOMETRIES
+from repro.isa.walkplan import (
+    expected_2d_references,
+    walk_plan_1d,
+    walk_plan_2d,
+)
+from repro.mem.page_table import PageTable
+from repro.tlb.hierarchy import TLBHierarchy
+
+ALL = list(GEOMETRIES.values())
+
+#: A test virtual address canonical in every geometry (sv39 included).
+TEST_VA = 16 * GIB + 0x5000
+
+
+def _table(geometry, first_frame=0x100):
+    counter = itertools.count(first_frame)
+    return PageTable(lambda: next(counter), geometry=geometry)
+
+
+# ----------------------------------------------------------------------
+# Closed forms
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_full_2d_walk_is_n_plus_1_m_plus_1_minus_1(geometry):
+    n = geometry.walk_levels(PageSize.SIZE_4K)
+    m = geometry.gstage().walk_levels(PageSize.SIZE_4K)
+    plan = walk_plan_2d(geometry)
+    assert len(plan) == expected_2d_references(n, m) == n * (m + 1) + m
+    # The paper's testbed arithmetic: 24 references at (4, 4).
+    if geometry.name == "x86_64":
+        assert len(plan) == 24
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+@pytest.mark.parametrize(
+    "large", [PageSize.SIZE_2M, PageSize.SIZE_1G], ids=lambda p: p.label
+)
+def test_large_guest_leaf_drops_m_plus_1_per_level(geometry, large):
+    m = geometry.gstage().walk_levels(PageSize.SIZE_4K)
+    base = len(walk_plan_2d(geometry))
+    plan = walk_plan_2d(geometry, guest_page=large)
+    dropped_levels = (
+        geometry.walk_levels(PageSize.SIZE_4K) - geometry.walk_levels(large)
+    )
+    # Each dropped guest level removes its nested sub-walk (m refs) plus
+    # its own guest PTE load.
+    assert len(plan) == base - dropped_levels * (m + 1)
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+@pytest.mark.parametrize(
+    "large", [PageSize.SIZE_2M, PageSize.SIZE_1G], ids=lambda p: p.label
+)
+def test_large_nested_leaf_drops_g_plus_1_per_level(geometry, large):
+    gstage = geometry.gstage()
+    g = geometry.walk_levels(PageSize.SIZE_4K)
+    base = len(walk_plan_2d(geometry))
+    plan = walk_plan_2d(geometry, nested_page=large)
+    dropped = gstage.walk_levels(PageSize.SIZE_4K) - gstage.walk_levels(large)
+    # Each dropped nested level shortens all g+1 nested sub-walks by one.
+    assert len(plan) == base - dropped * (g + 1)
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_pwc_skip_drops_m_plus_1_per_level(geometry):
+    n = geometry.walk_levels(PageSize.SIZE_4K)
+    m = geometry.gstage().walk_levels(PageSize.SIZE_4K)
+    base = len(walk_plan_2d(geometry))
+    for skip in range(n):
+        plan = walk_plan_2d(geometry, guest_skip_levels=skip)
+        assert len(plan) == base - skip * (m + 1)
+        assert len(walk_plan_1d(geometry, skip_levels=skip)) == n - skip
+    with pytest.raises(ConfigError):
+        walk_plan_1d(geometry, skip_levels=n)
+
+
+# ----------------------------------------------------------------------
+# Cross-check against real page-table step traces
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_1d_plan_matches_page_table_steps(geometry):
+    for page_size in geometry.page_sizes():
+        table = _table(geometry)
+        va = TEST_VA - (TEST_VA % int(page_size))
+        table.map(va, 0x40000000, page_size)
+        result = table.walk(va)
+        plan = walk_plan_1d(geometry, page_size)
+        assert len(result.steps) == len(plan)
+        assert [s.level for s in result.steps] == [
+            p.guest_level for p in plan
+        ]
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_1d_plan_matches_native_walker_refs(geometry):
+    table = _table(geometry)
+    table.map(TEST_VA, 0x40000000, PageSize.SIZE_4K)
+    walker = NativeWalker(table, DEFAULT_COSTS)
+    cold = walker.walk(TEST_VA)
+    assert cold.refs == len(walk_plan_1d(geometry))
+    # Second walk: the PWC covers every skippable level; only the leaf
+    # PTE is loaded -- the deepest-skip plan.
+    warm = walker.walk(TEST_VA)
+    n = geometry.walk_levels(PageSize.SIZE_4K)
+    assert warm.refs == len(walk_plan_1d(geometry, skip_levels=n - 1)) == 1
+
+
+@pytest.mark.parametrize("geometry", ALL, ids=lambda g: g.name)
+def test_2d_plan_matches_nested_walker_raw_refs(geometry):
+    gstage = geometry.gstage()
+    guest_table = _table(geometry, first_frame=0x100)
+    nested_table = _table(gstage, first_frame=0x100000)
+
+    gpa = 0x40000000
+    hpa = 0x80000000
+    guest_table.map(TEST_VA, gpa, PageSize.SIZE_4K)
+    # Back every guest page-table node and the data page in the nested
+    # dimension so a real 2D walk can resolve each pointer.
+    for frame in guest_table.node_frames:
+        nested_table.map(frame * 4096, hpa + frame * 4096, PageSize.SIZE_4K)
+    nested_table.map(gpa, hpa, PageSize.SIZE_4K)
+
+    walker = NestedWalker(guest_table, nested_table, DEFAULT_COSTS, TLBHierarchy())
+    outcome = walker.walk(TEST_VA)
+    # raw_refs is the walker's cold-cache arithmetic: it must equal the
+    # planned reference count exactly.
+    plan = walk_plan_2d(geometry)
+    assert outcome.raw_refs == len(plan)
+    n = geometry.walk_levels(PageSize.SIZE_4K)
+    m = gstage.walk_levels(PageSize.SIZE_4K)
+    assert outcome.raw_refs == expected_2d_references(n, m)
+
+
+def test_plan_shape_guest_steps_interleave_nested_subwalks():
+    plan = walk_plan_2d(GEOMETRIES["sv48"])
+    m = GEOMETRIES["sv48"].gstage().walk_levels(PageSize.SIZE_4K)
+    # Pattern: (m nested, 1 guest) x n, then m nested for the final gPA.
+    chunks = [plan[i : i + m + 1] for i in range(0, len(plan) - m, m + 1)]
+    for chunk in chunks:
+        assert [s.dimension for s in chunk] == ["nested"] * m + ["guest"]
+    assert all(s.dimension == "nested" for s in plan[-m:])
+    assert all(s.guest_level is None for s in plan[-m:])
